@@ -1,0 +1,162 @@
+package repro_test
+
+// Benchmark harness: one benchmark per figure of the paper's evaluation
+// (each regenerates the figure's full sweep with one random draw per point;
+// run cmd/experiments for averaged, human-readable tables), plus
+// micro-benchmarks of the core solver stages.
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro"
+)
+
+func benchCfg() repro.RunConfig { return repro.RunConfig{Trials: 1, Seed: 1} }
+
+// BenchmarkFig2 regenerates Figs. 2a/2b: energy & delay vs p_max, five
+// weight pairs + random benchmark.
+func BenchmarkFig2(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, _, err := repro.Fig2(benchCfg()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig3 regenerates Figs. 3a/3b: energy & delay vs f_max.
+func BenchmarkFig3(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, _, err := repro.Fig3(benchCfg()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig4 regenerates Figs. 4a/4b: energy & delay vs N.
+func BenchmarkFig4(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, _, err := repro.Fig4(benchCfg()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig5 regenerates Figs. 5a/5b: energy & delay vs radius.
+func BenchmarkFig5(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, _, err := repro.Fig5(benchCfg()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig6 regenerates Figs. 6a/6b: energy & delay vs R_l and R_g.
+func BenchmarkFig6(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, _, err := repro.Fig6(benchCfg()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig7 regenerates Fig. 7: energy vs completion-time limit,
+// proposed vs communication-only vs computation-only.
+func BenchmarkFig7(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := repro.Fig7(benchCfg()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig8 regenerates Fig. 8: energy vs p_max under fixed deadlines,
+// proposed vs Scheme 1.
+func BenchmarkFig8(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := repro.Fig8(benchCfg()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkOptimizeWeighted measures one full Algorithm 2 run at the
+// paper's default N = 50 and balanced weights.
+func BenchmarkOptimizeWeighted(b *testing.B) {
+	sc := repro.DefaultScenario()
+	s, err := sc.Build(rand.New(rand.NewSource(1)))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := repro.Optimize(s, repro.Weights{W1: 0.5, W2: 0.5}, repro.Options{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkOptimizeDeadline measures the dual-decomposition deadline solve
+// (the Figs. 7-8 workhorse) at N = 50.
+func BenchmarkOptimizeDeadline(b *testing.B) {
+	sc := repro.DefaultScenario()
+	s, err := sc.Build(rand.New(rand.NewSource(1)))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := repro.Optimize(s, repro.Weights{W1: 1, W2: 0},
+			repro.Options{Mode: repro.ModeDeadline, TotalDeadline: 120}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkMinCompletionTime measures the min-max time waterfilling.
+func BenchmarkMinCompletionTime(b *testing.B) {
+	sc := repro.DefaultScenario()
+	s, err := sc.Build(rand.New(rand.NewSource(1)))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := repro.MinCompletionTime(s); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkScheme1 measures the Scheme 1 baseline at N = 50.
+func BenchmarkScheme1(b *testing.B) {
+	sc := repro.DefaultScenario()
+	s, err := sc.Build(rand.New(rand.NewSource(1)))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := repro.Scheme1(s, 120); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFedAvgRound measures one FedAvg aggregation round (20 devices,
+// 500 samples each, 5 local iterations, dim 9).
+func BenchmarkFedAvgRound(b *testing.B) {
+	rng := rand.New(rand.NewSource(2))
+	ds, _ := repro.SyntheticLogistic(rng, 20*500, 8, 0.05)
+	shards, err := repro.SplitEqual(ds, 20)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := repro.FedAvgConfig{LocalIters: 5, GlobalRounds: 1, LearningRate: 0.5, Dim: 9}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := repro.TrainFedAvg(cfg, shards, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

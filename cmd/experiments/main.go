@@ -1,0 +1,162 @@
+// Command experiments regenerates the figures of the paper's evaluation
+// (Section VII) as plain-text tables, optionally also writing CSV files.
+//
+// Usage:
+//
+//	experiments [-fig all|2|3|4|5|6|7|8] [-trials 10] [-seed 1] [-csv DIR]
+//
+// Each sweep point is averaged over -trials independent device draws (the
+// paper uses 100; the default of 10 regenerates every qualitative shape in
+// a few minutes).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"repro"
+)
+
+func main() {
+	var (
+		fig    = flag.String("fig", "all", "figure to regenerate: all, 2-8, ext, extA, extB, extC, extD, extE, extF or extG")
+		trials = flag.Int("trials", 10, "random device draws averaged per sweep point")
+		seed   = flag.Int64("seed", 1, "base RNG seed")
+		csvDir = flag.String("csv", "", "also write <dir>/fig<id>.csv files")
+	)
+	flag.Parse()
+
+	if err := run(*fig, *trials, *seed, *csvDir); err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
+}
+
+func run(fig string, trials int, seed int64, csvDir string) error {
+	cfg := repro.RunConfig{Trials: trials, Seed: seed}
+	var figures []repro.Figure
+
+	two := func(a, b repro.Figure, err error) error {
+		if err != nil {
+			return err
+		}
+		figures = append(figures, a, b)
+		return nil
+	}
+	start := time.Now()
+	switch strings.ToLower(fig) {
+	case "all":
+		all, err := repro.AllFigures(cfg)
+		if err != nil {
+			return err
+		}
+		figures = all
+	case "2":
+		if err := two(repro.Fig2(cfg)); err != nil {
+			return err
+		}
+	case "3":
+		if err := two(repro.Fig3(cfg)); err != nil {
+			return err
+		}
+	case "4":
+		if err := two(repro.Fig4(cfg)); err != nil {
+			return err
+		}
+	case "5":
+		if err := two(repro.Fig5(cfg)); err != nil {
+			return err
+		}
+	case "6":
+		if err := two(repro.Fig6(cfg)); err != nil {
+			return err
+		}
+	case "7":
+		f, err := repro.Fig7(cfg)
+		if err != nil {
+			return err
+		}
+		figures = append(figures, f)
+	case "8":
+		f, err := repro.Fig8(cfg)
+		if err != nil {
+			return err
+		}
+		figures = append(figures, f)
+	case "ext":
+		exts, err := repro.AllExtensions(cfg)
+		if err != nil {
+			return err
+		}
+		figures = exts
+	case "exta":
+		if err := two(repro.ExtA(cfg)); err != nil {
+			return err
+		}
+	case "extb":
+		f, err := repro.ExtB(cfg)
+		if err != nil {
+			return err
+		}
+		figures = append(figures, f)
+	case "extc":
+		if err := two(repro.ExtC(cfg)); err != nil {
+			return err
+		}
+	case "extd":
+		if err := two(repro.ExtD(cfg)); err != nil {
+			return err
+		}
+	case "exte":
+		f, err := repro.ExtE(cfg)
+		if err != nil {
+			return err
+		}
+		figures = append(figures, f)
+	case "extf":
+		f, err := repro.ExtF(cfg)
+		if err != nil {
+			return err
+		}
+		figures = append(figures, f)
+	case "extg":
+		if err := two(repro.ExtG(cfg)); err != nil {
+			return err
+		}
+	default:
+		return fmt.Errorf("unknown figure %q", fig)
+	}
+
+	for _, f := range figures {
+		fmt.Println(f.Table())
+	}
+	fmt.Printf("regenerated %d figure panel(s) in %v (%d trials/point, seed %d)\n",
+		len(figures), time.Since(start).Round(time.Millisecond), trials, seed)
+
+	if csvDir != "" {
+		if err := os.MkdirAll(csvDir, 0o755); err != nil {
+			return err
+		}
+		for _, f := range figures {
+			path := filepath.Join(csvDir, "fig"+f.ID+".csv")
+			file, err := os.Create(path)
+			if err != nil {
+				return err
+			}
+			werr := f.WriteCSV(file)
+			cerr := file.Close()
+			if werr != nil {
+				return werr
+			}
+			if cerr != nil {
+				return cerr
+			}
+			fmt.Println("wrote", path)
+		}
+	}
+	return nil
+}

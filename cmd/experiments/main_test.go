@@ -1,0 +1,26 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestRunUnknownFigure(t *testing.T) {
+	if err := run("99", 1, 1, ""); err == nil {
+		t.Fatal("expected error for unknown figure")
+	}
+}
+
+func TestRunSingleFigureWithCSV(t *testing.T) {
+	if testing.Short() {
+		t.Skip("figure regeneration is slow")
+	}
+	dir := t.TempDir()
+	if err := run("extb", 1, 1, dir); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "figextB.csv")); err != nil {
+		t.Errorf("csv not written: %v", err)
+	}
+}

@@ -1,0 +1,40 @@
+// Quickstart: build a paper-default deployment, run the joint optimizer at
+// balanced weights, and inspect the energy/latency outcome against the
+// random benchmark.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"repro"
+)
+
+func main() {
+	// A 50-device deployment with the paper's Section VII-A parameters.
+	sc := repro.DefaultScenario()
+	system, err := sc.Build(rand.New(rand.NewSource(42)))
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Joint optimization at w1 = w2 = 0.5 (no preference between energy
+	// and completion time).
+	res, err := repro.Optimize(system, repro.Weights{W1: 0.5, W2: 0.5}, repro.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("proposed:  E = %7.2f J   T = %7.2f s   (%d outer iterations)\n",
+		res.Metrics.TotalEnergy, res.Metrics.TotalTime, len(res.Iterations))
+
+	// The paper's random benchmark: random CPU frequencies, full power,
+	// equal bandwidth split.
+	bench := repro.RandomFreqBenchmark(system, rand.New(rand.NewSource(7)))
+	bm := system.Evaluate(bench)
+	fmt.Printf("benchmark: E = %7.2f J   T = %7.2f s\n", bm.TotalEnergy, bm.TotalTime)
+
+	fmt.Printf("\nenergy saved: %.1f%%   time saved: %.1f%%\n",
+		100*(1-res.Metrics.TotalEnergy/bm.TotalEnergy),
+		100*(1-res.Metrics.TotalTime/bm.TotalTime))
+}

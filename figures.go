@@ -1,0 +1,60 @@
+package repro
+
+import "repro/internal/experiments"
+
+// Figure drivers: each regenerates the corresponding figure(s) of the
+// paper's Section VII as numeric series (averaged over cfg.Trials random
+// device draws). Render with Figure.Table or Figure.WriteCSV.
+
+// Fig2 regenerates Figs. 2a/2b (energy and delay vs maximum transmit power).
+func Fig2(cfg RunConfig) (energy, delay Figure, err error) { return experiments.Fig2(cfg) }
+
+// Fig3 regenerates Figs. 3a/3b (energy and delay vs maximum CPU frequency).
+func Fig3(cfg RunConfig) (energy, delay Figure, err error) { return experiments.Fig3(cfg) }
+
+// Fig4 regenerates Figs. 4a/4b (energy and delay vs number of devices).
+func Fig4(cfg RunConfig) (energy, delay Figure, err error) { return experiments.Fig4(cfg) }
+
+// Fig5 regenerates Figs. 5a/5b (energy and delay vs placement radius).
+func Fig5(cfg RunConfig) (energy, delay Figure, err error) { return experiments.Fig5(cfg) }
+
+// Fig6 regenerates Figs. 6a/6b (energy and delay vs local iterations).
+func Fig6(cfg RunConfig) (energy, delay Figure, err error) { return experiments.Fig6(cfg) }
+
+// Fig7 regenerates Fig. 7 (energy vs completion-time limit; proposed vs
+// communication-only vs computation-only).
+func Fig7(cfg RunConfig) (Figure, error) { return experiments.Fig7(cfg) }
+
+// Fig8 regenerates Fig. 8 (energy vs maximum transmit power under fixed
+// deadlines; proposed vs Scheme 1).
+func Fig8(cfg RunConfig) (Figure, error) { return experiments.Fig8(cfg) }
+
+// AllFigures regenerates every figure in paper order.
+func AllFigures(cfg RunConfig) ([]Figure, error) { return experiments.RunAll(cfg) }
+
+// ExtA regenerates the sample-heterogeneity extension (the experiment the
+// paper omits for space in Section VII-B).
+func ExtA(cfg RunConfig) (energy, delay Figure, err error) { return experiments.ExtA(cfg) }
+
+// ExtB regenerates the exact-vs-simplified-Shannon ablation (the ref. [3]
+// simplification the paper criticizes).
+func ExtB(cfg RunConfig) (Figure, error) { return experiments.ExtB(cfg) }
+
+// ExtC regenerates the Subproblem 2 solver ablation (objective & runtime).
+func ExtC(cfg RunConfig) (objective, runtime Figure, err error) { return experiments.ExtC(cfg) }
+
+// ExtD regenerates the FDMA-vs-TDMA access-scheme comparison.
+func ExtD(cfg RunConfig) (energy, delay Figure, err error) { return experiments.ExtD(cfg) }
+
+// ExtE regenerates the alternation-vs-joint weighted solver comparison.
+func ExtE(cfg RunConfig) (Figure, error) { return experiments.ExtE(cfg) }
+
+// ExtF regenerates the wall-time-vs-N scaling measurement (Section VI).
+func ExtF(cfg RunConfig) (Figure, error) { return experiments.ExtF(cfg) }
+
+// ExtG regenerates the fading-robustness replay (deadline misses and
+// energy inflation of the static allocation under Nakagami-m fading).
+func ExtG(cfg RunConfig) (violations, energy Figure, err error) { return experiments.ExtG(cfg) }
+
+// AllExtensions regenerates every extension figure.
+func AllExtensions(cfg RunConfig) ([]Figure, error) { return experiments.RunExtensions(cfg) }

@@ -1,0 +1,121 @@
+// Package baselines implements the comparison schemes of the paper's
+// evaluation (Section VII):
+//
+//   - the random benchmark of Figs. 2-3 (random CPU frequency at full power,
+//     or random transmit power at full frequency, with an equal bandwidth
+//     split);
+//   - communication-only optimization (fixed frequencies, optimized powers
+//     and bandwidths) and computation-only optimization (fixed powers and
+//     bandwidths, optimized frequencies) for Fig. 7;
+//   - a Scheme 1 surrogate (Yang et al. [7]: energy minimization under a
+//     hard deadline) for Fig. 8, reproduced as block-coordinate descent
+//     without the joint sum-of-ratios treatment of (p, B) — the structural
+//     weakness the paper exploits.
+package baselines
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/core"
+	"repro/internal/fl"
+	"repro/internal/numeric"
+	"repro/internal/wireless"
+)
+
+// ErrInfeasible is returned when a baseline cannot satisfy its deadline.
+var ErrInfeasible = errors.New("baselines: infeasible configuration")
+
+// RandomFreq is the benchmark of Fig. 2: each device draws its CPU frequency
+// uniformly from [0.1, 2] GHz (clipped to its box), transmits at full power,
+// and receives an equal bandwidth share B/N.
+func RandomFreq(s *fl.System, rng *rand.Rand) fl.Allocation {
+	a := fl.NewAllocation(s.N())
+	frac := 1.0 / float64(s.N())
+	for i, d := range s.Devices {
+		f := 0.1e9 + rng.Float64()*(2e9-0.1e9)
+		a.Freq[i] = numeric.Clamp(f, d.FMin, d.FMax)
+		a.Power[i] = d.PMax
+		a.Bandwidth[i] = s.Bandwidth * frac
+	}
+	return a
+}
+
+// RandomPower is the benchmark of Fig. 3: each device draws its transmit
+// power uniformly (in dBm) between 0 and 12 dBm (clipped to its box), runs
+// its CPU at full frequency, and receives an equal bandwidth share B/N.
+func RandomPower(s *fl.System, rng *rand.Rand) fl.Allocation {
+	a := fl.NewAllocation(s.N())
+	frac := 1.0 / float64(s.N())
+	for i, d := range s.Devices {
+		p := wireless.DBmToWatt(12 * rng.Float64())
+		a.Power[i] = numeric.Clamp(p, d.PMin, d.PMax)
+		a.Freq[i] = d.FMax
+		a.Bandwidth[i] = s.Bandwidth * frac
+	}
+	return a
+}
+
+// CommunicationOnly reproduces the "communication optimization only" scheme
+// of Fig. 7: frequencies are fixed from the deadline split
+// f_n = Rg*Rl*c_n*D_n / (T - Rg*max_m(d_m/r0_m)) — the value derived from
+// constraint (9a) with initial rates r0 at p = PMax, B_n = B/(2N) — and only
+// the transmission side (p, B) is optimized.
+func CommunicationOnly(s *fl.System, totalDeadline float64) (fl.Allocation, error) {
+	n := s.N()
+	init := s.EqualSplitAllocation(0.5/float64(n), math.Inf(1), math.Inf(1))
+	var maxUp float64
+	for i := range s.Devices {
+		if up := s.UploadTimeRound(i, init.Power[i], init.Bandwidth[i]); up > maxUp {
+			maxUp = up
+		}
+	}
+	compBudget := totalDeadline - s.GlobalRounds*maxUp
+	if compBudget <= 0 {
+		return fl.Allocation{}, fmt.Errorf("baselines: deadline %g leaves no computation budget: %w", totalDeadline, ErrInfeasible)
+	}
+	a := fl.NewAllocation(n)
+	roundDeadline := totalDeadline / s.GlobalRounds
+	rmin := make([]float64, n)
+	for i, d := range s.Devices {
+		f := s.GlobalRounds * s.LocalIters * d.CyclesPerIteration() / compBudget
+		a.Freq[i] = numeric.Clamp(f, d.FMin, d.FMax)
+		residual := roundDeadline - s.CompTimeRound(i, a.Freq[i])
+		if residual <= 0 {
+			return fl.Allocation{}, fmt.Errorf("baselines: device %d has no upload window: %w", i, ErrInfeasible)
+		}
+		rmin[i] = d.UploadBits / residual
+	}
+	sp2, err := core.SolveSubproblem2Direct(s, s.GlobalRounds, rmin)
+	if err != nil {
+		return fl.Allocation{}, fmt.Errorf("baselines: CommunicationOnly transmission solve: %w", err)
+	}
+	copy(a.Power, sp2.Power)
+	copy(a.Bandwidth, sp2.Bandwidth)
+	return a, nil
+}
+
+// ComputationOnly reproduces the "computation optimization only" scheme of
+// Fig. 7: transmission is fixed at p_n = PMax, B_n = B/(2N) (the setting the
+// paper reports as strongest for this baseline), and only the CPU
+// frequencies are optimized: the cheapest f_n meeting the deadline.
+func ComputationOnly(s *fl.System, totalDeadline float64) (fl.Allocation, error) {
+	n := s.N()
+	a := s.EqualSplitAllocation(0.5/float64(n), math.Inf(1), math.Inf(1)) // p = PMax
+	roundDeadline := totalDeadline / s.GlobalRounds
+	for i, d := range s.Devices {
+		up := s.UploadTimeRound(i, a.Power[i], a.Bandwidth[i])
+		residual := roundDeadline - up
+		if residual <= 0 {
+			return fl.Allocation{}, fmt.Errorf("baselines: device %d upload alone exceeds the deadline: %w", i, ErrInfeasible)
+		}
+		need := s.LocalIters * d.CyclesPerIteration() / residual
+		if need > d.FMax*(1+1e-9) {
+			return fl.Allocation{}, fmt.Errorf("baselines: device %d needs %g Hz > FMax: %w", i, need, ErrInfeasible)
+		}
+		a.Freq[i] = numeric.Clamp(need, d.FMin, d.FMax)
+	}
+	return a, nil
+}

@@ -1,0 +1,197 @@
+package baselines
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/fl"
+	"repro/internal/numeric"
+	"repro/internal/wireless"
+)
+
+// Scheme1Options tunes the Scheme 1 surrogate.
+type Scheme1Options struct {
+	// Sweeps is the number of block-coordinate sweeps (default 3, matching
+	// the few outer iterations of [7]'s Algorithm 3).
+	Sweeps int
+}
+
+// Scheme1 reproduces the state-of-the-art comparator of Fig. 8 — Yang et
+// al. [7]: minimize total energy subject to a hard completion-time limit.
+// The original solves its own convex formulation exactly but treats the
+// coupled (p, B) pair through separate subproblems rather than the joint
+// fractional treatment of this paper. We reproduce that structural
+// restriction as block-coordinate descent from the paper's initial point
+// (p = PMax, B = B/(2N)):
+//
+//	f-block: cheapest frequencies meeting the deadline;
+//	B-block: bandwidth waterfilling at *fixed* powers;
+//	p-block: cheapest powers meeting the rate floors at fixed bandwidths.
+//
+// Because the B-block prices bandwidth at the current powers instead of
+// accounting for the power reduction extra bandwidth enables, its fixed
+// point is suboptimal relative to the joint solution — most visibly under
+// tight deadlines, which is exactly the regime where Fig. 8 reports the
+// largest gap.
+func Scheme1(s *fl.System, totalDeadline float64, opts Scheme1Options) (fl.Allocation, error) {
+	if opts.Sweeps <= 0 {
+		opts.Sweeps = 3
+	}
+	n := s.N()
+	a := s.EqualSplitAllocation(0.5/float64(n), math.Inf(1), math.Inf(1)) // p = PMax, f = FMax
+	roundDeadline := totalDeadline / s.GlobalRounds
+
+	// Pre-repair: waterfill bandwidth at full power against the loosest
+	// possible rate floors (f = FMax) so a device starved by the equal
+	// split cannot block the deadline before the sweeps begin. ([7] seeds
+	// its iteration from the delay-minimization solution of [14], which
+	// plays the same role.)
+	rmin := make([]float64, n)
+	for i, d := range s.Devices {
+		residual := roundDeadline - s.CompTimeRound(i, d.FMax)
+		if residual <= 0 {
+			return fl.Allocation{}, fmt.Errorf("baselines: Scheme1 device %d compute floor exceeds deadline: %w", i, ErrInfeasible)
+		}
+		rmin[i] = d.UploadBits / residual
+	}
+	if bands, err := waterfillFixedPower(s, a.Power, rmin); err == nil {
+		copy(a.Bandwidth, bands)
+	} else {
+		return fl.Allocation{}, err
+	}
+	for sweep := 0; sweep < opts.Sweeps; sweep++ {
+		// ---- f-block: cheapest feasible frequency.
+		for i, d := range s.Devices {
+			up := s.UploadTimeRound(i, a.Power[i], a.Bandwidth[i])
+			residual := roundDeadline - up
+			if residual <= 0 {
+				return fl.Allocation{}, fmt.Errorf("baselines: Scheme1 device %d upload exceeds deadline: %w", i, ErrInfeasible)
+			}
+			need := s.LocalIters * d.CyclesPerIteration() / residual
+			if need > d.FMax*(1+1e-9) {
+				return fl.Allocation{}, fmt.Errorf("baselines: Scheme1 device %d needs %g Hz: %w", i, need, ErrInfeasible)
+			}
+			a.Freq[i] = numeric.Clamp(need, d.FMin, d.FMax)
+		}
+		// Rate floors induced by the frequencies.
+		for i, d := range s.Devices {
+			residual := roundDeadline - s.CompTimeRound(i, a.Freq[i])
+			if residual <= 0 {
+				return fl.Allocation{}, fmt.Errorf("baselines: Scheme1 device %d has no upload window: %w", i, ErrInfeasible)
+			}
+			rmin[i] = d.UploadBits / residual
+		}
+		// ---- B-block: waterfill bandwidth at fixed powers.
+		bands, err := waterfillFixedPower(s, a.Power, rmin)
+		if err != nil {
+			return fl.Allocation{}, err
+		}
+		copy(a.Bandwidth, bands)
+		// ---- p-block: cheapest power meeting the floor at the new bands.
+		for i, d := range s.Devices {
+			p := wireless.PowerForRate(rmin[i], a.Bandwidth[i], d.Gain, s.N0)
+			a.Power[i] = numeric.Clamp(p, d.PMin, d.PMax)
+		}
+	}
+	return a, nil
+}
+
+// waterfillFixedPower allocates bandwidth minimizing sum_n p_n*d_n/G_n at
+// fixed powers, subject to G_n >= rmin_n and sum B_n <= B. Transmission
+// energy is convex decreasing in B at fixed p, so equalizing the marginal
+// saving -dE/dB = p*d*G_B/G^2 across devices (with per-device floors) is
+// optimal for this restricted block.
+func waterfillFixedPower(s *fl.System, power, rmin []float64) ([]float64, error) {
+	n := s.N()
+	floors := make([]float64, n)
+	var sumFloor float64
+	for i, d := range s.Devices {
+		b, err := wireless.BandwidthForRate(rmin[i], power[i], d.Gain, s.N0)
+		if err != nil {
+			return nil, fmt.Errorf("baselines: device %d cannot reach %g bit/s at p=%g: %w", i, rmin[i], power[i], ErrInfeasible)
+		}
+		floors[i] = b
+		sumFloor += b
+	}
+	if sumFloor > s.Bandwidth*(1+1e-9) {
+		return nil, fmt.Errorf("baselines: floors %g exceed B=%g: %w", sumFloor, s.Bandwidth, ErrInfeasible)
+	}
+
+	marginal := func(i int, b float64) float64 {
+		d := s.Devices[i]
+		g := wireless.Rate(power[i], b, d.Gain, s.N0)
+		theta := power[i] * d.Gain / (s.N0 * b)
+		gb := numeric.Log2p1(theta) - theta/((1+theta)*math.Ln2)
+		return power[i] * d.UploadBits * gb / (g * g)
+	}
+	bandAt := func(i int, lambda float64) float64 {
+		if marginal(i, floors[i]) <= lambda {
+			return floors[i]
+		}
+		hi := floors[i] * 2
+		for iter := 0; marginal(i, hi) > lambda; iter++ {
+			hi *= 4
+			if iter > 300 {
+				return hi
+			}
+		}
+		b, err := numeric.BisectDecreasing(func(b float64) float64 { return marginal(i, b) - lambda }, floors[i], hi, 1e-9*hi)
+		if err != nil {
+			return floors[i]
+		}
+		return b
+	}
+	demand := func(lambda float64) float64 {
+		var sum float64
+		for i := 0; i < n; i++ {
+			sum += bandAt(i, lambda)
+		}
+		return sum
+	}
+	var lamHi float64
+	for i := 0; i < n; i++ {
+		if m := marginal(i, floors[i]); m > lamHi {
+			lamHi = m
+		}
+	}
+	if lamHi <= 0 {
+		lamHi = 1
+	}
+	// Search against a slightly slackened budget: under tight deadlines the
+	// floors sum to B within float error, and the exact budget may be
+	// unattainable on either side of the bisection. The result is rescaled
+	// back inside the true budget below.
+	target := s.Bandwidth * (1 + 1e-9)
+	lambda := lamHi
+	lamLo := lamHi
+	for demand(lamLo) <= target && lamLo > 1e-300 {
+		lamLo /= 16
+	}
+	if demand(lamLo) > target {
+		var err error
+		lambda, err = numeric.BisectDecreasing(func(l float64) float64 { return demand(l) - target }, lamLo, lamHi, 0)
+		if err != nil {
+			return nil, fmt.Errorf("baselines: bandwidth waterfilling: %w", err)
+		}
+	}
+	// Otherwise the floors fill the budget at every price: keep lamHi.
+	bands := make([]float64, n)
+	var sumB float64
+	for i := 0; i < n; i++ {
+		bands[i] = bandAt(i, lambda)
+		sumB += bands[i]
+	}
+	if sumB > 0 {
+		scale := s.Bandwidth / sumB
+		if scale < 1 {
+			for i := range bands {
+				bands[i] = math.Max(bands[i]*scale, floors[i])
+			}
+		} else {
+			for i := range bands {
+				bands[i] *= scale
+			}
+		}
+	}
+	return bands, nil
+}

@@ -1,0 +1,134 @@
+package baselines
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/core"
+	"repro/internal/fl"
+	"repro/internal/numeric"
+)
+
+// SimplifiedShannon reproduces the bandwidth-allocation style the paper
+// criticizes in ref. [3] (Section II-A): the noise term inside the Shannon
+// logarithm is "forcefully assumed as a constant that does not scale with
+// the allocated bandwidth". Under that approximation the rate is *linear*
+// in B with a fixed per-device spectral efficiency
+//
+//	s_n = log2(1 + pmax*g_n / (N0 * B/N))      [evaluated at the equal split]
+//
+// so the bandwidth allocation trivializes to proportional division by the
+// rate requirements — exactly the easy problem [3] solves. This routine
+// runs the same outer loop as Algorithm 2 but replaces Subproblem 2 with
+// that proportional rule (at full power, as the linearized model sees no
+// bandwidth-power coupling to exploit). Evaluating the result under the
+// exact Shannon formula quantifies the cost of the simplification (the
+// ExtB ablation).
+func SimplifiedShannon(s *fl.System, w fl.Weights) (fl.Allocation, error) {
+	if err := s.Check(); err != nil {
+		return fl.Allocation{}, err
+	}
+	if err := w.Check(); err != nil {
+		return fl.Allocation{}, err
+	}
+	n := s.N()
+	a := s.MaxResourceAllocation()
+
+	// Fixed spectral efficiencies at the equal-split SNR.
+	refNoise := s.N0 * s.Bandwidth / float64(n)
+	se := make([]float64, n)
+	for i, d := range s.Devices {
+		se[i] = numeric.Log2p1(d.PMax * d.Gain / refNoise)
+		if se[i] <= 0 {
+			return fl.Allocation{}, fmt.Errorf("baselines: device %d zero simplified efficiency: %w", i, ErrInfeasible)
+		}
+	}
+
+	for iter := 0; iter < 8; iter++ {
+		upTimes := make([]float64, n)
+		for i := range upTimes {
+			upTimes[i] = s.UploadTimeRound(i, a.Power[i], a.Bandwidth[i])
+		}
+		sp1, err := core.SolveSubproblem1(s, w, upTimes)
+		if err != nil {
+			return fl.Allocation{}, fmt.Errorf("baselines: SimplifiedShannon SP1: %w", err)
+		}
+		copy(a.Freq, sp1.Freq)
+
+		// Linear-rate bandwidth rule: B_n proportional to the bandwidth the
+		// simplified model thinks meets the rate floor, scaled to spend B.
+		var sum float64
+		req := make([]float64, n)
+		for i, d := range s.Devices {
+			residual := sp1.RoundDeadline - s.CompTimeRound(i, a.Freq[i])
+			if residual <= 0 {
+				return fl.Allocation{}, fmt.Errorf("baselines: device %d no upload window: %w", i, ErrInfeasible)
+			}
+			req[i] = d.UploadBits / residual / se[i]
+			sum += req[i]
+		}
+		if sum <= 0 {
+			return fl.Allocation{}, fmt.Errorf("baselines: degenerate simplified requirements: %w", ErrInfeasible)
+		}
+		scale := s.Bandwidth / sum
+		prev := a.Clone()
+		for i := range s.Devices {
+			a.Bandwidth[i] = req[i] * scale
+			a.Power[i] = s.Devices[i].PMax
+		}
+		if a.Distance(prev) <= 1e-9 {
+			break
+		}
+	}
+	// The proportional rule can leave a device short under the *true*
+	// formula; the evaluation is still well-defined (its upload just takes
+	// longer and the realized round time grows), which is precisely the
+	// failure mode the ablation measures.
+	return a, nil
+}
+
+// SimplifiedShannonDeadline is the fixed-deadline variant of
+// SimplifiedShannon used by the ExtB ablation: frequencies fill the
+// residual after the equal-split upload times, bandwidth follows the
+// linear-rate proportional rule, and power stays at the cap (the linearized
+// model sees no power-bandwidth coupling). The returned allocation is then
+// judged under the exact Shannon formula.
+func SimplifiedShannonDeadline(s *fl.System, totalDeadline float64) (fl.Allocation, error) {
+	if err := s.Check(); err != nil {
+		return fl.Allocation{}, err
+	}
+	n := s.N()
+	roundDeadline := totalDeadline / s.GlobalRounds
+	a := s.EqualSplitAllocation(1/float64(n), math.Inf(1), math.Inf(1)) // p = PMax, f = FMax
+
+	refNoise := s.N0 * s.Bandwidth / float64(n)
+	var sum float64
+	req := make([]float64, n)
+	for i, d := range s.Devices {
+		up := s.UploadTimeRound(i, a.Power[i], a.Bandwidth[i])
+		residual := roundDeadline - up
+		if residual <= 0 {
+			return fl.Allocation{}, fmt.Errorf("baselines: simplified device %d upload exceeds deadline: %w", i, ErrInfeasible)
+		}
+		need := s.LocalIters * d.CyclesPerIteration() / residual
+		if need > d.FMax*(1+1e-9) {
+			return fl.Allocation{}, fmt.Errorf("baselines: simplified device %d needs %g Hz: %w", i, need, ErrInfeasible)
+		}
+		a.Freq[i] = numeric.Clamp(need, d.FMin, d.FMax)
+		se := numeric.Log2p1(d.PMax * d.Gain / refNoise)
+		if se <= 0 {
+			return fl.Allocation{}, fmt.Errorf("baselines: simplified device %d zero efficiency: %w", i, ErrInfeasible)
+		}
+		uploadBudget := roundDeadline - s.CompTimeRound(i, a.Freq[i])
+		req[i] = d.UploadBits / uploadBudget / se
+		sum += req[i]
+	}
+	if sum <= 0 {
+		return fl.Allocation{}, fmt.Errorf("baselines: simplified degenerate requirements: %w", ErrInfeasible)
+	}
+	scale := s.Bandwidth / sum
+	for i := range s.Devices {
+		a.Bandwidth[i] = req[i] * scale
+	}
+	return a, nil
+}

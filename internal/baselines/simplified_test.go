@@ -1,0 +1,60 @@
+package baselines
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/fl"
+)
+
+func TestSimplifiedShannonFeasible(t *testing.T) {
+	for seed := int64(1); seed <= 6; seed++ {
+		s := newTestSystem(10, seed)
+		a, err := SimplifiedShannon(s, fl.Weights{W1: 0.5, W2: 0.5})
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if err := s.Validate(a, 1e-6); err != nil {
+			t.Errorf("seed %d: %v", seed, err)
+		}
+	}
+}
+
+func TestSimplifiedShannonDeadlineWorseThanProposed(t *testing.T) {
+	wins := 0
+	const trials = 6
+	for seed := int64(1); seed <= trials; seed++ {
+		s := newTestSystem(10, seed)
+		total := pickDeadline(t, s, 2)
+		simp, err := SimplifiedShannonDeadline(s, total)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if err := s.Validate(simp, 1e-6); err != nil {
+			t.Errorf("seed %d: simplified infeasible wrt boxes: %v", seed, err)
+		}
+		prop, err := core.Optimize(s, fl.Weights{W1: 1, W2: 0},
+			core.Options{Mode: core.ModeDeadline, TotalDeadline: total})
+		if err != nil {
+			t.Fatalf("seed %d proposed: %v", seed, err)
+		}
+		if prop.Metrics.TotalEnergy <= s.Evaluate(simp).TotalEnergy*(1+1e-9) {
+			wins++
+		}
+	}
+	if wins < trials {
+		t.Errorf("proposed beat the simplified rule in only %d/%d draws", wins, trials)
+	}
+}
+
+func TestSimplifiedShannonRejectsBadInput(t *testing.T) {
+	s := newTestSystem(3, 1)
+	if _, err := SimplifiedShannon(s, fl.Weights{W1: 0.6, W2: 0.6}); err == nil {
+		t.Error("bad weights accepted")
+	}
+	tiny := pickDeadline(t, s, 0.01)
+	if _, err := SimplifiedShannonDeadline(s, tiny); !errors.Is(err, ErrInfeasible) {
+		t.Errorf("tiny deadline: want ErrInfeasible, got %v", err)
+	}
+}

@@ -1,0 +1,355 @@
+package convex
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func almostEq(a, b, tol float64) bool {
+	return math.Abs(a-b) <= tol*(1+math.Max(math.Abs(a), math.Abs(b)))
+}
+
+func TestMinimizeUnconstrainedQuadratic(t *testing.T) {
+	// min (x-3)^2 + (y+1)^2 with loose boxes.
+	p := Problem{
+		Objective: func(x []float64) float64 {
+			return (x[0]-3)*(x[0]-3) + (x[1]+1)*(x[1]+1)
+		},
+		Gradient: func(x, out []float64) {
+			out[0] = 2 * (x[0] - 3)
+			out[1] = 2 * (x[1] + 1)
+		},
+		Lower: []float64{-100, -100},
+		Upper: []float64{100, 100},
+	}
+	x, err := Minimize(p, []float64{0, 0}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEq(x[0], 3, 1e-5) || !almostEq(x[1], -1, 1e-5) {
+		t.Errorf("x = %v, want [3 -1]", x)
+	}
+}
+
+func TestMinimizeActiveBox(t *testing.T) {
+	// min (x-3)^2 with x <= 1: optimum at the boundary x=1.
+	p := Problem{
+		Objective: func(x []float64) float64 { return (x[0] - 3) * (x[0] - 3) },
+		Gradient:  func(x, out []float64) { out[0] = 2 * (x[0] - 3) },
+		Lower:     []float64{-10},
+		Upper:     []float64{1},
+	}
+	x, err := Minimize(p, []float64{0}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEq(x[0], 1, 1e-4) {
+		t.Errorf("x = %v, want 1", x)
+	}
+}
+
+func TestMinimizeWithInequality(t *testing.T) {
+	// min x+y s.t. x^2+y^2 <= 2: optimum (-1,-1).
+	p := Problem{
+		Objective: func(x []float64) float64 { return x[0] + x[1] },
+		Gradient:  func(x, out []float64) { out[0], out[1] = 1, 1 },
+		Ineqs: []Constraint{{
+			F: func(x []float64) float64 { return x[0]*x[0] + x[1]*x[1] - 2 },
+			Grad: func(x, out []float64) {
+				out[0] = 2 * x[0]
+				out[1] = 2 * x[1]
+			},
+		}},
+	}
+	x, err := Minimize(p, []float64{0, 0}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEq(x[0], -1, 1e-4) || !almostEq(x[1], -1, 1e-4) {
+		t.Errorf("x = %v, want [-1 -1]", x)
+	}
+}
+
+func TestMinimizeCouplingBudget(t *testing.T) {
+	// min 1/x + 4/y s.t. x + y <= 3, x,y > 0. Lagrangian: 1/x^2 = 4/y^2 = mu
+	// => y = 2x, x = 1, y = 2.
+	p := Problem{
+		Objective: func(x []float64) float64 { return 1/x[0] + 4/x[1] },
+		Gradient: func(x, out []float64) {
+			out[0] = -1 / (x[0] * x[0])
+			out[1] = -4 / (x[1] * x[1])
+		},
+		Ineqs: []Constraint{{
+			F:    func(x []float64) float64 { return x[0] + x[1] - 3 },
+			Grad: func(x, out []float64) { out[0], out[1] = 1, 1 },
+		}},
+		Lower: []float64{1e-9, 1e-9},
+	}
+	x, err := Minimize(p, []float64{0.5, 0.5}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEq(x[0], 1, 1e-3) || !almostEq(x[1], 2, 1e-3) {
+		t.Errorf("x = %v, want [1 2]", x)
+	}
+}
+
+func TestMinimizeRejectsInfeasibleStart(t *testing.T) {
+	p := Problem{
+		Objective: func(x []float64) float64 { return x[0] },
+		Gradient:  func(x, out []float64) { out[0] = 1 },
+		Lower:     []float64{0},
+		Upper:     []float64{1},
+	}
+	if _, err := Minimize(p, []float64{2}, Options{}); !errors.Is(err, ErrNotStrictlyFeasible) {
+		t.Errorf("want ErrNotStrictlyFeasible, got %v", err)
+	}
+	if _, err := Minimize(p, []float64{0}, Options{}); !errors.Is(err, ErrNotStrictlyFeasible) {
+		t.Errorf("boundary start: want ErrNotStrictlyFeasible, got %v", err)
+	}
+}
+
+func TestMinimizeEmptyStart(t *testing.T) {
+	if _, err := Minimize(Problem{}, nil, Options{}); err == nil {
+		t.Error("want error for empty start point")
+	}
+}
+
+// TestMinimizeRandomQP validates against analytically solvable box QPs:
+// min sum a_i (x_i - m_i)^2 over a box is clamping m to the box.
+func TestMinimizeRandomQP(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 20; trial++ {
+		n := 1 + rng.Intn(5)
+		a := make([]float64, n)
+		m := make([]float64, n)
+		lo := make([]float64, n)
+		hi := make([]float64, n)
+		x0 := make([]float64, n)
+		for i := 0; i < n; i++ {
+			a[i] = 0.5 + rng.Float64()*4
+			m[i] = rng.NormFloat64() * 3
+			lo[i] = -2
+			hi[i] = 2
+			x0[i] = 0
+		}
+		p := Problem{
+			Objective: func(x []float64) float64 {
+				var s float64
+				for i := range x {
+					d := x[i] - m[i]
+					s += a[i] * d * d
+				}
+				return s
+			},
+			Gradient: func(x, out []float64) {
+				for i := range x {
+					out[i] = 2 * a[i] * (x[i] - m[i])
+				}
+			},
+			Lower: lo,
+			Upper: hi,
+		}
+		x, err := Minimize(p, x0, Options{})
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		for i := range x {
+			want := math.Max(lo[i], math.Min(hi[i], m[i]))
+			if !almostEq(x[i], want, 1e-3) {
+				t.Errorf("trial %d: x[%d] = %g, want %g", trial, i, x[i], want)
+			}
+		}
+	}
+}
+
+func TestGreedyLP(t *testing.T) {
+	tests := []struct {
+		name   string
+		c      []float64
+		lo, hi []float64
+		budget float64
+		want   []float64
+	}{
+		{
+			name: "all negative, budget binds cheapest first",
+			c:    []float64{-3, -1, -2},
+			lo:   []float64{0, 0, 0},
+			hi:   []float64{2, 2, 2},
+			// order: idx0 (-3) gets 2, idx2 (-2) gets 1, idx1 gets 0
+			budget: 3,
+			want:   []float64{2, 0, 1},
+		},
+		{
+			name:   "positive costs stay at lower bounds",
+			c:      []float64{1, 2},
+			lo:     []float64{0.5, 0.25},
+			hi:     []float64{5, 5},
+			budget: 10,
+			want:   []float64{0.5, 0.25},
+		},
+		{
+			name:   "budget slack, all negatives saturate",
+			c:      []float64{-1, -1},
+			lo:     []float64{0, 0},
+			hi:     []float64{1, 1},
+			budget: 10,
+			want:   []float64{1, 1},
+		},
+		{
+			name:   "zero cost not raised",
+			c:      []float64{0, -1},
+			lo:     []float64{0, 0},
+			hi:     []float64{4, 4},
+			budget: 5,
+			want:   []float64{0, 4},
+		},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			got, err := GreedyLP(tc.c, tc.lo, tc.hi, tc.budget)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := range tc.want {
+				if !almostEq(got[i], tc.want[i], 1e-12) {
+					t.Errorf("x[%d] = %g, want %g", i, got[i], tc.want[i])
+				}
+			}
+		})
+	}
+}
+
+func TestGreedyLPInfeasible(t *testing.T) {
+	_, err := GreedyLP([]float64{1}, []float64{5}, []float64{6}, 1)
+	if !errors.Is(err, ErrInfeasible) {
+		t.Errorf("want ErrInfeasible, got %v", err)
+	}
+	_, err = GreedyLP([]float64{1}, []float64{5}, []float64{4}, 100)
+	if !errors.Is(err, ErrInfeasible) {
+		t.Errorf("reversed box: want ErrInfeasible, got %v", err)
+	}
+}
+
+// Property: GreedyLP output is feasible and no feasible single-coordinate
+// perturbation improves the objective (exchange argument).
+func TestGreedyLPOptimalityProperty(t *testing.T) {
+	check := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(6)
+		c := make([]float64, n)
+		lo := make([]float64, n)
+		hi := make([]float64, n)
+		var loSum float64
+		for i := 0; i < n; i++ {
+			c[i] = rng.NormFloat64()
+			lo[i] = rng.Float64()
+			hi[i] = lo[i] + rng.Float64()*3
+			loSum += lo[i]
+		}
+		budget := loSum + rng.Float64()*4
+		x, err := GreedyLP(c, lo, hi, budget)
+		if err != nil {
+			return false
+		}
+		var sum float64
+		for i := range x {
+			if x[i] < lo[i]-1e-12 || x[i] > hi[i]+1e-12 {
+				return false
+			}
+			sum += x[i]
+		}
+		if sum > budget+1e-9 {
+			return false
+		}
+		// Exchange check: moving mass from a higher-cost raised variable to
+		// a lower-cost unsaturated one must not be possible.
+		slack := budget - sum
+		for i := 0; i < n; i++ {
+			// Could we raise x[i] profitably with remaining slack?
+			if c[i] < -1e-12 && x[i] < hi[i]-1e-9 && slack > 1e-9 {
+				return false
+			}
+			for j := 0; j < n; j++ {
+				if c[j] < c[i]-1e-9 && x[i] > lo[i]+1e-9 && x[j] < hi[j]-1e-9 && c[j] < 0 {
+					return false // swap would strictly improve
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestProjectSimplex(t *testing.T) {
+	tests := []struct {
+		name  string
+		v     []float64
+		total float64
+		want  []float64
+	}{
+		{"already on simplex", []float64{0.5, 0.5}, 1, []float64{0.5, 0.5}},
+		{"uniform shift", []float64{2, 2}, 1, []float64{0.5, 0.5}},
+		{"clip negative", []float64{1, -5}, 1, []float64{1, 0}},
+		{"scaled total", []float64{3, 1}, 8, []float64{5, 3}},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			got := ProjectSimplex(tc.v, tc.total)
+			for i := range tc.want {
+				if !almostEq(got[i], tc.want[i], 1e-9) {
+					t.Errorf("x[%d] = %g, want %g", i, got[i], tc.want[i])
+				}
+			}
+		})
+	}
+}
+
+// Property: the projection lies on the simplex and is no farther from v than
+// any random simplex point (projection optimality spot-check).
+func TestProjectSimplexProperty(t *testing.T) {
+	check := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(6)
+		total := 0.5 + rng.Float64()*5
+		v := make([]float64, n)
+		for i := range v {
+			v[i] = rng.NormFloat64() * 3
+		}
+		x := ProjectSimplex(v, total)
+		var sum float64
+		for _, xi := range x {
+			if xi < -1e-12 {
+				return false
+			}
+			sum += xi
+		}
+		if !almostEq(sum, total, 1e-9) {
+			return false
+		}
+		// Random competitor on the simplex.
+		comp := make([]float64, n)
+		var cs float64
+		for i := range comp {
+			comp[i] = rng.Float64()
+			cs += comp[i]
+		}
+		for i := range comp {
+			comp[i] *= total / cs
+		}
+		dx, dc := 0.0, 0.0
+		for i := range v {
+			dx += (x[i] - v[i]) * (x[i] - v[i])
+			dc += (comp[i] - v[i]) * (comp[i] - v[i])
+		}
+		return dx <= dc+1e-9
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

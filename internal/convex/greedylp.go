@@ -1,0 +1,91 @@
+package convex
+
+import (
+	"fmt"
+	"sort"
+)
+
+// GreedyLP solves the separable linear program
+//
+//	min  sum_i c_i x_i
+//	s.t. lo_i <= x_i <= hi_i,  sum_i x_i <= budget
+//
+// exactly: every variable starts at its lower bound; variables with negative
+// cost are raised toward their upper bound in order of increasing cost until
+// the budget is exhausted. This is the structure of the paper's problem
+// (A.6) (residual bandwidth allocation across devices whose rate constraint
+// is slack).
+//
+// It returns ErrInfeasible when sum lo_i > budget.
+func GreedyLP(c, lo, hi []float64, budget float64) ([]float64, error) {
+	n := len(c)
+	if len(lo) != n || len(hi) != n {
+		return nil, fmt.Errorf("convex: GreedyLP length mismatch (%d,%d,%d)", n, len(lo), len(hi))
+	}
+	x := make([]float64, n)
+	used := 0.0
+	for i := 0; i < n; i++ {
+		if lo[i] > hi[i] {
+			return nil, fmt.Errorf("convex: GreedyLP box %d reversed [%g,%g]: %w", i, lo[i], hi[i], ErrInfeasible)
+		}
+		x[i] = lo[i]
+		used += lo[i]
+	}
+	if used > budget*(1+1e-12)+1e-18 {
+		return nil, fmt.Errorf("convex: GreedyLP lower bounds %g exceed budget %g: %w", used, budget, ErrInfeasible)
+	}
+	remaining := budget - used
+
+	// Raise the cheapest (most negative cost) variables first.
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool { return c[order[a]] < c[order[b]] })
+	for _, i := range order {
+		if c[i] >= 0 || remaining <= 0 {
+			break
+		}
+		room := hi[i] - x[i]
+		if room > remaining {
+			room = remaining
+		}
+		x[i] += room
+		remaining -= room
+	}
+	return x, nil
+}
+
+// ProjectSimplex returns the Euclidean projection of v onto the scaled
+// simplex {x : x_i >= 0, sum_i x_i = total}. It uses the standard O(n log n)
+// threshold algorithm.
+func ProjectSimplex(v []float64, total float64) []float64 {
+	n := len(v)
+	if n == 0 || total < 0 {
+		return nil
+	}
+	u := make([]float64, n)
+	copy(u, v)
+	sort.Sort(sort.Reverse(sort.Float64Slice(u)))
+	var cum, theta float64
+	k := 0
+	for i := 0; i < n; i++ {
+		cum += u[i]
+		t := (cum - total) / float64(i+1)
+		if u[i]-t > 0 {
+			k = i + 1
+			theta = t
+		}
+	}
+	if k == 0 { // all mass on the largest coordinate
+		theta = (cum - total) / float64(n)
+	}
+	out := make([]float64, n)
+	for i, vi := range v {
+		d := vi - theta
+		if d > 0 {
+			out[i] = d
+		}
+	}
+	return out
+}

@@ -1,0 +1,153 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/fl"
+)
+
+// Optimize runs the paper's resource allocation (Algorithm 2): starting from
+// a feasible allocation, it alternates Subproblem 1 (frequencies and round
+// deadline, given upload times) and Subproblem 2 (powers and bandwidths via
+// the Newton-like sum-of-ratios method, given minimum rates from the
+// deadline) until the allocation stops moving or MaxOuter iterations.
+//
+// The weighted objective is non-increasing across both half-steps: SP1 is
+// solved exactly for (f, T) with transmission terms fixed, and SP2 minimizes
+// transmission energy while preserving every rate floor, hence the deadline.
+func Optimize(s *fl.System, w fl.Weights, opts Options) (Result, error) {
+	opts = opts.withDefaults()
+	if err := opts.check(s, w); err != nil {
+		return Result{}, err
+	}
+
+	if opts.Mode == ModeWeighted && opts.JointWeighted && w.W1 > 0 && w.W2 > 0 {
+		jw := opts
+		jw.JointWeighted = false // break the dispatch cycle
+		return SolveWeightedJoint(s, w, jw)
+	}
+
+	// Pure-delay corner: Subproblem 2's objective vanishes (nu_n = 0); the
+	// whole problem reduces to min-max time, solved directly.
+	if opts.Mode == ModeWeighted && w.W1 == 0 {
+		mt, err := SolveMinTime(s)
+		if err != nil {
+			return Result{}, err
+		}
+		m := s.Evaluate(mt.Allocation)
+		return Result{
+			Allocation:    mt.Allocation,
+			RoundDeadline: mt.RoundDeadline,
+			Metrics:       m,
+			Objective:     s.Objective(w, mt.Allocation),
+			Converged:     true,
+		}, nil
+	}
+
+	alloc := s.MaxResourceAllocation()
+	if opts.Start != nil {
+		alloc = opts.Start.Clone()
+	}
+
+	var roundDeadline float64
+	if opts.Mode == ModeDeadline {
+		roundDeadline = opts.TotalDeadline / s.GlobalRounds
+		// Screen feasibility once, and repair the start point when it cannot
+		// meet the deadline even at full frequency.
+		mt, err := SolveMinTime(s)
+		if err != nil {
+			return Result{}, err
+		}
+		if mt.RoundDeadline > roundDeadline*(1+1e-9) {
+			return Result{}, fmt.Errorf("core: deadline %gs/round below the physical minimum %gs/round: %w",
+				roundDeadline, mt.RoundDeadline, ErrInfeasible)
+		}
+		// Fixed-deadline energy minimization is solved in one shot by dual
+		// decomposition on the bandwidth budget: alternating f/(p,B) updates
+		// would ratchet each device's rate floor at its incoming upload
+		// time, conceding the compute/communicate tradeoff (see
+		// solveDeadlineJoint).
+		joint, err := solveDeadlineJoint(s, roundDeadline)
+		if err != nil {
+			return Result{}, err
+		}
+		res := Result{
+			Allocation:    joint,
+			RoundDeadline: roundDeadline,
+			Metrics:       s.Evaluate(joint),
+			Converged:     true,
+		}
+		res.Objective = res.Metrics.TotalEnergy
+		res.Iterations = []IterationTrace{{Objective: res.Objective, RoundDeadline: roundDeadline}}
+		return res, nil
+	}
+
+	res := Result{Iterations: make([]IterationTrace, 0, opts.MaxOuter)}
+	prev := alloc.Clone()
+	for k := 0; k < opts.MaxOuter; k++ {
+		upTimes := make([]float64, s.N())
+		for i := range upTimes {
+			upTimes[i] = s.UploadTimeRound(i, alloc.Power[i], alloc.Bandwidth[i])
+		}
+
+		// ---- Subproblem 1: frequencies and the round deadline.
+		var sp1 SP1Result
+		var err error
+		if opts.UsePaperSP1Dual {
+			sp1, err = SolveSubproblem1Dual(s, w, upTimes)
+		} else {
+			sp1, err = SolveSubproblem1(s, w, upTimes)
+		}
+		if err != nil {
+			return Result{}, fmt.Errorf("core: Algorithm 2 iteration %d, SP1: %w", k, err)
+		}
+		copy(alloc.Freq, sp1.Freq)
+		roundDeadline = sp1.RoundDeadline
+
+		// ---- Subproblem 2: powers and bandwidths at the new rate floors.
+		trace := IterationTrace{RoundDeadline: roundDeadline}
+		if w.W1 > 0 {
+			w1Rg := w.W1 * s.GlobalRounds
+			rmin := make([]float64, s.N())
+			for i := range s.Devices {
+				residual := roundDeadline - s.CompTimeRound(i, alloc.Freq[i])
+				if residual <= 0 {
+					return Result{}, fmt.Errorf("core: device %d has no upload window at T=%g: %w", i, roundDeadline, ErrInfeasible)
+				}
+				rmin[i] = s.Devices[i].UploadBits / residual
+			}
+			sp2, err := SolveSubproblem2(s, w1Rg, rmin, alloc.Power, alloc.Bandwidth, opts)
+			if err != nil {
+				return Result{}, fmt.Errorf("core: Algorithm 2 iteration %d, SP2: %w", k, err)
+			}
+			copy(alloc.Power, sp2.Power)
+			copy(alloc.Bandwidth, sp2.Bandwidth)
+			trace.NewtonIters = sp2.Iterations
+			trace.PhiResidual = sp2.PhiResidual
+		}
+
+		trace.Objective = objectiveFor(s, w, alloc, opts)
+		trace.Distance = alloc.Distance(prev)
+		res.Iterations = append(res.Iterations, trace)
+		if trace.Distance <= opts.OuterTol {
+			res.Converged = true
+			break
+		}
+		prev = alloc.Clone()
+	}
+
+	res.Allocation = alloc
+	res.RoundDeadline = roundDeadline
+	res.Metrics = s.Evaluate(alloc)
+	res.Objective = objectiveFor(s, w, alloc, opts)
+	return res, nil
+}
+
+// objectiveFor evaluates the objective consistent with the operating mode:
+// the weighted sum (8) in ModeWeighted, total energy in ModeDeadline.
+func objectiveFor(s *fl.System, w fl.Weights, a fl.Allocation, opts Options) float64 {
+	if opts.Mode == ModeDeadline {
+		return s.Evaluate(a).TotalEnergy
+	}
+	return s.Objective(w, a)
+}

@@ -1,0 +1,78 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/wireless"
+)
+
+func TestSolveMinTimeFeasibleAndTight(t *testing.T) {
+	for seed := int64(1); seed <= 10; seed++ {
+		s := newTestSystem(6, seed)
+		res, err := SolveMinTime(s)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if err := s.Validate(res.Allocation, 1e-9); err != nil {
+			t.Fatalf("seed %d: infeasible result: %v", seed, err)
+		}
+		m := s.Evaluate(res.Allocation)
+		if relDiff(m.RoundTime, res.RoundDeadline) > 1e-9 {
+			t.Errorf("seed %d: reported deadline %g vs evaluated %g", seed, res.RoundDeadline, m.RoundTime)
+		}
+		// Tightness: a 0.5% smaller deadline must be infeasible — the total
+		// bandwidth needed to hit it exceeds B.
+		target := res.RoundDeadline * 0.995
+		var need float64
+		for _, d := range s.Devices {
+			residual := target - s.LocalIters*d.CyclesPerIteration()/d.FMax
+			if residual <= 0 {
+				need = math.Inf(1)
+				break
+			}
+			b, err := wireless.BandwidthForRate(d.UploadBits/residual, d.PMax, d.Gain, s.N0)
+			if err != nil {
+				need = math.Inf(1)
+				break
+			}
+			need += b
+		}
+		if need <= s.Bandwidth {
+			t.Errorf("seed %d: deadline %g not minimal (%g also feasible with band %g)",
+				seed, res.RoundDeadline, target, need)
+		}
+	}
+}
+
+func TestSolveMinTimeUsesCeilings(t *testing.T) {
+	s := newTestSystem(4, 2)
+	res, err := SolveMinTime(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, d := range s.Devices {
+		if res.Allocation.Power[i] != d.PMax {
+			t.Errorf("power[%d] should be PMax", i)
+		}
+		if res.Allocation.Freq[i] != d.FMax {
+			t.Errorf("freq[%d] should be FMax", i)
+		}
+	}
+	// All bandwidth is spent (leftover is redistributed).
+	var sum float64
+	for _, b := range res.Allocation.Bandwidth {
+		sum += b
+	}
+	if relDiff(sum, s.Bandwidth) > 1e-6 {
+		t.Errorf("bandwidth used %g of %g", sum, s.Bandwidth)
+	}
+}
+
+func TestSolveMinTimeRejectsBadSystem(t *testing.T) {
+	s := newTestSystem(2, 1)
+	s.Bandwidth = 0
+	if _, err := SolveMinTime(s); err == nil {
+		t.Error("want error for zero bandwidth")
+	}
+}

@@ -1,0 +1,99 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/fl"
+	"repro/internal/numeric"
+	"repro/internal/wireless"
+)
+
+// reducedDevice models one device's transmission energy after eliminating
+// the power variable: since p*d/G(p,B) is strictly increasing in p at fixed
+// B, the optimal power is always p(B) = clamp(PowerForRate(rmin, B), PMin,
+// PMax), leaving energy as a convex decreasing function of bandwidth alone.
+type reducedDevice struct {
+	d, g       float64
+	pmin, pmax float64
+	rmin       float64
+	bForced    float64 // bandwidth where p(B) = pmax: the feasibility floor
+	bJunction  float64 // bandwidth where p(B) = pmin (+Inf if unreachable)
+}
+
+// newReducedDevice validates and precomputes the reduction for one device.
+func newReducedDevice(dev fl.Device, n0, rmin float64) (reducedDevice, error) {
+	rd := reducedDevice{d: dev.UploadBits, g: dev.Gain, pmin: dev.PMin, pmax: dev.PMax, rmin: rmin}
+	if !(rmin > 0) {
+		return rd, fmt.Errorf("core: rmin=%g must be positive: %w", rmin, ErrBadInput)
+	}
+	bf, err := wireless.BandwidthForRate(rmin, dev.PMax, dev.Gain, n0)
+	if err != nil {
+		return rd, fmt.Errorf("core: rate %g unreachable at pmax: %w (%v)", rmin, ErrInfeasible, err)
+	}
+	rd.bForced = bf
+	if bj, err := wireless.BandwidthForRate(rmin, dev.PMin, dev.Gain, n0); err == nil {
+		rd.bJunction = bj
+	} else {
+		rd.bJunction = math.Inf(1)
+	}
+	return rd, nil
+}
+
+// power returns the reduced optimal power at bandwidth b.
+func (rd reducedDevice) power(n0, b float64) float64 {
+	return numeric.Clamp(wireless.PowerForRate(rd.rmin, b, rd.g, n0), rd.pmin, rd.pmax)
+}
+
+// energy returns the per-round transmission energy at bandwidth b under the
+// reduced power rule.
+func (rd reducedDevice) energy(n0, b float64) float64 {
+	p := rd.power(n0, b)
+	g := wireless.Rate(p, b, rd.g, n0)
+	if g <= 0 {
+		return math.Inf(1)
+	}
+	return p * rd.d / g
+}
+
+// marginal returns -dE/dB at bandwidth b: the energy saved per extra hertz,
+// a positive quantity decreasing in b.
+func (rd reducedDevice) marginal(n0, b float64) float64 {
+	if b < rd.bJunction {
+		// Rate-pinned: E = (d/rmin)*p(B), p(B) = (2^(rmin/B)-1)*N0*B/g, so
+		// dp/dB = (N0/g)*(e^x*(1-x) - 1) with x = rmin*ln2/B. The expm1 form
+		// avoids catastrophic cancellation for small x:
+		// e^x*(1-x) - 1 = expm1(x)*(1-x) - x = -x^2/2 - x^3/3 - ...
+		x := rd.rmin * math.Ln2 / b
+		dp := n0 / rd.g * (math.Expm1(x)*(1-x) - x)
+		return -rd.d / rd.rmin * dp
+	}
+	// Free branch: E = pmin*d/G(pmin, B).
+	gRate := wireless.Rate(rd.pmin, b, rd.g, n0)
+	theta := rd.pmin * rd.g / (n0 * b)
+	gb := numeric.Log2p1(theta) - theta/((1+theta)*math.Ln2)
+	return rd.pmin * rd.d * gb / (gRate * gRate)
+}
+
+// bandAt returns the bandwidth at water level lambda: the b >= bForced with
+// marginal(b) = lambda, or bForced when even there the marginal is below
+// lambda.
+func (rd reducedDevice) bandAt(n0, lambda float64) float64 {
+	if rd.marginal(n0, rd.bForced) <= lambda {
+		return rd.bForced
+	}
+	hi := rd.bForced * 2
+	for iter := 0; rd.marginal(n0, hi) > lambda; iter++ {
+		hi *= 4
+		if iter > 300 {
+			return hi
+		}
+	}
+	b, err := numeric.BisectDecreasing(func(b float64) float64 {
+		return rd.marginal(n0, b) - lambda
+	}, rd.bForced, hi, 1e-9*hi)
+	if err != nil {
+		return rd.bForced
+	}
+	return b
+}

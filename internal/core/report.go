@@ -1,0 +1,41 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Summary renders a compact human-readable report of an optimization
+// result: the aggregate energy/latency split and the outer-loop trace.
+func (r Result) Summary() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "objective:        %.6g\n", r.Objective)
+	fmt.Fprintf(&b, "total energy:     %.6g J (trans %.6g J + comp %.6g J)\n",
+		r.Metrics.TotalEnergy, r.Metrics.TransEnergy, r.Metrics.CompEnergy)
+	fmt.Fprintf(&b, "total time:       %.6g s (round %.6g s)\n", r.Metrics.TotalTime, r.Metrics.RoundTime)
+	fmt.Fprintf(&b, "round deadline:   %.6g s\n", r.RoundDeadline)
+	fmt.Fprintf(&b, "converged:        %t in %d outer iteration(s)\n", r.Converged, len(r.Iterations))
+	if len(r.Iterations) > 0 {
+		b.WriteString("trace:\n")
+		b.WriteString("  iter  objective      deadline    distance    newton  |phi|\n")
+		for k, it := range r.Iterations {
+			fmt.Fprintf(&b, "  %-4d  %-12.6g  %-10.4g  %-10.3g  %-6d  %.3g\n",
+				k, it.Objective, it.RoundDeadline, it.Distance, it.NewtonIters, it.PhiResidual)
+		}
+	}
+	return b.String()
+}
+
+// DescentViolations counts outer iterations whose objective rose beyond the
+// given relative tolerance — a diagnostic of the monotone-descent guarantee
+// (Section VI); zero for healthy runs.
+func (r Result) DescentViolations(relTol float64) int {
+	count := 0
+	for k := 1; k < len(r.Iterations); k++ {
+		prev, cur := r.Iterations[k-1].Objective, r.Iterations[k].Objective
+		if cur > prev*(1+relTol) {
+			count++
+		}
+	}
+	return count
+}

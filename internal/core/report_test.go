@@ -1,0 +1,52 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/fl"
+)
+
+func TestResultSummary(t *testing.T) {
+	s := newTestSystem(4, 1)
+	res, err := Optimize(s, fl.Weights{W1: 0.5, W2: 0.5}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum := res.Summary()
+	for _, want := range []string{"objective:", "total energy:", "trace:", "converged:"} {
+		if !strings.Contains(sum, want) {
+			t.Errorf("summary missing %q:\n%s", want, sum)
+		}
+	}
+}
+
+func TestDescentViolations(t *testing.T) {
+	r := Result{Iterations: []IterationTrace{
+		{Objective: 100}, {Objective: 90}, {Objective: 95}, {Objective: 80},
+	}}
+	if got := r.DescentViolations(1e-9); got != 1 {
+		t.Errorf("violations = %d, want 1", got)
+	}
+	if got := r.DescentViolations(0.10); got != 0 {
+		t.Errorf("with 10%% tolerance = %d, want 0", got)
+	}
+	empty := Result{}
+	if empty.DescentViolations(0) != 0 {
+		t.Error("empty trace should have zero violations")
+	}
+}
+
+// Healthy optimizer runs must report zero descent violations.
+func TestNoDescentViolationsInPractice(t *testing.T) {
+	for seed := int64(1); seed <= 8; seed++ {
+		s := newTestSystem(6, seed)
+		res, err := Optimize(s, fl.Weights{W1: 0.5, W2: 0.5}, Options{MaxOuter: 12})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if v := res.DescentViolations(1e-7); v != 0 {
+			t.Errorf("seed %d: %d descent violations:\n%s", seed, v, res.Summary())
+		}
+	}
+}

@@ -1,0 +1,125 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/fl"
+	"repro/internal/numeric"
+	"repro/internal/wireless"
+)
+
+// SolveSubproblem2Direct solves Subproblem 2 (eq. (11)) to global optimality
+// by a reduction the sum-of-ratios machinery does not need but that the
+// problem's monotonicity admits:
+//
+// The per-device transmission energy p*d/G(p,B) is strictly increasing in p
+// at fixed B (G > p*dG/dp everywhere), so the optimal power is the smallest
+// feasible one: p_n(B) = max(PMin, PowerForRate(rmin_n, B)). Substituting
+// p_n(B) leaves a separable convex program in the bandwidths alone,
+//
+//	min sum_n E_n(B_n)   s.t.  B_n >= bForced_n,  sum_n B_n <= B,
+//
+// where E_n is convex and decreasing (rate-pinned branch: the classical
+// power-for-rate function is convex in B; free branch: pmin*d/G(pmin, B) is
+// convex since 1/G is; the branches meet with increasing slopes). A
+// waterfilling bisection on the common marginal value -E_n'(B_n) solves it
+// exactly.
+//
+// This routine is used to cross-validate — and by default polish — the
+// paper's Algorithm 1, whose damped Newton iteration can stall on instances
+// where the inner SP2_v2 solution is bang-bang in the multipliers.
+func SolveSubproblem2Direct(s *fl.System, w1Rg float64, rmin []float64) (SP2Result, error) {
+	n := s.N()
+	if len(rmin) != n {
+		return SP2Result{}, fmt.Errorf("core: SolveSubproblem2Direct rmin length: %w", ErrBadInput)
+	}
+	if !(w1Rg > 0) {
+		return SP2Result{}, fmt.Errorf("core: SolveSubproblem2Direct needs w1*Rg > 0: %w", ErrBadInput)
+	}
+
+	devs := make([]reducedDevice, n)
+	var sumForced float64
+	for i, d := range s.Devices {
+		rd, err := newReducedDevice(d, s.N0, rmin[i])
+		if err != nil {
+			return SP2Result{}, fmt.Errorf("core: device %d: %w", i, err)
+		}
+		devs[i] = rd
+		sumForced += rd.bForced
+	}
+	if sumForced > s.Bandwidth*(1+budgetSlack) {
+		return SP2Result{}, fmt.Errorf("core: minimum bandwidths %g exceed B=%g: %w", sumForced, s.Bandwidth, ErrInfeasible)
+	}
+
+	_, bands, err := waterfillReduced(devs, s.N0, s.Bandwidth)
+	if err != nil {
+		return SP2Result{}, err
+	}
+
+	res := SP2Result{
+		Power:     make([]float64, n),
+		Bandwidth: bands,
+	}
+	for i, rd := range devs {
+		p := rd.power(s.N0, bands[i])
+		res.Power[i] = p
+		g := wireless.Rate(p, bands[i], rd.g, s.N0)
+		res.CommEnergy += w1Rg * p * rd.d / g
+	}
+	return res, nil
+}
+
+// waterfillReduced equalizes the marginal energy saving across reduced
+// devices within the bandwidth budget and returns the clearing water level
+// and the bandwidths (rescaled onto the exact budget, floors re-applied).
+func waterfillReduced(devs []reducedDevice, n0, budget float64) (float64, []float64, error) {
+	demand := func(lambda float64) float64 {
+		var sum float64
+		for _, rd := range devs {
+			sum += rd.bandAt(n0, lambda)
+		}
+		return sum
+	}
+	var lamHi float64
+	for _, rd := range devs {
+		if m := rd.marginal(n0, rd.bForced); m > lamHi {
+			lamHi = m
+		}
+	}
+	if lamHi <= 0 {
+		lamHi = 1
+	}
+	lambda := lamHi
+	lamLo := lamHi
+	target := budget * (1 + budgetSlack)
+	for demand(lamLo) <= target && lamLo > 1e-300 {
+		lamLo /= 16
+	}
+	if demand(lamLo) > target {
+		var err error
+		lambda, err = numeric.BisectDecreasing(func(l float64) float64 { return demand(l) - target }, lamLo, lamHi, 0)
+		if err != nil {
+			return 0, nil, fmt.Errorf("core: reduced waterfilling: %w", err)
+		}
+	}
+	// Otherwise the floors fill the whole budget at any price: keep lamHi.
+
+	bands := make([]float64, len(devs))
+	var sumB float64
+	for i, rd := range devs {
+		bands[i] = rd.bandAt(n0, lambda)
+		sumB += bands[i]
+	}
+	if sumB > 0 {
+		scale := budget / sumB
+		for i := range bands {
+			bands[i] *= scale
+		}
+	}
+	for i, rd := range devs {
+		if bands[i] < rd.bForced {
+			bands[i] = rd.bForced
+		}
+	}
+	return lambda, bands, nil
+}

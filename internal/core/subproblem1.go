@@ -1,0 +1,188 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/fl"
+	"repro/internal/numeric"
+)
+
+// SP1Result is the solution of Subproblem 1 (eq. (10)).
+type SP1Result struct {
+	// Freq holds the optimal CPU frequencies f_n.
+	Freq []float64
+	// RoundDeadline is the optimal per-round deadline T.
+	RoundDeadline float64
+	// Objective is the Subproblem-1 objective value
+	// w1*Rg*sum kappa*Rl*c_n*D_n*f_n^2 + w2*Rg*T.
+	Objective float64
+}
+
+// sp1Objective evaluates the Subproblem 1 objective for a given deadline,
+// frequencies implied by freqForDeadline.
+func sp1Objective(s *fl.System, w fl.Weights, upTimes []float64, deadline float64) float64 {
+	var energy float64
+	for n := range s.Devices {
+		f := freqForDeadline(s, n, upTimes[n], deadline)
+		energy += s.CompEnergyRound(n, f)
+	}
+	return w.W1*s.GlobalRounds*energy + w.W2*s.GlobalRounds*deadline
+}
+
+// freqForDeadline returns the cheapest feasible frequency for device n given
+// its upload time and the candidate per-round deadline: the exact frequency
+// that fills the residual time, clamped to the box. (Computation energy is
+// increasing in f, so the smallest feasible f is optimal.)
+func freqForDeadline(s *fl.System, n int, upTime, deadline float64) float64 {
+	d := s.Devices[n]
+	residual := deadline - upTime
+	if residual <= 0 {
+		return d.FMax // infeasible deadline; caller screens this out
+	}
+	need := s.LocalIters * d.CyclesPerIteration() / residual
+	return numeric.Clamp(need, d.FMin, d.FMax)
+}
+
+// SolveSubproblem1 solves Subproblem 1 exactly: given the current upload
+// times T_up_n, it chooses the per-round deadline T and frequencies f_n
+// minimizing w1*Rg*sum_n kappa*Rl*c_n*D_n*f_n^2 + w2*Rg*T subject to the
+// frequency boxes and T_cmp_n + T_up_n <= T.
+//
+// The objective is convex in T on the feasible interval
+// [max_n(T_cmp(FMax)+T_up), max_n(T_cmp(FMin)+T_up)] because
+// f_n(T) = max(Rl*c_n*D_n/(T-T_up_n), FMin) is convex positive decreasing;
+// golden section therefore finds the global optimum.
+func SolveSubproblem1(s *fl.System, w fl.Weights, upTimes []float64) (SP1Result, error) {
+	n := s.N()
+	if len(upTimes) != n {
+		return SP1Result{}, fmt.Errorf("core: SolveSubproblem1 upTimes length %d, want %d: %w", len(upTimes), n, ErrBadInput)
+	}
+	var tLo, tHi float64
+	for i, d := range s.Devices {
+		if !(upTimes[i] >= 0) || math.IsInf(upTimes[i], 1) {
+			return SP1Result{}, fmt.Errorf("core: upload time %d = %g: %w", i, upTimes[i], ErrBadInput)
+		}
+		cmpFast := s.LocalIters * d.CyclesPerIteration() / d.FMax
+		cmpSlow := s.LocalIters * d.CyclesPerIteration() / d.FMin
+		if t := cmpFast + upTimes[i]; t > tLo {
+			tLo = t
+		}
+		if t := cmpSlow + upTimes[i]; t > tHi {
+			tHi = t
+		}
+	}
+
+	var deadline float64
+	switch {
+	case w.W2 == 0:
+		// Pure energy: the deadline constraint never binds; run every CPU at
+		// its floor.
+		deadline = tHi
+	case w.W1 == 0:
+		// Pure delay: tightest feasible deadline.
+		deadline = tLo
+	default:
+		var err error
+		deadline, err = numeric.GoldenSection(func(t float64) float64 {
+			return sp1Objective(s, w, upTimes, t)
+		}, tLo, tHi, 1e-10*math.Max(tHi, 1))
+		if err != nil {
+			return SP1Result{}, fmt.Errorf("core: SolveSubproblem1: %w", err)
+		}
+	}
+
+	res := SP1Result{Freq: make([]float64, n), RoundDeadline: deadline}
+	for i := range s.Devices {
+		res.Freq[i] = freqForDeadline(s, i, upTimes[i], deadline)
+	}
+	res.Objective = sp1Objective(s, w, upTimes, deadline)
+	return res, nil
+}
+
+// SolveSubproblem1Dual solves Subproblem 1 through the paper's Lagrangian
+// dual (17): maximize sum_n (2^(-2/3)+2^(1/3)) h c_n D_n lambda_n^(2/3) +
+// T_up_n lambda_n over the scaled simplex sum lambda = w2*Rg, with
+// h = Rl*(w1*kappa*Rg)^(1/3). Stationarity couples the devices through a
+// shared multiplier gamma:
+//
+//	(2/3)*K_n*lambda_n^(-1/3) + T_up_n = gamma,  K_n = (2^(-2/3)+2^(1/3))*h*c_n*D_n
+//
+// so lambda_n(gamma) = ((2K_n/3)/(gamma - T_up_n))^3, and gamma is found by
+// bisecting sum_n lambda_n(gamma) = w2*Rg. Frequencies follow from (16)
+// with the clamp of (18) (implemented with the corrected upper clamp; the
+// paper's printed min(f_min, ...) is a typo).
+//
+// The dual ignores the frequency boxes until the final clamp, exactly as the
+// paper does; SolveSubproblem1 handles the boxes exactly and is the default.
+// Both agree whenever no box binds (property-tested).
+func SolveSubproblem1Dual(s *fl.System, w fl.Weights, upTimes []float64) (SP1Result, error) {
+	n := s.N()
+	if len(upTimes) != n {
+		return SP1Result{}, fmt.Errorf("core: SolveSubproblem1Dual upTimes length: %w", ErrBadInput)
+	}
+	if w.W1 <= 0 || w.W2 <= 0 {
+		// The dual expressions divide by w1 and normalize by w2; corner
+		// weights are handled by the direct solver.
+		return SolveSubproblem1(s, w, upTimes)
+	}
+
+	h := s.LocalIters * math.Cbrt(w.W1*s.Kappa*s.GlobalRounds)
+	coef := math.Pow(2, -2.0/3) + math.Pow(2, 1.0/3)
+	k := make([]float64, n)
+	maxUp := 0.0
+	for i, d := range s.Devices {
+		k[i] = coef * h * d.CyclesPerSample * d.Samples
+		if upTimes[i] > maxUp {
+			maxUp = upTimes[i]
+		}
+	}
+	target := w.W2 * s.GlobalRounds
+
+	lambdaSum := func(gamma float64) float64 {
+		var sum float64
+		for i := range k {
+			den := gamma - upTimes[i]
+			if den <= 0 {
+				return math.Inf(1)
+			}
+			l := 2 * k[i] / (3 * den)
+			sum += l * l * l
+		}
+		return sum
+	}
+
+	// sum lambda(gamma) decreases from +Inf (gamma -> maxUp+) to 0; bracket
+	// and bisect sum = target.
+	gLo := maxUp + 1e-18
+	gHi, err := numeric.BracketUp(func(g float64) bool { return lambdaSum(maxUp+g) <= target }, 1e-12, 400)
+	if err != nil {
+		return SP1Result{}, fmt.Errorf("core: SolveSubproblem1Dual bracket: %w", err)
+	}
+	gamma, err := numeric.BisectDecreasing(func(g float64) float64 {
+		return lambdaSum(g) - target
+	}, gLo, maxUp+gHi, 1e-15*(maxUp+gHi))
+	if err != nil {
+		return SP1Result{}, fmt.Errorf("core: SolveSubproblem1Dual: %w", err)
+	}
+
+	res := SP1Result{Freq: make([]float64, n)}
+	deadline := 0.0
+	for i, d := range s.Devices {
+		den := gamma - upTimes[i]
+		l := 2 * k[i] / (3 * den)
+		lambda := l * l * l
+		fStar := math.Cbrt(lambda / (2 * w.W1 * s.GlobalRounds * s.Kappa))
+		res.Freq[i] = numeric.Clamp(fStar, d.FMin, d.FMax) // corrected (18)
+		if t := s.CompTimeRound(i, res.Freq[i]) + upTimes[i]; t > deadline {
+			deadline = t
+		}
+	}
+	res.RoundDeadline = deadline
+	res.Objective = 0
+	for i := range s.Devices {
+		res.Objective += s.CompEnergyRound(i, res.Freq[i])
+	}
+	res.Objective = w.W1*s.GlobalRounds*res.Objective + w.W2*s.GlobalRounds*deadline
+	return res, nil
+}

@@ -1,0 +1,184 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/fl"
+)
+
+// SP2Result is the solution of Subproblem 2 (eq. (11)) produced by
+// Algorithm 1.
+type SP2Result struct {
+	// Power and Bandwidth are the final p_n, B_n.
+	Power, Bandwidth []float64
+	// Iterations is the number of Newton-like outer iterations used.
+	Iterations int
+	// PhiResidual is |phi(beta, nu)| at exit (0 at an exact fixed point).
+	PhiResidual float64
+	// CommEnergy is the achieved weighted transmission energy
+	// w1*Rg*sum_n p_n*d_n/G_n, the Subproblem 2 objective.
+	CommEnergy float64
+}
+
+// phiResidual computes |phi(beta, nu)| of eq. (26) at rates g.
+func phiResidual(w1Rg float64, d, p, g, beta, nu []float64) float64 {
+	var sum float64
+	for i := range d {
+		f1 := -p[i]*d[i] + beta[i]*g[i]
+		f2 := -w1Rg + nu[i]*g[i]
+		sum += f1*f1 + f2*f2
+	}
+	return math.Sqrt(sum)
+}
+
+// SolveSubproblem2 runs Algorithm 1: the Newton-like iteration of Jong for
+// the sum-of-ratios program (11). Starting from a feasible (p, B) with rates
+// at least rmin, it alternates
+//
+//	nu_n = w1*Rg / G_n,  beta_n = p_n*d_n / G_n          (step 3, eq. (22)-(23))
+//	(p, B) <- argmin SP2_v2(nu, beta)                    (step 4, Theorem 2)
+//	damped Newton update of (beta, nu) per (29)-(31)     (steps 5-6)
+//
+// until phi = 0 (the fixed point where the SP2_v2 solution is optimal for
+// the original fractional program) or MaxNewton iterations. useIPaperDual
+// selects the literal Appendix-B inner solver.
+func SolveSubproblem2(s *fl.System, w1Rg float64, rmin []float64, startP, startB []float64, opts Options) (SP2Result, error) {
+	opts = opts.withDefaults()
+	n := s.N()
+	if len(rmin) != n || len(startP) != n || len(startB) != n {
+		return SP2Result{}, fmt.Errorf("core: SolveSubproblem2 slice lengths: %w", ErrBadInput)
+	}
+	if !(w1Rg > 0) {
+		return SP2Result{}, fmt.Errorf("core: SolveSubproblem2 needs w1*Rg > 0 (w1=0 is handled by SolveMinTime): %w", ErrBadInput)
+	}
+	if opts.SP2Solver == SP2DirectOnly {
+		return SolveSubproblem2Direct(s, w1Rg, rmin)
+	}
+
+	d := make([]float64, n)
+	for i, dev := range s.Devices {
+		d[i] = dev.UploadBits
+	}
+	p := append([]float64(nil), startP...)
+	b := append([]float64(nil), startB...)
+
+	rates := func(p, b []float64) []float64 {
+		g := make([]float64, n)
+		for i := range g {
+			g[i] = s.Rate(i, p[i], b[i])
+			if !(g[i] > 0) {
+				g[i] = math.SmallestNonzeroFloat64
+			}
+		}
+		return g
+	}
+
+	// Initialize (nu, beta) from the start point per step 3.
+	g := rates(p, b)
+	nu := make([]float64, n)
+	beta := make([]float64, n)
+	for i := range g {
+		nu[i] = w1Rg / g[i]
+		beta[i] = p[i] * d[i] / g[i]
+	}
+
+	// evalPhi is the residual map of eq. (26) as a function of the
+	// multipliers: it re-solves SP2_v2 at (nu, beta) — the argmin x(beta,nu)
+	// is part of phi's definition in Jong's method, so the damped line
+	// search (29) must re-solve per trial, not reuse a stale point.
+	evalPhi := func(beta, nu []float64) (float64, []float64, []float64, []float64, error) {
+		inner, err := solveInner(s, nu, beta, rmin, opts.UsePaperSP2Dual)
+		if err != nil {
+			return 0, nil, nil, nil, err
+		}
+		gg := rates(inner.Power, inner.Bandwidth)
+		return phiResidual(w1Rg, d, inner.Power, gg, beta, nu), inner.Power, inner.Bandwidth, gg, nil
+	}
+
+	residual, pCur, bCur, gCur, err := evalPhi(beta, nu)
+	if err != nil {
+		return SP2Result{}, fmt.Errorf("core: Algorithm 1 initial solve: %w", err)
+	}
+	p, b, g = pCur, bCur, gCur
+	phi0 := residual
+
+	var iters int
+	for iters = 0; iters < opts.MaxNewton; iters++ {
+		if residual <= opts.PhiTol*(1+phi0) {
+			break
+		}
+		// Newton direction (30) with the diagonal Jacobian diag(G_n):
+		// sigma1_n = (p_n d_n - beta_n G_n)/G_n, sigma2_n = (w1Rg - nu_n G_n)/G_n.
+		sigma1 := make([]float64, n)
+		sigma2 := make([]float64, n)
+		for i := range g {
+			sigma1[i] = (p[i]*d[i] - beta[i]*g[i]) / g[i]
+			sigma2[i] = (w1Rg - nu[i]*g[i]) / g[i]
+		}
+		stepTaken := false
+		xi := 1.0 // xi^j with j starting at 0
+		for j := 0; j < 30; j++ {
+			nb := make([]float64, n)
+			nn := make([]float64, n)
+			ok := true
+			for i := range g {
+				nb[i] = beta[i] + xi*sigma1[i]
+				nn[i] = nu[i] + xi*sigma2[i]
+				if !(nb[i] > 0) || !(nn[i] > 0) {
+					ok = false
+					break
+				}
+			}
+			if ok {
+				trial, pT, bT, gT, errT := evalPhi(nb, nn)
+				if errT == nil && trial <= (1-opts.Epsilon*xi)*residual {
+					beta, nu = nb, nn
+					residual, p, b, g = trial, pT, bT, gT
+					stepTaken = true
+					break
+				}
+			}
+			xi *= opts.Xi
+		}
+		if !stepTaken {
+			// Even heavily damped steps no longer reduce phi: numerical
+			// fixed point of the iteration.
+			break
+		}
+	}
+
+	res := SP2Result{Power: p, Bandwidth: b, Iterations: iters, PhiResidual: residual}
+	for i := range g {
+		res.CommEnergy += w1Rg * p[i] * d[i] / g[i]
+	}
+	if opts.SP2Solver == SP2Hybrid {
+		if direct, derr := SolveSubproblem2Direct(s, w1Rg, rmin); derr == nil && direct.CommEnergy < res.CommEnergy {
+			direct.Iterations = res.Iterations
+			direct.PhiResidual = res.PhiResidual
+			return direct, nil
+		}
+	}
+	return res, nil
+}
+
+func solveInner(s *fl.System, nu, beta, rmin []float64, paperDual bool) (SP2v2Result, error) {
+	if paperDual {
+		return SolveSP2v2PaperDual(s, nu, beta, rmin)
+	}
+	return SolveSP2v2(s, nu, beta, rmin)
+}
+
+// CommEnergyWeighted returns w1Rg * sum_n p_n d_n / G_n for an explicit
+// allocation — the Subproblem 2 objective, exposed for tests and baselines.
+func CommEnergyWeighted(s *fl.System, w1Rg float64, p, b []float64) float64 {
+	var sum float64
+	for i, dev := range s.Devices {
+		g := s.Rate(i, p[i], b[i])
+		if g <= 0 {
+			return math.Inf(1)
+		}
+		sum += p[i] * dev.UploadBits / g
+	}
+	return w1Rg * sum
+}

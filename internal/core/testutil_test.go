@@ -1,0 +1,55 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+
+	"repro/internal/fl"
+	"repro/internal/wireless"
+)
+
+// newTestSystem builds a paper-scale system with n devices and randomized
+// channel gains / cycle counts, deterministic in seed.
+func newTestSystem(n int, seed int64) *fl.System {
+	rng := rand.New(rand.NewSource(seed))
+	pl := wireless.DefaultPathLoss()
+	devs := make([]fl.Device, n)
+	for i := range devs {
+		devs[i] = fl.Device{
+			Samples:         500,
+			CyclesPerSample: (1 + 2*rng.Float64()) * 1e4,
+			UploadBits:      28.1e3,
+			Gain:            pl.SampleGain(rng, wireless.UniformDiskDistanceKm(rng, 0.5)),
+			FMin:            1e7,
+			FMax:            2e9,
+			PMin:            wireless.DBmToWatt(0),
+			PMax:            wireless.DBmToWatt(12),
+		}
+	}
+	return &fl.System{
+		Devices:      devs,
+		Bandwidth:    20e6,
+		N0:           wireless.NoisePSDWattPerHz(-174),
+		Kappa:        1e-28,
+		LocalIters:   10,
+		GlobalRounds: 400,
+	}
+}
+
+// feasibleUploadTimes returns the upload times of the max-resource start.
+func feasibleUploadTimes(s *fl.System) []float64 {
+	a := s.MaxResourceAllocation()
+	up := make([]float64, s.N())
+	for i := range up {
+		up[i] = s.UploadTimeRound(i, a.Power[i], a.Bandwidth[i])
+	}
+	return up
+}
+
+func relDiff(a, b float64) float64 {
+	scale := math.Max(math.Abs(a), math.Abs(b))
+	if scale == 0 {
+		return 0
+	}
+	return math.Abs(a-b) / scale
+}

@@ -1,0 +1,70 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/fl"
+)
+
+// The joint weighted solver must never be worse than the paper's
+// alternation (which freezes the transmission side under tight weights).
+func TestWeightedJointDominatesAlternation(t *testing.T) {
+	if testing.Short() {
+		t.Skip("joint weighted solver sweep is slow")
+	}
+	for seed := int64(1); seed <= 3; seed++ {
+		s := newTestSystem(8, seed)
+		for _, w := range []fl.Weights{{W1: 0.7, W2: 0.3}, {W1: 0.3, W2: 0.7}} {
+			alt, err := Optimize(s, w, Options{})
+			if err != nil {
+				t.Fatalf("seed %d alternation: %v", seed, err)
+			}
+			joint, err := SolveWeightedJoint(s, w, Options{})
+			if err != nil {
+				t.Fatalf("seed %d joint: %v", seed, err)
+			}
+			if joint.Objective > alt.Objective*(1+1e-3) {
+				t.Errorf("seed %d w=%v: joint %g worse than alternation %g",
+					seed, w, joint.Objective, alt.Objective)
+			}
+			if err := s.ValidateDeadline(joint.Allocation, joint.RoundDeadline, 1e-6); err != nil {
+				t.Errorf("seed %d: joint allocation infeasible: %v", seed, err)
+			}
+		}
+	}
+}
+
+func TestWeightedJointCorners(t *testing.T) {
+	s := newTestSystem(5, 3)
+	// Corner weights route to the standard pathways.
+	res, err := SolveWeightedJoint(s, fl.Weights{W1: 0, W2: 1}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mt, err := SolveMinTime(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if relDiff(res.RoundDeadline, mt.RoundDeadline) > 1e-9 {
+		t.Errorf("w1=0 corner: %g vs min-time %g", res.RoundDeadline, mt.RoundDeadline)
+	}
+	if _, err := SolveWeightedJoint(s, fl.Weights{W1: 1, W2: 0}, Options{}); err != nil {
+		t.Errorf("w2=0 corner: %v", err)
+	}
+}
+
+func TestOptimizeJointWeightedOption(t *testing.T) {
+	s := newTestSystem(6, 4)
+	w := fl.Weights{W1: 0.5, W2: 0.5}
+	viaOption, err := Optimize(s, w, Options{JointWeighted: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	direct, err := SolveWeightedJoint(s, w, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if relDiff(viaOption.Objective, direct.Objective) > 1e-9 {
+		t.Errorf("option dispatch mismatch: %g vs %g", viaOption.Objective, direct.Objective)
+	}
+}

@@ -1,0 +1,252 @@
+package experiments
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/internal/fl"
+)
+
+func TestDefaultScenarioBuild(t *testing.T) {
+	sc := Default()
+	s, err := sc.Build(rand.New(rand.NewSource(1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.N() != 50 {
+		t.Errorf("N = %d", s.N())
+	}
+	if s.Bandwidth != 20e6 {
+		t.Errorf("B = %g", s.Bandwidth)
+	}
+	for i, d := range s.Devices {
+		if d.Samples != 500 {
+			t.Errorf("device %d samples %g", i, d.Samples)
+		}
+		if d.CyclesPerSample < 1e4 || d.CyclesPerSample > 3e4 {
+			t.Errorf("device %d cycles %g outside [1,3]e4", i, d.CyclesPerSample)
+		}
+	}
+}
+
+func TestScenarioTotalSamplesSplit(t *testing.T) {
+	sc := Default()
+	sc.N = 40
+	sc.TotalSamples = 25000
+	s, err := sc.Build(rand.New(rand.NewSource(2)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, d := range s.Devices {
+		if d.Samples != 625 {
+			t.Errorf("device %d samples %g, want 625", i, d.Samples)
+		}
+	}
+}
+
+func TestScenarioDeterminism(t *testing.T) {
+	sc := Default()
+	s1, _ := sc.Build(rand.New(rand.NewSource(9)))
+	s2, _ := sc.Build(rand.New(rand.NewSource(9)))
+	for i := range s1.Devices {
+		if s1.Devices[i].Gain != s2.Devices[i].Gain {
+			t.Fatal("same seed must give identical gains")
+		}
+	}
+	// Changing a box limit must not consume randomness (gains unchanged).
+	sc2 := sc
+	sc2.PMaxDBm = 7
+	s3, _ := sc2.Build(rand.New(rand.NewSource(9)))
+	for i := range s1.Devices {
+		if s1.Devices[i].Gain != s3.Devices[i].Gain {
+			t.Fatal("changing PMax must not change the channel draw")
+		}
+	}
+}
+
+func TestWeightPairs(t *testing.T) {
+	pairs := WeightPairs()
+	if len(pairs) != 5 {
+		t.Fatalf("want 5 pairs, got %d", len(pairs))
+	}
+	for _, w := range pairs {
+		if err := w.Check(); err != nil {
+			t.Errorf("pair %v invalid: %v", w, err)
+		}
+	}
+	if got := WeightLabel(fl.Weights{W1: 0.9, W2: 0.1}); got != "w1=0.9,w2=0.1" {
+		t.Errorf("label = %q", got)
+	}
+}
+
+func TestFigureTableAndCSV(t *testing.T) {
+	fig := Figure{
+		ID: "t", Title: "test", XLabel: "x", YLabel: "y",
+		Series: []Series{
+			{Label: "a", X: []float64{1, 2}, Y: []float64{10, 20}},
+			{Label: "b", X: []float64{1, 2}, Y: []float64{30, 40}},
+		},
+	}
+	tab := fig.Table()
+	for _, want := range []string{"Figure t", "a", "b", "10", "40", "y"} {
+		if !strings.Contains(tab, want) {
+			t.Errorf("table missing %q:\n%s", want, tab)
+		}
+	}
+	var buf bytes.Buffer
+	if err := fig.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	csv := buf.String()
+	lines := strings.Split(strings.TrimSpace(csv), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("csv lines = %d:\n%s", len(lines), csv)
+	}
+	if lines[0] != "x,a,b" {
+		t.Errorf("csv header = %q", lines[0])
+	}
+	if lines[1] != "1,10,30" {
+		t.Errorf("csv row = %q", lines[1])
+	}
+	empty := Figure{ID: "e", Title: "empty"}
+	if !strings.Contains(empty.Table(), "no data") {
+		t.Error("empty figure table should say so")
+	}
+}
+
+// smallCfg keeps shape tests fast.
+func smallCfg() RunConfig { return RunConfig{Trials: 2, Seed: 7} }
+
+// TestFig2Shape verifies the qualitative claims of Fig. 2: energy increases
+// as w1 decreases, and the benchmark's energy is far above every proposed
+// curve.
+func TestFig2Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("figure regeneration is slow")
+	}
+	eFig, tFig, err := Fig2(smallCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(eFig.Series) != 6 || len(tFig.Series) != 6 {
+		t.Fatalf("series count %d/%d", len(eFig.Series), len(tFig.Series))
+	}
+	// Energy ordering across weight pairs at each x: larger w1 -> lower E.
+	for xi := range eFig.Series[0].X {
+		for si := 1; si < 5; si++ {
+			if eFig.Series[si].Y[xi] < eFig.Series[si-1].Y[xi]*(1-1e-6) {
+				t.Errorf("x#%d: energy ordering broken between %s and %s (%g < %g)",
+					xi, eFig.Series[si].Label, eFig.Series[si-1].Label,
+					eFig.Series[si].Y[xi], eFig.Series[si-1].Y[xi])
+			}
+			if tFig.Series[si].Y[xi] > tFig.Series[si-1].Y[xi]*(1+1e-6) {
+				t.Errorf("x#%d: delay ordering broken between %s and %s",
+					xi, tFig.Series[si].Label, tFig.Series[si-1].Label)
+			}
+		}
+		// Benchmark (last series) worse than every proposed curve on energy.
+		bench := eFig.Series[5].Y[xi]
+		for si := 0; si < 5; si++ {
+			if eFig.Series[si].Y[xi] > bench {
+				t.Errorf("x#%d: %s energy %g above benchmark %g",
+					xi, eFig.Series[si].Label, eFig.Series[si].Y[xi], bench)
+			}
+		}
+	}
+}
+
+// TestFig4Shape: energy decreases with N (fixed total samples).
+func TestFig4Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("figure regeneration is slow")
+	}
+	eFig, _, err := Fig4(smallCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range eFig.Series {
+		if s.Y[0] <= s.Y[len(s.Y)-1] {
+			t.Errorf("series %s: energy should fall with N: %v", s.Label, s.Y)
+		}
+	}
+}
+
+// TestFig6Shape: energy and delay increase with R_l and with R_g.
+func TestFig6Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("figure regeneration is slow")
+	}
+	eFig, tFig, err := Fig6(smallCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, fig := range []Figure{eFig, tFig} {
+		for _, s := range fig.Series {
+			for i := 1; i < len(s.Y); i++ {
+				if s.Y[i] < s.Y[i-1]*(1-1e-6) {
+					t.Errorf("fig %s series %s not increasing in R_l: %v", fig.ID, s.Label, s.Y)
+				}
+			}
+		}
+		// Across series (growing Rg), values at the same x must increase.
+		for xi := range fig.Series[0].X {
+			for si := 1; si < len(fig.Series); si++ {
+				if fig.Series[si].Y[xi] < fig.Series[si-1].Y[xi]*(1-1e-6) {
+					t.Errorf("fig %s not increasing in R_g at x#%d", fig.ID, xi)
+				}
+			}
+		}
+	}
+}
+
+// TestFig7Shape: proposed lowest; gaps shrink as the deadline relaxes.
+func TestFig7Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("figure regeneration is slow")
+	}
+	fig, err := Fig7(RunConfig{Trials: 1, Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	prop, comm, comp := fig.Series[0], fig.Series[1], fig.Series[2]
+	for xi := range prop.X {
+		if prop.Y[xi] > comm.Y[xi]*(1+1e-6) {
+			t.Errorf("T=%g: proposed %g above communication-only %g", prop.X[xi], prop.Y[xi], comm.Y[xi])
+		}
+		if prop.Y[xi] > comp.Y[xi]*(1+1e-6) {
+			t.Errorf("T=%g: proposed %g above computation-only %g", prop.X[xi], prop.Y[xi], comp.Y[xi])
+		}
+	}
+	// Energy decreases as the deadline relaxes.
+	for xi := 1; xi < len(prop.X); xi++ {
+		if prop.Y[xi] > prop.Y[xi-1]*(1+1e-6) {
+			t.Errorf("proposed energy rose when T relaxed: %v", prop.Y)
+		}
+	}
+}
+
+// TestFig8Shape: proposed below Scheme 1 for each deadline; tighter
+// deadlines cost more energy.
+func TestFig8Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("figure regeneration is slow")
+	}
+	fig, err := Fig8(RunConfig{Trials: 1, Seed: 13})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fig.Series) != 6 {
+		t.Fatalf("series = %d", len(fig.Series))
+	}
+	for k := 0; k < 3; k++ {
+		prop, sch := fig.Series[2*k], fig.Series[2*k+1]
+		for xi := range prop.X {
+			if prop.Y[xi] > sch.Y[xi]*(1+1e-6) {
+				t.Errorf("%s: proposed %g above scheme 1 %g at p_max=%g",
+					prop.Label, prop.Y[xi], sch.Y[xi], prop.X[xi])
+			}
+		}
+	}
+}

@@ -1,0 +1,77 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/core"
+	"repro/internal/fl"
+	"repro/internal/sim"
+)
+
+// ExtG replays the weighted-optimal allocation under per-round Nakagami-m
+// fading (m = 1 is Rayleigh; large m approaches the paper's static channel)
+// and measures the open-loop robustness of the static allocation: the
+// fraction of rounds missing the optimizer's own deadline and the realized
+// energy inflation over the model's prediction. The paper's model is
+// fade-free; this quantifies how much headroom a deployment should add.
+func ExtG(cfg RunConfig) (Figure, Figure, error) {
+	cfg = cfg.withDefaults()
+	ms := []float64{1, 2, 4, 8, 16, 64}
+	headrooms := []float64{1.0, 1.1, 1.25, 1.5}
+	const replayRounds = 1000
+	violFig := Figure{ID: "extG-violations", Title: "deadline misses under Nakagami-m fading (static allocation, w1=w2=0.5)",
+		XLabel: "Nakagami m (1 = Rayleigh)", YLabel: "rounds over deadline*headroom (%)"}
+	energyFig := Figure{ID: "extG-energy", Title: "realized energy inflation under Nakagami-m fading",
+		XLabel: "Nakagami m (1 = Rayleigh)", YLabel: "realized / modeled energy"}
+	violSeries := make([]Series, len(headrooms))
+	for k, h := range headrooms {
+		violSeries[k] = Series{Label: fmt.Sprintf("headroom %.2fx", h)}
+	}
+	infl := Series{Label: "energy ratio"}
+	for _, m := range ms {
+		m := m
+		rates := make([]float64, len(headrooms))
+		var energyRatio float64
+		n := 0
+		for trial := 0; trial < cfg.Trials; trial++ {
+			rng := rand.New(rand.NewSource(cfg.Seed + int64(trial)))
+			s, err := Default().Build(rng)
+			if err != nil {
+				continue
+			}
+			res, err := core.Optimize(s, fl.Weights{W1: 0.5, W2: 0.5}, core.Options{})
+			if err != nil {
+				continue
+			}
+			sum, err := sim.Run(s, res.Allocation, sim.Config{NakagamiM: m, Rounds: replayRounds}, rng)
+			if err != nil {
+				continue
+			}
+			for k, h := range headrooms {
+				miss := 0
+				for _, rec := range sum.Records {
+					if rec.Time > res.RoundDeadline*h {
+						miss++
+					}
+				}
+				rates[k] += 100 * float64(miss) / float64(len(sum.Records))
+			}
+			modeled := res.Metrics.TotalEnergy / s.GlobalRounds * replayRounds
+			energyRatio += sum.TotalEnergy / modeled
+			n++
+		}
+		if n == 0 {
+			return Figure{}, Figure{}, fmt.Errorf("experiments: ExtG failed at m=%g", m)
+		}
+		for k := range headrooms {
+			violSeries[k].X = append(violSeries[k].X, m)
+			violSeries[k].Y = append(violSeries[k].Y, rates[k]/float64(n))
+		}
+		infl.X = append(infl.X, m)
+		infl.Y = append(infl.Y, energyRatio/float64(n))
+	}
+	violFig.Series = violSeries
+	energyFig.Series = append(energyFig.Series, infl)
+	return violFig, energyFig, nil
+}

@@ -1,0 +1,116 @@
+package experiments
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// Series is one labelled curve of a figure.
+type Series struct {
+	// Label names the curve (legend entry).
+	Label string
+	// X and Y are the sweep coordinates.
+	X, Y []float64
+}
+
+// Figure is a reproduced plot, stored as numeric series.
+type Figure struct {
+	// ID is the paper's figure identifier, e.g. "2a".
+	ID string
+	// Title describes the experiment.
+	Title string
+	// XLabel and YLabel name the axes (with units).
+	XLabel, YLabel string
+	// Series are the curves.
+	Series []Series
+}
+
+// Table renders the figure as an aligned plain-text table: one row per
+// sweep point, one column per series.
+func (f Figure) Table() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Figure %s: %s\n", f.ID, f.Title)
+	if len(f.Series) == 0 {
+		b.WriteString("(no data)\n")
+		return b.String()
+	}
+	headers := make([]string, 0, len(f.Series)+1)
+	headers = append(headers, f.XLabel)
+	for _, s := range f.Series {
+		headers = append(headers, s.Label)
+	}
+	rows := [][]string{headers}
+	for i, x := range f.Series[0].X {
+		row := make([]string, 0, len(headers))
+		row = append(row, trimFloat(x))
+		for _, s := range f.Series {
+			if i < len(s.Y) {
+				row = append(row, trimFloat(s.Y[i]))
+			} else {
+				row = append(row, "-")
+			}
+		}
+		rows = append(rows, row)
+	}
+	widths := make([]int, len(headers))
+	for _, row := range rows {
+		for c, cell := range row {
+			if len(cell) > widths[c] {
+				widths[c] = len(cell)
+			}
+		}
+	}
+	for r, row := range rows {
+		for c, cell := range row {
+			fmt.Fprintf(&b, "%-*s", widths[c]+2, cell)
+		}
+		b.WriteByte('\n')
+		if r == 0 {
+			total := 0
+			for _, w := range widths {
+				total += w + 2
+			}
+			b.WriteString(strings.Repeat("-", total))
+			b.WriteByte('\n')
+		}
+	}
+	fmt.Fprintf(&b, "(y axis: %s)\n", f.YLabel)
+	return b.String()
+}
+
+// WriteCSV emits the figure as CSV with an x column followed by one column
+// per series.
+func (f Figure) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	header := append([]string{f.XLabel}, make([]string, 0, len(f.Series))...)
+	for _, s := range f.Series {
+		header = append(header, s.Label)
+	}
+	if err := cw.Write(header); err != nil {
+		return fmt.Errorf("experiments: csv header: %w", err)
+	}
+	if len(f.Series) > 0 {
+		for i, x := range f.Series[0].X {
+			row := []string{strconv.FormatFloat(x, 'g', -1, 64)}
+			for _, s := range f.Series {
+				if i < len(s.Y) {
+					row = append(row, strconv.FormatFloat(s.Y[i], 'g', -1, 64))
+				} else {
+					row = append(row, "")
+				}
+			}
+			if err := cw.Write(row); err != nil {
+				return fmt.Errorf("experiments: csv row: %w", err)
+			}
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+func trimFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', 6, 64)
+}

@@ -1,0 +1,391 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/baselines"
+	"repro/internal/core"
+	"repro/internal/fl"
+)
+
+// RunConfig controls figure regeneration.
+type RunConfig struct {
+	// Trials is the number of random user draws averaged per sweep point
+	// (the paper uses 100).
+	Trials int
+	// Seed is the base RNG seed; trial t of any figure uses Seed+t.
+	Seed int64
+}
+
+func (c RunConfig) withDefaults() RunConfig {
+	if c.Trials <= 0 {
+		c.Trials = 10
+	}
+	return c
+}
+
+// averageOver runs f for each trial and returns the mean of the collected
+// values, skipping trials where f reports an error (returning how many
+// succeeded).
+func averageOver(cfg RunConfig, f func(trial int, rng *rand.Rand) (float64, error)) (float64, int) {
+	var sum float64
+	n := 0
+	for t := 0; t < cfg.Trials; t++ {
+		rng := rand.New(rand.NewSource(cfg.Seed + int64(t)))
+		v, err := f(t, rng)
+		if err != nil {
+			continue
+		}
+		sum += v
+		n++
+	}
+	if n == 0 {
+		return 0, 0
+	}
+	return sum / float64(n), n
+}
+
+// averagePair is averageOver for experiments that report an (energy, time)
+// pair from a single optimizer run.
+func averagePair(cfg RunConfig, f func(rng *rand.Rand) (float64, float64, error)) (float64, float64, int) {
+	var sumE, sumT float64
+	n := 0
+	for t := 0; t < cfg.Trials; t++ {
+		rng := rand.New(rand.NewSource(cfg.Seed + int64(t)))
+		e, tv, err := f(rng)
+		if err != nil {
+			continue
+		}
+		sumE += e
+		sumT += tv
+		n++
+	}
+	if n == 0 {
+		return 0, 0, 0
+	}
+	return sumE / float64(n), sumT / float64(n), n
+}
+
+// weightedPoint runs the proposed optimizer and returns (energy, time).
+func weightedPoint(sc Scenario, w fl.Weights, rng *rand.Rand) (float64, float64, error) {
+	s, err := sc.Build(rng)
+	if err != nil {
+		return 0, 0, err
+	}
+	res, err := core.Optimize(s, w, core.Options{})
+	if err != nil {
+		return 0, 0, err
+	}
+	return res.Metrics.TotalEnergy, res.Metrics.TotalTime, nil
+}
+
+// sweepWeighted produces the energy and delay figures for a parameterized
+// sweep with the five weight-pair series, plus an optional benchmark series.
+func sweepWeighted(cfg RunConfig, xs []float64, apply func(Scenario, float64) Scenario,
+	benchmark func(*fl.System, float64, *rand.Rand) fl.Allocation,
+	idE, idT, title, xlabel string) (Figure, Figure, error) {
+	cfg = cfg.withDefaults()
+	pairs := WeightPairs()
+	nSeries := len(pairs)
+	if benchmark != nil {
+		nSeries++
+	}
+	energySeries := make([]Series, nSeries)
+	timeSeries := make([]Series, nSeries)
+	for si, w := range pairs {
+		energySeries[si] = Series{Label: WeightLabel(w)}
+		timeSeries[si] = Series{Label: WeightLabel(w)}
+	}
+	if benchmark != nil {
+		energySeries[nSeries-1] = Series{Label: "benchmark"}
+		timeSeries[nSeries-1] = Series{Label: "benchmark"}
+	}
+
+	for _, x := range xs {
+		sc := apply(Default(), x)
+		for si, w := range pairs {
+			w := w
+			e, tV, n := averagePair(cfg, func(rng *rand.Rand) (float64, float64, error) {
+				return weightedPoint(sc, w, rng)
+			})
+			if n == 0 {
+				return Figure{}, Figure{}, fmt.Errorf("experiments: no successful trial at %s=%g for %s", xlabel, x, WeightLabel(w))
+			}
+			energySeries[si].X = append(energySeries[si].X, x)
+			energySeries[si].Y = append(energySeries[si].Y, e)
+			timeSeries[si].X = append(timeSeries[si].X, x)
+			timeSeries[si].Y = append(timeSeries[si].Y, tV)
+		}
+		if benchmark != nil {
+			be, bt, n := averagePair(cfg, func(rng *rand.Rand) (float64, float64, error) {
+				s, err := sc.Build(rng)
+				if err != nil {
+					return 0, 0, err
+				}
+				m := s.Evaluate(benchmark(s, x, rng))
+				return m.TotalEnergy, m.TotalTime, nil
+			})
+			if n == 0 {
+				return Figure{}, Figure{}, fmt.Errorf("experiments: benchmark failed at %s=%g", xlabel, x)
+			}
+			energySeries[nSeries-1].X = append(energySeries[nSeries-1].X, x)
+			energySeries[nSeries-1].Y = append(energySeries[nSeries-1].Y, be)
+			timeSeries[nSeries-1].X = append(timeSeries[nSeries-1].X, x)
+			timeSeries[nSeries-1].Y = append(timeSeries[nSeries-1].Y, bt)
+		}
+	}
+	eFig := Figure{ID: idE, Title: title, XLabel: xlabel, YLabel: "total energy (J)", Series: energySeries}
+	tFig := Figure{ID: idT, Title: title, XLabel: xlabel, YLabel: "total time (s)", Series: timeSeries}
+	return eFig, tFig, nil
+}
+
+// Fig2 reproduces Figs. 2a/2b: energy and delay versus the maximum transmit
+// power limit (5-12 dBm), five weight pairs plus the random-frequency
+// benchmark.
+func Fig2(cfg RunConfig) (Figure, Figure, error) {
+	xs := []float64{5, 6, 7, 8, 9, 10, 11, 12}
+	return sweepWeighted(cfg, xs,
+		func(sc Scenario, x float64) Scenario { sc.PMaxDBm = x; return sc },
+		func(s *fl.System, _ float64, rng *rand.Rand) fl.Allocation { return baselines.RandomFreq(s, rng) },
+		"2a", "2b", "energy/delay vs maximum transmit power", "p_max (dBm)")
+}
+
+// Fig3 reproduces Figs. 3a/3b: energy and delay versus the maximum CPU
+// frequency (0.2-2 GHz), five weight pairs plus the random-power benchmark.
+func Fig3(cfg RunConfig) (Figure, Figure, error) {
+	xs := []float64{0.2e9, 0.4e9, 0.6e9, 0.8e9, 1.0e9, 1.2e9, 1.4e9, 1.6e9, 1.8e9, 2.0e9}
+	return sweepWeighted(cfg, xs,
+		func(sc Scenario, x float64) Scenario { sc.FMaxHz = x; return sc },
+		func(s *fl.System, _ float64, rng *rand.Rand) fl.Allocation { return baselines.RandomPower(s, rng) },
+		"3a", "3b", "energy/delay vs maximum CPU frequency", "f_max (Hz)")
+}
+
+// Fig4 reproduces Figs. 4a/4b: energy and delay versus the number of devices
+// (20-80) with 25000 total samples split equally; five weight pairs.
+func Fig4(cfg RunConfig) (Figure, Figure, error) {
+	xs := []float64{20, 30, 40, 50, 60, 70, 80}
+	return sweepWeighted(cfg, xs,
+		func(sc Scenario, x float64) Scenario {
+			sc.N = int(x)
+			sc.TotalSamples = 25000
+			return sc
+		},
+		nil,
+		"4a", "4b", "energy/delay vs number of devices (25000 samples total)", "number of devices")
+}
+
+// Fig5 reproduces Figs. 5a/5b: energy and delay versus the placement radius
+// (0.1-1.5 km) for N in {20, 50, 80} at w1 = w2 = 0.5.
+func Fig5(cfg RunConfig) (Figure, Figure, error) {
+	cfg = cfg.withDefaults()
+	xs := []float64{0.1, 0.3, 0.5, 0.7, 0.9, 1.1, 1.3, 1.5}
+	ns := []int{20, 50, 80}
+	w := fl.Weights{W1: 0.5, W2: 0.5}
+	eFig := Figure{ID: "5a", Title: "energy vs placement radius (w1=w2=0.5)", XLabel: "radius (km)", YLabel: "total energy (J)"}
+	tFig := Figure{ID: "5b", Title: "delay vs placement radius (w1=w2=0.5)", XLabel: "radius (km)", YLabel: "total time (s)"}
+	for _, n := range ns {
+		eS := Series{Label: fmt.Sprintf("N=%d", n)}
+		tS := Series{Label: fmt.Sprintf("N=%d", n)}
+		for _, x := range xs {
+			sc := Default()
+			sc.N = n
+			sc.RadiusKm = x
+			e, tV, cnt := averagePair(cfg, func(rng *rand.Rand) (float64, float64, error) {
+				return weightedPoint(sc, w, rng)
+			})
+			if cnt == 0 {
+				return Figure{}, Figure{}, fmt.Errorf("experiments: Fig5 no successful trial at radius %g, N=%d", x, n)
+			}
+			eS.X = append(eS.X, x)
+			eS.Y = append(eS.Y, e)
+			tS.X = append(tS.X, x)
+			tS.Y = append(tS.Y, tV)
+		}
+		eFig.Series = append(eFig.Series, eS)
+		tFig.Series = append(tFig.Series, tS)
+	}
+	return eFig, tFig, nil
+}
+
+// Fig6 reproduces Figs. 6a/6b: energy and delay versus the number of local
+// iterations R_l (10-110) for R_g in {50, 100, 200, 300, 400} at
+// w1 = w2 = 0.5.
+func Fig6(cfg RunConfig) (Figure, Figure, error) {
+	cfg = cfg.withDefaults()
+	xs := []float64{10, 30, 50, 70, 90, 110}
+	rgs := []float64{50, 100, 200, 300, 400}
+	w := fl.Weights{W1: 0.5, W2: 0.5}
+	eFig := Figure{ID: "6a", Title: "energy vs local iterations (w1=w2=0.5)", XLabel: "R_l", YLabel: "total energy (J)"}
+	tFig := Figure{ID: "6b", Title: "delay vs local iterations (w1=w2=0.5)", XLabel: "R_l", YLabel: "total time (s)"}
+	for _, rg := range rgs {
+		eS := Series{Label: fmt.Sprintf("Rg=%.0f", rg)}
+		tS := Series{Label: fmt.Sprintf("Rg=%.0f", rg)}
+		for _, x := range xs {
+			sc := Default()
+			sc.LocalIters = x
+			sc.GlobalRounds = rg
+			e, tV, cnt := averagePair(cfg, func(rng *rand.Rand) (float64, float64, error) {
+				return weightedPoint(sc, w, rng)
+			})
+			if cnt == 0 {
+				return Figure{}, Figure{}, fmt.Errorf("experiments: Fig6 no successful trial at Rl=%g, Rg=%g", x, rg)
+			}
+			eS.X = append(eS.X, x)
+			eS.Y = append(eS.Y, e)
+			tS.X = append(tS.X, x)
+			tS.Y = append(tS.Y, tV)
+		}
+		eFig.Series = append(eFig.Series, eS)
+		tFig.Series = append(tFig.Series, tS)
+	}
+	return eFig, tFig, nil
+}
+
+// Fig7 reproduces Fig. 7: total energy versus the maximum completion time
+// limit T (100-150 s) at p_max = 10 dBm, comparing the proposed
+// deadline-mode optimizer against communication-only and computation-only
+// optimization.
+func Fig7(cfg RunConfig) (Figure, error) {
+	cfg = cfg.withDefaults()
+	xs := []float64{100, 110, 120, 130, 140, 150}
+	sc := Default()
+	sc.PMaxDBm = 10
+	fig := Figure{ID: "7", Title: "energy vs completion-time limit (p_max=10 dBm)",
+		XLabel: "T (s)", YLabel: "total energy (J)"}
+	kinds := []struct {
+		label string
+		run   func(*fl.System, float64) (float64, error)
+	}{
+		{"proposed", func(s *fl.System, total float64) (float64, error) {
+			res, err := core.Optimize(s, fl.Weights{W1: 1, W2: 0},
+				core.Options{Mode: core.ModeDeadline, TotalDeadline: total})
+			if err != nil {
+				return 0, err
+			}
+			return res.Metrics.TotalEnergy, nil
+		}},
+		{"communication only", func(s *fl.System, total float64) (float64, error) {
+			a, err := baselines.CommunicationOnly(s, total)
+			if err != nil {
+				return 0, err
+			}
+			return s.Evaluate(a).TotalEnergy, nil
+		}},
+		{"computation only", func(s *fl.System, total float64) (float64, error) {
+			a, err := baselines.ComputationOnly(s, total)
+			if err != nil {
+				return 0, err
+			}
+			return s.Evaluate(a).TotalEnergy, nil
+		}},
+	}
+	for _, k := range kinds {
+		series := Series{Label: k.label}
+		for _, x := range xs {
+			v, n := averageOver(cfg, func(_ int, rng *rand.Rand) (float64, error) {
+				s, err := sc.Build(rng)
+				if err != nil {
+					return 0, err
+				}
+				return k.run(s, x)
+			})
+			if n == 0 {
+				return Figure{}, fmt.Errorf("experiments: Fig7 %s failed at T=%g on all trials", k.label, x)
+			}
+			series.X = append(series.X, x)
+			series.Y = append(series.Y, v)
+		}
+		fig.Series = append(fig.Series, series)
+	}
+	return fig, nil
+}
+
+// Fig8 reproduces Fig. 8: total energy versus the maximum transmit power
+// limit (5-12 dBm) for the proposed deadline-mode optimizer and the Scheme 1
+// surrogate at completion-time limits T in {80, 100, 150} s.
+func Fig8(cfg RunConfig) (Figure, error) {
+	cfg = cfg.withDefaults()
+	xs := []float64{5, 6, 7, 8, 9, 10, 11, 12}
+	deadlines := []float64{80, 100, 150}
+	fig := Figure{ID: "8", Title: "energy vs maximum transmit power under fixed deadlines",
+		XLabel: "p_max (dBm)", YLabel: "total energy (J)"}
+	for _, deadline := range deadlines {
+		propSeries := Series{Label: fmt.Sprintf("proposed (T=%.0f)", deadline)}
+		schSeries := Series{Label: fmt.Sprintf("scheme 1 (T=%.0f)", deadline)}
+		for _, x := range xs {
+			sc := Default()
+			sc.PMaxDBm = x
+			prop, n1 := averageOver(cfg, func(_ int, rng *rand.Rand) (float64, error) {
+				s, err := sc.Build(rng)
+				if err != nil {
+					return 0, err
+				}
+				res, err := core.Optimize(s, fl.Weights{W1: 1, W2: 0},
+					core.Options{Mode: core.ModeDeadline, TotalDeadline: deadline})
+				if err != nil {
+					return 0, err
+				}
+				return res.Metrics.TotalEnergy, nil
+			})
+			sch, n2 := averageOver(cfg, func(_ int, rng *rand.Rand) (float64, error) {
+				s, err := sc.Build(rng)
+				if err != nil {
+					return 0, err
+				}
+				a, err := baselines.Scheme1(s, deadline, baselines.Scheme1Options{})
+				if err != nil {
+					return 0, err
+				}
+				return s.Evaluate(a).TotalEnergy, nil
+			})
+			if n1 == 0 || n2 == 0 {
+				return Figure{}, fmt.Errorf("experiments: Fig8 failed at p_max=%g, T=%g (proposed %d, scheme1 %d trials)",
+					x, deadline, n1, n2)
+			}
+			propSeries.X = append(propSeries.X, x)
+			propSeries.Y = append(propSeries.Y, prop)
+			schSeries.X = append(schSeries.X, x)
+			schSeries.Y = append(schSeries.Y, sch)
+		}
+		fig.Series = append(fig.Series, propSeries, schSeries)
+	}
+	return fig, nil
+}
+
+// RunAll regenerates every figure and returns them in paper order.
+func RunAll(cfg RunConfig) ([]Figure, error) {
+	var out []Figure
+	add2 := func(a, b Figure, err error) error {
+		if err != nil {
+			return err
+		}
+		out = append(out, a, b)
+		return nil
+	}
+	if err := add2(Fig2(cfg)); err != nil {
+		return nil, err
+	}
+	if err := add2(Fig3(cfg)); err != nil {
+		return nil, err
+	}
+	if err := add2(Fig4(cfg)); err != nil {
+		return nil, err
+	}
+	if err := add2(Fig5(cfg)); err != nil {
+		return nil, err
+	}
+	if err := add2(Fig6(cfg)); err != nil {
+		return nil, err
+	}
+	f7, err := Fig7(cfg)
+	if err != nil {
+		return nil, err
+	}
+	f8, err := Fig8(cfg)
+	if err != nil {
+		return nil, err
+	}
+	out = append(out, f7, f8)
+	return out, nil
+}

@@ -1,0 +1,173 @@
+// Package fedavg implements the FedAvg training loop of McMahan et al. that
+// the paper's system model assumes (Section III): every device runs R_l
+// full-batch local iterations per global round, uploads its parameters, and
+// the base station aggregates them weighted by dataset size D_n/D.
+//
+// The paper itself treats R_l and R_g as exogenous constants and reports no
+// accuracy numbers; this package exists so the examples can tie the resource
+// allocation to a live training process (synthetic logistic regression) and
+// so tests can verify the aggregation semantics the energy model charges
+// for.
+package fedavg
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// ErrBadConfig flags invalid training configuration.
+var ErrBadConfig = errors.New("fedavg: bad configuration")
+
+// Dataset is a labelled design matrix for binary classification with labels
+// in {0, 1}.
+type Dataset struct {
+	// X holds one feature vector per row.
+	X [][]float64
+	// Y holds the labels, one per row of X.
+	Y []float64
+}
+
+// Len returns the number of samples.
+func (d Dataset) Len() int { return len(d.X) }
+
+// SyntheticLogistic draws n samples of dimension dim from a ground-truth
+// logistic model with standard-normal features, returning the dataset and
+// the true weight vector (including a bias as the last coordinate).
+// labelNoise in [0, 0.5) flips each label independently with that
+// probability.
+func SyntheticLogistic(rng *rand.Rand, n, dim int, labelNoise float64) (Dataset, []float64) {
+	w := make([]float64, dim+1)
+	for i := range w {
+		w[i] = rng.NormFloat64()
+	}
+	ds := Dataset{X: make([][]float64, n), Y: make([]float64, n)}
+	for i := 0; i < n; i++ {
+		x := make([]float64, dim+1)
+		for j := 0; j < dim; j++ {
+			x[j] = rng.NormFloat64()
+		}
+		x[dim] = 1 // bias feature
+		z := dot(w, x)
+		p := sigmoid(z)
+		y := 0.0
+		if rng.Float64() < p {
+			y = 1
+		}
+		if rng.Float64() < labelNoise {
+			y = 1 - y
+		}
+		ds.X[i] = x
+		ds.Y[i] = y
+	}
+	return ds, w
+}
+
+// SplitEqual partitions ds into parts contiguous shards of (near) equal
+// size, mimicking the paper's equal-data setting.
+func SplitEqual(ds Dataset, parts int) ([]Dataset, error) {
+	if parts <= 0 || ds.Len() < parts {
+		return nil, fmt.Errorf("fedavg: cannot split %d samples into %d parts: %w", ds.Len(), parts, ErrBadConfig)
+	}
+	out := make([]Dataset, parts)
+	n := ds.Len()
+	for p := 0; p < parts; p++ {
+		lo := p * n / parts
+		hi := (p + 1) * n / parts
+		out[p] = Dataset{X: ds.X[lo:hi], Y: ds.Y[lo:hi]}
+	}
+	return out, nil
+}
+
+// Model is a logistic-regression parameter vector.
+type Model struct {
+	// W is the weight vector (bias folded in as the last coordinate).
+	W []float64
+}
+
+// NewModel returns a zero-initialized model of the given dimension.
+func NewModel(dim int) Model { return Model{W: make([]float64, dim)} }
+
+// Clone deep-copies the model.
+func (m Model) Clone() Model {
+	w := make([]float64, len(m.W))
+	copy(w, m.W)
+	return Model{W: w}
+}
+
+// Loss returns the mean logistic loss of the model on ds (the paper's
+// l_n(w), eq. in Section III).
+func (m Model) Loss(ds Dataset) float64 {
+	if ds.Len() == 0 {
+		return 0
+	}
+	var sum float64
+	for i, x := range ds.X {
+		z := dot(m.W, x)
+		// Numerically stable: log(1+e^z) - y*z.
+		sum += logistic1p(z) - ds.Y[i]*z
+	}
+	return sum / float64(ds.Len())
+}
+
+// Gradient returns the gradient of Loss on ds.
+func (m Model) Gradient(ds Dataset) []float64 {
+	g := make([]float64, len(m.W))
+	if ds.Len() == 0 {
+		return g
+	}
+	for i, x := range ds.X {
+		e := sigmoid(dot(m.W, x)) - ds.Y[i]
+		for j, xj := range x {
+			g[j] += e * xj
+		}
+	}
+	inv := 1 / float64(ds.Len())
+	for j := range g {
+		g[j] *= inv
+	}
+	return g
+}
+
+// Accuracy returns the 0/1 accuracy of the model on ds.
+func (m Model) Accuracy(ds Dataset) float64 {
+	if ds.Len() == 0 {
+		return 0
+	}
+	correct := 0
+	for i, x := range ds.X {
+		pred := 0.0
+		if dot(m.W, x) > 0 {
+			pred = 1
+		}
+		if pred == ds.Y[i] {
+			correct++
+		}
+	}
+	return float64(correct) / float64(ds.Len())
+}
+
+func sigmoid(z float64) float64 {
+	if z >= 0 {
+		return 1 / (1 + math.Exp(-z))
+	}
+	e := math.Exp(z)
+	return e / (1 + e)
+}
+
+// logistic1p computes log(1 + e^z) stably.
+func logistic1p(z float64) float64 {
+	if z > 0 {
+		return z + math.Log1p(math.Exp(-z))
+	}
+	return math.Log1p(math.Exp(z))
+}
+
+func dot(a, b []float64) float64 {
+	var s float64
+	for i, v := range a {
+		s += v * b[i]
+	}
+	return s
+}

@@ -1,0 +1,218 @@
+package fedavg
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestSyntheticLogisticShapes(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	ds, w := SyntheticLogistic(rng, 200, 5, 0)
+	if ds.Len() != 200 {
+		t.Fatalf("len = %d", ds.Len())
+	}
+	if len(w) != 6 {
+		t.Fatalf("weights = %d, want dim+1", len(w))
+	}
+	for i, x := range ds.X {
+		if len(x) != 6 {
+			t.Fatalf("x[%d] dim = %d", i, len(x))
+		}
+		if x[5] != 1 {
+			t.Fatalf("x[%d] bias = %g", i, x[5])
+		}
+		if ds.Y[i] != 0 && ds.Y[i] != 1 {
+			t.Fatalf("label %g", ds.Y[i])
+		}
+	}
+}
+
+func TestSplitEqual(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	ds, _ := SyntheticLogistic(rng, 100, 3, 0)
+	shards, err := SplitEqual(ds, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := 0
+	for _, sh := range shards {
+		total += sh.Len()
+		if sh.Len() < 100/7 || sh.Len() > 100/7+1 {
+			t.Errorf("shard size %d not near-equal", sh.Len())
+		}
+	}
+	if total != 100 {
+		t.Errorf("total %d", total)
+	}
+	if _, err := SplitEqual(ds, 0); !errors.Is(err, ErrBadConfig) {
+		t.Errorf("parts=0: want ErrBadConfig, got %v", err)
+	}
+	if _, err := SplitEqual(ds, 101); !errors.Is(err, ErrBadConfig) {
+		t.Errorf("too many parts: want ErrBadConfig, got %v", err)
+	}
+}
+
+func TestLossGradientConsistency(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	ds, _ := SyntheticLogistic(rng, 50, 4, 0.05)
+	m := NewModel(5)
+	for j := range m.W {
+		m.W[j] = rng.NormFloat64() * 0.3
+	}
+	g := m.Gradient(ds)
+	// Finite-difference check.
+	const h = 1e-6
+	for j := range m.W {
+		mp := m.Clone()
+		mp.W[j] += h
+		mm := m.Clone()
+		mm.W[j] -= h
+		fd := (mp.Loss(ds) - mm.Loss(ds)) / (2 * h)
+		if math.Abs(fd-g[j]) > 1e-5*(1+math.Abs(fd)) {
+			t.Errorf("grad[%d] = %g, FD %g", j, g[j], fd)
+		}
+	}
+}
+
+func TestLossNonNegativeProperty(t *testing.T) {
+	check := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		ds, _ := SyntheticLogistic(rng, 30, 3, 0.1)
+		m := NewModel(4)
+		for j := range m.W {
+			m.W[j] = rng.NormFloat64() * 2
+		}
+		return m.Loss(ds) >= 0
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTrainReducesLossAndLearns(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	ds, _ := SyntheticLogistic(rng, 600, 4, 0.02)
+	shards, err := SplitEqual(ds, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := Config{LocalIters: 5, GlobalRounds: 40, LearningRate: 0.5, Dim: 5}
+	hookCalls := 0
+	res, err := Train(cfg, shards, func(round int, m Model) { hookCalls++ })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hookCalls != cfg.GlobalRounds {
+		t.Errorf("hook called %d times, want %d", hookCalls, cfg.GlobalRounds)
+	}
+	first, last := res.GlobalLoss[0], res.GlobalLoss[len(res.GlobalLoss)-1]
+	if last >= first {
+		t.Errorf("loss did not decrease: %g -> %g", first, last)
+	}
+	// Labels are Bernoulli draws from the true model, so compare against the
+	// Bayes-optimal accuracy of the generator rather than a fixed bar.
+	rng2 := rand.New(rand.NewSource(4))
+	_, trueW := SyntheticLogistic(rng2, 1, 4, 0.02) // same seed => same true weights
+	bayes := Model{W: trueW}.Accuracy(ds)
+	if acc := res.Model.Accuracy(ds); acc < bayes-0.05 {
+		t.Errorf("accuracy %g more than 5pp below the Bayes model's %g", acc, bayes)
+	}
+}
+
+func TestTrainMatchesCentralizedWithOneShardOneIter(t *testing.T) {
+	// FedAvg with a single shard and LocalIters=1 is plain gradient descent.
+	rng := rand.New(rand.NewSource(5))
+	ds, _ := SyntheticLogistic(rng, 100, 3, 0)
+	cfg := Config{LocalIters: 1, GlobalRounds: 15, LearningRate: 0.3, Dim: 4}
+	fed, err := Train(cfg, []Dataset{ds}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	manual := NewModel(4)
+	for k := 0; k < 15; k++ {
+		g := manual.Gradient(ds)
+		for j := range manual.W {
+			manual.W[j] -= 0.3 * g[j]
+		}
+	}
+	for j := range manual.W {
+		if math.Abs(manual.W[j]-fed.Model.W[j]) > 1e-12 {
+			t.Fatalf("w[%d]: fed %g vs manual %g", j, fed.Model.W[j], manual.W[j])
+		}
+	}
+}
+
+func TestTrainWeightedAggregation(t *testing.T) {
+	// Two shards of different sizes: the aggregate must weight by D_n/D.
+	rng := rand.New(rand.NewSource(6))
+	ds, _ := SyntheticLogistic(rng, 90, 2, 0)
+	big := Dataset{X: ds.X[:60], Y: ds.Y[:60]}
+	small := Dataset{X: ds.X[60:], Y: ds.Y[60:]}
+	cfg := Config{LocalIters: 2, GlobalRounds: 1, LearningRate: 0.1, Dim: 3}
+	res, err := Train(cfg, []Dataset{big, small}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Recompute by hand.
+	local := func(sh Dataset) Model {
+		m := NewModel(3)
+		for it := 0; it < 2; it++ {
+			g := m.Gradient(sh)
+			for j := range m.W {
+				m.W[j] -= 0.1 * g[j]
+			}
+		}
+		return m
+	}
+	lb, ls := local(big), local(small)
+	for j := 0; j < 3; j++ {
+		want := (60*lb.W[j] + 30*ls.W[j]) / 90
+		if math.Abs(res.Model.W[j]-want) > 1e-12 {
+			t.Errorf("w[%d] = %g, want %g", j, res.Model.W[j], want)
+		}
+	}
+}
+
+func TestTrainConfigValidation(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	ds, _ := SyntheticLogistic(rng, 20, 2, 0)
+	good := Config{LocalIters: 1, GlobalRounds: 1, LearningRate: 0.1, Dim: 3}
+	for _, bad := range []Config{
+		{LocalIters: 0, GlobalRounds: 1, LearningRate: 0.1, Dim: 3},
+		{LocalIters: 1, GlobalRounds: 0, LearningRate: 0.1, Dim: 3},
+		{LocalIters: 1, GlobalRounds: 1, LearningRate: 0, Dim: 3},
+		{LocalIters: 1, GlobalRounds: 1, LearningRate: 0.1, Dim: 0},
+	} {
+		if _, err := Train(bad, []Dataset{ds}, nil); !errors.Is(err, ErrBadConfig) {
+			t.Errorf("config %+v: want ErrBadConfig, got %v", bad, err)
+		}
+	}
+	if _, err := Train(good, nil, nil); !errors.Is(err, ErrBadConfig) {
+		t.Errorf("no shards: want ErrBadConfig, got %v", err)
+	}
+	wrongDim := Dataset{X: [][]float64{{1, 2}}, Y: []float64{1}}
+	if _, err := Train(good, []Dataset{wrongDim}, nil); !errors.Is(err, ErrBadConfig) {
+		t.Errorf("wrong dim: want ErrBadConfig, got %v", err)
+	}
+}
+
+func TestSigmoidStability(t *testing.T) {
+	if s := sigmoid(1000); s != 1 {
+		t.Errorf("sigmoid(1000) = %g", s)
+	}
+	if s := sigmoid(-1000); s != 0 {
+		t.Errorf("sigmoid(-1000) = %g", s)
+	}
+	if s := sigmoid(0); s != 0.5 {
+		t.Errorf("sigmoid(0) = %g", s)
+	}
+	if l := logistic1p(1000); l != 1000 {
+		t.Errorf("logistic1p(1000) = %g", l)
+	}
+	if l := logistic1p(-1000); l != 0 {
+		t.Errorf("logistic1p(-1000) = %g", l)
+	}
+}

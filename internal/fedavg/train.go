@@ -1,0 +1,89 @@
+package fedavg
+
+import "fmt"
+
+// Config parameterizes FedAvg training. LocalIters and GlobalRounds mirror
+// the paper's R_l and R_g.
+type Config struct {
+	// LocalIters is R_l, full-batch gradient steps per device per round.
+	LocalIters int
+	// GlobalRounds is R_g, the number of aggregation rounds.
+	GlobalRounds int
+	// LearningRate is the local gradient step size.
+	LearningRate float64
+	// Dim is the model dimension (features + bias).
+	Dim int
+}
+
+func (c Config) check() error {
+	if c.LocalIters <= 0 || c.GlobalRounds <= 0 || c.LearningRate <= 0 || c.Dim <= 0 {
+		return fmt.Errorf("fedavg: config %+v has non-positive field: %w", c, ErrBadConfig)
+	}
+	return nil
+}
+
+// RoundHook is invoked after every global round with the round index and
+// the fresh global model; examples use it to charge per-round energy/time.
+type RoundHook func(round int, global Model)
+
+// TrainResult reports a completed FedAvg run.
+type TrainResult struct {
+	// Model is the final global model.
+	Model Model
+	// GlobalLoss traces the D_n/D-weighted training loss after each round.
+	GlobalLoss []float64
+}
+
+// Train runs FedAvg (the paper's Fig. 1 loop): each round, every device
+// performs LocalIters full-batch gradient steps from the current global
+// model — note each local iteration uses all D_n samples, matching the
+// energy model's c_n*D_n cycles — and the server aggregates parameters
+// weighted by D_n/D.
+func Train(cfg Config, shards []Dataset, hook RoundHook) (TrainResult, error) {
+	if err := cfg.check(); err != nil {
+		return TrainResult{}, err
+	}
+	if len(shards) == 0 {
+		return TrainResult{}, fmt.Errorf("fedavg: no shards: %w", ErrBadConfig)
+	}
+	var total float64
+	for i, sh := range shards {
+		if sh.Len() == 0 {
+			return TrainResult{}, fmt.Errorf("fedavg: shard %d empty: %w", i, ErrBadConfig)
+		}
+		if len(sh.X[0]) != cfg.Dim {
+			return TrainResult{}, fmt.Errorf("fedavg: shard %d dimension %d != %d: %w", i, len(sh.X[0]), cfg.Dim, ErrBadConfig)
+		}
+		total += float64(sh.Len())
+	}
+
+	global := NewModel(cfg.Dim)
+	res := TrainResult{GlobalLoss: make([]float64, 0, cfg.GlobalRounds)}
+	for round := 0; round < cfg.GlobalRounds; round++ {
+		agg := make([]float64, cfg.Dim)
+		for _, sh := range shards {
+			local := global.Clone()
+			for it := 0; it < cfg.LocalIters; it++ {
+				g := local.Gradient(sh)
+				for j := range local.W {
+					local.W[j] -= cfg.LearningRate * g[j]
+				}
+			}
+			wgt := float64(sh.Len()) / total
+			for j := range agg {
+				agg[j] += wgt * local.W[j]
+			}
+		}
+		global = Model{W: agg}
+		var loss float64
+		for _, sh := range shards {
+			loss += float64(sh.Len()) / total * global.Loss(sh)
+		}
+		res.GlobalLoss = append(res.GlobalLoss, loss)
+		if hook != nil {
+			hook(round, global)
+		}
+	}
+	res.Model = global
+	return res, nil
+}

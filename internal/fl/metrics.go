@@ -1,0 +1,170 @@
+package fl
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/wireless"
+)
+
+// Metrics is the full energy/latency accounting of an allocation, matching
+// equations (1)–(7) of the paper.
+type Metrics struct {
+	// Rates holds r_n in bit/s.
+	Rates []float64
+	// UploadTimes holds T_up_n in seconds (per global round).
+	UploadTimes []float64
+	// CompTimes holds T_cmp_n in seconds (per global round, R_l iterations).
+	CompTimes []float64
+	// RoundTime is max_n (T_cmp_n + T_up_n) for one global round.
+	RoundTime float64
+	// TotalTime is R_g * RoundTime, the completion time T.
+	TotalTime float64
+	// TransEnergy is the transmission energy summed over devices and rounds.
+	TransEnergy float64
+	// CompEnergy is the computation energy summed over devices and rounds.
+	CompEnergy float64
+	// TotalEnergy is E = TransEnergy + CompEnergy.
+	TotalEnergy float64
+}
+
+// Rate returns the Shannon rate of device n under the allocation.
+func (s *System) Rate(n int, p, b float64) float64 {
+	return wireless.Rate(p, b, s.Devices[n].Gain, s.N0)
+}
+
+// CompTimeRound returns T_cmp_n = R_l * c_n * D_n / f for one global round.
+func (s *System) CompTimeRound(n int, f float64) float64 {
+	if f <= 0 {
+		return math.Inf(1)
+	}
+	return s.LocalIters * s.Devices[n].CyclesPerIteration() / f
+}
+
+// CompEnergyRound returns E_cmp_n = kappa * R_l * c_n * D_n * f^2 for one
+// global round (equation (5)).
+func (s *System) CompEnergyRound(n int, f float64) float64 {
+	return s.Kappa * s.LocalIters * s.Devices[n].CyclesPerIteration() * f * f
+}
+
+// UploadTimeRound returns T_up_n = d_n / r_n for one global round, +Inf when
+// the rate is zero (equation (2)).
+func (s *System) UploadTimeRound(n int, p, b float64) float64 {
+	r := s.Rate(n, p, b)
+	if r <= 0 {
+		return math.Inf(1)
+	}
+	return s.Devices[n].UploadBits / r
+}
+
+// TransEnergyRound returns E_trans_n = p_n * T_up_n for one global round
+// (equation (3)).
+func (s *System) TransEnergyRound(n int, p, b float64) float64 {
+	return p * s.UploadTimeRound(n, p, b)
+}
+
+// Evaluate computes the complete Metrics for an allocation. It does not
+// check feasibility; combine with Validate when needed.
+func (s *System) Evaluate(a Allocation) Metrics {
+	n := s.N()
+	m := Metrics{
+		Rates:       make([]float64, n),
+		UploadTimes: make([]float64, n),
+		CompTimes:   make([]float64, n),
+	}
+	for i := 0; i < n; i++ {
+		m.Rates[i] = s.Rate(i, a.Power[i], a.Bandwidth[i])
+		m.UploadTimes[i] = s.UploadTimeRound(i, a.Power[i], a.Bandwidth[i])
+		m.CompTimes[i] = s.CompTimeRound(i, a.Freq[i])
+		if rt := m.CompTimes[i] + m.UploadTimes[i]; rt > m.RoundTime {
+			m.RoundTime = rt
+		}
+		m.TransEnergy += a.Power[i] * m.UploadTimes[i]
+		m.CompEnergy += s.CompEnergyRound(i, a.Freq[i])
+	}
+	m.TransEnergy *= s.GlobalRounds
+	m.CompEnergy *= s.GlobalRounds
+	m.TotalEnergy = m.TransEnergy + m.CompEnergy
+	m.TotalTime = s.GlobalRounds * m.RoundTime
+	return m
+}
+
+// Objective evaluates the weighted objective (8): w1*E + w2*T.
+func (s *System) Objective(w Weights, a Allocation) float64 {
+	m := s.Evaluate(a)
+	return w.W1*m.TotalEnergy + w.W2*m.TotalTime
+}
+
+// Validate checks that the allocation satisfies constraints (8a)–(8c) within
+// the given relative tolerance (use 0 for exact checking; the optimizers use
+// ~1e-6 to absorb floating-point residue).
+func (s *System) Validate(a Allocation, relTol float64) error {
+	n := s.N()
+	if len(a.Power) != n || len(a.Bandwidth) != n || len(a.Freq) != n {
+		return fmt.Errorf("fl: allocation size mismatch (want %d): %w", n, ErrInfeasibleAllocation)
+	}
+	var sumB float64
+	for i, d := range s.Devices {
+		p, b, f := a.Power[i], a.Bandwidth[i], a.Freq[i]
+		if math.IsNaN(p) || math.IsNaN(b) || math.IsNaN(f) {
+			return fmt.Errorf("fl: device %d has NaN variable: %w", i, ErrInfeasibleAllocation)
+		}
+		if p < d.PMin*(1-relTol) || p > d.PMax*(1+relTol) {
+			return fmt.Errorf("fl: device %d power %g outside [%g,%g]: %w", i, p, d.PMin, d.PMax, ErrInfeasibleAllocation)
+		}
+		if f < d.FMin*(1-relTol) || f > d.FMax*(1+relTol) {
+			return fmt.Errorf("fl: device %d frequency %g outside [%g,%g]: %w", i, f, d.FMin, d.FMax, ErrInfeasibleAllocation)
+		}
+		if b <= 0 {
+			return fmt.Errorf("fl: device %d bandwidth %g must be positive: %w", i, b, ErrInfeasibleAllocation)
+		}
+		sumB += b
+	}
+	if sumB > s.Bandwidth*(1+relTol) {
+		return fmt.Errorf("fl: total bandwidth %g exceeds %g: %w", sumB, s.Bandwidth, ErrInfeasibleAllocation)
+	}
+	return nil
+}
+
+// ValidateDeadline additionally checks the per-round deadline
+// T_cmp_n + T_up_n <= roundDeadline for every device (constraint (9a)).
+func (s *System) ValidateDeadline(a Allocation, roundDeadline, relTol float64) error {
+	if err := s.Validate(a, relTol); err != nil {
+		return err
+	}
+	for i := range s.Devices {
+		rt := s.CompTimeRound(i, a.Freq[i]) + s.UploadTimeRound(i, a.Power[i], a.Bandwidth[i])
+		if rt > roundDeadline*(1+relTol) {
+			return fmt.Errorf("fl: device %d round time %g exceeds deadline %g: %w",
+				i, rt, roundDeadline, ErrInfeasibleAllocation)
+		}
+	}
+	return nil
+}
+
+// EqualSplitAllocation returns the benchmark-style allocation: every device
+// gets bandwidth B*frac (the paper uses frac = 1/N for the random benchmark
+// and 1/(2N) for baseline initialization), power p and frequency f clamped
+// to each device's box.
+func (s *System) EqualSplitAllocation(frac, p, f float64) Allocation {
+	a := NewAllocation(s.N())
+	for i, d := range s.Devices {
+		a.Bandwidth[i] = s.Bandwidth * frac
+		a.Power[i] = math.Max(d.PMin, math.Min(d.PMax, p))
+		a.Freq[i] = math.Max(d.FMin, math.Min(d.FMax, f))
+	}
+	return a
+}
+
+// MaxResourceAllocation returns the natural feasible starting point of
+// Algorithm 2: p_n = PMax, f_n = FMax, B_n = B/N.
+func (s *System) MaxResourceAllocation() Allocation {
+	a := NewAllocation(s.N())
+	frac := 1.0 / float64(s.N())
+	for i, d := range s.Devices {
+		a.Power[i] = d.PMax
+		a.Freq[i] = d.FMax
+		a.Bandwidth[i] = s.Bandwidth * frac
+	}
+	return a
+}

@@ -1,0 +1,51 @@
+package numeric
+
+import (
+	"math"
+	"math/rand"
+)
+
+// GammaRand draws a Gamma(shape, 1) variate using the Marsaglia–Tsang
+// squeeze method (with the standard boost for shape < 1). The simulation
+// harness uses it for Nakagami-m fading: the received-power fade of a
+// Nakagami-m channel is Gamma(m, 1/m), i.e. GammaRand(rng, m)/m.
+func GammaRand(rng *rand.Rand, shape float64) float64 {
+	if shape <= 0 {
+		return 0
+	}
+	if shape < 1 {
+		// Boost: X_a = X_{a+1} * U^{1/a}.
+		u := rng.Float64()
+		for u == 0 {
+			u = rng.Float64()
+		}
+		return GammaRand(rng, shape+1) * math.Pow(u, 1/shape)
+	}
+	d := shape - 1.0/3
+	c := 1 / math.Sqrt(9*d)
+	for {
+		x := rng.NormFloat64()
+		v := 1 + c*x
+		if v <= 0 {
+			continue
+		}
+		v = v * v * v
+		u := rng.Float64()
+		if u < 1-0.0331*x*x*x*x {
+			return d * v
+		}
+		if u > 0 && math.Log(u) < 0.5*x*x+d*(1-v+math.Log(v)) {
+			return d * v
+		}
+	}
+}
+
+// NakagamiPowerFade draws the unit-mean received-power fade of a
+// Nakagami-m channel: Gamma(m, 1/m). m = 1 is Rayleigh fading; m -> inf
+// approaches a static channel.
+func NakagamiPowerFade(rng *rand.Rand, m float64) float64 {
+	if math.IsInf(m, 1) {
+		return 1
+	}
+	return GammaRand(rng, m) / m
+}

@@ -1,0 +1,68 @@
+package numeric
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestGammaRandMoments(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, shape := range []float64{0.5, 1, 2, 4, 16} {
+		const n = 60000
+		var sum, sumSq float64
+		for i := 0; i < n; i++ {
+			x := GammaRand(rng, shape)
+			if x < 0 {
+				t.Fatalf("shape %g: negative draw %g", shape, x)
+			}
+			sum += x
+			sumSq += x * x
+		}
+		mean := sum / n
+		variance := sumSq/n - mean*mean
+		// Gamma(shape, 1): mean = shape, var = shape.
+		if math.Abs(mean-shape) > 0.05*shape {
+			t.Errorf("shape %g: mean %g", shape, mean)
+		}
+		if math.Abs(variance-shape) > 0.12*shape {
+			t.Errorf("shape %g: variance %g", shape, variance)
+		}
+	}
+}
+
+func TestGammaRandDegenerate(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	if GammaRand(rng, 0) != 0 {
+		t.Error("shape 0 should return 0")
+	}
+	if GammaRand(rng, -1) != 0 {
+		t.Error("negative shape should return 0")
+	}
+}
+
+func TestNakagamiPowerFade(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	// Static channel.
+	if f := NakagamiPowerFade(rng, math.Inf(1)); f != 1 {
+		t.Errorf("m=inf fade = %g, want 1", f)
+	}
+	// Unit mean at every m; variance 1/m.
+	for _, m := range []float64{1, 4, 16} {
+		const n = 60000
+		var sum, sumSq float64
+		for i := 0; i < n; i++ {
+			f := NakagamiPowerFade(rng, m)
+			sum += f
+			sumSq += f * f
+		}
+		mean := sum / n
+		variance := sumSq/n - mean*mean
+		if math.Abs(mean-1) > 0.03 {
+			t.Errorf("m=%g: mean %g", m, mean)
+		}
+		if math.Abs(variance-1/m) > 0.15/m {
+			t.Errorf("m=%g: variance %g, want %g", m, variance, 1/m)
+		}
+	}
+}

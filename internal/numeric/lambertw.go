@@ -1,0 +1,109 @@
+package numeric
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// branchPoint is -1/e, the left endpoint of the domain of the principal
+// branch W0 of the Lambert W function.
+var branchPoint = -1.0 / math.E
+
+// ErrLambertWDomain is returned by LambertW0 for arguments below -1/e.
+var ErrLambertWDomain = errors.New("numeric: LambertW0 argument below -1/e")
+
+// LambertW0 evaluates the principal branch of the Lambert W function, the
+// solution w >= -1 of w*exp(w) = x, for x >= -1/e.
+//
+// The implementation uses a branch-point series near x = -1/e, asymptotic
+// initial guesses elsewhere, and Halley iteration to full double precision.
+// The paper's Appendix B uses W on arguments (mu - j_n)/(e*j_n) which are
+// guaranteed >= -1/e for any bandwidth price mu >= 0, so domain violations
+// here always indicate a caller bug; they are reported as an error rather
+// than silently clipped.
+func LambertW0(x float64) (float64, error) {
+	switch {
+	case math.IsNaN(x):
+		return math.NaN(), fmt.Errorf("numeric: LambertW0(NaN): %w", ErrLambertWDomain)
+	case x < branchPoint:
+		// Allow a sliver of floating-point slack right at the branch point.
+		if x > branchPoint-1e-12 {
+			return -1, nil
+		}
+		return math.NaN(), fmt.Errorf("numeric: LambertW0(%g) below -1/e: %w", x, ErrLambertWDomain)
+	case x == 0:
+		return 0, nil
+	case math.IsInf(x, 1):
+		return math.Inf(1), nil
+	}
+
+	w := lambertW0Initial(x)
+
+	// Halley iteration: quadratically convergent with a cubic correction;
+	// a handful of steps reaches machine precision from the guesses above.
+	for i := 0; i < 64; i++ {
+		ew := math.Exp(w)
+		f := w*ew - x
+		if f == 0 {
+			return w, nil
+		}
+		wp1 := w + 1
+		denom := ew*wp1 - (w+2)*f/(2*wp1)
+		if denom == 0 || math.IsNaN(denom) {
+			break
+		}
+		dw := f / denom
+		w -= dw
+		if math.Abs(dw) <= 1e-15*(1+math.Abs(w)) {
+			return w, nil
+		}
+	}
+	// Fall back to bisection if Halley stalled (extremely rare, e.g. at
+	// subnormal arguments next to the branch point).
+	return lambertW0Bisect(x)
+}
+
+// lambertW0Initial produces a starting point accurate enough for Halley
+// iteration to converge in a few steps.
+func lambertW0Initial(x float64) float64 {
+	if x < -0.25 {
+		// Branch-point series in p = sqrt(2(e*x+1)):
+		// W(x) ~ -1 + p - p^2/3 + 11 p^3/72.
+		p := math.Sqrt(2 * (math.E*x + 1))
+		return -1 + p - p*p/3 + 11*p*p*p/72
+	}
+	if x < 1 {
+		// Padé-flavoured rational guess around 0: W(x) ~ x(1+...) .
+		return x * (1 - x*(1-1.5*x)/(1+x))
+	}
+	// Asymptotic expansion for large x: W ~ L1 - L2 + L2/L1.
+	l1 := math.Log(x)
+	l2 := math.Log(l1)
+	if l1 <= 0 {
+		return l1
+	}
+	return l1 - l2 + l2/l1
+}
+
+// lambertW0Bisect solves w*e^w = x by bisection; used only as a fallback.
+func lambertW0Bisect(x float64) (float64, error) {
+	lo, hi := -1.0, 1.0
+	for lambertG(hi) < x {
+		hi *= 2
+		if hi > 1e9 {
+			return math.NaN(), fmt.Errorf("numeric: LambertW0 bisection failed to bracket %g", x)
+		}
+	}
+	for i := 0; i < 200; i++ {
+		mid := 0.5 * (lo + hi)
+		if lambertG(mid) < x {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return 0.5 * (lo + hi), nil
+}
+
+func lambertG(w float64) float64 { return w * math.Exp(w) }

@@ -1,0 +1,115 @@
+package numeric
+
+import (
+	"fmt"
+	"math"
+)
+
+// invPhi is 1/phi where phi is the golden ratio.
+var invPhi = (math.Sqrt(5) - 1) / 2
+
+// GoldenSection minimizes a unimodal function f on [lo, hi] and returns the
+// minimizer. tol is an absolute tolerance on the argument. The routine is
+// exact (to tol) for convex f, which covers every use in this codebase:
+// Subproblem 1's objective in the round deadline T, and the per-device
+// upload-time split in the Scheme 1 baseline.
+func GoldenSection(f func(float64) float64, lo, hi, tol float64) (float64, error) {
+	if lo > hi {
+		return 0, fmt.Errorf("numeric: GoldenSection interval [%g,%g] reversed", lo, hi)
+	}
+	if hi-lo <= tol {
+		return 0.5 * (lo + hi), nil
+	}
+	a, b := lo, hi
+	c := b - invPhi*(b-a)
+	d := a + invPhi*(b-a)
+	fc, fd := f(c), f(d)
+	for i := 0; i < 300 && b-a > tol; i++ {
+		if fc < fd {
+			b, d, fd = d, c, fc
+			c = b - invPhi*(b-a)
+			fc = f(c)
+		} else {
+			a, c, fc = c, d, fd
+			d = a + invPhi*(b-a)
+			fd = f(d)
+		}
+	}
+	mid := 0.5 * (a + b)
+	// Guard against boundary minima: golden section converges to an interior
+	// point; compare against the original endpoints explicitly.
+	best, fBest := mid, f(mid)
+	if fe := f(lo); fe < fBest {
+		best, fBest = lo, fe
+	}
+	if fe := f(hi); fe < fBest {
+		best = hi
+	}
+	return best, nil
+}
+
+// GridRefineMin minimizes a possibly multimodal 1-D function on [lo, hi] by
+// scanning a uniform grid of gridN points to locate the best basin, then
+// refining with golden section inside the bracketing grid cell. It is exact
+// for unimodal functions and robust for functions with a few basins (the
+// per-device time-split costs in the deadline optimizer are bimodal when a
+// bandwidth floor kicks in).
+func GridRefineMin(f func(float64) float64, lo, hi float64, gridN int, tol float64) (float64, error) {
+	if lo > hi {
+		return 0, fmt.Errorf("numeric: GridRefineMin interval [%g,%g] reversed", lo, hi)
+	}
+	if gridN < 3 {
+		gridN = 3
+	}
+	bestX, bestF := lo, f(lo)
+	bestK := 0
+	for k := 1; k < gridN; k++ {
+		x := lo + (hi-lo)*float64(k)/float64(gridN-1)
+		if v := f(x); v < bestF {
+			bestX, bestF, bestK = x, v, k
+		}
+	}
+	cellLo := lo + (hi-lo)*float64(maxInt(bestK-1, 0))/float64(gridN-1)
+	cellHi := lo + (hi-lo)*float64(minInt(bestK+1, gridN-1))/float64(gridN-1)
+	x, err := GoldenSection(f, cellLo, cellHi, tol)
+	if err != nil {
+		return bestX, err
+	}
+	if f(x) <= bestF {
+		return x, nil
+	}
+	return bestX, nil
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// MinimizeConvex1D minimizes a differentiable convex function given its
+// derivative on [lo, hi] by bisecting the derivative; it falls back to
+// golden section when the derivative does not change sign (minimum at an
+// endpoint).
+func MinimizeConvex1D(df func(float64) float64, lo, hi, tol float64) float64 {
+	dlo, dhi := df(lo), df(hi)
+	switch {
+	case dlo >= 0:
+		return lo // derivative nonnegative throughout: minimum at lo
+	case dhi <= 0:
+		return hi // derivative nonpositive throughout: minimum at hi
+	}
+	x, err := Bisect(df, lo, hi, tol)
+	if err != nil {
+		return 0.5 * (lo + hi)
+	}
+	return x
+}

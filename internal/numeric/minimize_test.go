@@ -1,0 +1,124 @@
+package numeric
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestGoldenSection(t *testing.T) {
+	tests := []struct {
+		name   string
+		f      func(float64) float64
+		lo, hi float64
+		want   float64
+	}{
+		{"parabola", func(x float64) float64 { return (x - 2) * (x - 2) }, -10, 10, 2},
+		// The quartic's basin is flat to double precision within ~1e-4 of
+		// the minimizer, so only a loose argument tolerance is meaningful.
+		{"quartic", func(x float64) float64 { return math.Pow(x-1, 4) }, -5, 5, 1},
+		{"abs", func(x float64) float64 { return math.Abs(x + 3) }, -10, 10, -3},
+		{"min at lo", func(x float64) float64 { return x }, 0, 5, 0},
+		{"min at hi", func(x float64) float64 { return -x }, 0, 5, 5},
+		{"exp plus linear", func(x float64) float64 { return math.Exp(x) - 2*x }, -2, 4, math.Log(2)},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			got, err := GoldenSection(tc.f, tc.lo, tc.hi, 1e-10)
+			if err != nil {
+				t.Fatalf("GoldenSection: %v", err)
+			}
+			if !AlmostEqual(got, tc.want, 1e-3, 1e-3) {
+				t.Errorf("got %g, want %g", got, tc.want)
+			}
+			// The function value at the result must not exceed the value at
+			// the analytic minimizer.
+			if fGot, fWant := tc.f(got), tc.f(tc.want); fGot > fWant+1e-9*(1+math.Abs(fWant)) {
+				t.Errorf("f(got)=%g exceeds f(want)=%g", fGot, fWant)
+			}
+		})
+	}
+}
+
+func TestGoldenSectionReversed(t *testing.T) {
+	if _, err := GoldenSection(func(x float64) float64 { return x * x }, 5, -5, 1e-9); err == nil {
+		t.Error("want error on reversed interval")
+	}
+}
+
+func TestGoldenSectionDegenerate(t *testing.T) {
+	got, err := GoldenSection(func(x float64) float64 { return x * x }, 3, 3, 1e-9)
+	if err != nil || got != 3 {
+		t.Errorf("degenerate interval: got %g, %v", got, err)
+	}
+}
+
+// TestGoldenSectionRandomQuadratics property-tests against the analytic
+// minimizer of a*(x-m)^2 + c.
+func TestGoldenSectionRandomQuadratics(t *testing.T) {
+	check := func(a, m, c float64) bool {
+		if math.IsNaN(a) || math.IsNaN(m) || math.IsNaN(c) {
+			return true
+		}
+		a = math.Mod(math.Abs(a), 100) + 0.01
+		m = math.Mod(m, 50)
+		c = math.Mod(c, 100) // keep the offset comparable to the curvature term
+		f := func(x float64) float64 { return a*(x-m)*(x-m) + c }
+		got, err := GoldenSection(f, -60, 60, 1e-10)
+		if err != nil {
+			return false
+		}
+		return AlmostEqual(got, m, 1e-6, 1e-6)
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMinimizeConvex1D(t *testing.T) {
+	df := func(x float64) float64 { return 2 * (x - 3) }
+	if got := MinimizeConvex1D(df, -10, 10, 1e-12); !AlmostEqual(got, 3, 1e-8, 1e-8) {
+		t.Errorf("interior: got %g, want 3", got)
+	}
+	if got := MinimizeConvex1D(df, 5, 10, 1e-12); got != 5 {
+		t.Errorf("min at lo: got %g, want 5", got)
+	}
+	if got := MinimizeConvex1D(df, -10, 0, 1e-12); got != 0 {
+		t.Errorf("min at hi: got %g, want 0", got)
+	}
+}
+
+func TestGridRefineMin(t *testing.T) {
+	// Bimodal: basins at x=-3 (depth 1) and x=4 (depth 2). Plain golden from
+	// the full interval can land in the wrong basin; the grid must not.
+	f := func(x float64) float64 {
+		a := (x+3)*(x+3) - 1
+		b := (x-4)*(x-4) - 2
+		return math.Min(a, b)
+	}
+	got, err := GridRefineMin(f, -10, 10, 30, 1e-9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !AlmostEqual(got, 4, 1e-4, 1e-4) {
+		t.Errorf("got %g, want 4", got)
+	}
+	// Unimodal: agrees with golden section.
+	g := func(x float64) float64 { return (x - 1.5) * (x - 1.5) }
+	got, err = GridRefineMin(g, -5, 5, 10, 1e-10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !AlmostEqual(got, 1.5, 1e-6, 1e-6) {
+		t.Errorf("unimodal: got %g", got)
+	}
+	// Reversed interval errors.
+	if _, err := GridRefineMin(g, 5, -5, 10, 1e-9); err == nil {
+		t.Error("want error on reversed interval")
+	}
+	// Boundary minimum.
+	got, _ = GridRefineMin(func(x float64) float64 { return x }, 2, 9, 8, 1e-9)
+	if got != 2 {
+		t.Errorf("boundary: got %g", got)
+	}
+}

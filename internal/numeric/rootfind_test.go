@@ -1,0 +1,147 @@
+package numeric
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestBisect(t *testing.T) {
+	tests := []struct {
+		name   string
+		f      func(float64) float64
+		lo, hi float64
+		want   float64
+	}{
+		{"linear", func(x float64) float64 { return x - 3 }, 0, 10, 3},
+		{"cubic", func(x float64) float64 { return x*x*x - 2 }, 0, 2, math.Cbrt(2)},
+		{"cosine", math.Cos, 0, 3, math.Pi / 2},
+		{"root at lo", func(x float64) float64 { return x }, 0, 5, 0},
+		{"root at hi", func(x float64) float64 { return x - 5 }, 0, 5, 5},
+		{"reversed interval", func(x float64) float64 { return x - 3 }, 10, 0, 3},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			got, err := Bisect(tc.f, tc.lo, tc.hi, 1e-12)
+			if err != nil {
+				t.Fatalf("Bisect: %v", err)
+			}
+			if !AlmostEqual(got, tc.want, 1e-9, 1e-9) {
+				t.Errorf("Bisect = %g, want %g", got, tc.want)
+			}
+		})
+	}
+}
+
+func TestBisectNoBracket(t *testing.T) {
+	f := func(x float64) float64 { return x*x + 1 }
+	if _, err := Bisect(f, -1, 1, 1e-9); !errors.Is(err, ErrNoBracket) {
+		t.Errorf("want ErrNoBracket, got %v", err)
+	}
+}
+
+func TestBisectDecreasing(t *testing.T) {
+	f := func(x float64) float64 { return 7 - x }
+	got, err := BisectDecreasing(f, 0, 100, 1e-10)
+	if err != nil {
+		t.Fatalf("BisectDecreasing: %v", err)
+	}
+	if !AlmostEqual(got, 7, 1e-8, 1e-8) {
+		t.Errorf("got %g, want 7", got)
+	}
+}
+
+func TestBisectDecreasingFlat(t *testing.T) {
+	// Step function: +1 below 2, -1 above; root anywhere in the jump.
+	f := func(x float64) float64 {
+		if x < 2 {
+			return 1
+		}
+		return -1
+	}
+	got, err := BisectDecreasing(f, 0, 10, 1e-10)
+	if err != nil {
+		t.Fatalf("BisectDecreasing: %v", err)
+	}
+	if math.Abs(got-2) > 1e-8 {
+		t.Errorf("got %g, want 2", got)
+	}
+}
+
+func TestBisectDecreasingAllNegative(t *testing.T) {
+	f := func(x float64) float64 { return -1 - x }
+	got, err := BisectDecreasing(f, 0, 10, 1e-10)
+	if !errors.Is(err, ErrNoBracket) {
+		t.Fatalf("want ErrNoBracket, got %v", err)
+	}
+	if got != 0 {
+		t.Errorf("should return lo endpoint, got %g", got)
+	}
+}
+
+func TestBracketUp(t *testing.T) {
+	hi, err := BracketUp(func(x float64) bool { return x >= 1000 }, 1, 60)
+	if err != nil {
+		t.Fatalf("BracketUp: %v", err)
+	}
+	if hi < 1000 {
+		t.Errorf("BracketUp returned %g < 1000", hi)
+	}
+	if _, err := BracketUp(func(float64) bool { return false }, 1, 10); !errors.Is(err, ErrMaxIterations) {
+		t.Errorf("want ErrMaxIterations, got %v", err)
+	}
+}
+
+func TestBrentMatchesBisect(t *testing.T) {
+	f := func(x float64) float64 { return math.Exp(x) - 5 }
+	b1, err1 := Brent(f, 0, 5, 1e-12)
+	b2, err2 := Bisect(f, 0, 5, 1e-12)
+	if err1 != nil || err2 != nil {
+		t.Fatalf("errors: %v %v", err1, err2)
+	}
+	if !AlmostEqual(b1, b2, 1e-8, 1e-8) {
+		t.Errorf("Brent %g != Bisect %g", b1, b2)
+	}
+}
+
+func TestBrentPropertyRandomPolynomials(t *testing.T) {
+	check := func(a, b, r float64) bool {
+		r = math.Mod(math.Abs(r), 10)
+		a = math.Mod(math.Abs(a), 5) + 0.1
+		f := func(x float64) float64 { return a * (x - r) * (x*x + 1) }
+		got, err := Brent(f, -11, 11, 1e-13)
+		if err != nil {
+			return false
+		}
+		return AlmostEqual(got, r, 1e-7, 1e-7)
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestNewton1D(t *testing.T) {
+	f := func(x float64) float64 { return x*x - 2 }
+	df := func(x float64) float64 { return 2 * x }
+	got, err := Newton1D(f, df, 1, 0, 2, 1e-13)
+	if err != nil {
+		t.Fatalf("Newton1D: %v", err)
+	}
+	if !AlmostEqual(got, math.Sqrt2, 1e-9, 1e-9) {
+		t.Errorf("got %g, want sqrt(2)", got)
+	}
+}
+
+func TestNewton1DSafeguard(t *testing.T) {
+	// A function whose Newton steps from x0=0.01 would overshoot wildly.
+	f := func(x float64) float64 { return math.Atan(x - 4) }
+	df := func(x float64) float64 { d := x - 4; return 1 / (1 + d*d) }
+	got, err := Newton1D(f, df, 0.01, 0, 100, 1e-12)
+	if err != nil {
+		t.Fatalf("Newton1D: %v", err)
+	}
+	if !AlmostEqual(got, 4, 1e-8, 1e-8) {
+		t.Errorf("got %g, want 4", got)
+	}
+}

@@ -1,0 +1,162 @@
+package sim
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/fl"
+	"repro/internal/wireless"
+)
+
+func newTestSystem(n int, seed int64) *fl.System {
+	rng := rand.New(rand.NewSource(seed))
+	pl := wireless.DefaultPathLoss()
+	devs := make([]fl.Device, n)
+	for i := range devs {
+		devs[i] = fl.Device{
+			Samples:         500,
+			CyclesPerSample: (1 + 2*rng.Float64()) * 1e4,
+			UploadBits:      28.1e3,
+			Gain:            pl.SampleGain(rng, wireless.UniformDiskDistanceKm(rng, 0.25)),
+			FMin:            1e7,
+			FMax:            2e9,
+			PMin:            wireless.DBmToWatt(0),
+			PMax:            wireless.DBmToWatt(12),
+		}
+	}
+	return &fl.System{
+		Devices:      devs,
+		Bandwidth:    20e6,
+		N0:           wireless.NoisePSDWattPerHz(-174),
+		Kappa:        1e-28,
+		LocalIters:   10,
+		GlobalRounds: 400,
+	}
+}
+
+// A static channel (m = inf) must reproduce the analytic model exactly.
+func TestStaticChannelMatchesModel(t *testing.T) {
+	s := newTestSystem(8, 1)
+	res, err := core.Optimize(s, fl.Weights{W1: 0.5, W2: 0.5}, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum, err := Run(s, res.Allocation, Config{NakagamiM: math.Inf(1)}, rand.New(rand.NewSource(2)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := res.Metrics
+	if rel(sum.TotalEnergy, m.TotalEnergy) > 1e-9 {
+		t.Errorf("energy %g vs model %g", sum.TotalEnergy, m.TotalEnergy)
+	}
+	if rel(sum.TotalTime, m.TotalTime) > 1e-9 {
+		t.Errorf("time %g vs model %g", sum.TotalTime, m.TotalTime)
+	}
+	if sum.Violations != 0 {
+		t.Errorf("static channel produced %d violations without a deadline", sum.Violations)
+	}
+}
+
+// Stronger fading (smaller m) must produce more deadline violations and
+// more realized energy (Jensen: upload time is convex in the fade).
+func TestFadingSeverityMonotonicity(t *testing.T) {
+	s := newTestSystem(10, 3)
+	res, err := core.Optimize(s, fl.Weights{W1: 0.5, W2: 0.5}, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfgBase := Config{Rounds: 2000, RoundDeadline: res.RoundDeadline}
+	var prevViol float64 = -1
+	var prevEnergy float64
+	for _, m := range []float64{math.Inf(1), 8, 2, 1} {
+		cfg := cfgBase
+		cfg.NakagamiM = m
+		sum, err := Run(s, res.Allocation, cfg, rand.New(rand.NewSource(7)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if sum.ViolationRate() < prevViol-0.02 {
+			t.Errorf("m=%g: violation rate %g fell below the milder channel's %g",
+				m, sum.ViolationRate(), prevViol)
+		}
+		if prevEnergy > 0 && sum.TotalEnergy < prevEnergy*0.98 {
+			t.Errorf("m=%g: energy %g fell below the milder channel's %g", m, sum.TotalEnergy, prevEnergy)
+		}
+		prevViol = sum.ViolationRate()
+		prevEnergy = sum.TotalEnergy
+	}
+	// Rayleigh must actually violate a deadline sized for the mean channel.
+	if prevViol == 0 {
+		t.Error("Rayleigh fading produced zero violations at the static-optimal deadline")
+	}
+}
+
+func TestSummaryStatistics(t *testing.T) {
+	s := newTestSystem(5, 4)
+	res, err := core.Optimize(s, fl.Weights{W1: 0.5, W2: 0.5}, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum, err := Run(s, res.Allocation, Config{NakagamiM: 4, Rounds: 500}, rand.New(rand.NewSource(9)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.Rounds != 500 || len(sum.Records) != 500 {
+		t.Fatalf("rounds %d records %d", sum.Rounds, len(sum.Records))
+	}
+	if sum.P95RoundTime < sum.MeanRoundTime {
+		t.Errorf("p95 %g below mean %g", sum.P95RoundTime, sum.MeanRoundTime)
+	}
+	var total float64
+	for _, r := range sum.Records {
+		total += r.Time
+	}
+	if rel(total, sum.TotalTime) > 1e-12 {
+		t.Errorf("record times %g != total %g", total, sum.TotalTime)
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	s := newTestSystem(3, 5)
+	a := s.MaxResourceAllocation()
+	if _, err := Run(s, a, Config{NakagamiM: 0}, rand.New(rand.NewSource(1))); !errors.Is(err, ErrBadInput) {
+		t.Errorf("m=0: want ErrBadInput, got %v", err)
+	}
+	bad := a.Clone()
+	bad.Power[0] = -1
+	if _, err := Run(s, bad, Config{NakagamiM: 1}, rand.New(rand.NewSource(1))); err == nil {
+		t.Error("invalid allocation accepted")
+	}
+	zeroRounds := *s
+	zeroRounds.GlobalRounds = 0
+	if _, err := Run(&zeroRounds, a, Config{NakagamiM: 1}, rand.New(rand.NewSource(1))); err == nil {
+		t.Error("zero rounds accepted")
+	}
+}
+
+func TestRunDeterministicInSeed(t *testing.T) {
+	s := newTestSystem(4, 6)
+	a := s.MaxResourceAllocation()
+	s1, err := Run(s, a, Config{NakagamiM: 2, Rounds: 50}, rand.New(rand.NewSource(11)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, err := Run(s, a, Config{NakagamiM: 2, Rounds: 50}, rand.New(rand.NewSource(11)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s1.TotalEnergy != s2.TotalEnergy || s1.TotalTime != s2.TotalTime {
+		t.Error("same seed should give identical replays")
+	}
+}
+
+func rel(a, b float64) float64 {
+	scale := math.Max(math.Abs(a), math.Abs(b))
+	if scale == 0 {
+		return 0
+	}
+	return math.Abs(a-b) / scale
+}

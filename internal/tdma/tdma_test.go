@@ -1,0 +1,189 @@
+package tdma
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/fl"
+	"repro/internal/wireless"
+)
+
+func newTestSystem(n int, seed int64) *fl.System {
+	rng := rand.New(rand.NewSource(seed))
+	pl := wireless.DefaultPathLoss()
+	devs := make([]fl.Device, n)
+	for i := range devs {
+		devs[i] = fl.Device{
+			Samples:         500,
+			CyclesPerSample: (1 + 2*rng.Float64()) * 1e4,
+			UploadBits:      28.1e3,
+			Gain:            pl.SampleGain(rng, wireless.UniformDiskDistanceKm(rng, 0.25)),
+			FMin:            1e7,
+			FMax:            2e9,
+			PMin:            wireless.DBmToWatt(0),
+			PMax:            wireless.DBmToWatt(12),
+		}
+	}
+	return &fl.System{
+		Devices:      devs,
+		Bandwidth:    20e6,
+		N0:           wireless.NoisePSDWattPerHz(-174),
+		Kappa:        1e-28,
+		LocalIters:   10,
+		GlobalRounds: 400,
+	}
+}
+
+func TestOptimizeProducesValidPlan(t *testing.T) {
+	for seed := int64(1); seed <= 8; seed++ {
+		s := newTestSystem(10, seed)
+		a, m, err := Optimize(s, fl.Weights{W1: 0.5, W2: 0.5})
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		for i, d := range s.Devices {
+			if a.Power[i] < d.PMin*(1-1e-9) || a.Power[i] > d.PMax*(1+1e-9) {
+				t.Errorf("seed %d: p[%d] = %g outside box", seed, i, a.Power[i])
+			}
+			if a.Freq[i] < d.FMin || a.Freq[i] > d.FMax {
+				t.Errorf("seed %d: f[%d] = %g outside box", seed, i, a.Freq[i])
+			}
+			wantSlot := d.UploadBits / wireless.Rate(a.Power[i], s.Bandwidth, d.Gain, s.N0)
+			if math.Abs(a.Slots[i]-wantSlot) > 1e-9*wantSlot {
+				t.Errorf("seed %d: slot[%d] inconsistent", seed, i)
+			}
+		}
+		if m.TotalEnergy <= 0 || m.TotalTime <= 0 {
+			t.Errorf("seed %d: metrics %+v", seed, m)
+		}
+	}
+}
+
+func TestEvaluateAccounting(t *testing.T) {
+	s := newTestSystem(3, 2)
+	a, _, err := Optimize(s, fl.Weights{W1: 0.5, W2: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := Evaluate(s, a)
+	var slots, maxCmp, trans, comp float64
+	for i := range s.Devices {
+		slots += a.Slots[i]
+		if c := s.CompTimeRound(i, a.Freq[i]); c > maxCmp {
+			maxCmp = c
+		}
+		trans += a.Power[i] * a.Slots[i]
+		comp += s.CompEnergyRound(i, a.Freq[i])
+	}
+	if math.Abs(m.RoundTime-(maxCmp+slots)) > 1e-12*(maxCmp+slots) {
+		t.Errorf("RoundTime %g != maxCmp+slots %g", m.RoundTime, maxCmp+slots)
+	}
+	if math.Abs(m.TransEnergy-400*trans) > 1e-9*m.TransEnergy {
+		t.Errorf("TransEnergy %g", m.TransEnergy)
+	}
+	if math.Abs(m.CompEnergy-400*comp) > 1e-9*m.CompEnergy {
+		t.Errorf("CompEnergy %g", m.CompEnergy)
+	}
+}
+
+func TestWeightMonotonicity(t *testing.T) {
+	s := newTestSystem(12, 5)
+	var prevE, prevT float64
+	for k, w := range []fl.Weights{
+		{W1: 0.9, W2: 0.1}, {W1: 0.5, W2: 0.5}, {W1: 0.1, W2: 0.9},
+	} {
+		_, m, err := Optimize(s, w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if k > 0 {
+			if m.TotalEnergy < prevE*(1-1e-9) {
+				t.Errorf("energy should rise as w1 falls: %g -> %g", prevE, m.TotalEnergy)
+			}
+			if m.TotalTime > prevT*(1+1e-9) {
+				t.Errorf("time should fall as w2 rises: %g -> %g", prevT, m.TotalTime)
+			}
+		}
+		prevE, prevT = m.TotalEnergy, m.TotalTime
+	}
+}
+
+func TestCornerWeights(t *testing.T) {
+	s := newTestSystem(6, 3)
+	// Pure energy: frequencies at the floor, powers minimizing p*tau.
+	a, _, err := Optimize(s, fl.Weights{W1: 1, W2: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, d := range s.Devices {
+		if a.Freq[i] != d.FMin {
+			t.Errorf("w2=0: f[%d] = %g, want FMin", i, a.Freq[i])
+		}
+	}
+	// Pure delay: every compute time within the tightest common deadline
+	// (the bottleneck runs at FMax; others need only match it) and full
+	// power for the fastest slots.
+	a, _, err = Optimize(s, fl.Weights{W1: 0, W2: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var tcMin float64
+	for _, d := range s.Devices {
+		if v := s.LocalIters * d.CyclesPerIteration() / d.FMax; v > tcMin {
+			tcMin = v
+		}
+	}
+	for i, d := range s.Devices {
+		if cmp := s.CompTimeRound(i, a.Freq[i]); cmp > tcMin*(1+1e-9) {
+			t.Errorf("w1=0: device %d compute time %g exceeds the bottleneck's %g", i, cmp, tcMin)
+		}
+		if a.Power[i] < d.PMax*(1-1e-6) {
+			t.Errorf("w1=0: p[%d] = %g, want PMax", i, a.Power[i])
+		}
+	}
+}
+
+func TestObjectiveConsistency(t *testing.T) {
+	s := newTestSystem(5, 7)
+	w := fl.Weights{W1: 0.3, W2: 0.7}
+	a, m, err := Optimize(s, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := w.W1*m.TotalEnergy + w.W2*m.TotalTime
+	if got := Objective(s, w, a); math.Abs(got-want) > 1e-9*want {
+		t.Errorf("Objective = %g, want %g", got, want)
+	}
+}
+
+func TestOptimizeRejectsBadInput(t *testing.T) {
+	s := newTestSystem(3, 1)
+	if _, _, err := Optimize(s, fl.Weights{W1: 0.6, W2: 0.6}); err == nil {
+		t.Error("bad weights accepted")
+	}
+	bad := newTestSystem(3, 1)
+	bad.Bandwidth = 0
+	if _, _, err := Optimize(bad, fl.Weights{W1: 0.5, W2: 0.5}); err == nil {
+		t.Error("bad system accepted")
+	}
+}
+
+// TDMA slots serialize uploads, so at equal weights its delay should exceed
+// FDMA's parallel uploads for populations with many devices — the rationale
+// for the paper's FDMA choice. (Not a theorem; checked on draws where the
+// FDMA optimizer succeeds.)
+func TestSlotSerializationCost(t *testing.T) {
+	s := newTestSystem(15, 9)
+	_, m, err := Optimize(s, fl.Weights{W1: 0, W2: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var slotSum float64
+	for _, d := range s.Devices {
+		slotSum += d.UploadBits / wireless.Rate(d.PMax, s.Bandwidth, d.Gain, s.N0)
+	}
+	if m.RoundTime < slotSum {
+		t.Errorf("round time %g below the serialized slot sum %g", m.RoundTime, slotSum)
+	}
+}

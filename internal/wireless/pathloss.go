@@ -1,0 +1,67 @@
+package wireless
+
+import (
+	"math"
+	"math/rand"
+)
+
+// PathLossModel is the log-distance path loss with log-normal shadowing used
+// by the paper (Section VII-A): PL(dB) = RefDB + SlopeDB*log10(d_km), plus a
+// zero-mean Gaussian shadowing term with standard deviation ShadowSigmaDB.
+type PathLossModel struct {
+	// RefDB is the intercept in dB at 1 km (paper: 128.1).
+	RefDB float64
+	// SlopeDB is the dB-per-decade distance slope (paper: 37.6).
+	SlopeDB float64
+	// ShadowSigmaDB is the shadow-fading standard deviation in dB (paper: 8).
+	ShadowSigmaDB float64
+	// MinDistanceKm clips distances below this floor so the model stays
+	// finite for devices arbitrarily close to the base station (default 1 m).
+	MinDistanceKm float64
+}
+
+// DefaultPathLoss returns the paper's channel parameters.
+func DefaultPathLoss() PathLossModel {
+	return PathLossModel{RefDB: 128.1, SlopeDB: 37.6, ShadowSigmaDB: 8, MinDistanceKm: 1e-3}
+}
+
+// LossDB returns the deterministic path loss in dB at distance dKm.
+func (m PathLossModel) LossDB(dKm float64) float64 {
+	minD := m.MinDistanceKm
+	if minD <= 0 {
+		minD = 1e-3
+	}
+	if dKm < minD {
+		dKm = minD
+	}
+	return m.RefDB + m.SlopeDB*math.Log10(dKm)
+}
+
+// SampleGain draws a linear channel power gain at distance dKm including a
+// shadowing realization from rng.
+func (m PathLossModel) SampleGain(rng *rand.Rand, dKm float64) float64 {
+	shadow := rng.NormFloat64() * m.ShadowSigmaDB
+	return DBToLinear(-(m.LossDB(dKm) + shadow))
+}
+
+// MeanGain returns the linear gain at distance dKm without shadowing.
+func (m PathLossModel) MeanGain(dKm float64) float64 {
+	return DBToLinear(-m.LossDB(dKm))
+}
+
+// UniformDiskDistanceKm draws the distance of a point placed uniformly at
+// random in a disk of the given radius (density proportional to r, hence the
+// square root).
+func UniformDiskDistanceKm(rng *rand.Rand, radiusKm float64) float64 {
+	return radiusKm * math.Sqrt(rng.Float64())
+}
+
+// SampleGains draws n channel gains for devices placed uniformly in a disk
+// of radius radiusKm around the base station.
+func (m PathLossModel) SampleGains(rng *rand.Rand, n int, radiusKm float64) []float64 {
+	gains := make([]float64, n)
+	for i := range gains {
+		gains[i] = m.SampleGain(rng, UniformDiskDistanceKm(rng, radiusKm))
+	}
+	return gains
+}

@@ -1,0 +1,92 @@
+package wireless
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"repro/internal/numeric"
+)
+
+// ErrRateUnreachable is returned when a requested rate exceeds the wideband
+// capacity limit p*g/(N0*ln2) and therefore cannot be met with any bandwidth.
+var ErrRateUnreachable = errors.New("wireless: rate exceeds wideband capacity limit")
+
+// Rate evaluates the exact Shannon rate (paper eq. (1)):
+//
+//	G(p, B) = B * log2(1 + p*g / (N0*B))   [bit/s]
+//
+// with the continuous extensions G(p, 0) = 0 and G(0, B) = 0. It never
+// simplifies the noise term (the simplification in ref. [3] is exactly what
+// the paper criticizes).
+func Rate(p, bandwidth, gain, n0 float64) float64 {
+	if bandwidth <= 0 || p <= 0 || gain <= 0 {
+		return 0
+	}
+	snr := p * gain / (n0 * bandwidth)
+	return bandwidth * numeric.Log2p1(snr)
+}
+
+// RateLimit returns lim_{B->inf} G(p, B) = p*g/(N0*ln2), the wideband
+// capacity ceiling for a given power.
+func RateLimit(p, gain, n0 float64) float64 {
+	if p <= 0 || gain <= 0 {
+		return 0
+	}
+	return p * gain / (n0 * math.Ln2)
+}
+
+// PowerForRate returns the transmit power that achieves exactly rate r on
+// bandwidth B (the inverse of Rate in p, closed form):
+//
+//	p = (2^(r/B) - 1) * N0 * B / g
+func PowerForRate(r, bandwidth, gain, n0 float64) float64 {
+	if r <= 0 {
+		return 0
+	}
+	if bandwidth <= 0 || gain <= 0 {
+		return math.Inf(1)
+	}
+	return (math.Exp2(r/bandwidth) - 1) * n0 * bandwidth / gain
+}
+
+// BandwidthForRate returns the bandwidth B solving G(p, B) = r for fixed
+// power p. G is strictly increasing and concave in B with limit
+// RateLimit(p), so the solution exists iff r < RateLimit(p); otherwise
+// ErrRateUnreachable is returned.
+func BandwidthForRate(r, p, gain, n0 float64) (float64, error) {
+	if r <= 0 {
+		return 0, nil
+	}
+	limit := RateLimit(p, gain, n0)
+	if r >= limit {
+		return 0, fmt.Errorf("wireless: rate %g >= limit %g: %w", r, limit, ErrRateUnreachable)
+	}
+	f := func(b float64) float64 { return Rate(p, b, gain, n0) - r }
+	// Lower bracket: at B = r the SNR is p*g/(N0*r); rate >= r iff
+	// log2(1+snr) >= 1. Start from a bandwidth that certainly undershoots.
+	lo := r / 40 // rate <= 40 bit/s/Hz is far above any physical efficiency here
+	for f(lo) > 0 {
+		lo /= 8
+		if lo < 1e-30 {
+			return 0, fmt.Errorf("wireless: BandwidthForRate bracket collapse for r=%g", r)
+		}
+	}
+	hi, err := numeric.BracketUp(func(b float64) bool { return f(b) >= 0 }, math.Max(lo*2, r), 200)
+	if err != nil {
+		return 0, fmt.Errorf("wireless: BandwidthForRate: %w", err)
+	}
+	b, err := numeric.Brent(f, lo, hi, 1e-12*hi)
+	if err != nil {
+		return 0, fmt.Errorf("wireless: BandwidthForRate: %w", err)
+	}
+	return b, nil
+}
+
+// SpectralEfficiency returns r/B in bit/s/Hz for the pair (p, B).
+func SpectralEfficiency(p, bandwidth, gain, n0 float64) float64 {
+	if bandwidth <= 0 {
+		return 0
+	}
+	return Rate(p, bandwidth, gain, n0) / bandwidth
+}

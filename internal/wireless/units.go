@@ -1,0 +1,45 @@
+// Package wireless models the paper's single-cell uplink: dB/dBm unit
+// conversions, the 3GPP-style path-loss law 128.1 + 37.6*log10(d_km) with
+// 8 dB log-normal shadowing, uniform-disk device placement, and the exact
+// Shannon rate G(p, B) = B*log2(1 + p*g/(N0*B)) together with its inverses
+// (bandwidth-for-rate and power-for-rate).
+//
+// All quantities are SI internally: watts, hertz, seconds, bits. dBm and dB
+// appear only at the API edges via the conversion helpers in this file.
+package wireless
+
+import "math"
+
+// DBmToWatt converts a power level in dBm to watts.
+func DBmToWatt(dbm float64) float64 {
+	return math.Pow(10, dbm/10) * 1e-3
+}
+
+// WattToDBm converts a power in watts to dBm. Zero or negative input yields
+// -Inf, matching the mathematical limit.
+func WattToDBm(w float64) float64 {
+	if w <= 0 {
+		return math.Inf(-1)
+	}
+	return 10 * math.Log10(w*1e3)
+}
+
+// DBToLinear converts a gain/loss in dB to a linear ratio.
+func DBToLinear(db float64) float64 {
+	return math.Pow(10, db/10)
+}
+
+// LinearToDB converts a linear power ratio to dB. Zero or negative input
+// yields -Inf.
+func LinearToDB(lin float64) float64 {
+	if lin <= 0 {
+		return math.Inf(-1)
+	}
+	return 10 * math.Log10(lin)
+}
+
+// NoisePSDWattPerHz converts a noise power spectral density in dBm/Hz (the
+// paper uses -174 dBm/Hz) to W/Hz.
+func NoisePSDWattPerHz(dbmPerHz float64) float64 {
+	return DBmToWatt(dbmPerHz)
+}

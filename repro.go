@@ -1,0 +1,186 @@
+// Package repro is a from-scratch Go reproduction of
+//
+//	X. Zhou, J. Zhao, H. Han, C. Guet,
+//	"Joint Optimization of Energy Consumption and Completion Time in
+//	Federated Learning", IEEE ICDCS 2022 (arXiv:2209.14900).
+//
+// It provides the paper's system model (N federated-learning devices
+// uploading over FDMA to one base station), the weighted energy/delay
+// resource-allocation algorithm (Algorithm 2 with its two subproblems), the
+// evaluation baselines, and drivers that regenerate every figure of the
+// paper's Section VII.
+//
+// # Quick start
+//
+//	sc := repro.DefaultScenario()
+//	system, err := sc.Build(rand.New(rand.NewSource(1)))
+//	if err != nil { ... }
+//	res, err := repro.Optimize(system, repro.Weights{W1: 0.5, W2: 0.5}, repro.Options{})
+//	if err != nil { ... }
+//	fmt.Println(res.Metrics.TotalEnergy, res.Metrics.TotalTime)
+//
+// The facade re-exports the stable subset of the internal packages; see
+// internal/core for solver internals and internal/experiments for the
+// figure drivers.
+package repro
+
+import (
+	"math/rand"
+
+	"repro/internal/baselines"
+	"repro/internal/core"
+	"repro/internal/experiments"
+	"repro/internal/fedavg"
+	"repro/internal/fl"
+	"repro/internal/sim"
+)
+
+// Core model types (see internal/fl).
+type (
+	// System is a complete FL deployment: devices plus shared constants.
+	System = fl.System
+	// Device holds one device's static parameters.
+	Device = fl.Device
+	// Weights is the objective weight pair (w1, w2) of problem (8).
+	Weights = fl.Weights
+	// Allocation holds the decision variables (p, B, f).
+	Allocation = fl.Allocation
+	// Metrics is the energy/latency accounting of an allocation.
+	Metrics = fl.Metrics
+)
+
+// Optimizer types (see internal/core).
+type (
+	// Options configures the optimizer.
+	Options = core.Options
+	// Result is the optimizer output.
+	Result = core.Result
+	// Mode selects weighted or deadline-constrained operation.
+	Mode = core.Mode
+	// SP2Method selects the Subproblem 2 strategy.
+	SP2Method = core.SP2Method
+)
+
+// Re-exported operating modes and solver selectors.
+const (
+	// ModeWeighted minimizes w1*E + w2*T (problem (8)).
+	ModeWeighted = core.ModeWeighted
+	// ModeDeadline minimizes E under a fixed completion time (Figs. 7-8).
+	ModeDeadline = core.ModeDeadline
+	// SP2Hybrid runs the paper's Algorithm 1 polished by the direct solver.
+	SP2Hybrid = core.SP2Hybrid
+	// SP2NewtonOnly runs the paper's Algorithm 1 alone.
+	SP2NewtonOnly = core.SP2NewtonOnly
+	// SP2DirectOnly runs only the reduction-based global solver.
+	SP2DirectOnly = core.SP2DirectOnly
+)
+
+// Experiment types (see internal/experiments).
+type (
+	// Scenario parameterizes a deployment (Section VII-A defaults).
+	Scenario = experiments.Scenario
+	// RunConfig controls figure regeneration (trials, seed).
+	RunConfig = experiments.RunConfig
+	// Figure is a reproduced plot stored as numeric series.
+	Figure = experiments.Figure
+	// Series is one labelled curve.
+	Series = experiments.Series
+)
+
+// Optimize runs the paper's resource-allocation algorithm (Algorithm 2) on
+// the system with the given weights.
+func Optimize(s *System, w Weights, opts Options) (Result, error) {
+	return core.Optimize(s, w, opts)
+}
+
+// MinCompletionTime returns the minimum achievable per-round completion
+// time and the allocation attaining it (full power and frequency, bandwidth
+// waterfilled to equalize round times).
+func MinCompletionTime(s *System) (Allocation, float64, error) {
+	mt, err := core.SolveMinTime(s)
+	if err != nil {
+		return Allocation{}, 0, err
+	}
+	return mt.Allocation, mt.RoundDeadline, nil
+}
+
+// DefaultScenario returns the paper's Section VII-A parameters.
+func DefaultScenario() Scenario { return experiments.Default() }
+
+// WeightPairs returns the five (w1, w2) pairs used throughout the paper's
+// evaluation.
+func WeightPairs() []Weights { return experiments.WeightPairs() }
+
+// RandomFreqBenchmark is the paper's Fig. 2 comparison scheme: random CPU
+// frequency, full power, equal bandwidth split.
+func RandomFreqBenchmark(s *System, rng *rand.Rand) Allocation {
+	return baselines.RandomFreq(s, rng)
+}
+
+// RandomPowerBenchmark is the paper's Fig. 3 comparison scheme: random
+// transmit power, full frequency, equal bandwidth split.
+func RandomPowerBenchmark(s *System, rng *rand.Rand) Allocation {
+	return baselines.RandomPower(s, rng)
+}
+
+// CommunicationOnly optimizes only the transmission side under a total
+// completion-time limit (Fig. 7 baseline).
+func CommunicationOnly(s *System, totalDeadline float64) (Allocation, error) {
+	return baselines.CommunicationOnly(s, totalDeadline)
+}
+
+// ComputationOnly optimizes only the CPU frequencies under a total
+// completion-time limit (Fig. 7 baseline).
+func ComputationOnly(s *System, totalDeadline float64) (Allocation, error) {
+	return baselines.ComputationOnly(s, totalDeadline)
+}
+
+// Scheme1 is the state-of-the-art comparator of Fig. 8 (Yang et al.,
+// energy minimization under a hard deadline, reproduced as block-coordinate
+// descent without the joint (p, B) treatment).
+func Scheme1(s *System, totalDeadline float64) (Allocation, error) {
+	return baselines.Scheme1(s, totalDeadline, baselines.Scheme1Options{})
+}
+
+// FedAvg types (see internal/fedavg) for examples that tie the allocation
+// to a live training loop.
+type (
+	// FedAvgConfig parameterizes FedAvg training (R_l, R_g, learning rate).
+	FedAvgConfig = fedavg.Config
+	// FedAvgDataset is a labelled design matrix.
+	FedAvgDataset = fedavg.Dataset
+	// FedAvgModel is a logistic-regression parameter vector.
+	FedAvgModel = fedavg.Model
+	// FedAvgResult reports a completed training run.
+	FedAvgResult = fedavg.TrainResult
+)
+
+// SyntheticLogistic draws a synthetic binary-classification dataset and the
+// generating weights.
+func SyntheticLogistic(rng *rand.Rand, n, dim int, labelNoise float64) (FedAvgDataset, []float64) {
+	return fedavg.SyntheticLogistic(rng, n, dim, labelNoise)
+}
+
+// SplitEqual shards a dataset across devices.
+func SplitEqual(ds FedAvgDataset, parts int) ([]FedAvgDataset, error) {
+	return fedavg.SplitEqual(ds, parts)
+}
+
+// TrainFedAvg runs the FedAvg loop, invoking hook after every global round.
+func TrainFedAvg(cfg FedAvgConfig, shards []FedAvgDataset, hook func(round int, m FedAvgModel)) (FedAvgResult, error) {
+	return fedavg.Train(cfg, shards, hook)
+}
+
+// Replay simulates a campaign of global rounds with per-round Nakagami-m
+// small-scale fading around the mean channel gains, measuring the realized
+// energy/latency and deadline-miss rate of a static allocation (the
+// sensitivity analysis the paper's fade-free model cannot express).
+// nakagamiM = 1 is Rayleigh fading; math.Inf(1) reproduces the static model
+// exactly. roundDeadline (when positive) is the per-round deadline used for
+// violation counting.
+func Replay(s *System, a Allocation, nakagamiM float64, rounds int, roundDeadline float64, rng *rand.Rand) (ReplaySummary, error) {
+	return sim.Run(s, a, sim.Config{NakagamiM: nakagamiM, Rounds: rounds, RoundDeadline: roundDeadline}, rng)
+}
+
+// ReplaySummary aggregates a fading replay (see internal/sim).
+type ReplaySummary = sim.Summary

@@ -1,0 +1,106 @@
+package repro_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro"
+)
+
+func TestFacadeQuickstart(t *testing.T) {
+	sc := repro.DefaultScenario()
+	sc.N = 10
+	s, err := sc.Build(rand.New(rand.NewSource(1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := repro.Optimize(s, repro.Weights{W1: 0.5, W2: 0.5}, repro.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Metrics.TotalEnergy <= 0 || res.Metrics.TotalTime <= 0 {
+		t.Errorf("metrics: %+v", res.Metrics)
+	}
+	if err := s.ValidateDeadline(res.Allocation, res.RoundDeadline, 1e-6); err != nil {
+		t.Errorf("allocation infeasible: %v", err)
+	}
+}
+
+func TestFacadeMinCompletionTime(t *testing.T) {
+	sc := repro.DefaultScenario()
+	sc.N = 8
+	s, err := sc.Build(rand.New(rand.NewSource(2)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	alloc, roundTime, err := repro.MinCompletionTime(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if roundTime <= 0 {
+		t.Errorf("round time %g", roundTime)
+	}
+	if err := s.Validate(alloc, 1e-9); err != nil {
+		t.Errorf("allocation: %v", err)
+	}
+}
+
+func TestFacadeBaselines(t *testing.T) {
+	sc := repro.DefaultScenario()
+	sc.N = 10
+	s, err := sc.Build(rand.New(rand.NewSource(3)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(4))
+	if err := s.Validate(repro.RandomFreqBenchmark(s, rng), 1e-9); err != nil {
+		t.Errorf("RandomFreq: %v", err)
+	}
+	if err := s.Validate(repro.RandomPowerBenchmark(s, rng), 1e-9); err != nil {
+		t.Errorf("RandomPower: %v", err)
+	}
+	_, minRound, err := repro.MinCompletionTime(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := 4 * minRound * s.GlobalRounds
+	for name, f := range map[string]func(*repro.System, float64) (repro.Allocation, error){
+		"CommunicationOnly": repro.CommunicationOnly,
+		"ComputationOnly":   repro.ComputationOnly,
+		"Scheme1":           repro.Scheme1,
+	} {
+		a, err := f(s, total)
+		if err != nil {
+			t.Errorf("%s: %v", name, err)
+			continue
+		}
+		if err := s.ValidateDeadline(a, total/s.GlobalRounds, 1e-6); err != nil {
+			t.Errorf("%s deadline: %v", name, err)
+		}
+	}
+}
+
+func TestFacadeWeightPairs(t *testing.T) {
+	if got := len(repro.WeightPairs()); got != 5 {
+		t.Errorf("WeightPairs = %d", got)
+	}
+}
+
+func TestFacadeFedAvg(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	ds, _ := repro.SyntheticLogistic(rng, 200, 3, 0.05)
+	shards, err := repro.SplitEqual(ds, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rounds := 0
+	res, err := repro.TrainFedAvg(repro.FedAvgConfig{
+		LocalIters: 2, GlobalRounds: 5, LearningRate: 0.3, Dim: 4,
+	}, shards, func(round int, m repro.FedAvgModel) { rounds++ })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rounds != 5 || len(res.GlobalLoss) != 5 {
+		t.Errorf("rounds %d, losses %d", rounds, len(res.GlobalLoss))
+	}
+}
