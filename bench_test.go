@@ -6,6 +6,8 @@ package repro_test
 // micro-benchmarks of the core solver stages.
 
 import (
+	"context"
+	"math"
 	"math/rand"
 	"testing"
 
@@ -138,6 +140,86 @@ func BenchmarkScheme1(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := repro.Scheme1(s, 120); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// serveBenchSystem builds the N=15 deployment shared by the serving
+// benchmarks (small enough that per-iteration solves keep b.N reasonable).
+func serveBenchSystem(b *testing.B) *repro.System {
+	b.Helper()
+	sc := repro.DefaultScenario()
+	sc.N = 15
+	s, err := sc.Build(rand.New(rand.NewSource(1)))
+	if err != nil {
+		b.Fatal(err)
+	}
+	return s
+}
+
+// driftBench multiplies every gain by a fresh log-normal factor, forcing a
+// new exact fingerprint while keeping the topology bucket.
+func driftBench(s *repro.System, sigma float64, rng *rand.Rand) *repro.System {
+	out := *s
+	out.Devices = append([]repro.Device(nil), s.Devices...)
+	for i := range out.Devices {
+		out.Devices[i].Gain *= math.Exp(sigma * rng.NormFloat64())
+	}
+	return &out
+}
+
+// BenchmarkServeCold measures the serving path with both the cache and the
+// warm-start index disabled: every request is a from-scratch solve.
+func BenchmarkServeCold(b *testing.B) {
+	base := serveBenchSystem(b)
+	srv := repro.NewServer(repro.ServeConfig{DisableCache: true, DisableWarmStart: true})
+	defer srv.Close()
+	rng := rand.New(rand.NewSource(2))
+	w := repro.Weights{W1: 0.5, W2: 0.5}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s := driftBench(base, 0.3, rng)
+		if _, err := srv.Solve(context.Background(), repro.ServeRequest{System: s, Weights: w}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkServeCached measures repeated identical requests: after the
+// first solve every iteration is an exact-fingerprint cache hit.
+func BenchmarkServeCached(b *testing.B) {
+	s := serveBenchSystem(b)
+	srv := repro.NewServer(repro.ServeConfig{})
+	defer srv.Close()
+	w := repro.Weights{W1: 0.5, W2: 0.5}
+	if _, err := srv.Solve(context.Background(), repro.ServeRequest{System: s, Weights: w}); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := srv.Solve(context.Background(), repro.ServeRequest{System: s, Weights: w}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkServeWarmStart measures drifted requests with warm starts: every
+// iteration misses the exact fingerprint but seeds Algorithm 2 from the
+// topology bucket's cached allocation.
+func BenchmarkServeWarmStart(b *testing.B) {
+	base := serveBenchSystem(b)
+	srv := repro.NewServer(repro.ServeConfig{})
+	defer srv.Close()
+	rng := rand.New(rand.NewSource(2))
+	w := repro.Weights{W1: 0.5, W2: 0.5}
+	if _, err := srv.Solve(context.Background(), repro.ServeRequest{System: base, Weights: w}); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s := driftBench(base, 0.3, rng)
+		if _, err := srv.Solve(context.Background(), repro.ServeRequest{System: s, Weights: w}); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -1,0 +1,200 @@
+// Command flserved runs the allocation service: an HTTP front end over the
+// concurrent solver pool of internal/serve, with a fingerprint-keyed
+// solution cache and topology-bucket warm starts.
+//
+// Usage:
+//
+//	flserved [-addr :8080] [-workers 0] [-queue 0] [-cache 4096]
+//	         [-ttl 10m] [-timeout 30s] [-gainres 0.25]
+//
+// Endpoints:
+//
+//	POST /v1/solve  {"system": {...}, "weights": {"w1": 0.5, "w2": 0.5}}
+//	GET  /v1/stats  hit/miss/warm-start counters and solve latency quantiles
+//
+// Load-generator mode replays randomly-drifted copies of the default
+// scenario against an in-process instance of the same HTTP stack and prints
+// client-side throughput plus the server's own counters:
+//
+//	flserved -loadgen 200 [-n 15] [-drift 0.05] [-repeat 0.3] [-conc 8] [-seed 1]
+//
+// Each request is, with probability -repeat, an exact replay of an earlier
+// instance (exercising the cache), otherwise a fresh log-normal drift of
+// every channel gain by -drift nepers (exercising the warm-start path).
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"os/signal"
+	"sync"
+	"sync/atomic"
+	"syscall"
+	"time"
+
+	"repro"
+)
+
+func main() {
+	var (
+		addr    = flag.String("addr", ":8080", "listen address")
+		workers = flag.Int("workers", 0, "solver pool size (0 = GOMAXPROCS)")
+		queue   = flag.Int("queue", 0, "queue depth (0 = 4x workers)")
+		cache   = flag.Int("cache", 4096, "solution cache entries")
+		ttl     = flag.Duration("ttl", 10*time.Minute, "solution cache TTL")
+		timeout = flag.Duration("timeout", 30*time.Second, "per-request default deadline")
+		gainres = flag.Float64("gainres", 0.25, "channel-gain fingerprint bucket (dB)")
+
+		loadgen = flag.Int("loadgen", 0, "replay this many drifted scenarios and exit")
+		n       = flag.Int("n", 15, "loadgen: devices per scenario")
+		drift   = flag.Float64("drift", 0.05, "loadgen: per-request log-normal gain drift (nepers)")
+		repeat  = flag.Float64("repeat", 0.3, "loadgen: probability of replaying an earlier instance")
+		conc    = flag.Int("conc", 8, "loadgen: concurrent clients")
+		seed    = flag.Int64("seed", 1, "loadgen: RNG seed")
+	)
+	flag.Parse()
+
+	cfg := repro.ServeConfig{
+		Workers:        *workers,
+		QueueDepth:     *queue,
+		CacheEntries:   *cache,
+		CacheTTL:       *ttl,
+		DefaultTimeout: *timeout,
+		Quantization:   repro.ServeQuantization{GainResolutionDB: *gainres},
+	}
+
+	var err error
+	if *loadgen > 0 {
+		err = runLoadgen(cfg, *loadgen, *n, *drift, *repeat, *conc, *seed)
+	} else {
+		err = runServer(cfg, *addr)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "flserved:", err)
+		os.Exit(1)
+	}
+}
+
+// runServer serves until SIGINT/SIGTERM.
+func runServer(cfg repro.ServeConfig, addr string) error {
+	srv := repro.NewServer(cfg)
+	defer srv.Close()
+
+	httpSrv := &http.Server{Addr: addr, Handler: srv.Handler()}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	go func() {
+		<-ctx.Done()
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		_ = httpSrv.Shutdown(shutdownCtx)
+	}()
+
+	fmt.Printf("flserved: listening on %s (POST /v1/solve, GET /v1/stats)\n", addr)
+	if err := httpSrv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+		return err
+	}
+	return nil
+}
+
+// runLoadgen replays total drifted instances against an in-process server
+// through the full HTTP stack and reports throughput.
+func runLoadgen(cfg repro.ServeConfig, total, n int, drift, repeat float64, conc int, seed int64) error {
+	srv := repro.NewServer(cfg)
+	defer srv.Close()
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	rng := rand.New(rand.NewSource(seed))
+	sc := repro.DefaultScenario()
+	sc.N = n
+	base, err := sc.Build(rng)
+	if err != nil {
+		return err
+	}
+
+	// Pre-draw the request stream so client goroutines only do I/O.
+	bodies := make([][]byte, total)
+	var history [][]byte
+	for i := range bodies {
+		var body []byte
+		if len(history) > 0 && rng.Float64() < repeat {
+			body = history[rng.Intn(len(history))]
+		} else {
+			drifted := *base
+			drifted.Devices = append([]repro.Device(nil), base.Devices...)
+			for j := range drifted.Devices {
+				drifted.Devices[j].Gain *= math.Exp(drift * rng.NormFloat64())
+			}
+			req := repro.SolveRequestJSON{System: repro.SystemToJSON(&drifted)}
+			req.Weights.W1, req.Weights.W2 = 0.5, 0.5
+			body, err = json.Marshal(req)
+			if err != nil {
+				return err
+			}
+			history = append(history, body)
+		}
+		bodies[i] = body
+	}
+
+	var okCount, failCount atomic.Int64
+	var next atomic.Int64
+	began := time.Now()
+	var wg sync.WaitGroup
+	for c := 0; c < conc; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= total {
+					return
+				}
+				resp, err := http.Post(ts.URL+"/v1/solve", "application/json", bytes.NewReader(bodies[i]))
+				if err != nil {
+					failCount.Add(1)
+					continue
+				}
+				if resp.StatusCode == http.StatusOK {
+					okCount.Add(1)
+				} else {
+					failCount.Add(1)
+				}
+				resp.Body.Close()
+			}
+		}()
+	}
+	wg.Wait()
+	elapsed := time.Since(began)
+
+	stats, err := fetchStats(ts.URL)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("loadgen: %d requests (%d ok, %d failed) in %.3fs = %.1f req/s over %d clients\n",
+		total, okCount.Load(), failCount.Load(), elapsed.Seconds(),
+		float64(total)/elapsed.Seconds(), conc)
+	fmt.Printf("server:  hits %d, misses %d, warm starts %d, cold solves %d, deduped %d, rejected %d\n",
+		stats.Hits, stats.Misses, stats.WarmStarts, stats.ColdSolves, stats.Deduped, stats.Rejected)
+	fmt.Printf("solve latency: p50 %.1f ms, p99 %.1f ms\n", stats.SolveP50*1e3, stats.SolveP99*1e3)
+	return nil
+}
+
+func fetchStats(baseURL string) (repro.ServeStats, error) {
+	var stats repro.ServeStats
+	resp, err := http.Get(baseURL + "/v1/stats")
+	if err != nil {
+		return stats, err
+	}
+	defer resp.Body.Close()
+	err = json.NewDecoder(resp.Body).Decode(&stats)
+	return stats, err
+}

@@ -5,12 +5,16 @@
 package experiments
 
 import (
+	"errors"
 	"fmt"
 	"math/rand"
 
 	"repro/internal/fl"
 	"repro/internal/wireless"
 )
+
+// ErrBadScenario flags malformed scenario parameters.
+var ErrBadScenario = errors.New("experiments: bad scenario")
 
 // Scenario is a parameterized deployment matching Section VII-A. Zero
 // values are not meaningful; start from Default and override.
@@ -85,7 +89,10 @@ func Default() Scenario {
 // Build draws a random device population from the scenario.
 func (sc Scenario) Build(rng *rand.Rand) (*fl.System, error) {
 	if sc.N <= 0 {
-		return nil, fmt.Errorf("experiments: scenario with N=%d", sc.N)
+		return nil, fmt.Errorf("experiments: scenario with N=%d: %w", sc.N, ErrBadScenario)
+	}
+	if sc.SampleSpread < 0 {
+		return nil, fmt.Errorf("experiments: negative SampleSpread %g: %w", sc.SampleSpread, ErrBadScenario)
 	}
 	samples := sc.SamplesPerDevice
 	if sc.TotalSamples > 0 {

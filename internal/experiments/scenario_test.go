@@ -1,0 +1,23 @@
+package experiments
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+)
+
+func TestBuildRejectsNegativeSampleSpread(t *testing.T) {
+	sc := Default()
+	sc.SampleSpread = -0.5
+	if _, err := sc.Build(rand.New(rand.NewSource(1))); !errors.Is(err, ErrBadScenario) {
+		t.Fatalf("Build with SampleSpread=-0.5: err=%v, want ErrBadScenario", err)
+	}
+}
+
+func TestBuildRejectsNonPositiveN(t *testing.T) {
+	sc := Default()
+	sc.N = 0
+	if _, err := sc.Build(rand.New(rand.NewSource(1))); !errors.Is(err, ErrBadScenario) {
+		t.Fatalf("Build with N=0: err=%v, want ErrBadScenario", err)
+	}
+}

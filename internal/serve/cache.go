@@ -1,0 +1,123 @@
+package serve
+
+import (
+	"container/list"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+)
+
+const cacheShards = 16 // power of two; key distribution comes from FNV
+
+// Cache is a sharded, mutex-per-shard LRU of solver results keyed by exact
+// fingerprint. Entries expire after a TTL and the per-shard size is bounded,
+// so a drifting workload cannot grow it without bound. Results are
+// deep-copied on both insert and lookup; callers can mutate what they get
+// back.
+type Cache struct {
+	shards   [cacheShards]cacheShard
+	perShard int
+	ttl      time.Duration
+}
+
+type cacheShard struct {
+	mu    sync.Mutex
+	lru   *list.List // front = most recent
+	items map[uint64]*list.Element
+}
+
+type cacheEntry struct {
+	key     uint64
+	res     core.Result
+	expires time.Time
+}
+
+// NewCache builds a cache holding at most maxEntries results (rounded up to
+// a multiple of the shard count, minimum one per shard) for at most ttl;
+// ttl <= 0 means entries never expire.
+func NewCache(maxEntries int, ttl time.Duration) *Cache {
+	perShard := (maxEntries + cacheShards - 1) / cacheShards
+	if perShard < 1 {
+		perShard = 1
+	}
+	c := &Cache{}
+	for i := range c.shards {
+		c.shards[i] = cacheShard{lru: list.New(), items: make(map[uint64]*list.Element)}
+	}
+	c.perShard = perShard
+	c.ttl = ttl
+	return c
+}
+
+// Get returns a copy of the cached result for key, if present and fresh.
+// Entries are immutable once stored, so the deep copy runs outside the
+// shard lock and a hot entry does not serialize its readers on the clone.
+func (c *Cache) Get(key uint64) (core.Result, bool) {
+	sh := &c.shards[key%cacheShards]
+	sh.mu.Lock()
+	el, ok := sh.items[key]
+	if !ok {
+		sh.mu.Unlock()
+		return core.Result{}, false
+	}
+	ent := el.Value.(*cacheEntry)
+	if c.ttl > 0 && time.Now().After(ent.expires) {
+		sh.lru.Remove(el)
+		delete(sh.items, key)
+		sh.mu.Unlock()
+		return core.Result{}, false
+	}
+	sh.lru.MoveToFront(el)
+	sh.mu.Unlock()
+	return cloneResult(ent.res), true
+}
+
+// Put stores a copy of res under key, evicting the least-recently-used
+// entry of the shard when it is full.
+func (c *Cache) Put(key uint64, res core.Result) {
+	ent := &cacheEntry{key: key, res: cloneResult(res)} // clone outside the lock
+	sh := &c.shards[key%cacheShards]
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	ent.expires = time.Now().Add(c.ttl)
+	if el, ok := sh.items[key]; ok {
+		// Replace the value wholesale: entries stay immutable for the
+		// lock-free clone in Get.
+		el.Value = ent
+		sh.lru.MoveToFront(el)
+		return
+	}
+	if sh.lru.Len() >= c.perShard {
+		if back := sh.lru.Back(); back != nil {
+			sh.lru.Remove(back)
+			delete(sh.items, back.Value.(*cacheEntry).key)
+		}
+	}
+	sh.items[key] = sh.lru.PushFront(ent)
+}
+
+// Len reports the live entry count across shards (expired entries that have
+// not been touched since expiry still count).
+func (c *Cache) Len() int {
+	var n int
+	for i := range c.shards {
+		sh := &c.shards[i]
+		sh.mu.Lock()
+		n += sh.lru.Len()
+		sh.mu.Unlock()
+	}
+	return n
+}
+
+// cloneResult deep-copies a solver result so cache internals never alias
+// caller-visible slices.
+func cloneResult(r core.Result) core.Result {
+	out := r
+	out.Allocation = r.Allocation.Clone()
+	out.Metrics.Rates = append([]float64(nil), r.Metrics.Rates...)
+	out.Metrics.UploadTimes = append([]float64(nil), r.Metrics.UploadTimes...)
+	out.Metrics.CompTimes = append([]float64(nil), r.Metrics.CompTimes...)
+	out.Iterations = append([]core.IterationTrace(nil), r.Iterations...)
+	return out
+}

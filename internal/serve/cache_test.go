@@ -1,0 +1,69 @@
+package serve
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/fl"
+)
+
+func resultWithObjective(obj float64) core.Result {
+	a := fl.NewAllocation(2)
+	a.Power[0] = obj
+	return core.Result{Allocation: a, Objective: obj}
+}
+
+func TestCacheRoundTripAndIsolation(t *testing.T) {
+	c := NewCache(8, 0)
+	c.Put(1, resultWithObjective(42))
+	got, ok := c.Get(1)
+	if !ok || got.Objective != 42 {
+		t.Fatalf("Get(1) = (%v, %t), want objective 42", got.Objective, ok)
+	}
+	// Mutating what Get returned must not corrupt the cached copy.
+	got.Allocation.Power[0] = -1
+	again, _ := c.Get(1)
+	if again.Allocation.Power[0] != 42 {
+		t.Fatalf("cache aliases caller slices: got %v", again.Allocation.Power[0])
+	}
+	if _, ok := c.Get(2); ok {
+		t.Fatal("Get(2) hit an empty slot")
+	}
+}
+
+func TestCacheLRUEviction(t *testing.T) {
+	// Keys congruent mod cacheShards land in one shard; capacity 16 total
+	// means one entry per shard, so the second insert evicts the first.
+	c := NewCache(cacheShards, 0)
+	c.Put(3, resultWithObjective(1))
+	c.Put(3+cacheShards, resultWithObjective(2))
+	if _, ok := c.Get(3); ok {
+		t.Error("LRU entry survived an over-capacity insert")
+	}
+	if got, ok := c.Get(3 + cacheShards); !ok || got.Objective != 2 {
+		t.Errorf("most recent entry missing: (%v, %t)", got.Objective, ok)
+	}
+
+	// A touched entry must outlive an untouched one.
+	c2 := NewCache(2*cacheShards, 0) // two per shard
+	c2.Put(3, resultWithObjective(1))
+	c2.Put(3+cacheShards, resultWithObjective(2))
+	c2.Get(3) // refresh key 3
+	c2.Put(3+2*cacheShards, resultWithObjective(3))
+	if _, ok := c2.Get(3); !ok {
+		t.Error("recently used entry was evicted")
+	}
+	if _, ok := c2.Get(3 + cacheShards); ok {
+		t.Error("least recently used entry survived")
+	}
+}
+
+func TestCacheTTL(t *testing.T) {
+	c := NewCache(8, time.Millisecond)
+	c.Put(1, resultWithObjective(1))
+	time.Sleep(5 * time.Millisecond)
+	if _, ok := c.Get(1); ok {
+		t.Fatal("expired entry still served")
+	}
+}

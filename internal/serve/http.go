@@ -1,0 +1,236 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+
+	"repro/internal/core"
+	"repro/internal/fl"
+)
+
+// DeviceJSON is the wire form of fl.Device.
+type DeviceJSON struct {
+	Samples         float64 `json:"samples"`
+	CyclesPerSample float64 `json:"cycles_per_sample"`
+	UploadBits      float64 `json:"upload_bits"`
+	Gain            float64 `json:"gain"`
+	FMinHz          float64 `json:"f_min_hz"`
+	FMaxHz          float64 `json:"f_max_hz"`
+	PMinW           float64 `json:"p_min_w"`
+	PMaxW           float64 `json:"p_max_w"`
+}
+
+// SystemJSON is the wire form of fl.System.
+type SystemJSON struct {
+	Devices      []DeviceJSON `json:"devices"`
+	BandwidthHz  float64      `json:"bandwidth_hz"`
+	N0WPerHz     float64      `json:"n0_w_per_hz"`
+	Kappa        float64      `json:"kappa"`
+	LocalIters   float64      `json:"local_iters"`
+	GlobalRounds float64      `json:"global_rounds"`
+}
+
+// SolveRequestJSON is the body of POST /v1/solve.
+type SolveRequestJSON struct {
+	System  SystemJSON `json:"system"`
+	Weights struct {
+		W1 float64 `json:"w1"`
+		W2 float64 `json:"w2"`
+	} `json:"weights"`
+	// Mode is "weighted" (default) or "deadline".
+	Mode string `json:"mode,omitempty"`
+	// TotalDeadlineS is the fixed completion time for mode "deadline".
+	TotalDeadlineS float64 `json:"total_deadline_s,omitempty"`
+	// JointWeighted selects the joint 1-D-over-deadline weighted solver.
+	JointWeighted bool `json:"joint_weighted,omitempty"`
+}
+
+// SolveResponseJSON is the body of a successful POST /v1/solve.
+type SolveResponseJSON struct {
+	PowerW        []float64 `json:"power_w"`
+	BandwidthHz   []float64 `json:"bandwidth_hz"`
+	FreqHz        []float64 `json:"freq_hz"`
+	RoundTimeS    float64   `json:"round_time_s"`
+	TotalTimeS    float64   `json:"total_time_s"`
+	TotalEnergyJ  float64   `json:"total_energy_j"`
+	TransEnergyJ  float64   `json:"trans_energy_j"`
+	CompEnergyJ   float64   `json:"comp_energy_j"`
+	Objective     float64   `json:"objective"`
+	Converged     bool      `json:"converged"`
+	Iterations    int       `json:"iterations"`
+	Source        string    `json:"source"`
+	SolveSeconds  float64   `json:"solve_seconds"`
+	FingerprintHx string    `json:"fingerprint"`
+}
+
+// SystemToJSON converts a system to its wire form (used by the load
+// generator and tests).
+func SystemToJSON(s *fl.System) SystemJSON {
+	out := SystemJSON{
+		Devices:      make([]DeviceJSON, s.N()),
+		BandwidthHz:  s.Bandwidth,
+		N0WPerHz:     s.N0,
+		Kappa:        s.Kappa,
+		LocalIters:   s.LocalIters,
+		GlobalRounds: s.GlobalRounds,
+	}
+	for i, d := range s.Devices {
+		out.Devices[i] = DeviceJSON{
+			Samples:         d.Samples,
+			CyclesPerSample: d.CyclesPerSample,
+			UploadBits:      d.UploadBits,
+			Gain:            d.Gain,
+			FMinHz:          d.FMin,
+			FMaxHz:          d.FMax,
+			PMinW:           d.PMin,
+			PMaxW:           d.PMax,
+		}
+	}
+	return out
+}
+
+// SystemFromJSON converts the wire form back to a checked fl.System.
+func SystemFromJSON(in SystemJSON) (*fl.System, error) {
+	s := &fl.System{
+		Devices:      make([]fl.Device, len(in.Devices)),
+		Bandwidth:    in.BandwidthHz,
+		N0:           in.N0WPerHz,
+		Kappa:        in.Kappa,
+		LocalIters:   in.LocalIters,
+		GlobalRounds: in.GlobalRounds,
+	}
+	for i, d := range in.Devices {
+		s.Devices[i] = fl.Device{
+			Samples:         d.Samples,
+			CyclesPerSample: d.CyclesPerSample,
+			UploadBits:      d.UploadBits,
+			Gain:            d.Gain,
+			FMin:            d.FMinHz,
+			FMax:            d.FMaxHz,
+			PMin:            d.PMinW,
+			PMax:            d.PMaxW,
+		}
+	}
+	if err := s.Check(); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// requestFromJSON builds the native request, validating the mode string.
+func requestFromJSON(in SolveRequestJSON) (Request, error) {
+	sys, err := SystemFromJSON(in.System)
+	if err != nil {
+		return Request{}, err
+	}
+	opts := core.Options{JointWeighted: in.JointWeighted}
+	switch in.Mode {
+	case "", "weighted":
+		opts.Mode = core.ModeWeighted
+	case "deadline":
+		opts.Mode = core.ModeDeadline
+		opts.TotalDeadline = in.TotalDeadlineS
+	default:
+		return Request{}, fmt.Errorf("unknown mode %q: %w", in.Mode, ErrBadRequest)
+	}
+	return Request{
+		System:  sys,
+		Weights: fl.Weights{W1: in.Weights.W1, W2: in.Weights.W2},
+		Options: opts,
+	}, nil
+}
+
+// Handler returns the HTTP API of the server:
+//
+//	POST /v1/solve  JSON instance in, allocation + metrics out
+//	GET  /v1/stats  counter snapshot
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/solve", s.handleSolve)
+	mux.HandleFunc("GET /v1/stats", s.handleStats)
+	return mux
+}
+
+// maxSolveBody bounds the /v1/solve request body (8 MiB fits tens of
+// thousands of devices) so one oversized POST cannot exhaust memory.
+const maxSolveBody = 8 << 20
+
+func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
+	var in SolveRequestJSON
+	r.Body = http.MaxBytesReader(w, r.Body, maxSolveBody)
+	if err := json.NewDecoder(r.Body).Decode(&in); err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			httpError(w, http.StatusRequestEntityTooLarge, err)
+			return
+		}
+		httpError(w, http.StatusBadRequest, fmt.Errorf("decoding body: %w", err))
+		return
+	}
+	req, err := requestFromJSON(in)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	resp, err := s.Solve(r.Context(), req)
+	if err != nil {
+		httpError(w, statusFor(err), err)
+		return
+	}
+	m := resp.Result.Metrics
+	writeJSON(w, http.StatusOK, SolveResponseJSON{
+		PowerW:        resp.Result.Allocation.Power,
+		BandwidthHz:   resp.Result.Allocation.Bandwidth,
+		FreqHz:        resp.Result.Allocation.Freq,
+		RoundTimeS:    m.RoundTime,
+		TotalTimeS:    m.TotalTime,
+		TotalEnergyJ:  m.TotalEnergy,
+		TransEnergyJ:  m.TransEnergy,
+		CompEnergyJ:   m.CompEnergy,
+		Objective:     resp.Result.Objective,
+		Converged:     resp.Result.Converged,
+		Iterations:    len(resp.Result.Iterations),
+		Source:        string(resp.Source),
+		SolveSeconds:  resp.SolveTime.Seconds(),
+		FingerprintHx: fmt.Sprintf("%016x", resp.Fingerprint.Exact),
+	})
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, s.Stats())
+}
+
+// statusFor maps service errors to HTTP statuses.
+func statusFor(err error) int {
+	switch {
+	case errors.Is(err, ErrBadRequest), errors.Is(err, fl.ErrInvalidSystem),
+		errors.Is(err, core.ErrBadInput):
+		return http.StatusBadRequest
+	case errors.Is(err, core.ErrInfeasible):
+		return http.StatusUnprocessableEntity
+	case errors.Is(err, ErrOverloaded), errors.Is(err, ErrClosed):
+		return http.StatusServiceUnavailable
+	case errors.Is(err, context.DeadlineExceeded):
+		// A capacity timeout is retryable, unlike a server bug.
+		return http.StatusGatewayTimeout
+	case errors.Is(err, context.Canceled):
+		// The client went away mid-solve; 499 (nginx convention) keeps
+		// routine disconnects out of 5xx monitoring.
+		return 499
+	default:
+		return http.StatusInternalServerError
+	}
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func httpError(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, map[string]string{"error": err.Error()})
+}

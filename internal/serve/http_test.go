@@ -1,0 +1,143 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"repro/internal/fl"
+)
+
+func postSolve(t *testing.T, url string, body []byte) (*http.Response, SolveResponseJSON) {
+	t.Helper()
+	resp, err := http.Post(url+"/v1/solve", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var out SolveResponseJSON
+	if resp.StatusCode == http.StatusOK {
+		if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return resp, out
+}
+
+func TestHTTPSolveAndStats(t *testing.T) {
+	s := testSystem(t, 8, 1)
+	srv := New(Config{Workers: 2})
+	defer srv.Close()
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	req := SolveRequestJSON{System: SystemToJSON(s)}
+	req.Weights.W1, req.Weights.W2 = 0.5, 0.5
+	body, err := json.Marshal(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var last SolveResponseJSON
+	for i := 0; i < 3; i++ {
+		resp, out := postSolve(t, ts.URL, body)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("request %d: status %d", i, resp.StatusCode)
+		}
+		wantSource := "cold"
+		if i > 0 {
+			wantSource = "cache"
+		}
+		if out.Source != wantSource {
+			t.Errorf("request %d: source %q, want %q", i, out.Source, wantSource)
+		}
+		last = out
+	}
+
+	// The returned allocation must be feasible for the posted system.
+	alloc := fl.Allocation{Power: last.PowerW, Bandwidth: last.BandwidthHz, Freq: last.FreqHz}
+	if err := s.Validate(alloc, 1e-6); err != nil {
+		t.Fatalf("served allocation infeasible: %v", err)
+	}
+	if !(last.TotalEnergyJ > 0) || !(last.TotalTimeS > 0) || !(last.Objective > 0) {
+		t.Fatalf("degenerate metrics: %+v", last)
+	}
+
+	statsResp, err := http.Get(ts.URL + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer statsResp.Body.Close()
+	var stats Snapshot
+	if err := json.NewDecoder(statsResp.Body).Decode(&stats); err != nil {
+		t.Fatal(err)
+	}
+	if stats.Hits < 2 || stats.ColdSolves != 1 || stats.Requests != 3 {
+		t.Fatalf("stats after 3 identical posts: %+v", stats)
+	}
+	if !(stats.SolveP50 > 0) {
+		t.Fatalf("latency quantiles missing: %+v", stats)
+	}
+}
+
+func TestHTTPDeadlineMode(t *testing.T) {
+	s := testSystem(t, 8, 1)
+	srv := New(Config{Workers: 2})
+	defer srv.Close()
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	req := SolveRequestJSON{System: SystemToJSON(s), Mode: "deadline", TotalDeadlineS: 300}
+	req.Weights.W1, req.Weights.W2 = 1, 0
+	body, _ := json.Marshal(req)
+	resp, out := postSolve(t, ts.URL, body)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("deadline solve: status %d", resp.StatusCode)
+	}
+	if out.TotalTimeS > 300*(1+1e-6) {
+		t.Fatalf("deadline solve exceeded deadline: %g s", out.TotalTimeS)
+	}
+
+	// An impossible deadline must map to 422, not 500.
+	req.TotalDeadlineS = 1e-6
+	body, _ = json.Marshal(req)
+	resp, _ = postSolve(t, ts.URL, body)
+	if resp.StatusCode != http.StatusUnprocessableEntity {
+		t.Fatalf("infeasible deadline: status %d, want 422", resp.StatusCode)
+	}
+}
+
+func TestHTTPBadRequests(t *testing.T) {
+	srv := New(Config{Workers: 1})
+	defer srv.Close()
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	for name, body := range map[string]string{
+		"malformed json": "{not json",
+		"empty system":   `{"system":{"devices":[]},"weights":{"w1":0.5,"w2":0.5}}`,
+		"unknown mode":   `{"system":{"devices":[{"samples":1,"cycles_per_sample":1,"upload_bits":1,"gain":1,"f_min_hz":1,"f_max_hz":2,"p_min_w":1,"p_max_w":2}],"bandwidth_hz":1,"n0_w_per_hz":1,"kappa":1,"local_iters":1,"global_rounds":1},"weights":{"w1":0.5,"w2":0.5},"mode":"nope"}`,
+	} {
+		resp, err := http.Post(ts.URL+"/v1/solve", "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("%s: status %d, want 400", name, resp.StatusCode)
+		}
+	}
+
+	// Wrong method on the solve route.
+	resp, err := http.Get(ts.URL + "/v1/solve")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("GET /v1/solve: status %d, want 405", resp.StatusCode)
+	}
+}

@@ -1,0 +1,406 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math"
+	"runtime"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/fl"
+)
+
+// ErrOverloaded is returned when the request queue is full; callers should
+// shed load or retry with backoff.
+var ErrOverloaded = errors.New("serve: overloaded, queue full")
+
+// ErrClosed is returned for requests arriving after Close.
+var ErrClosed = errors.New("serve: server closed")
+
+// ErrBadRequest flags malformed requests (nil system, invalid parameters).
+var ErrBadRequest = errors.New("serve: bad request")
+
+// Config parameterizes a Server. The zero value is usable: every field has
+// a sensible default.
+type Config struct {
+	// Workers is the solver pool size. Default GOMAXPROCS.
+	Workers int
+	// QueueDepth bounds the number of requests waiting for a worker;
+	// arrivals beyond it are rejected with ErrOverloaded. Default 4*Workers.
+	QueueDepth int
+	// CacheEntries bounds the solution cache. Default 4096.
+	CacheEntries int
+	// CacheTTL expires cached solutions. Zero selects the 10-minute
+	// default; negative disables expiry.
+	CacheTTL time.Duration
+	// DefaultTimeout bounds a request that arrives without a context
+	// deadline. Default 30 seconds; negative disables the default.
+	DefaultTimeout time.Duration
+	// Quantization controls fingerprint bucketing.
+	Quantization Quantization
+	// DisableCache turns off the exact-fingerprint solution cache.
+	DisableCache bool
+	// DisableWarmStart turns off seeding solves from topology neighbours.
+	DisableWarmStart bool
+	// Solver overrides the solve function (tests, alternative algorithms).
+	// Default core.Optimize.
+	Solver func(*fl.System, fl.Weights, core.Options) (core.Result, error)
+}
+
+func (c Config) withDefaults() Config {
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 4 * c.Workers
+	}
+	if c.CacheEntries <= 0 {
+		c.CacheEntries = 4096
+	}
+	if c.CacheTTL == 0 {
+		c.CacheTTL = 10 * time.Minute
+	}
+	if c.DefaultTimeout == 0 {
+		c.DefaultTimeout = 30 * time.Second
+	}
+	if c.Solver == nil {
+		c.Solver = core.Optimize
+	}
+	return c
+}
+
+// Request is one allocation instance to solve.
+type Request struct {
+	// System is the FL deployment; it is read, never mutated.
+	System *fl.System
+	// Weights is the objective weight pair.
+	Weights fl.Weights
+	// Options configures the solver. A caller-provided Options.Start is
+	// always honored; the warm-start path only fills in a nil Start.
+	Options core.Options
+}
+
+// Source records how a response was produced.
+type Source string
+
+const (
+	// SourceCache means the exact fingerprint hit the solution cache.
+	SourceCache Source = "cache"
+	// SourceWarm means Algorithm 2 ran seeded from a topology neighbour.
+	SourceWarm Source = "warm"
+	// SourceCold means Algorithm 2 ran from the default start.
+	SourceCold Source = "cold"
+)
+
+// Response is the outcome of one request.
+type Response struct {
+	// Result is the solver output (a private copy; callers may mutate it).
+	Result core.Result
+	// Source tells whether the result came from cache, a warm or a cold
+	// solve.
+	Source Source
+	// Fingerprint is the instance fingerprint used for caching.
+	Fingerprint Fingerprint
+	// SolveTime is the wall time of the solve (zero on cache hits).
+	SolveTime time.Duration
+}
+
+// Server is a concurrent allocation service over the Algorithm 2 solver: a
+// fixed worker pool drains a bounded queue, identical in-flight instances
+// are deduplicated, exact fingerprint matches are answered from an LRU
+// cache, and topology-bucket matches seed warm starts.
+type Server struct {
+	cfg    Config
+	cache  *Cache
+	warm   *warmIndex
+	flight *flightGroup
+	stats  Stats
+
+	queue chan *task
+	done  chan struct{}
+	wg    sync.WaitGroup
+	close sync.Once
+}
+
+type task struct {
+	req  Request
+	fp   Fingerprint
+	call *flightCall
+}
+
+// New builds a server and starts its worker pool. Call Close (or cancel a
+// Serve context) to stop it.
+func New(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	s := &Server{
+		cfg:    cfg,
+		cache:  NewCache(cfg.CacheEntries, cfg.CacheTTL),
+		warm:   newWarmIndex(cfg.CacheEntries),
+		flight: newFlightGroup(),
+		queue:  make(chan *task, cfg.QueueDepth),
+		done:   make(chan struct{}),
+	}
+	s.wg.Add(cfg.Workers)
+	for i := 0; i < cfg.Workers; i++ {
+		go s.worker()
+	}
+	return s
+}
+
+// Serve blocks until ctx is cancelled, then shuts the worker pool down and
+// returns the cancellation cause. It is a convenience for binaries; Solve
+// works as soon as New returns.
+func (s *Server) Serve(ctx context.Context) error {
+	select {
+	case <-ctx.Done():
+		s.Close()
+		return ctx.Err()
+	case <-s.done:
+		return ErrClosed
+	}
+}
+
+// Close stops the worker pool. In-flight solves finish; queued and future
+// requests that need a solve fail with ErrClosed, while exact-fingerprint
+// cache hits are still served (useful when draining). Safe to call more
+// than once.
+func (s *Server) Close() {
+	s.close.Do(func() { close(s.done) })
+	s.wg.Wait()
+}
+
+// Stats returns a snapshot of the server counters.
+func (s *Server) Stats() Snapshot { return s.stats.Snapshot() }
+
+// Solve answers one allocation request: from the cache on an exact
+// fingerprint hit, by joining an identical in-flight solve, or by queueing
+// a (warm- or cold-started) solve on the worker pool. ctx governs only
+// this caller's wait: a solve, once enqueued, always runs to completion
+// and lands in the cache, so a timed-out caller neither loses the work nor
+// fails the other callers deduplicated onto it.
+func (s *Server) Solve(ctx context.Context, req Request) (Response, error) {
+	s.stats.requests.Add(1)
+	if req.System == nil {
+		s.stats.errors.Add(1)
+		return Response{}, fmt.Errorf("nil system: %w", ErrBadRequest)
+	}
+	fp := FingerprintInstance(req.System, req.Weights, req.Options, s.cfg.Quantization)
+	if !s.cfg.DisableCache {
+		if res, ok := s.cache.Get(fp.Exact); ok {
+			s.stats.hits.Add(1)
+			return Response{Result: res, Source: SourceCache, Fingerprint: fp}, nil
+		}
+		s.stats.misses.Add(1)
+	}
+
+	// The default deadline only matters once a solve has to be awaited, so
+	// the cache-hit fast path above never pays for the timer.
+	if s.cfg.DefaultTimeout > 0 {
+		if _, has := ctx.Deadline(); !has {
+			var cancel context.CancelFunc
+			ctx, cancel = context.WithTimeout(ctx, s.cfg.DefaultTimeout)
+			defer cancel()
+		}
+	}
+
+	call, leader := s.flight.join(fp.Exact)
+	if leader {
+		s.enqueue(&task{req: req, fp: fp, call: call})
+	} else {
+		s.stats.deduped.Add(1)
+	}
+	finished := func() (Response, error) {
+		if call.err != nil {
+			return Response{}, call.err
+		}
+		// Each waiter gets its own copy: the call's Response is shared by
+		// every deduplicated caller, and Result is documented as mutable.
+		resp := call.res
+		resp.Result = cloneResult(resp.Result)
+		return resp, nil
+	}
+	select {
+	case <-call.done:
+		return finished()
+	case <-ctx.Done():
+		return Response{}, ctx.Err()
+	case <-s.done:
+		// Close racing with completion: prefer a result that is already
+		// there over ErrClosed (select picks ready cases at random).
+		select {
+		case <-call.done:
+			return finished()
+		default:
+			return Response{}, ErrClosed
+		}
+	}
+}
+
+// enqueue places the task on the worker queue; the worker finishes the
+// flight call after solving. When the enqueue itself fails (closed, queue
+// full) the leader finishes the call with the error so every waiter wakes.
+func (s *Server) enqueue(t *task) {
+	select {
+	case <-s.done:
+		s.flight.finish(t.fp.Exact, t.call, Response{}, ErrClosed)
+		return
+	default:
+	}
+	select {
+	case s.queue <- t:
+	case <-s.done:
+		s.flight.finish(t.fp.Exact, t.call, Response{}, ErrClosed)
+	default:
+		s.stats.rejected.Add(1)
+		s.flight.finish(t.fp.Exact, t.call, Response{}, ErrOverloaded)
+	}
+}
+
+func (s *Server) worker() {
+	defer s.wg.Done()
+	for {
+		select {
+		case t := <-s.queue:
+			resp, err := s.process(t)
+			s.flight.finish(t.fp.Exact, t.call, resp, err)
+		case <-s.done:
+			return
+		}
+	}
+}
+
+// process runs one solve, trying the warm-start path first.
+func (s *Server) process(t *task) (Response, error) {
+	req := t.req
+	source := SourceCold
+	if !s.cfg.DisableWarmStart && startMatters(req) {
+		if cand, ok := s.warm.get(t.fp.Topo); ok {
+			if start, ok := sanitizeStart(req.System, cand); ok {
+				req.Options.Start = &start
+				source = SourceWarm
+			}
+		}
+	}
+
+	began := time.Now()
+	res, err := s.cfg.Solver(req.System, req.Weights, req.Options)
+	elapsed := time.Since(began)
+	if err != nil {
+		s.stats.errors.Add(1)
+		return Response{}, err
+	}
+	s.stats.recordLatency(elapsed)
+	if source == SourceWarm {
+		s.stats.warmStarts.Add(1)
+	} else {
+		s.stats.coldSolves.Add(1)
+	}
+	if !s.cfg.DisableCache {
+		s.cache.Put(t.fp.Exact, res)
+	}
+	if !s.cfg.DisableWarmStart {
+		s.warm.put(t.fp.Topo, res.Allocation)
+	}
+	// Not cloned here: every waiter in Solve copies Result for itself.
+	return Response{
+		Result:      res,
+		Source:      source,
+		Fingerprint: t.fp,
+		SolveTime:   elapsed,
+	}, nil
+}
+
+// startMatters reports whether core.Optimize would actually consume a
+// seeded Options.Start for this request: only the weighted alternating
+// loop reads it. The deadline mode solves jointly from scratch, the joint
+// weighted solver runs its own 1-D search, the pure-delay corner (w1 = 0)
+// reduces to min-time, and a caller-provided Start always wins. Skipping
+// the lookup in those cases keeps Source and the warm_starts counter
+// honest (and saves the clone + validation).
+func startMatters(req Request) bool {
+	if req.Options.Start != nil || req.Options.JointWeighted {
+		return false
+	}
+	if req.Options.Mode != 0 && req.Options.Mode != core.ModeWeighted {
+		return false
+	}
+	return req.Weights.W1 > 0
+}
+
+// sanitizeStart turns a cached allocation into a strictly feasible start
+// point for the target system: solver outputs carry ~1e-6 floating-point
+// residue at the box edges, while core.Optimize validates Start at 1e-9, so
+// powers and frequencies are clamped into their boxes and the bandwidths
+// rescaled under the budget. Returns false when the allocation cannot be
+// repaired (wrong size, NaN, non-positive bandwidth).
+func sanitizeStart(s *fl.System, a fl.Allocation) (fl.Allocation, bool) {
+	if len(a.Power) != s.N() || len(a.Bandwidth) != s.N() || len(a.Freq) != s.N() {
+		return fl.Allocation{}, false
+	}
+	out := a.Clone()
+	var sum float64
+	for i, d := range s.Devices {
+		out.Power[i] = math.Min(math.Max(out.Power[i], d.PMin), d.PMax)
+		out.Freq[i] = math.Min(math.Max(out.Freq[i], d.FMin), d.FMax)
+		if !(out.Bandwidth[i] > 0) {
+			return fl.Allocation{}, false
+		}
+		sum += out.Bandwidth[i]
+	}
+	if !(sum > 0) || math.IsInf(sum, 0) {
+		return fl.Allocation{}, false
+	}
+	if sum > s.Bandwidth {
+		// The margin keeps the rescaled sum strictly under the budget even
+		// after the rounding of the per-device multiplies.
+		scale := s.Bandwidth / sum * (1 - 1e-12)
+		for i := range out.Bandwidth {
+			out.Bandwidth[i] *= scale
+		}
+	}
+	if s.Validate(out, 0) != nil {
+		return fl.Allocation{}, false
+	}
+	return out, true
+}
+
+// warmIndex maps topology buckets to the most recent allocation solved in
+// that bucket. Eviction on overflow drops an arbitrary entry — the index
+// is a best-effort hint, never a source of truth.
+type warmIndex struct {
+	mu  sync.Mutex
+	max int
+	m   map[uint64]fl.Allocation
+}
+
+func newWarmIndex(max int) *warmIndex {
+	if max < 1 {
+		max = 1
+	}
+	return &warmIndex{max: max, m: make(map[uint64]fl.Allocation)}
+}
+
+// get returns the stored allocation by reference; entries are immutable
+// (put stores a private clone and replaces wholesale), so callers may read
+// but must clone before mutating — sanitizeStart does.
+func (w *warmIndex) get(key uint64) (fl.Allocation, bool) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	a, ok := w.m[key]
+	return a, ok
+}
+
+func (w *warmIndex) put(key uint64, a fl.Allocation) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if _, ok := w.m[key]; !ok && len(w.m) >= w.max {
+		for k := range w.m {
+			delete(w.m, k)
+			break
+		}
+	}
+	w.m[key] = a.Clone()
+}

@@ -1,0 +1,49 @@
+package serve
+
+import "sync"
+
+// flightGroup deduplicates concurrent work on the same fingerprint: the
+// first caller becomes the leader and enqueues the solve; followers
+// arriving while it is in flight block on the same call and share its
+// outcome. The call is finished by whichever side completes it — the
+// worker after solving, or the leader when the enqueue itself fails — so
+// a waiter abandoning on its own context never decides the outcome for
+// the others. This is the standard singleflight pattern, reimplemented
+// here (no external dependency) with a channel instead of a WaitGroup so
+// every waiter can also abandon the wait on context cancellation.
+type flightGroup struct {
+	mu    sync.Mutex
+	calls map[uint64]*flightCall
+}
+
+type flightCall struct {
+	done chan struct{}
+	res  Response
+	err  error
+}
+
+func newFlightGroup() *flightGroup {
+	return &flightGroup{calls: make(map[uint64]*flightCall)}
+}
+
+// join returns the in-flight call for key and whether the caller is the
+// leader (created it). The leader must call finish exactly once.
+func (g *flightGroup) join(key uint64) (*flightCall, bool) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if c, ok := g.calls[key]; ok {
+		return c, false
+	}
+	c := &flightCall{done: make(chan struct{})}
+	g.calls[key] = c
+	return c, true
+}
+
+// finish publishes the call's outcome and wakes every waiter.
+func (g *flightGroup) finish(key uint64, c *flightCall, res Response, err error) {
+	g.mu.Lock()
+	delete(g.calls, key)
+	g.mu.Unlock()
+	c.res, c.err = res, err
+	close(c.done)
+}

@@ -1,0 +1,105 @@
+package serve
+
+import (
+	"math"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// latencyWindow is how many recent solve latencies the quantile estimator
+// retains. A power of two keeps the ring index cheap.
+const latencyWindow = 1024
+
+// Stats aggregates the server's counters. Counters are updated atomically
+// on the request path; quantiles are computed on demand from a sliding
+// window of recent solve latencies.
+type Stats struct {
+	requests   atomic.Int64
+	hits       atomic.Int64
+	misses     atomic.Int64
+	warmStarts atomic.Int64
+	coldSolves atomic.Int64
+	deduped    atomic.Int64
+	rejected   atomic.Int64
+	errors     atomic.Int64
+
+	mu    sync.Mutex
+	ring  [latencyWindow]time.Duration
+	count int64 // total latencies ever recorded
+}
+
+func (st *Stats) recordLatency(d time.Duration) {
+	st.mu.Lock()
+	st.ring[st.count%latencyWindow] = d
+	st.count++
+	st.mu.Unlock()
+}
+
+// Snapshot is a consistent point-in-time copy of the counters, shaped for
+// JSON encoding by the /v1/stats endpoint.
+type Snapshot struct {
+	// Requests counts every Solve call, whatever its outcome.
+	Requests int64 `json:"requests"`
+	// Hits are requests answered from the cache without solving.
+	Hits int64 `json:"cache_hits"`
+	// Misses are requests whose exact fingerprint was absent.
+	Misses int64 `json:"cache_misses"`
+	// WarmStarts are solves seeded from a topology-bucket neighbour.
+	WarmStarts int64 `json:"warm_starts"`
+	// ColdSolves are solves started from scratch.
+	ColdSolves int64 `json:"cold_solves"`
+	// Deduped are requests that piggybacked on an identical in-flight solve.
+	Deduped int64 `json:"deduped"`
+	// Rejected are requests refused because the queue was full.
+	Rejected int64 `json:"rejected"`
+	// Errors are requests that ended in a solver or validation error.
+	Errors int64 `json:"errors"`
+	// SolveP50 and SolveP99 are quantiles of recent solve latencies in
+	// seconds (cache hits excluded; zero until the first solve completes).
+	SolveP50 float64 `json:"solve_p50_seconds"`
+	SolveP99 float64 `json:"solve_p99_seconds"`
+}
+
+// Snapshot returns the current counter values and latency quantiles.
+func (st *Stats) Snapshot() Snapshot {
+	s := Snapshot{
+		Requests:   st.requests.Load(),
+		Hits:       st.hits.Load(),
+		Misses:     st.misses.Load(),
+		WarmStarts: st.warmStarts.Load(),
+		ColdSolves: st.coldSolves.Load(),
+		Deduped:    st.deduped.Load(),
+		Rejected:   st.rejected.Load(),
+		Errors:     st.errors.Load(),
+	}
+	st.mu.Lock()
+	n := st.count
+	if n > latencyWindow {
+		n = latencyWindow
+	}
+	lat := make([]time.Duration, n)
+	copy(lat, st.ring[:n])
+	st.mu.Unlock()
+	if len(lat) > 0 {
+		sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
+		s.SolveP50 = quantile(lat, 0.50).Seconds()
+		s.SolveP99 = quantile(lat, 0.99).Seconds()
+	}
+	return s
+}
+
+// quantile reads the q-quantile from an ascending slice by nearest rank
+// (ceil(q*n) - 1), which keeps upper quantiles honest for small samples:
+// the p99 of two values is the larger one, not the smaller.
+func quantile(sorted []time.Duration, q float64) time.Duration {
+	idx := int(math.Ceil(q*float64(len(sorted)))) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(sorted) {
+		idx = len(sorted) - 1
+	}
+	return sorted[idx]
+}

@@ -1,0 +1,31 @@
+package serve
+
+import (
+	"testing"
+	"time"
+)
+
+func TestQuantileNearestRank(t *testing.T) {
+	two := []time.Duration{time.Millisecond, 500 * time.Millisecond}
+	if got := quantile(two, 0.99); got != 500*time.Millisecond {
+		t.Errorf("p99 of two samples = %v, want the larger", got)
+	}
+	if got := quantile(two, 0.50); got != time.Millisecond {
+		t.Errorf("p50 of two samples = %v, want the smaller", got)
+	}
+	one := []time.Duration{7 * time.Millisecond}
+	if got := quantile(one, 0.99); got != 7*time.Millisecond {
+		t.Errorf("p99 of one sample = %v", got)
+	}
+}
+
+func TestStatsLatencyWindowWraps(t *testing.T) {
+	var st Stats
+	for i := 0; i < latencyWindow+10; i++ {
+		st.recordLatency(time.Millisecond)
+	}
+	snap := st.Snapshot()
+	if !(snap.SolveP50 > 0) || !(snap.SolveP99 > 0) {
+		t.Fatalf("quantiles after wrap: %+v", snap)
+	}
+}

@@ -32,6 +32,7 @@ import (
 	"repro/internal/experiments"
 	"repro/internal/fedavg"
 	"repro/internal/fl"
+	"repro/internal/serve"
 	"repro/internal/sim"
 )
 
@@ -184,3 +185,51 @@ func Replay(s *System, a Allocation, nakagamiM float64, rounds int, roundDeadlin
 
 // ReplaySummary aggregates a fading replay (see internal/sim).
 type ReplaySummary = sim.Summary
+
+// Serving types (see internal/serve): the concurrent allocation service
+// with a fingerprint-keyed solution cache, warm starts, and an HTTP API.
+type (
+	// Server is the worker-pool allocation service.
+	Server = serve.Server
+	// ServeConfig parameterizes the service (pool size, cache, timeouts).
+	ServeConfig = serve.Config
+	// ServeQuantization controls fingerprint bucketing.
+	ServeQuantization = serve.Quantization
+	// ServeRequest is one instance to solve.
+	ServeRequest = serve.Request
+	// ServeResponse is the outcome of one request.
+	ServeResponse = serve.Response
+	// ServeStats is a snapshot of the service counters.
+	ServeStats = serve.Snapshot
+	// ServeFingerprint is a two-granularity instance fingerprint.
+	ServeFingerprint = serve.Fingerprint
+	// SolveRequestJSON and SystemJSON are the HTTP wire forms.
+	SolveRequestJSON = serve.SolveRequestJSON
+	// SystemJSON is the wire form of a System.
+	SystemJSON = serve.SystemJSON
+)
+
+// Re-exported response sources.
+const (
+	// ServeSourceCache marks responses answered from the solution cache.
+	ServeSourceCache = serve.SourceCache
+	// ServeSourceWarm marks solves seeded from a topology neighbour.
+	ServeSourceWarm = serve.SourceWarm
+	// ServeSourceCold marks solves from the default start.
+	ServeSourceCold = serve.SourceCold
+)
+
+// NewServer builds an allocation server and starts its worker pool; call
+// Close (or cancel a Serve context) to stop it.
+func NewServer(cfg ServeConfig) *Server { return serve.New(cfg) }
+
+// FingerprintInstance hashes an instance at cache and topology granularity.
+func FingerprintInstance(s *System, w Weights, opts Options, q ServeQuantization) ServeFingerprint {
+	return serve.FingerprintInstance(s, w, opts, q)
+}
+
+// SystemToJSON converts a system to the HTTP wire form.
+func SystemToJSON(s *System) SystemJSON { return serve.SystemToJSON(s) }
+
+// SystemFromJSON converts the HTTP wire form back to a checked System.
+func SystemFromJSON(in SystemJSON) (*System, error) { return serve.SystemFromJSON(in) }
