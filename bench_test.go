@@ -242,3 +242,47 @@ func BenchmarkFedAvgRound(b *testing.B) {
 		}
 	}
 }
+
+// BenchmarkClusterRoutedCached measures the multi-cell router's hit path:
+// device-routed requests answered from the pinned cell's solution cache
+// (router overhead = fingerprint + pin lookup on top of the cache read).
+func BenchmarkClusterRoutedCached(b *testing.B) {
+	s := serveBenchSystem(b)
+	cl := repro.NewCluster(repro.ClusterConfig{Cells: 4})
+	defer cl.Close()
+	w := repro.Weights{W1: 0.5, W2: 0.5}
+	req := repro.ServeRequest{System: s, Weights: w}
+	if _, _, err := cl.Solve(context.Background(), repro.ClusterCellAuto, "bench-dev", req); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := cl.Solve(context.Background(), repro.ClusterCellAuto, "bench-dev", req); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkClusterHandoff measures one cross-cell device handoff carrying
+// a full per-device history (8 instances re-fingerprinted and migrated),
+// ping-ponging the device between two cells.
+func BenchmarkClusterHandoff(b *testing.B) {
+	base := serveBenchSystem(b)
+	cl := repro.NewCluster(repro.ClusterConfig{Cells: 2})
+	defer cl.Close()
+	rng := rand.New(rand.NewSource(2))
+	w := repro.Weights{W1: 0.5, W2: 0.5}
+	for i := 0; i < 8; i++ {
+		s := driftBench(base, 0.3, rng)
+		if _, _, err := cl.Solve(context.Background(), 0, "bench-dev", repro.ServeRequest{System: s, Weights: w}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		from, to := i%2, (i+1)%2
+		if _, err := cl.Handoff("bench-dev", from, to); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,320 @@
+// Command flcluster runs the multi-cell allocation cluster: N independent
+// per-cell solver services (each with its own cache, warm-start index and
+// worker pool) behind a router with consistent-hash device routing,
+// cross-cell device handoff, and aggregated stats.
+//
+// Usage:
+//
+//	flcluster [-addr :8080] [-cells 4] [-workers 0] [-queue 0]
+//	          [-cache 4096] [-ttl 10m] [-timeout 30s] [-gainres 0.25]
+//
+// Endpoints:
+//
+//	POST /v1/cells/{id}/solve  solve in an explicit cell (pins the device)
+//	POST /v1/solve             routed by "device_id" (pin, else hash)
+//	POST /v1/handoff           {"device_id","from_cell","to_cell"}
+//	GET  /v1/stats             aggregate + per-cell counters (JSON)
+//	GET  /metrics              Prometheus text exposition
+//
+// Load-generator mode replays drifting per-device scenarios against an
+// in-process instance of the same HTTP stack, migrating devices between
+// cells at a configurable rate and reporting client-side source counts
+// plus the cluster's own counters:
+//
+//	flcluster -loadgen 300 [-cells 4] [-devices 12] [-n 12] [-drift 0.05]
+//	          [-repeat 0.3] [-migrate 0.1] [-conc 8] [-seed 1]
+//
+// Each device owns a base scenario; every request is, with probability
+// -repeat, an exact replay of that device's previous instance (exercising
+// the cache and, across a migration, the handoff-carried cache entry),
+// otherwise a fresh log-normal drift of its gains (exercising warm
+// starts). With probability -migrate the device first hands off to a
+// random other cell.
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"os/signal"
+	"sync"
+	"syscall"
+	"time"
+
+	"repro"
+)
+
+func main() {
+	var (
+		addr    = flag.String("addr", ":8080", "listen address")
+		cells   = flag.Int("cells", 4, "number of cells")
+		workers = flag.Int("workers", 0, "per-cell solver pool size (0 = GOMAXPROCS)")
+		queue   = flag.Int("queue", 0, "per-cell queue depth (0 = 4x workers)")
+		cache   = flag.Int("cache", 4096, "per-cell solution cache entries")
+		ttl     = flag.Duration("ttl", 10*time.Minute, "solution cache TTL")
+		timeout = flag.Duration("timeout", 30*time.Second, "per-request default deadline")
+		gainres = flag.Float64("gainres", 0.25, "channel-gain fingerprint bucket (dB)")
+
+		loadgen = flag.Int("loadgen", 0, "replay this many requests and exit")
+		devices = flag.Int("devices", 12, "loadgen: distinct devices (each owns a scenario)")
+		n       = flag.Int("n", 12, "loadgen: FL devices per scenario")
+		drift   = flag.Float64("drift", 0.05, "loadgen: per-request log-normal gain drift (nepers)")
+		repeat  = flag.Float64("repeat", 0.3, "loadgen: probability of replaying the previous instance")
+		migrate = flag.Float64("migrate", 0.1, "loadgen: per-request device-migration probability")
+		conc    = flag.Int("conc", 8, "loadgen: concurrent clients")
+		seed    = flag.Int64("seed", 1, "loadgen: RNG seed")
+	)
+	flag.Parse()
+
+	cfg := repro.ClusterConfig{
+		Cells: *cells,
+		Cell: repro.ServeConfig{
+			Workers:        *workers,
+			QueueDepth:     *queue,
+			CacheEntries:   *cache,
+			CacheTTL:       *ttl,
+			DefaultTimeout: *timeout,
+			Quantization:   repro.ServeQuantization{GainResolutionDB: *gainres},
+		},
+	}
+
+	var err error
+	if *loadgen > 0 {
+		err = runLoadgen(cfg, *loadgen, *devices, *n, *drift, *repeat, *migrate, *conc, *seed)
+	} else {
+		err = runServer(cfg, *addr)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "flcluster:", err)
+		os.Exit(1)
+	}
+}
+
+// runServer serves until SIGINT/SIGTERM.
+func runServer(cfg repro.ClusterConfig, addr string) error {
+	cl := repro.NewCluster(cfg)
+	defer cl.Close()
+
+	httpSrv := &http.Server{Addr: addr, Handler: cl.Handler()}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	go func() {
+		<-ctx.Done()
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		_ = httpSrv.Shutdown(shutdownCtx)
+	}()
+
+	fmt.Printf("flcluster: %d cells listening on %s (POST /v1/cells/{id}/solve, POST /v1/solve, POST /v1/handoff, GET /v1/stats, GET /metrics)\n",
+		cl.Cells(), addr)
+	if err := httpSrv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+		return err
+	}
+	return nil
+}
+
+// device is one loadgen actor: a scenario owner that drifts, repeats and
+// migrates. Each device is driven by exactly one worker goroutine, so its
+// fields need no locking.
+type device struct {
+	id       string
+	base     *repro.System
+	lastBody []byte // previous instance, replayed on repeats
+	lastCell int    // cell that served the last response, -1 before any
+}
+
+// runLoadgen replays total requests from `devices` drifting devices over
+// the full HTTP stack of an in-process cluster.
+func runLoadgen(cfg repro.ClusterConfig, total, devices, n int, drift, repeat, migrate float64, conc int, seed int64) error {
+	cl := repro.NewCluster(cfg)
+	defer cl.Close()
+	ts := httptest.NewServer(cl.Handler())
+	defer ts.Close()
+
+	if devices < 1 {
+		devices = 1
+	}
+	// Each device is driven by exactly one worker; more workers than
+	// devices would leave workers with no devices but a share of the
+	// request budget, silently shrinking the run.
+	if conc > devices {
+		conc = devices
+	}
+	devs := make([]*device, devices)
+	for d := range devs {
+		sc := repro.DefaultScenario()
+		sc.N = n
+		base, err := sc.Build(rand.New(rand.NewSource(seed + int64(d))))
+		if err != nil {
+			return err
+		}
+		devs[d] = &device{id: fmt.Sprintf("dev-%d", d), base: base, lastCell: -1}
+	}
+
+	// Partition devices among workers so each device's request/handoff
+	// sequence stays ordered; counts merge after the join.
+	type tally struct {
+		ok, fail, handoffs int64
+		cache, warm, cold  int64
+		err                error
+	}
+	tallies := make([]tally, conc)
+	var wg sync.WaitGroup
+	began := time.Now()
+	for wkr := 0; wkr < conc; wkr++ {
+		var mine []*device
+		for d := wkr; d < devices; d += conc {
+			mine = append(mine, devs[d])
+		}
+		share := total / conc
+		if wkr < total%conc {
+			share++
+		}
+		wg.Add(1)
+		go func(wkr int, mine []*device, share int) {
+			defer wg.Done()
+			t := &tallies[wkr]
+			rng := rand.New(rand.NewSource(seed + 1000*int64(wkr+1)))
+			for i := 0; i < share; i++ {
+				dev := mine[rng.Intn(len(mine))]
+				if dev.lastCell >= 0 && cl.Cells() > 1 && rng.Float64() < migrate {
+					to := rng.Intn(cl.Cells() - 1)
+					if to >= dev.lastCell {
+						to++
+					}
+					if err := postHandoff(ts.URL, dev.id, dev.lastCell, to); err != nil {
+						t.err = err
+						return
+					}
+					dev.lastCell = to
+					t.handoffs++
+				}
+				body := dev.lastBody
+				if body == nil || rng.Float64() >= repeat {
+					b, err := driftedBody(dev, drift, rng)
+					if err != nil {
+						t.err = err
+						return
+					}
+					body = b
+					dev.lastBody = b
+				}
+				out, status, err := postSolve(ts.URL, body)
+				if err != nil {
+					t.err = err
+					return
+				}
+				if status != http.StatusOK {
+					t.fail++
+					continue
+				}
+				t.ok++
+				dev.lastCell = out.Cell
+				switch out.Source {
+				case string(repro.ServeSourceCache):
+					t.cache++
+				case string(repro.ServeSourceWarm):
+					t.warm++
+				default:
+					t.cold++
+				}
+			}
+		}(wkr, mine, share)
+	}
+	wg.Wait()
+	elapsed := time.Since(began)
+	var agg tally
+	for i := range tallies {
+		if tallies[i].err != nil {
+			return tallies[i].err
+		}
+		agg.ok += tallies[i].ok
+		agg.fail += tallies[i].fail
+		agg.handoffs += tallies[i].handoffs
+		agg.cache += tallies[i].cache
+		agg.warm += tallies[i].warm
+		agg.cold += tallies[i].cold
+	}
+
+	stats, err := fetchStats(ts.URL)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("loadgen: %d requests (%d ok, %d failed), %d handoffs in %.3fs = %.1f req/s over %d clients, %d devices, %d cells\n",
+		agg.ok+agg.fail, agg.ok, agg.fail, agg.handoffs, elapsed.Seconds(),
+		float64(agg.ok+agg.fail)/elapsed.Seconds(), conc, devices, cl.Cells())
+	fmt.Printf("client sources: %d cache, %d warm, %d cold\n", agg.cache, agg.warm, agg.cold)
+	a := stats.Aggregate
+	fmt.Printf("cluster: hits %d, misses %d, warm %d, cold %d, deduped %d, rejected %d, handoffs %d (results %d, warm %d), cache entries %d\n",
+		a.Hits, a.Misses, a.WarmStarts, a.ColdSolves, a.Deduped, a.Rejected,
+		a.Handoffs, a.MigratedResults, a.MigratedWarm, a.CacheEntries)
+	fmt.Printf("routing: explicit %d, pinned %d, hashed %d; solve latency p50 %.1f ms, p99 %.1f ms\n",
+		a.RoutedExplicit, a.RoutedPinned, a.RoutedHashed, a.SolveP50*1e3, a.SolveP99*1e3)
+	for _, c := range stats.Cells {
+		fmt.Printf("  cell %d: requests %d, hits %d, warm %d, cold %d, cache %d\n",
+			c.Cell, c.Requests, c.Hits, c.WarmStarts, c.ColdSolves, c.CacheEntries)
+	}
+	return nil
+}
+
+// driftedBody builds a fresh solve body for the device with log-normally
+// drifted gains.
+func driftedBody(dev *device, drift float64, rng *rand.Rand) ([]byte, error) {
+	drifted := *dev.base
+	drifted.Devices = append([]repro.Device(nil), dev.base.Devices...)
+	for j := range drifted.Devices {
+		drifted.Devices[j].Gain *= math.Exp(drift * rng.NormFloat64())
+	}
+	req := repro.SolveRequestJSON{System: repro.SystemToJSON(&drifted), DeviceID: dev.id}
+	req.Weights.W1, req.Weights.W2 = 0.5, 0.5
+	return json.Marshal(req)
+}
+
+func postSolve(baseURL string, body []byte) (repro.ClusterSolveResponseJSON, int, error) {
+	var out repro.ClusterSolveResponseJSON
+	resp, err := http.Post(baseURL+"/v1/solve", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return out, 0, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode == http.StatusOK {
+		if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+			return out, resp.StatusCode, err
+		}
+	}
+	return out, resp.StatusCode, nil
+}
+
+func postHandoff(baseURL, deviceID string, from, to int) error {
+	body, err := json.Marshal(repro.HandoffRequestJSON{DeviceID: deviceID, FromCell: from, ToCell: to})
+	if err != nil {
+		return err
+	}
+	resp, err := http.Post(baseURL+"/v1/handoff", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("handoff %s %d->%d: status %d", deviceID, from, to, resp.StatusCode)
+	}
+	return nil
+}
+
+func fetchStats(baseURL string) (repro.ClusterStats, error) {
+	var stats repro.ClusterStats
+	resp, err := http.Get(baseURL + "/v1/stats")
+	if err != nil {
+		return stats, err
+	}
+	defer resp.Body.Close()
+	err = json.NewDecoder(resp.Body).Decode(&stats)
+	return stats, err
+}

@@ -1,0 +1,128 @@
+package cluster
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+
+	"repro/internal/serve"
+)
+
+// SolveResponseJSON is a solve response plus the cell that served it.
+type SolveResponseJSON struct {
+	serve.SolveResponseJSON
+	Cell int `json:"cell"`
+}
+
+// HandoffRequestJSON is the body of POST /v1/handoff.
+type HandoffRequestJSON struct {
+	DeviceID string `json:"device_id"`
+	FromCell int    `json:"from_cell"`
+	ToCell   int    `json:"to_cell"`
+}
+
+// Handler returns the cluster's HTTP API:
+//
+//	POST /v1/cells/{id}/solve  solve in an explicit cell (pins the device)
+//	POST /v1/solve             solve routed by device_id (pin, else hash)
+//	POST /v1/handoff           migrate a device's cached state across cells
+//	GET  /v1/stats             aggregate + per-cell counters (JSON)
+//	GET  /metrics              Prometheus text exposition
+func (r *Router) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/solve", func(w http.ResponseWriter, req *http.Request) {
+		r.handleSolve(w, req, CellAuto)
+	})
+	mux.HandleFunc("POST /v1/cells/{id}/solve", func(w http.ResponseWriter, req *http.Request) {
+		id, err := strconv.Atoi(req.PathValue("id"))
+		if err != nil || id < 0 {
+			// id < 0 must not fall through: -1 is CellAuto internally, and
+			// an explicit URL aliasing to hash routing would mask typos.
+			httpError(w, http.StatusBadRequest, fmt.Errorf("cell id %q: %w", req.PathValue("id"), ErrUnknownCell))
+			return
+		}
+		r.handleSolve(w, req, id)
+	})
+	mux.HandleFunc("POST /v1/handoff", r.handleHandoff)
+	mux.HandleFunc("GET /v1/stats", r.handleStats)
+	mux.HandleFunc("GET /metrics", r.handleMetrics)
+	return mux
+}
+
+// maxBody mirrors the single-server bound on request bodies.
+const maxBody = 8 << 20
+
+func (r *Router) handleSolve(w http.ResponseWriter, req *http.Request, cell int) {
+	var in serve.SolveRequestJSON
+	req.Body = http.MaxBytesReader(w, req.Body, maxBody)
+	if err := json.NewDecoder(req.Body).Decode(&in); err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			httpError(w, http.StatusRequestEntityTooLarge, err)
+			return
+		}
+		httpError(w, http.StatusBadRequest, fmt.Errorf("decoding body: %w", err))
+		return
+	}
+	sreq, err := serve.RequestFromJSON(in)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	resp, servedBy, err := r.Solve(req.Context(), cell, in.DeviceID, sreq)
+	if err != nil {
+		httpError(w, statusFor(err), err)
+		return
+	}
+	writeJSON(w, http.StatusOK, SolveResponseJSON{
+		SolveResponseJSON: serve.ResponseToJSON(resp),
+		Cell:              servedBy,
+	})
+}
+
+func (r *Router) handleHandoff(w http.ResponseWriter, req *http.Request) {
+	var in HandoffRequestJSON
+	req.Body = http.MaxBytesReader(w, req.Body, maxBody)
+	if err := json.NewDecoder(req.Body).Decode(&in); err != nil {
+		httpError(w, http.StatusBadRequest, fmt.Errorf("decoding body: %w", err))
+		return
+	}
+	rep, err := r.Handoff(in.DeviceID, in.FromCell, in.ToCell)
+	if err != nil {
+		httpError(w, statusFor(err), err)
+		return
+	}
+	writeJSON(w, http.StatusOK, rep)
+}
+
+func (r *Router) handleStats(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, r.Stats())
+}
+
+func (r *Router) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", serve.PromContentType)
+	_ = r.Stats().WritePrometheus(w)
+}
+
+// statusFor extends the single-server error mapping with the router's own
+// errors.
+func statusFor(err error) int {
+	switch {
+	case errors.Is(err, ErrUnknownCell), errors.Is(err, ErrNoDevice):
+		return http.StatusBadRequest
+	default:
+		return serve.StatusFor(err)
+	}
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func httpError(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, map[string]string{"error": err.Error()})
+}

@@ -1,0 +1,78 @@
+package cluster
+
+import (
+	"fmt"
+	"sort"
+)
+
+// ring is a consistent-hash ring over cell indices. Each cell contributes
+// `replicas` virtual points; a key routes to the cell owning the first
+// point clockwise of the key's hash. Consistent hashing keeps the
+// device-to-cell map stable under resizing: growing an N-cell cluster to
+// N+1 cells remaps only ~1/(N+1) of the unpinned devices, instead of
+// reshuffling nearly all of them as `hash mod N` would.
+type ring struct {
+	points []ringPoint
+}
+
+type ringPoint struct {
+	hash uint64
+	cell int
+}
+
+// newRing builds the ring for cells cells with the given virtual-node
+// count per cell (minimum 1).
+func newRing(cells, replicas int) ring {
+	if replicas < 1 {
+		replicas = 1
+	}
+	r := ring{points: make([]ringPoint, 0, cells*replicas)}
+	for c := 0; c < cells; c++ {
+		for v := 0; v < replicas; v++ {
+			r.points = append(r.points, ringPoint{
+				hash: fnv1a(fmt.Sprintf("cell/%d/replica/%d", c, v)),
+				cell: c,
+			})
+		}
+	}
+	sort.Slice(r.points, func(i, j int) bool {
+		if r.points[i].hash != r.points[j].hash {
+			return r.points[i].hash < r.points[j].hash
+		}
+		return r.points[i].cell < r.points[j].cell
+	})
+	return r
+}
+
+// cell returns the owning cell for key.
+func (r ring) cell(key string) int {
+	h := fnv1a(key)
+	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	if i == len(r.points) {
+		i = 0 // wrap: past the last point, the first owns
+	}
+	return r.points[i].cell
+}
+
+// fnv1a hashes a string with 64-bit FNV-1a (deterministic across
+// processes, unlike hash/maphash), finished with a murmur-style avalanche:
+// raw FNV of short, near-identical strings ("cell/3/replica/17") leaves
+// the high bits — the ones the sorted ring searches on — badly clustered,
+// which starved whole cells in distribution tests.
+func fnv1a(s string) uint64 {
+	const (
+		offsetBasis = 14695981039346656037
+		prime       = 1099511628211
+	)
+	h := uint64(offsetBasis)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= prime
+	}
+	h ^= h >> 33
+	h *= 0xff51afd7ed558ccd
+	h ^= h >> 33
+	h *= 0xc4ceb9fe1a85ec53
+	h ^= h >> 33
+	return h
+}

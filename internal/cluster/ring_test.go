@@ -1,0 +1,61 @@
+package cluster
+
+import (
+	"fmt"
+	"testing"
+)
+
+func TestRingDeterministicAndInRange(t *testing.T) {
+	a := newRing(5, 64)
+	b := newRing(5, 64)
+	for i := 0; i < 1000; i++ {
+		key := fmt.Sprintf("device-%d", i)
+		ca, cb := a.cell(key), b.cell(key)
+		if ca != cb {
+			t.Fatalf("key %q routed to %d and %d on identical rings", key, ca, cb)
+		}
+		if ca < 0 || ca >= 5 {
+			t.Fatalf("key %q routed to cell %d, want [0,5)", key, ca)
+		}
+	}
+}
+
+func TestRingCoversAllCells(t *testing.T) {
+	r := newRing(8, 64)
+	seen := make(map[int]int)
+	for i := 0; i < 4096; i++ {
+		seen[r.cell(fmt.Sprintf("device-%d", i))]++
+	}
+	for c := 0; c < 8; c++ {
+		if seen[c] == 0 {
+			t.Errorf("cell %d received no keys out of 4096", c)
+		}
+	}
+}
+
+// TestRingStableUnderGrowth is the property consistent hashing buys: going
+// from N to N+1 cells must not remap the keys that stay — a key either
+// keeps its cell or moves to the new one.
+func TestRingStableUnderGrowth(t *testing.T) {
+	small := newRing(4, 64)
+	big := newRing(5, 64)
+	var moved, movedElsewhere int
+	const keys = 4096
+	for i := 0; i < keys; i++ {
+		key := fmt.Sprintf("device-%d", i)
+		before, after := small.cell(key), big.cell(key)
+		if before != after {
+			moved++
+			if after != 4 {
+				movedElsewhere++
+			}
+		}
+	}
+	if movedElsewhere > 0 {
+		t.Errorf("%d keys moved between pre-existing cells on growth (consistent hashing should only move keys to the new cell)", movedElsewhere)
+	}
+	// Expect ~1/5 of keys to move; allow generous slack for hash variance.
+	if moved < keys/10 || moved > keys/2 {
+		t.Errorf("%d/%d keys moved to the new cell, want roughly %d", moved, keys, keys/5)
+	}
+}

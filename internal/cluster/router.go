@@ -1,0 +1,340 @@
+// Package cluster shards the allocation service of internal/serve across
+// the cells of a cellular deployment. Each cell is a full serve.Server —
+// its own worker pool, solution cache and warm-start index — and a Router
+// in front of them
+//
+//   - routes requests by explicit cell ID, by a pin established through
+//     handoff, or (for unpinned devices) by consistent hashing of the
+//     device ID;
+//   - hands devices off between cells, re-fingerprinting and migrating
+//     their cached solutions and warm-start allocations so the first solve
+//     after a move is a warm or cached hit instead of a cold solve;
+//   - aggregates per-cell counters into cluster-wide stats (rolled-up
+//     hit/miss/latency, cache sizes) and a Prometheus exposition;
+//   - exposes an HTTP front end (POST /v1/cells/{id}/solve, POST
+//     /v1/solve, POST /v1/handoff, GET /v1/stats, GET /metrics) used by
+//     cmd/flcluster.
+package cluster
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/serve"
+)
+
+// CellAuto routes a request by device pin / consistent hash instead of an
+// explicit cell index.
+const CellAuto = -1
+
+// ErrUnknownCell flags a cell index outside [0, Cells).
+var ErrUnknownCell = errors.New("cluster: unknown cell")
+
+// ErrNoDevice flags a handoff without a device ID.
+var ErrNoDevice = errors.New("cluster: missing device id")
+
+// Config parameterizes a Router. The zero value is usable.
+type Config struct {
+	// Cells is the number of per-cell servers. Default 4.
+	Cells int
+	// Cell is the per-cell serve.Config template; every cell gets an
+	// identical (but fully independent) server built from it.
+	Cell serve.Config
+	// HistoryPerDevice bounds how many distinct recent instances the
+	// router remembers per device for handoff re-fingerprinting.
+	// Default 8.
+	HistoryPerDevice int
+	// MaxDevices bounds the device-state map (pins + histories); beyond
+	// it, an arbitrary device's state is evicted. Default 65536.
+	MaxDevices int
+	// HashReplicas is the virtual-node count per cell on the consistent
+	// hash ring. Default 64.
+	HashReplicas int
+}
+
+func (c Config) withDefaults() Config {
+	if c.Cells <= 0 {
+		c.Cells = 4
+	}
+	if c.HistoryPerDevice <= 0 {
+		c.HistoryPerDevice = 8
+	}
+	if c.MaxDevices <= 0 {
+		c.MaxDevices = 65536
+	}
+	if c.HashReplicas <= 0 {
+		c.HashReplicas = 64
+	}
+	return c
+}
+
+// record is one instance a device was recently served, kept so a handoff
+// can re-fingerprint it in the destination cell and migrate its cached
+// state. The request is retained by reference and never mutated.
+type record struct {
+	req  serve.Request
+	cell int
+	// fpExact (under the serving cell's quantization at record time)
+	// dedupes the history; migration always re-fingerprints fresh.
+	fpExact uint64
+}
+
+// deviceState is the router's memory of one device.
+type deviceState struct {
+	pinned  bool
+	cell    int // the pinned cell, valid when pinned
+	records []record
+}
+
+// Router owns the per-cell servers and the device routing state.
+type Router struct {
+	cfg   Config
+	cells []*serve.Server
+	ring  ring
+
+	mu      sync.Mutex
+	devices map[string]*deviceState
+
+	handoffs        atomic.Int64
+	migratedResults atomic.Int64
+	migratedWarm    atomic.Int64
+	routedExplicit  atomic.Int64
+	routedPinned    atomic.Int64
+	routedHashed    atomic.Int64
+}
+
+// New builds the router and starts every cell's worker pool. Call Close to
+// stop them.
+func New(cfg Config) *Router {
+	cfg = cfg.withDefaults()
+	r := &Router{
+		cfg:     cfg,
+		cells:   make([]*serve.Server, cfg.Cells),
+		ring:    newRing(cfg.Cells, cfg.HashReplicas),
+		devices: make(map[string]*deviceState),
+	}
+	for i := range r.cells {
+		r.cells[i] = serve.New(cfg.Cell)
+	}
+	return r
+}
+
+// Close stops every cell's worker pool (in-flight solves finish).
+func (r *Router) Close() {
+	for _, c := range r.cells {
+		c.Close()
+	}
+}
+
+// Cells returns the cell count.
+func (r *Router) Cells() int { return len(r.cells) }
+
+// Cell returns the i-th cell server (panics outside [0, Cells)); it backs
+// tests and benchmarks that need to poke one cell directly.
+func (r *Router) Cell(i int) *serve.Server { return r.cells[i] }
+
+// Route resolves the cell a device-routed request would be served by
+// without serving anything: the pinned cell when a handoff or explicit
+// solve pinned the device, the consistent-hash cell otherwise.
+func (r *Router) Route(deviceID string) int {
+	r.mu.Lock()
+	st, ok := r.devices[deviceID]
+	pinned := ok && st.pinned
+	cell := 0
+	if pinned {
+		cell = st.cell
+	}
+	r.mu.Unlock()
+	if pinned {
+		return cell
+	}
+	return r.ring.cell(deviceID)
+}
+
+// Solve serves one request. cell selects the serving cell explicitly, or
+// routes by deviceID when CellAuto: the device's pinned cell if any, its
+// consistent-hash cell otherwise. A *successful* explicit-cell solve pins
+// the device to that cell (the device demonstrably lives there now), so
+// later device-routed requests follow it; a failed one leaves the routing
+// state untouched — an overloaded or rejecting cell must not capture the
+// device. The serving cell index is returned alongside the response.
+func (r *Router) Solve(ctx context.Context, cell int, deviceID string, req serve.Request) (serve.Response, int, error) {
+	explicit := false
+	switch {
+	case cell == CellAuto:
+		if st := r.pinOf(deviceID); st >= 0 {
+			cell = st
+			r.routedPinned.Add(1)
+		} else {
+			cell = r.ring.cell(deviceID)
+			r.routedHashed.Add(1)
+		}
+	case cell < 0 || cell >= len(r.cells):
+		return serve.Response{}, 0, fmt.Errorf("cell %d of %d: %w", cell, len(r.cells), ErrUnknownCell)
+	default:
+		explicit = true
+		r.routedExplicit.Add(1)
+	}
+	resp, err := r.cells[cell].Solve(ctx, req)
+	if err != nil {
+		return serve.Response{}, cell, err
+	}
+	if deviceID != "" {
+		if explicit {
+			r.pin(deviceID, cell)
+		}
+		r.remember(deviceID, cell, req, resp.Fingerprint.Exact)
+	}
+	return resp, cell, nil
+}
+
+// pinOf returns the pinned cell for a device, or -1.
+func (r *Router) pinOf(deviceID string) int {
+	if deviceID == "" {
+		return -1
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if st, ok := r.devices[deviceID]; ok && st.pinned {
+		return st.cell
+	}
+	return -1
+}
+
+// pin pins a device to a cell.
+func (r *Router) pin(deviceID string, cell int) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	st := r.state(deviceID)
+	st.pinned, st.cell = true, cell
+}
+
+// remember appends a served instance to the device's history, deduping on
+// the exact fingerprint and keeping the most recent HistoryPerDevice.
+func (r *Router) remember(deviceID string, cell int, req serve.Request, fpExact uint64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	st := r.state(deviceID)
+	for i := range st.records {
+		if st.records[i].fpExact == fpExact {
+			// Refresh recency and the serving cell, then move to the end.
+			rec := st.records[i]
+			rec.cell = cell
+			st.records = append(append(st.records[:i], st.records[i+1:]...), rec)
+			return
+		}
+	}
+	st.records = append(st.records, record{req: req, cell: cell, fpExact: fpExact})
+	if len(st.records) > r.cfg.HistoryPerDevice {
+		st.records = st.records[len(st.records)-r.cfg.HistoryPerDevice:]
+	}
+}
+
+// state returns (creating if needed) the device's state; callers hold
+// r.mu. The map is bounded: at MaxDevices an arbitrary other device is
+// evicted, like the warm index — routing state is a best-effort hint, an
+// evicted device simply falls back to hash routing and cold solves.
+func (r *Router) state(deviceID string) *deviceState {
+	if st, ok := r.devices[deviceID]; ok {
+		return st
+	}
+	if len(r.devices) >= r.cfg.MaxDevices {
+		for k := range r.devices {
+			delete(r.devices, k)
+			break
+		}
+	}
+	st := &deviceState{}
+	r.devices[deviceID] = st
+	return st
+}
+
+// HandoffReport summarizes one cross-cell device handoff.
+type HandoffReport struct {
+	DeviceID string `json:"device_id"`
+	FromCell int    `json:"from_cell"`
+	ToCell   int    `json:"to_cell"`
+	// Instances is how many tracked instances of the device were
+	// re-fingerprinted against the source cell.
+	Instances int `json:"instances"`
+	// MigratedResults counts solution-cache entries moved to the
+	// destination cell.
+	MigratedResults int `json:"migrated_results"`
+	// MigratedWarm counts warm-start allocations moved (a migrated result
+	// with no separate warm entry still seeds the destination's index).
+	MigratedWarm int `json:"migrated_warm_starts"`
+}
+
+// Handoff moves a device from one cell to another: every tracked instance
+// of the device is re-fingerprinted under the destination cell's
+// quantization, its cached solution is extracted from the source cell and
+// injected into the destination (the warm-start allocation is copied, not
+// removed — the source's topology bucket may be serving devices that did
+// not move), and the device is pinned to the destination so device-routed
+// requests follow it. After a handoff the first solve of a carried
+// instance in the destination is a cache hit (exact replay) or a warm
+// start (drifted gains), and the source cell no longer holds the cache
+// entry.
+//
+// Instances whose history says they were last served by a different cell
+// than from are left where they are. A device the router has never seen is
+// still pinned to the destination.
+func (r *Router) Handoff(deviceID string, from, to int) (HandoffReport, error) {
+	if deviceID == "" {
+		return HandoffReport{}, ErrNoDevice
+	}
+	if from < 0 || from >= len(r.cells) {
+		return HandoffReport{}, fmt.Errorf("from cell %d of %d: %w", from, len(r.cells), ErrUnknownCell)
+	}
+	if to < 0 || to >= len(r.cells) {
+		return HandoffReport{}, fmt.Errorf("to cell %d of %d: %w", to, len(r.cells), ErrUnknownCell)
+	}
+	rep := HandoffReport{DeviceID: deviceID, FromCell: from, ToCell: to}
+
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	st := r.state(deviceID)
+	st.pinned, st.cell = true, to
+	r.handoffs.Add(1)
+	if from == to {
+		return rep, nil
+	}
+	src, dst := r.cells[from], r.cells[to]
+	for i := range st.records {
+		rec := &st.records[i]
+		if rec.cell != from {
+			continue
+		}
+		rep.Instances++
+		fpSrc := serve.FingerprintRequest(rec.req, src.Quantization())
+		m := src.Extract(fpSrc)
+		fpDst := serve.FingerprintRequest(rec.req, dst.Quantization())
+		rec.cell, rec.fpExact = to, fpDst.Exact
+		if !rec.req.Solver.Warmable() {
+			// Baseline solvers never read a seeded start; planting their
+			// allocations in the destination's warm index would only burn
+			// bounded slots on entries no solve can consume.
+			m.Warm = nil
+		} else if m.Warm == nil && m.Result != nil {
+			// The source's warm bucket was evicted but the solution
+			// survived: its allocation is just as good a seed.
+			m.Warm = &m.Result.Allocation
+		}
+		if m.Result == nil && m.Warm == nil {
+			continue // expired or evicted at the source; nothing to carry
+		}
+		dst.Inject(fpDst, m)
+		if m.Result != nil {
+			rep.MigratedResults++
+			r.migratedResults.Add(1)
+		}
+		if m.Warm != nil {
+			rep.MigratedWarm++
+			r.migratedWarm.Add(1)
+		}
+	}
+	return rep, nil
+}

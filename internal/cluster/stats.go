@@ -1,0 +1,105 @@
+package cluster
+
+import (
+	"io"
+	"strconv"
+	"time"
+
+	"repro/internal/serve"
+)
+
+// CellStats is one cell's snapshot, tagged with its index.
+type CellStats struct {
+	Cell int `json:"cell"`
+	serve.Snapshot
+}
+
+// Aggregate is the cluster-wide rollup: every counter and occupancy gauge
+// summed over cells, latency quantiles recomputed from the merged recent
+// windows (quantiles do not sum), plus the router's own counters.
+type Aggregate struct {
+	serve.Snapshot
+	// Handoffs counts completed Handoff calls (no-ops included).
+	Handoffs int64 `json:"handoffs"`
+	// MigratedResults counts solution-cache entries moved across cells.
+	MigratedResults int64 `json:"migrated_results"`
+	// MigratedWarm counts warm-start allocations moved across cells.
+	MigratedWarm int64 `json:"migrated_warm_starts"`
+	// PinnedDevices is how many devices are currently pinned to a cell.
+	PinnedDevices int `json:"pinned_devices"`
+	// TrackedDevices is how many devices the router holds state for.
+	TrackedDevices int `json:"tracked_devices"`
+	// RoutedExplicit/RoutedPinned/RoutedHashed break down how requests
+	// chose their cell.
+	RoutedExplicit int64 `json:"routed_explicit"`
+	RoutedPinned   int64 `json:"routed_pinned"`
+	RoutedHashed   int64 `json:"routed_hashed"`
+}
+
+// Stats is the cluster snapshot: the rollup plus every cell.
+type Stats struct {
+	Aggregate Aggregate   `json:"aggregate"`
+	Cells     []CellStats `json:"cells"`
+}
+
+// Stats snapshots every cell and rolls the counters up.
+func (r *Router) Stats() Stats {
+	out := Stats{Cells: make([]CellStats, len(r.cells))}
+	agg := &out.Aggregate
+	var lat []time.Duration
+	for i, c := range r.cells {
+		snap := c.Stats()
+		out.Cells[i] = CellStats{Cell: i, Snapshot: snap}
+		agg.Requests += snap.Requests
+		agg.Hits += snap.Hits
+		agg.Misses += snap.Misses
+		agg.WarmStarts += snap.WarmStarts
+		agg.ColdSolves += snap.ColdSolves
+		agg.Deduped += snap.Deduped
+		agg.Rejected += snap.Rejected
+		agg.Errors += snap.Errors
+		agg.CacheEntries += snap.CacheEntries
+		agg.WarmEntries += snap.WarmEntries
+		lat = append(lat, c.SolveLatencies()...)
+	}
+	agg.SolveP50, agg.SolveP99 = serve.LatencyQuantiles(lat)
+	agg.Handoffs = r.handoffs.Load()
+	agg.MigratedResults = r.migratedResults.Load()
+	agg.MigratedWarm = r.migratedWarm.Load()
+	agg.RoutedExplicit = r.routedExplicit.Load()
+	agg.RoutedPinned = r.routedPinned.Load()
+	agg.RoutedHashed = r.routedHashed.Load()
+	r.mu.Lock()
+	agg.TrackedDevices = len(r.devices)
+	for _, st := range r.devices {
+		if st.pinned {
+			agg.PinnedDevices++
+		}
+	}
+	r.mu.Unlock()
+	return out
+}
+
+// WritePrometheus emits the cluster in Prometheus text exposition: each
+// cell's series under the "flserve" prefix with a cell label, and the
+// router's own counters plus the merged latency quantiles under
+// "flcluster". Per-cell series are left unaggregated (summing is the
+// monitoring system's job; pre-summed duplicates would double-count).
+func (s Stats) WritePrometheus(w io.Writer) error {
+	pw := serve.NewPromWriter(w)
+	for _, c := range s.Cells {
+		c.Snapshot.WritePrometheus(pw, "flserve", `cell="`+strconv.Itoa(c.Cell)+`"`)
+	}
+	a := s.Aggregate
+	pw.Counter("flcluster_handoffs_total", "Cross-cell device handoffs.", "", float64(a.Handoffs))
+	pw.Counter("flcluster_migrated_results_total", "Solution-cache entries moved across cells.", "", float64(a.MigratedResults))
+	pw.Counter("flcluster_migrated_warm_starts_total", "Warm-start allocations moved across cells.", "", float64(a.MigratedWarm))
+	pw.Counter("flcluster_routed_total", "Requests by routing decision.", `via="explicit"`, float64(a.RoutedExplicit))
+	pw.Counter("flcluster_routed_total", "Requests by routing decision.", `via="pinned"`, float64(a.RoutedPinned))
+	pw.Counter("flcluster_routed_total", "Requests by routing decision.", `via="hashed"`, float64(a.RoutedHashed))
+	pw.Gauge("flcluster_pinned_devices", "Devices currently pinned to a cell.", "", float64(a.PinnedDevices))
+	pw.Gauge("flcluster_tracked_devices", "Devices the router holds state for.", "", float64(a.TrackedDevices))
+	pw.Gauge("flcluster_solve_latency_seconds", "Cluster-wide recent solve latency quantiles.", `quantile="0.5"`, a.SolveP50)
+	pw.Gauge("flcluster_solve_latency_seconds", "Cluster-wide recent solve latency quantiles.", `quantile="0.99"`, a.SolveP99)
+	return pw.Err()
+}

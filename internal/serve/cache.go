@@ -97,6 +97,28 @@ func (c *Cache) Put(key uint64, res core.Result) {
 	sh.items[key] = sh.lru.PushFront(ent)
 }
 
+// Take removes and returns the cached result for key, if present and
+// fresh. It is the extraction half of a cross-shard migration: unlike Get
+// it does not clone, because removal makes the caller the sole owner (a
+// concurrent Get that already holds the entry only reads from it).
+func (c *Cache) Take(key uint64) (core.Result, bool) {
+	sh := &c.shards[key%cacheShards]
+	sh.mu.Lock()
+	el, ok := sh.items[key]
+	if !ok {
+		sh.mu.Unlock()
+		return core.Result{}, false
+	}
+	ent := el.Value.(*cacheEntry)
+	sh.lru.Remove(el)
+	delete(sh.items, key)
+	sh.mu.Unlock()
+	if c.ttl > 0 && time.Now().After(ent.expires) {
+		return core.Result{}, false
+	}
+	return ent.res, true
+}
+
 // Len reports the live entry count across shards (expired entries that have
 // not been touched since expiry still count).
 func (c *Cache) Len() int {

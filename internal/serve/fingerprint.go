@@ -86,6 +86,17 @@ func (hs *hasher) int64(v int64) {
 	hs.h = h
 }
 
+func (hs *hasher) str(s string) {
+	hs.int64(int64(len(s)))
+	const prime = 1099511628211
+	h := hs.h
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= prime
+	}
+	hs.h = h
+}
+
 // qlog buckets a value by rounding its log10 to a grid of width res
 // decades. Zero and negative values get dedicated buckets (the model never
 // produces them for the hashed fields, but the hash must stay total).
@@ -102,14 +113,24 @@ func (hs *hasher) qlog(v, res float64) {
 }
 
 // FingerprintInstance hashes (system, weights, options) at both
-// granularities. It is deterministic across processes: only field values
-// enter the hash, in a fixed order.
+// granularities for the default solver (Algorithm 2). It is deterministic
+// across processes: only field values enter the hash, in a fixed order.
 func FingerprintInstance(s *fl.System, w fl.Weights, opts core.Options, q Quantization) Fingerprint {
+	return FingerprintRequest(Request{System: s, Weights: w, Options: opts}, q)
+}
+
+// FingerprintRequest hashes a full request, solver choice included: the
+// same instance posted to different solvers must occupy different cache
+// entries and different warm-start buckets, or a baseline's answer would
+// masquerade as Algorithm 2's (and vice versa).
+func FingerprintRequest(req Request, q Quantization) Fingerprint {
+	s, w, opts := req.System, req.Weights, req.Options
 	q = q.withDefaults()
 	gainRes := q.GainResolutionDB / 10 // dB -> decades
 	pr := q.ParamResolution
 
 	topo := newHasher()
+	topo.str(string(req.Solver.normalize()))
 	topo.int64(int64(s.N()))
 	topo.qlog(s.Bandwidth, pr)
 	topo.qlog(s.N0, pr)

@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"net/http"
 
+	"repro/internal/baselines"
 	"repro/internal/core"
 	"repro/internal/fl"
 )
@@ -46,6 +47,13 @@ type SolveRequestJSON struct {
 	TotalDeadlineS float64 `json:"total_deadline_s,omitempty"`
 	// JointWeighted selects the joint 1-D-over-deadline weighted solver.
 	JointWeighted bool `json:"joint_weighted,omitempty"`
+	// Solver selects the answering algorithm: "algorithm2" (default),
+	// "scheme1" (deadline mode only) or "simplified" (weighted mode only).
+	// All run through the same cache/fingerprint pipeline.
+	Solver string `json:"solver,omitempty"`
+	// DeviceID names the requesting device for cluster routing and
+	// cross-cell handoff; a single server ignores it.
+	DeviceID string `json:"device_id,omitempty"`
 }
 
 // SolveResponseJSON is the body of a successful POST /v1/solve.
@@ -62,6 +70,7 @@ type SolveResponseJSON struct {
 	Converged     bool      `json:"converged"`
 	Iterations    int       `json:"iterations"`
 	Source        string    `json:"source"`
+	Solver        string    `json:"solver"`
 	SolveSeconds  float64   `json:"solve_seconds"`
 	FingerprintHx string    `json:"fingerprint"`
 }
@@ -120,8 +129,11 @@ func SystemFromJSON(in SystemJSON) (*fl.System, error) {
 	return s, nil
 }
 
-// requestFromJSON builds the native request, validating the mode string.
-func requestFromJSON(in SolveRequestJSON) (Request, error) {
+// RequestFromJSON builds the native request, validating the mode string.
+// (Solver validation happens in Solve, where the mode/solver combination
+// is checked as a whole.) The cluster router decodes the same wire form
+// and routes it through here.
+func RequestFromJSON(in SolveRequestJSON) (Request, error) {
 	sys, err := SystemFromJSON(in.System)
 	if err != nil {
 		return Request{}, err
@@ -140,17 +152,43 @@ func requestFromJSON(in SolveRequestJSON) (Request, error) {
 		System:  sys,
 		Weights: fl.Weights{W1: in.Weights.W1, W2: in.Weights.W2},
 		Options: opts,
+		Solver:  SolverName(in.Solver),
 	}, nil
+}
+
+// ResponseToJSON flattens a response into the HTTP wire form (shared with
+// the cluster front end, which adds the serving cell).
+func ResponseToJSON(resp Response) SolveResponseJSON {
+	m := resp.Result.Metrics
+	return SolveResponseJSON{
+		PowerW:        resp.Result.Allocation.Power,
+		BandwidthHz:   resp.Result.Allocation.Bandwidth,
+		FreqHz:        resp.Result.Allocation.Freq,
+		RoundTimeS:    m.RoundTime,
+		TotalTimeS:    m.TotalTime,
+		TotalEnergyJ:  m.TotalEnergy,
+		TransEnergyJ:  m.TransEnergy,
+		CompEnergyJ:   m.CompEnergy,
+		Objective:     resp.Result.Objective,
+		Converged:     resp.Result.Converged,
+		Iterations:    len(resp.Result.Iterations),
+		Source:        string(resp.Source),
+		Solver:        string(resp.Solver),
+		SolveSeconds:  resp.SolveTime.Seconds(),
+		FingerprintHx: fmt.Sprintf("%016x", resp.Fingerprint.Exact),
+	}
 }
 
 // Handler returns the HTTP API of the server:
 //
 //	POST /v1/solve  JSON instance in, allocation + metrics out
-//	GET  /v1/stats  counter snapshot
+//	GET  /v1/stats  counter snapshot (JSON)
+//	GET  /metrics   the same counters in Prometheus text exposition
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/solve", s.handleSolve)
 	mux.HandleFunc("GET /v1/stats", s.handleStats)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	return mux
 }
 
@@ -170,46 +208,37 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, fmt.Errorf("decoding body: %w", err))
 		return
 	}
-	req, err := requestFromJSON(in)
+	req, err := RequestFromJSON(in)
 	if err != nil {
 		httpError(w, http.StatusBadRequest, err)
 		return
 	}
 	resp, err := s.Solve(r.Context(), req)
 	if err != nil {
-		httpError(w, statusFor(err), err)
+		httpError(w, StatusFor(err), err)
 		return
 	}
-	m := resp.Result.Metrics
-	writeJSON(w, http.StatusOK, SolveResponseJSON{
-		PowerW:        resp.Result.Allocation.Power,
-		BandwidthHz:   resp.Result.Allocation.Bandwidth,
-		FreqHz:        resp.Result.Allocation.Freq,
-		RoundTimeS:    m.RoundTime,
-		TotalTimeS:    m.TotalTime,
-		TotalEnergyJ:  m.TotalEnergy,
-		TransEnergyJ:  m.TransEnergy,
-		CompEnergyJ:   m.CompEnergy,
-		Objective:     resp.Result.Objective,
-		Converged:     resp.Result.Converged,
-		Iterations:    len(resp.Result.Iterations),
-		Source:        string(resp.Source),
-		SolveSeconds:  resp.SolveTime.Seconds(),
-		FingerprintHx: fmt.Sprintf("%016x", resp.Fingerprint.Exact),
-	})
+	writeJSON(w, http.StatusOK, ResponseToJSON(resp))
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 	writeJSON(w, http.StatusOK, s.Stats())
 }
 
-// statusFor maps service errors to HTTP statuses.
-func statusFor(err error) int {
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", PromContentType)
+	pw := NewPromWriter(w)
+	s.Stats().WritePrometheus(pw, "flserve", "")
+}
+
+// StatusFor maps service errors to HTTP statuses (shared with the cluster
+// front end, which layers its own routing errors on top).
+func StatusFor(err error) int {
 	switch {
 	case errors.Is(err, ErrBadRequest), errors.Is(err, fl.ErrInvalidSystem),
 		errors.Is(err, core.ErrBadInput):
 		return http.StatusBadRequest
-	case errors.Is(err, core.ErrInfeasible):
+	case errors.Is(err, core.ErrInfeasible), errors.Is(err, baselines.ErrInfeasible):
 		return http.StatusUnprocessableEntity
 	case errors.Is(err, ErrOverloaded), errors.Is(err, ErrClosed):
 		return http.StatusServiceUnavailable

@@ -1,0 +1,93 @@
+package serve
+
+import (
+	"fmt"
+	"io"
+)
+
+// PromContentType is the Prometheus text exposition content type.
+const PromContentType = "text/plain; version=0.0.4; charset=utf-8"
+
+// PromWriter emits the Prometheus text exposition format. It writes each
+// metric's # HELP/# TYPE header exactly once even when several labelsets
+// of the same name are emitted (the per-cell series of a cluster), which
+// the format requires.
+type PromWriter struct {
+	w    io.Writer
+	seen map[string]bool
+	err  error
+}
+
+// NewPromWriter wraps w. Write errors are sticky and reported by Err.
+func NewPromWriter(w io.Writer) *PromWriter {
+	return &PromWriter{w: w, seen: make(map[string]bool)}
+}
+
+// Err returns the first write error, if any.
+func (p *PromWriter) Err() error { return p.err }
+
+// Counter emits one counter sample. labels is the raw label list without
+// braces (e.g. `cell="3"`), empty for none.
+func (p *PromWriter) Counter(name, help, labels string, v float64) {
+	p.sample(name, help, "counter", labels, v)
+}
+
+// Gauge emits one gauge sample.
+func (p *PromWriter) Gauge(name, help, labels string, v float64) {
+	p.sample(name, help, "gauge", labels, v)
+}
+
+func (p *PromWriter) sample(name, help, kind, labels string, v float64) {
+	if p.err != nil {
+		return
+	}
+	if !p.seen[name] {
+		p.seen[name] = true
+		if _, err := fmt.Fprintf(p.w, "# HELP %s %s\n# TYPE %s %s\n", name, help, name, kind); err != nil {
+			p.err = err
+			return
+		}
+	}
+	series := name
+	if labels != "" {
+		series = name + "{" + labels + "}"
+	}
+	if _, err := fmt.Fprintf(p.w, "%s %g\n", series, v); err != nil {
+		p.err = err
+	}
+}
+
+// WritePrometheus emits the snapshot's counters, occupancy gauges and
+// latency quantiles under the given metric prefix (e.g. "flserve") and
+// label list (without braces; empty for none). Quantile series get a
+// `quantile` label appended, summary-style.
+func (s Snapshot) WritePrometheus(p *PromWriter, prefix, labels string) {
+	counters := []struct {
+		name, help string
+		v          int64
+	}{
+		{"requests_total", "Solve requests received, whatever the outcome.", s.Requests},
+		{"cache_hits_total", "Requests answered from the solution cache.", s.Hits},
+		{"cache_misses_total", "Requests whose exact fingerprint was absent.", s.Misses},
+		{"warm_starts_total", "Solves seeded from a topology-bucket neighbour.", s.WarmStarts},
+		{"cold_solves_total", "Solves started from scratch.", s.ColdSolves},
+		{"deduped_total", "Requests joined onto an identical in-flight solve.", s.Deduped},
+		{"rejected_total", "Requests shed because the queue was full.", s.Rejected},
+		{"errors_total", "Requests that ended in a solver or validation error.", s.Errors},
+	}
+	for _, c := range counters {
+		p.Counter(prefix+"_"+c.name, c.help, labels, float64(c.v))
+	}
+	p.Gauge(prefix+"_cache_entries", "Current solution-cache occupancy.", labels, float64(s.CacheEntries))
+	p.Gauge(prefix+"_warm_entries", "Current warm-start index occupancy.", labels, float64(s.WarmEntries))
+	for _, qv := range []struct {
+		q string
+		v float64
+	}{{"0.5", s.SolveP50}, {"0.99", s.SolveP99}} {
+		ql := `quantile="` + qv.q + `"`
+		if labels != "" {
+			ql = labels + "," + ql
+		}
+		p.Gauge(prefix+"_solve_latency_seconds", "Recent solve latency quantiles (cache hits excluded).", ql, qv.v)
+	}
+}

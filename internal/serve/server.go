@@ -81,6 +81,10 @@ type Request struct {
 	// Options configures the solver. A caller-provided Options.Start is
 	// always honored; the warm-start path only fills in a nil Start.
 	Options core.Options
+	// Solver selects the answering algorithm (default SolverAlgorithm2).
+	// The choice is part of the fingerprint, so the same instance under
+	// different solvers never shares a cache entry.
+	Solver SolverName
 }
 
 // Source records how a response was produced.
@@ -102,6 +106,9 @@ type Response struct {
 	// Source tells whether the result came from cache, a warm or a cold
 	// solve.
 	Source Source
+	// Solver is the algorithm that produced the result (normalized; never
+	// empty).
+	Solver SolverName
 	// Fingerprint is the instance fingerprint used for caching.
 	Fingerprint Fingerprint
 	// SolveTime is the wall time of the solve (zero on cache hits).
@@ -126,9 +133,10 @@ type Server struct {
 }
 
 type task struct {
-	req  Request
-	fp   Fingerprint
-	call *flightCall
+	req   Request
+	fp    Fingerprint
+	solve func(*fl.System, fl.Weights, core.Options) (core.Result, error)
+	call  *flightCall
 }
 
 // New builds a server and starts its worker pool. Call Close (or cancel a
@@ -172,8 +180,67 @@ func (s *Server) Close() {
 	s.wg.Wait()
 }
 
-// Stats returns a snapshot of the server counters.
-func (s *Server) Stats() Snapshot { return s.stats.Snapshot() }
+// Stats returns a snapshot of the server counters, cache and warm-index
+// occupancy included.
+func (s *Server) Stats() Snapshot {
+	st := s.stats.Snapshot()
+	st.CacheEntries = s.cache.Len()
+	st.WarmEntries = s.warm.len()
+	return st
+}
+
+// SolveLatencies returns a copy of the recent solve-latency window
+// (unsorted, cache hits excluded). Cluster routers merge the windows of
+// their cells to compute cluster-wide quantiles.
+func (s *Server) SolveLatencies() []time.Duration { return s.stats.latencies() }
+
+// Quantization returns the fingerprint quantization this server buckets
+// with. Handoff re-fingerprints migrating instances under the destination
+// server's quantization, which need not match the source's.
+func (s *Server) Quantization() Quantization { return s.cfg.Quantization }
+
+// Migration bundles the cacheable state one fingerprint identifies: the
+// exact-match solution and the topology-bucket warm-start allocation.
+// Either part may be absent (nil).
+type Migration struct {
+	// Result is the exact-fingerprint cache entry, nil if absent.
+	Result *core.Result
+	// Warm is the topology-bucket warm-start allocation, nil if absent.
+	Warm *fl.Allocation
+}
+
+// Extract removes and returns the solution-cache entry identified by fp,
+// together with a copy of its topology bucket's warm-start allocation. It
+// is the source half of a cross-cell device handoff: after Extract the
+// server answers that exact fingerprint cold again. The warm entry is
+// copied, not removed — topology buckets are shared by every device whose
+// instances collide there, and one device's mobility must not cold-start
+// the neighbours it leaves behind.
+func (s *Server) Extract(fp Fingerprint) Migration {
+	var m Migration
+	if res, ok := s.cache.Take(fp.Exact); ok {
+		m.Result = &res
+	}
+	if a, ok := s.warm.get(fp.Topo); ok {
+		m.Warm = &a
+	}
+	return m
+}
+
+// Inject inserts a migrated bundle under fp, the destination half of a
+// handoff: the next identical request is a cache hit, and a drifted one
+// warm-starts from the migrated allocation. Exactly what the bundle
+// carries is inserted — whether a Result should double as a warm seed is
+// the caller's call (it knows the solver; see SolverName.Warmable) — and
+// parts whose pipeline stage is disabled by config are dropped.
+func (s *Server) Inject(fp Fingerprint, m Migration) {
+	if m.Result != nil && !s.cfg.DisableCache {
+		s.cache.Put(fp.Exact, *m.Result)
+	}
+	if m.Warm != nil && !s.cfg.DisableWarmStart {
+		s.warm.put(fp.Topo, *m.Warm)
+	}
+}
 
 // Solve answers one allocation request: from the cache on an exact
 // fingerprint hit, by joining an identical in-flight solve, or by queueing
@@ -187,11 +254,16 @@ func (s *Server) Solve(ctx context.Context, req Request) (Response, error) {
 		s.stats.errors.Add(1)
 		return Response{}, fmt.Errorf("nil system: %w", ErrBadRequest)
 	}
-	fp := FingerprintInstance(req.System, req.Weights, req.Options, s.cfg.Quantization)
+	solve, err := s.solveFunc(req)
+	if err != nil {
+		s.stats.errors.Add(1)
+		return Response{}, err
+	}
+	fp := FingerprintRequest(req, s.cfg.Quantization)
 	if !s.cfg.DisableCache {
 		if res, ok := s.cache.Get(fp.Exact); ok {
 			s.stats.hits.Add(1)
-			return Response{Result: res, Source: SourceCache, Fingerprint: fp}, nil
+			return Response{Result: res, Source: SourceCache, Solver: req.Solver.normalize(), Fingerprint: fp}, nil
 		}
 		s.stats.misses.Add(1)
 	}
@@ -208,7 +280,7 @@ func (s *Server) Solve(ctx context.Context, req Request) (Response, error) {
 
 	call, leader := s.flight.join(fp.Exact)
 	if leader {
-		s.enqueue(&task{req: req, fp: fp, call: call})
+		s.enqueue(&task{req: req, fp: fp, solve: solve, call: call})
 	} else {
 		s.stats.deduped.Add(1)
 	}
@@ -286,7 +358,7 @@ func (s *Server) process(t *task) (Response, error) {
 	}
 
 	began := time.Now()
-	res, err := s.cfg.Solver(req.System, req.Weights, req.Options)
+	res, err := t.solve(req.System, req.Weights, req.Options)
 	elapsed := time.Since(began)
 	if err != nil {
 		s.stats.errors.Add(1)
@@ -301,26 +373,33 @@ func (s *Server) process(t *task) (Response, error) {
 	if !s.cfg.DisableCache {
 		s.cache.Put(t.fp.Exact, res)
 	}
-	if !s.cfg.DisableWarmStart {
+	// Baselines never consume a seeded start, so their allocations would
+	// only sit dead in (their own, solver-keyed) topology buckets.
+	if !s.cfg.DisableWarmStart && req.Solver.Warmable() {
 		s.warm.put(t.fp.Topo, res.Allocation)
 	}
 	// Not cloned here: every waiter in Solve copies Result for itself.
 	return Response{
 		Result:      res,
 		Source:      source,
+		Solver:      req.Solver.normalize(),
 		Fingerprint: t.fp,
 		SolveTime:   elapsed,
 	}, nil
 }
 
-// startMatters reports whether core.Optimize would actually consume a
-// seeded Options.Start for this request: only the weighted alternating
-// loop reads it. The deadline mode solves jointly from scratch, the joint
+// startMatters reports whether the solver would actually consume a seeded
+// Options.Start for this request: only core.Optimize's weighted
+// alternating loop reads it. The baseline solvers pick their own fixed
+// starts, the deadline mode solves jointly from scratch, the joint
 // weighted solver runs its own 1-D search, the pure-delay corner (w1 = 0)
 // reduces to min-time, and a caller-provided Start always wins. Skipping
 // the lookup in those cases keeps Source and the warm_starts counter
 // honest (and saves the clone + validation).
 func startMatters(req Request) bool {
+	if !req.Solver.Warmable() {
+		return false
+	}
 	if req.Options.Start != nil || req.Options.JointWeighted {
 		return false
 	}
@@ -391,6 +470,13 @@ func (w *warmIndex) get(key uint64) (fl.Allocation, bool) {
 	defer w.mu.Unlock()
 	a, ok := w.m[key]
 	return a, ok
+}
+
+// len reports the current entry count.
+func (w *warmIndex) len() int {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return len(w.m)
 }
 
 func (w *warmIndex) put(key uint64, a fl.Allocation) {

@@ -1,0 +1,125 @@
+package serve
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/fl"
+)
+
+// feasibleish returns a plausible cached allocation for s: powers and
+// frequencies at their boxes' midpoints, bandwidth an equal split.
+func feasibleish(s *fl.System) fl.Allocation {
+	a := fl.NewAllocation(s.N())
+	for i, d := range s.Devices {
+		a.Power[i] = (d.PMin + d.PMax) / 2
+		a.Freq[i] = (d.FMin + d.FMax) / 2
+		a.Bandwidth[i] = s.Bandwidth / float64(s.N())
+	}
+	return a
+}
+
+func TestSanitizeStartRepairsEdgeResidue(t *testing.T) {
+	s := testSystem(t, 6, 1)
+	a := feasibleish(s)
+	// Solver-style residue: slightly outside the boxes and over budget.
+	a.Power[0] = s.Devices[0].PMax * (1 + 1e-9)
+	a.Freq[1] = s.Devices[1].FMin * (1 - 1e-9)
+	for i := range a.Bandwidth {
+		a.Bandwidth[i] *= 1 + 1e-9
+	}
+	out, ok := sanitizeStart(s, a)
+	if !ok {
+		t.Fatal("repairable allocation rejected")
+	}
+	if err := s.Validate(out, 0); err != nil {
+		t.Fatalf("sanitized start infeasible at zero tolerance: %v", err)
+	}
+	// The input is never mutated (the cached entry stays pristine).
+	if a.Power[0] <= s.Devices[0].PMax {
+		t.Fatal("sanitizeStart mutated its input")
+	}
+}
+
+func TestSanitizeStartRejectsWrongSize(t *testing.T) {
+	s := testSystem(t, 6, 1)
+	long := feasibleish(testSystem(t, 8, 1))
+	if _, ok := sanitizeStart(s, long); ok {
+		t.Fatal("allocation longer than the system accepted")
+	}
+	short := feasibleish(testSystem(t, 4, 1))
+	if _, ok := sanitizeStart(s, short); ok {
+		t.Fatal("allocation shorter than the system accepted")
+	}
+	if _, ok := sanitizeStart(s, fl.Allocation{}); ok {
+		t.Fatal("empty allocation accepted")
+	}
+}
+
+func TestSanitizeStartRejectsAllZero(t *testing.T) {
+	s := testSystem(t, 6, 1)
+	if _, ok := sanitizeStart(s, fl.NewAllocation(s.N())); ok {
+		t.Fatal("all-zero allocation accepted (zero bandwidth cannot be repaired)")
+	}
+}
+
+func TestSanitizeStartRejectsNaNAndInf(t *testing.T) {
+	s := testSystem(t, 6, 1)
+
+	nanPower := feasibleish(s)
+	nanPower.Power[2] = math.NaN()
+	if _, ok := sanitizeStart(s, nanPower); ok {
+		t.Fatal("NaN power accepted")
+	}
+
+	nanBand := feasibleish(s)
+	nanBand.Bandwidth[3] = math.NaN()
+	if _, ok := sanitizeStart(s, nanBand); ok {
+		t.Fatal("NaN bandwidth accepted")
+	}
+
+	infBand := feasibleish(s)
+	infBand.Bandwidth[0] = math.Inf(1)
+	if _, ok := sanitizeStart(s, infBand); ok {
+		t.Fatal("infinite bandwidth accepted")
+	}
+
+	negBand := feasibleish(s)
+	negBand.Bandwidth[1] = -1
+	if _, ok := sanitizeStart(s, negBand); ok {
+		t.Fatal("negative bandwidth accepted")
+	}
+
+	// Infinite power and frequency, by contrast, clamp cleanly to the box
+	// tops — an aggressive cached allocation is still a usable seed.
+	infPF := feasibleish(s)
+	infPF.Power[0] = math.Inf(1)
+	infPF.Freq[0] = math.Inf(1)
+	out, ok := sanitizeStart(s, infPF)
+	if !ok {
+		t.Fatal("clampable infinite power/freq rejected")
+	}
+	if out.Power[0] != s.Devices[0].PMax || out.Freq[0] != s.Devices[0].FMax {
+		t.Fatalf("infinite power/freq clamped to (%g, %g), want box tops (%g, %g)",
+			out.Power[0], out.Freq[0], s.Devices[0].PMax, s.Devices[0].FMax)
+	}
+}
+
+func TestSanitizeStartRescalesOverBudget(t *testing.T) {
+	s := testSystem(t, 6, 1)
+	a := feasibleish(s)
+	for i := range a.Bandwidth {
+		a.Bandwidth[i] *= 3 // 3x over the budget
+	}
+	out, ok := sanitizeStart(s, a)
+	if !ok {
+		t.Fatal("over-budget allocation rejected instead of rescaled")
+	}
+	var sum float64
+	for _, b := range out.Bandwidth {
+		sum += b
+	}
+	if sum > s.Bandwidth {
+		t.Fatalf("rescaled sum %g still exceeds budget %g", sum, s.Bandwidth)
+	}
+}

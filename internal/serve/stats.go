@@ -60,6 +60,11 @@ type Snapshot struct {
 	// seconds (cache hits excluded; zero until the first solve completes).
 	SolveP50 float64 `json:"solve_p50_seconds"`
 	SolveP99 float64 `json:"solve_p99_seconds"`
+	// CacheEntries is the current solution-cache occupancy (filled by
+	// Server.Stats; Stats itself does not know the cache).
+	CacheEntries int `json:"cache_entries"`
+	// WarmEntries is the current warm-start index occupancy.
+	WarmEntries int `json:"warm_entries"`
 }
 
 // Snapshot returns the current counter values and latency quantiles.
@@ -74,20 +79,35 @@ func (st *Stats) Snapshot() Snapshot {
 		Rejected:   st.rejected.Load(),
 		Errors:     st.errors.Load(),
 	}
+	if lat := st.latencies(); len(lat) > 0 {
+		s.SolveP50, s.SolveP99 = LatencyQuantiles(lat)
+	}
+	return s
+}
+
+// latencies copies the recent-latency window (unsorted).
+func (st *Stats) latencies() []time.Duration {
 	st.mu.Lock()
+	defer st.mu.Unlock()
 	n := st.count
 	if n > latencyWindow {
 		n = latencyWindow
 	}
 	lat := make([]time.Duration, n)
 	copy(lat, st.ring[:n])
-	st.mu.Unlock()
-	if len(lat) > 0 {
-		sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
-		s.SolveP50 = quantile(lat, 0.50).Seconds()
-		s.SolveP99 = quantile(lat, 0.99).Seconds()
+	return lat
+}
+
+// LatencyQuantiles reports the p50 and p99 of a latency sample in seconds
+// (zeros for an empty sample). The sample is sorted in place. Cluster
+// routers use it to merge the windows of several servers into one
+// cluster-wide quantile pair.
+func LatencyQuantiles(lat []time.Duration) (p50, p99 float64) {
+	if len(lat) == 0 {
+		return 0, 0
 	}
-	return s
+	sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
+	return quantile(lat, 0.50).Seconds(), quantile(lat, 0.99).Seconds()
 }
 
 // quantile reads the q-quantile from an ascending slice by nearest rank

@@ -28,6 +28,7 @@ import (
 	"math/rand"
 
 	"repro/internal/baselines"
+	"repro/internal/cluster"
 	"repro/internal/core"
 	"repro/internal/experiments"
 	"repro/internal/fedavg"
@@ -203,8 +204,12 @@ type (
 	ServeStats = serve.Snapshot
 	// ServeFingerprint is a two-granularity instance fingerprint.
 	ServeFingerprint = serve.Fingerprint
+	// ServeSolverName selects the answering algorithm of a request.
+	ServeSolverName = serve.SolverName
 	// SolveRequestJSON and SystemJSON are the HTTP wire forms.
 	SolveRequestJSON = serve.SolveRequestJSON
+	// SolveResponseJSON is the solve response wire form.
+	SolveResponseJSON = serve.SolveResponseJSON
 	// SystemJSON is the wire form of a System.
 	SystemJSON = serve.SystemJSON
 )
@@ -219,9 +224,49 @@ const (
 	ServeSourceCold = serve.SourceCold
 )
 
+// Re-exported solver selectors for the serving path.
+const (
+	// ServeSolverAlgorithm2 is the paper's alternating optimizer (default).
+	ServeSolverAlgorithm2 = serve.SolverAlgorithm2
+	// ServeSolverScheme1 is the Yang et al. comparator (deadline mode).
+	ServeSolverScheme1 = serve.SolverScheme1
+	// ServeSolverSimplified is the linearized-Shannon baseline (weighted).
+	ServeSolverSimplified = serve.SolverSimplified
+)
+
 // NewServer builds an allocation server and starts its worker pool; call
 // Close (or cancel a Serve context) to stop it.
 func NewServer(cfg ServeConfig) *Server { return serve.New(cfg) }
+
+// Cluster types (see internal/cluster): the multi-cell router sharding
+// per-cell servers with cross-cell device handoff and aggregated stats.
+type (
+	// Cluster routes requests across per-cell allocation servers.
+	Cluster = cluster.Router
+	// ClusterConfig parameterizes the cluster (cell count, per-cell
+	// server template, routing state bounds).
+	ClusterConfig = cluster.Config
+	// ClusterStats is the aggregate + per-cell counter snapshot.
+	ClusterStats = cluster.Stats
+	// ClusterCellStats is one cell's tagged snapshot.
+	ClusterCellStats = cluster.CellStats
+	// ClusterAggregate is the cluster-wide rollup.
+	ClusterAggregate = cluster.Aggregate
+	// HandoffReport summarizes one cross-cell device handoff.
+	HandoffReport = cluster.HandoffReport
+	// HandoffRequestJSON is the POST /v1/handoff wire form.
+	HandoffRequestJSON = cluster.HandoffRequestJSON
+	// ClusterSolveResponseJSON is a solve response plus its serving cell.
+	ClusterSolveResponseJSON = cluster.SolveResponseJSON
+)
+
+// ClusterCellAuto routes a request by device pin / consistent hash instead
+// of an explicit cell index.
+const ClusterCellAuto = cluster.CellAuto
+
+// NewCluster builds a multi-cell router and starts every cell's worker
+// pool; call Close to stop them.
+func NewCluster(cfg ClusterConfig) *Cluster { return cluster.New(cfg) }
 
 // FingerprintInstance hashes an instance at cache and topology granularity.
 func FingerprintInstance(s *System, w Weights, opts Options, q ServeQuantization) ServeFingerprint {
