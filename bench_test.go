@@ -204,10 +204,53 @@ func BenchmarkServeCached(b *testing.B) {
 	}
 }
 
-// BenchmarkServeWarmStart measures drifted requests with warm starts: every
-// iteration misses the exact fingerprint but seeds Algorithm 2 from the
-// topology bucket's cached allocation.
+// BenchmarkServeWarmStart measures drifted requests with full warm starts:
+// every iteration misses the exact fingerprint but seeds Algorithm 2 with
+// the topology bucket's cached allocation AND its Subproblem 2 dual state,
+// so the seeded solves skip their Newton iterations (reported as the
+// newton/op metric).
 func BenchmarkServeWarmStart(b *testing.B) {
+	benchServeWarm(b, repro.ServeConfig{})
+}
+
+// BenchmarkServeWarmStartAllocOnly is the same drifted stream with the dual
+// seed disabled: the warm start carries only the allocation, and every
+// solve re-runs its Newton iteration. The gap to BenchmarkServeWarmStart
+// (ns/op and newton/op) is what dual-state caching buys.
+func BenchmarkServeWarmStartAllocOnly(b *testing.B) {
+	benchServeWarm(b, repro.ServeConfig{DisableDualSeed: true})
+}
+
+func benchServeWarm(b *testing.B, cfg repro.ServeConfig) {
+	b.Helper()
+	base := serveBenchSystem(b)
+	srv := repro.NewServer(cfg)
+	defer srv.Close()
+	rng := rand.New(rand.NewSource(2))
+	w := repro.Weights{W1: 0.5, W2: 0.5}
+	if _, err := srv.Solve(context.Background(), repro.ServeRequest{System: base, Weights: w}); err != nil {
+		b.Fatal(err)
+	}
+	var newton int
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s := driftBench(base, 0.3, rng)
+		resp, err := srv.Solve(context.Background(), repro.ServeRequest{System: s, Weights: w})
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, it := range resp.Result.Iterations {
+			newton += it.NewtonIters
+		}
+	}
+	b.ReportMetric(float64(newton)/float64(b.N), "newton/op")
+}
+
+// BenchmarkServeBatch measures the amortized batch path: each op posts one
+// SolveBatch of serveBatchSize drifted instances at bulk priority (so ns/op
+// is per batch; divide by serveBatchSize for per-instance cost).
+func BenchmarkServeBatch(b *testing.B) {
+	const serveBatchSize = 16
 	base := serveBenchSystem(b)
 	srv := repro.NewServer(repro.ServeConfig{})
 	defer srv.Close()
@@ -218,11 +261,17 @@ func BenchmarkServeWarmStart(b *testing.B) {
 	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		s := driftBench(base, 0.3, rng)
-		if _, err := srv.Solve(context.Background(), repro.ServeRequest{System: s, Weights: w}); err != nil {
-			b.Fatal(err)
+		reqs := make([]repro.ServeRequest, serveBatchSize)
+		for j := range reqs {
+			reqs[j] = repro.ServeRequest{System: driftBench(base, 0.3, rng), Weights: w}
+		}
+		for j, it := range srv.SolveBatch(context.Background(), reqs, repro.ServePriorityBulk) {
+			if it.Err != nil {
+				b.Fatalf("batch item %d: %v", j, it.Err)
+			}
 		}
 	}
+	b.ReportMetric(serveBatchSize, "inst/op")
 }
 
 // BenchmarkFedAvgRound measures one FedAvg aggregation round (20 devices,

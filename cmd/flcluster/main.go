@@ -12,6 +12,7 @@
 //
 //	POST /v1/cells/{id}/solve  solve in an explicit cell (pins the device)
 //	POST /v1/solve             routed by "device_id" (pin, else hash)
+//	POST /v1/solve-batch       many device-routed solves in one body
 //	POST /v1/handoff           {"device_id","from_cell","to_cell"}
 //	GET  /v1/stats             aggregate + per-cell counters (JSON)
 //	GET  /metrics              Prometheus text exposition
@@ -22,7 +23,10 @@
 // plus the cluster's own counters:
 //
 //	flcluster -loadgen 300 [-cells 4] [-devices 12] [-n 12] [-drift 0.05]
-//	          [-repeat 0.3] [-migrate 0.1] [-conc 8] [-seed 1]
+//	          [-repeat 0.3] [-migrate 0.1] [-conc 8] [-seed 1] [-batch 0]
+//
+// With -batch B each worker replays its devices through POST
+// /v1/solve-batch in bulk-priority chunks of B instances.
 //
 // Each device owns a base scenario; every request is, with probability
 // -repeat, an exact replay of that device's previous instance (exercising
@@ -70,6 +74,7 @@ func main() {
 		migrate = flag.Float64("migrate", 0.1, "loadgen: per-request device-migration probability")
 		conc    = flag.Int("conc", 8, "loadgen: concurrent clients")
 		seed    = flag.Int64("seed", 1, "loadgen: RNG seed")
+		batch   = flag.Int("batch", 0, "loadgen: replay through POST /v1/solve-batch in batches of this size (0 = per-request /v1/solve)")
 	)
 	flag.Parse()
 
@@ -87,7 +92,7 @@ func main() {
 
 	var err error
 	if *loadgen > 0 {
-		err = runLoadgen(cfg, *loadgen, *devices, *n, *drift, *repeat, *migrate, *conc, *seed)
+		err = runLoadgen(cfg, *loadgen, *devices, *n, *drift, *repeat, *migrate, *conc, *seed, *batch)
 	} else {
 		err = runServer(cfg, *addr)
 	}
@@ -126,13 +131,14 @@ func runServer(cfg repro.ClusterConfig, addr string) error {
 type device struct {
 	id       string
 	base     *repro.System
-	lastBody []byte // previous instance, replayed on repeats
-	lastCell int    // cell that served the last response, -1 before any
+	lastReq  *repro.SolveRequestJSON // previous instance, replayed on repeats
+	lastCell int                     // cell that served the last response, -1 before any
 }
 
 // runLoadgen replays total requests from `devices` drifting devices over
-// the full HTTP stack of an in-process cluster.
-func runLoadgen(cfg repro.ClusterConfig, total, devices, n int, drift, repeat, migrate float64, conc int, seed int64) error {
+// the full HTTP stack of an in-process cluster. batchSize > 0 groups each
+// worker's stream into POST /v1/solve-batch chunks of that size.
+func runLoadgen(cfg repro.ClusterConfig, total, devices, n int, drift, repeat, migrate float64, conc int, seed int64, batchSize int) error {
 	cl := repro.NewCluster(cfg)
 	defer cl.Close()
 	ts := httptest.NewServer(cl.Handler())
@@ -182,7 +188,9 @@ func runLoadgen(cfg repro.ClusterConfig, total, devices, n int, drift, repeat, m
 			defer wg.Done()
 			t := &tallies[wkr]
 			rng := rand.New(rand.NewSource(seed + 1000*int64(wkr+1)))
-			for i := 0; i < share; i++ {
+			// nextReq draws one device's next request (handoff, repeat or
+			// drift), shared by the per-request and batched modes.
+			nextReq := func() (*device, *repro.SolveRequestJSON, error) {
 				dev := mine[rng.Intn(len(mine))]
 				if dev.lastCell >= 0 && cl.Cells() > 1 && rng.Float64() < migrate {
 					to := rng.Intn(cl.Cells() - 1)
@@ -190,34 +198,20 @@ func runLoadgen(cfg repro.ClusterConfig, total, devices, n int, drift, repeat, m
 						to++
 					}
 					if err := postHandoff(ts.URL, dev.id, dev.lastCell, to); err != nil {
-						t.err = err
-						return
+						return nil, nil, err
 					}
 					dev.lastCell = to
 					t.handoffs++
 				}
-				body := dev.lastBody
-				if body == nil || rng.Float64() >= repeat {
-					b, err := driftedBody(dev, drift, rng)
-					if err != nil {
-						t.err = err
-						return
-					}
-					body = b
-					dev.lastBody = b
+				req := dev.lastReq
+				if req == nil || rng.Float64() >= repeat {
+					req = driftedReq(dev, drift, rng)
+					dev.lastReq = req
 				}
-				out, status, err := postSolve(ts.URL, body)
-				if err != nil {
-					t.err = err
-					return
-				}
-				if status != http.StatusOK {
-					t.fail++
-					continue
-				}
-				t.ok++
-				dev.lastCell = out.Cell
-				switch out.Source {
+				return dev, req, nil
+			}
+			tallySource := func(source string) {
+				switch source {
 				case string(repro.ServeSourceCache):
 					t.cache++
 				case string(repro.ServeSourceWarm):
@@ -225,6 +219,68 @@ func runLoadgen(cfg repro.ClusterConfig, total, devices, n int, drift, repeat, m
 				default:
 					t.cold++
 				}
+			}
+			for done := 0; done < share; {
+				if batchSize > 0 {
+					size := batchSize
+					if left := share - done; size > left {
+						size = left
+					}
+					devs := make([]*device, size)
+					batch := repro.SolveBatchRequestJSON{Requests: make([]repro.SolveRequestJSON, size), Priority: "bulk"}
+					for k := 0; k < size; k++ {
+						dev, req, err := nextReq()
+						if err != nil {
+							t.err = err
+							return
+						}
+						devs[k], batch.Requests[k] = dev, *req
+					}
+					out, status, err := postSolveBatch(ts.URL, batch)
+					if err != nil {
+						t.err = err
+						return
+					}
+					if status != http.StatusOK {
+						t.fail += int64(size)
+						done += size
+						continue
+					}
+					for k, it := range out.Results {
+						if !it.OK {
+							t.fail++
+							continue
+						}
+						t.ok++
+						devs[k].lastCell = it.Cell
+						tallySource(it.Result.Source)
+					}
+					done += size
+					continue
+				}
+				dev, req, err := nextReq()
+				if err != nil {
+					t.err = err
+					return
+				}
+				body, err := json.Marshal(req)
+				if err != nil {
+					t.err = err
+					return
+				}
+				out, status, err := postSolve(ts.URL, body)
+				if err != nil {
+					t.err = err
+					return
+				}
+				done++
+				if status != http.StatusOK {
+					t.fail++
+					continue
+				}
+				t.ok++
+				dev.lastCell = out.Cell
+				tallySource(out.Source)
 			}
 		}(wkr, mine, share)
 	}
@@ -247,8 +303,12 @@ func runLoadgen(cfg repro.ClusterConfig, total, devices, n int, drift, repeat, m
 	if err != nil {
 		return err
 	}
-	fmt.Printf("loadgen: %d requests (%d ok, %d failed), %d handoffs in %.3fs = %.1f req/s over %d clients, %d devices, %d cells\n",
-		agg.ok+agg.fail, agg.ok, agg.fail, agg.handoffs, elapsed.Seconds(),
+	mode := "per-request"
+	if batchSize > 0 {
+		mode = fmt.Sprintf("batched x%d", batchSize)
+	}
+	fmt.Printf("loadgen (%s): %d requests (%d ok, %d failed), %d handoffs in %.3fs = %.1f req/s over %d clients, %d devices, %d cells\n",
+		mode, agg.ok+agg.fail, agg.ok, agg.fail, agg.handoffs, elapsed.Seconds(),
 		float64(agg.ok+agg.fail)/elapsed.Seconds(), conc, devices, cl.Cells())
 	fmt.Printf("client sources: %d cache, %d warm, %d cold\n", agg.cache, agg.warm, agg.cold)
 	a := stats.Aggregate
@@ -264,9 +324,9 @@ func runLoadgen(cfg repro.ClusterConfig, total, devices, n int, drift, repeat, m
 	return nil
 }
 
-// driftedBody builds a fresh solve body for the device with log-normally
+// driftedReq builds a fresh solve request for the device with log-normally
 // drifted gains.
-func driftedBody(dev *device, drift float64, rng *rand.Rand) ([]byte, error) {
+func driftedReq(dev *device, drift float64, rng *rand.Rand) *repro.SolveRequestJSON {
 	drifted := *dev.base
 	drifted.Devices = append([]repro.Device(nil), dev.base.Devices...)
 	for j := range drifted.Devices {
@@ -274,7 +334,26 @@ func driftedBody(dev *device, drift float64, rng *rand.Rand) ([]byte, error) {
 	}
 	req := repro.SolveRequestJSON{System: repro.SystemToJSON(&drifted), DeviceID: dev.id}
 	req.Weights.W1, req.Weights.W2 = 0.5, 0.5
-	return json.Marshal(req)
+	return &req
+}
+
+func postSolveBatch(baseURL string, batch repro.SolveBatchRequestJSON) (repro.ClusterSolveBatchResponseJSON, int, error) {
+	var out repro.ClusterSolveBatchResponseJSON
+	body, err := json.Marshal(batch)
+	if err != nil {
+		return out, 0, err
+	}
+	resp, err := http.Post(baseURL+"/v1/solve-batch", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return out, 0, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode == http.StatusOK {
+		if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+			return out, resp.StatusCode, err
+		}
+	}
+	return out, resp.StatusCode, nil
 }
 
 func postSolve(baseURL string, body []byte) (repro.ClusterSolveResponseJSON, int, error) {

@@ -98,7 +98,16 @@ func TestClusterEndToEnd(t *testing.T) {
 // TestRunLoadgen runs the multi-cell load generator end to end.
 func TestRunLoadgen(t *testing.T) {
 	cfg := repro.ClusterConfig{Cells: 3}
-	if err := runLoadgen(cfg, 24, 6, 5, 0.05, 0.3, 0.2, 3, 1); err != nil {
+	if err := runLoadgen(cfg, 24, 6, 5, 0.05, 0.3, 0.2, 3, 1, 0); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRunLoadgenBatch runs the batched replay mode through the routed
+// /v1/solve-batch endpoint.
+func TestRunLoadgenBatch(t *testing.T) {
+	cfg := repro.ClusterConfig{Cells: 3}
+	if err := runLoadgen(cfg, 24, 6, 5, 0.05, 0.3, 0.2, 3, 1, 4); err != nil {
 		t.Fatal(err)
 	}
 }

@@ -9,18 +9,23 @@
 //
 // Endpoints:
 //
-//	POST /v1/solve  {"system": {...}, "weights": {"w1": 0.5, "w2": 0.5}}
-//	GET  /v1/stats  hit/miss/warm-start counters and solve latency quantiles
+//	POST /v1/solve        {"system": {...}, "weights": {"w1": 0.5, "w2": 0.5}}
+//	POST /v1/solve-batch  {"requests": [...], "priority": "bulk"}
+//	GET  /v1/stats        hit/miss/warm-start counters and solve latency quantiles
+//	GET  /metrics         Prometheus text exposition
 //
 // Load-generator mode replays randomly-drifted copies of the default
 // scenario against an in-process instance of the same HTTP stack and prints
 // client-side throughput plus the server's own counters:
 //
-//	flserved -loadgen 200 [-n 15] [-drift 0.05] [-repeat 0.3] [-conc 8] [-seed 1]
+//	flserved -loadgen 200 [-n 15] [-drift 0.05] [-repeat 0.3] [-conc 8]
+//	         [-seed 1] [-batch 0]
 //
 // Each request is, with probability -repeat, an exact replay of an earlier
 // instance (exercising the cache), otherwise a fresh log-normal drift of
 // every channel gain by -drift nepers (exercising the warm-start path).
+// With -batch B the stream is replayed through POST /v1/solve-batch in
+// bulk-priority chunks of B instances, amortizing decode and dispatch.
 package main
 
 import (
@@ -59,6 +64,7 @@ func main() {
 		repeat  = flag.Float64("repeat", 0.3, "loadgen: probability of replaying an earlier instance")
 		conc    = flag.Int("conc", 8, "loadgen: concurrent clients")
 		seed    = flag.Int64("seed", 1, "loadgen: RNG seed")
+		batch   = flag.Int("batch", 0, "loadgen: replay through POST /v1/solve-batch in batches of this size (0 = per-request /v1/solve)")
 	)
 	flag.Parse()
 
@@ -73,7 +79,7 @@ func main() {
 
 	var err error
 	if *loadgen > 0 {
-		err = runLoadgen(cfg, *loadgen, *n, *drift, *repeat, *conc, *seed)
+		err = runLoadgen(cfg, *loadgen, *n, *drift, *repeat, *conc, *seed, *batch)
 	} else {
 		err = runServer(cfg, *addr)
 	}
@@ -106,8 +112,10 @@ func runServer(cfg repro.ServeConfig, addr string) error {
 }
 
 // runLoadgen replays total drifted instances against an in-process server
-// through the full HTTP stack and reports throughput.
-func runLoadgen(cfg repro.ServeConfig, total, n int, drift, repeat float64, conc int, seed int64) error {
+// through the full HTTP stack and reports throughput. batchSize > 0 routes
+// the stream through POST /v1/solve-batch in chunks of that size (the bulk
+// replay mode); 0 posts one instance per request.
+func runLoadgen(cfg repro.ServeConfig, total, n int, drift, repeat float64, conc int, seed int64, batchSize int) error {
 	srv := repro.NewServer(cfg)
 	defer srv.Close()
 	ts := httptest.NewServer(srv.Handler())
@@ -122,12 +130,11 @@ func runLoadgen(cfg repro.ServeConfig, total, n int, drift, repeat float64, conc
 	}
 
 	// Pre-draw the request stream so client goroutines only do I/O.
-	bodies := make([][]byte, total)
-	var history [][]byte
-	for i := range bodies {
-		var body []byte
+	reqs := make([]repro.SolveRequestJSON, total)
+	var history []repro.SolveRequestJSON
+	for i := range reqs {
 		if len(history) > 0 && rng.Float64() < repeat {
-			body = history[rng.Intn(len(history))]
+			reqs[i] = history[rng.Intn(len(history))]
 		} else {
 			drifted := *base
 			drifted.Devices = append([]repro.Device(nil), base.Devices...)
@@ -136,13 +143,34 @@ func runLoadgen(cfg repro.ServeConfig, total, n int, drift, repeat float64, conc
 			}
 			req := repro.SolveRequestJSON{System: repro.SystemToJSON(&drifted)}
 			req.Weights.W1, req.Weights.W2 = 0.5, 0.5
-			body, err = json.Marshal(req)
+			reqs[i] = req
+			history = append(history, req)
+		}
+	}
+	// Pre-marshal: per-request bodies, or batch bodies of batchSize items.
+	var bodies [][]byte
+	path := "/v1/solve"
+	if batchSize > 0 {
+		path = "/v1/solve-batch"
+		for at := 0; at < total; at += batchSize {
+			end := at + batchSize
+			if end > total {
+				end = total
+			}
+			body, err := json.Marshal(repro.SolveBatchRequestJSON{Requests: reqs[at:end], Priority: "bulk"})
 			if err != nil {
 				return err
 			}
-			history = append(history, body)
+			bodies = append(bodies, body)
 		}
-		bodies[i] = body
+	} else {
+		for i := range reqs {
+			body, err := json.Marshal(reqs[i])
+			if err != nil {
+				return err
+			}
+			bodies = append(bodies, body)
+		}
 	}
 
 	var okCount, failCount atomic.Int64
@@ -155,18 +183,41 @@ func runLoadgen(cfg repro.ServeConfig, total, n int, drift, repeat float64, conc
 			defer wg.Done()
 			for {
 				i := int(next.Add(1)) - 1
-				if i >= total {
+				if i >= len(bodies) {
 					return
 				}
-				resp, err := http.Post(ts.URL+"/v1/solve", "application/json", bytes.NewReader(bodies[i]))
+				// A failed batch round trip fails every instance it
+				// carried, so ok+failed always sums to the instance total.
+				instances := int64(1)
+				if batchSize > 0 {
+					instances = int64(batchSize)
+					if rem := total - i*batchSize; rem < batchSize {
+						instances = int64(rem)
+					}
+				}
+				resp, err := http.Post(ts.URL+path, "application/json", bytes.NewReader(bodies[i]))
 				if err != nil {
-					failCount.Add(1)
+					failCount.Add(instances)
 					continue
 				}
-				if resp.StatusCode == http.StatusOK {
+				switch {
+				case resp.StatusCode != http.StatusOK:
+					failCount.Add(instances)
+				case batchSize > 0:
+					var out repro.SolveBatchResponseJSON
+					if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+						failCount.Add(instances)
+					} else {
+						for _, it := range out.Results {
+							if it.OK {
+								okCount.Add(1)
+							} else {
+								failCount.Add(1)
+							}
+						}
+					}
+				default:
 					okCount.Add(1)
-				} else {
-					failCount.Add(1)
 				}
 				resp.Body.Close()
 			}
@@ -179,12 +230,21 @@ func runLoadgen(cfg repro.ServeConfig, total, n int, drift, repeat float64, conc
 	if err != nil {
 		return err
 	}
-	fmt.Printf("loadgen: %d requests (%d ok, %d failed) in %.3fs = %.1f req/s over %d clients\n",
-		total, okCount.Load(), failCount.Load(), elapsed.Seconds(),
+	mode := "per-request"
+	if batchSize > 0 {
+		mode = fmt.Sprintf("batched x%d", batchSize)
+	}
+	fmt.Printf("loadgen (%s): %d instances (%d ok, %d failed) in %.3fs = %.1f inst/s over %d clients\n",
+		mode, total, okCount.Load(), failCount.Load(), elapsed.Seconds(),
 		float64(total)/elapsed.Seconds(), conc)
-	fmt.Printf("server:  hits %d, misses %d, warm starts %d, cold solves %d, deduped %d, rejected %d\n",
-		stats.Hits, stats.Misses, stats.WarmStarts, stats.ColdSolves, stats.Deduped, stats.Rejected)
-	fmt.Printf("solve latency: p50 %.1f ms, p99 %.1f ms\n", stats.SolveP50*1e3, stats.SolveP99*1e3)
+	fmt.Printf("server:  hits %d, misses %d, warm starts %d, cold solves %d, deduped %d, rejected %d, batches %d\n",
+		stats.Hits, stats.Misses, stats.WarmStarts, stats.ColdSolves, stats.Deduped, stats.Rejected, stats.BatchRequests)
+	fmt.Printf("solve latency: p50 %.1f ms, p99 %.1f ms; tracked buckets %d\n",
+		stats.SolveP50*1e3, stats.SolveP99*1e3, stats.TrackedBuckets)
+	for _, b := range stats.Buckets {
+		fmt.Printf("  bucket %s: hits %d, misses %d (hit rate %.0f%%), warm %d, cold %d\n",
+			b.Bucket, b.Hits, b.Misses, 100*b.HitRate, b.WarmStarts, b.ColdSolves)
+	}
 	return nil
 }
 

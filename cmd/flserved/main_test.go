@@ -75,7 +75,14 @@ func TestServedDefaultScenario(t *testing.T) {
 
 // TestRunLoadgen runs the load generator end to end over the HTTP stack.
 func TestRunLoadgen(t *testing.T) {
-	if err := runLoadgen(repro.ServeConfig{}, 12, 6, 0.05, 0.3, 3, 1); err != nil {
+	if err := runLoadgen(repro.ServeConfig{}, 12, 6, 0.05, 0.3, 3, 1, 0); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRunLoadgenBatch runs the batched replay mode through /v1/solve-batch.
+func TestRunLoadgenBatch(t *testing.T) {
+	if err := runLoadgen(repro.ServeConfig{}, 12, 6, 0.05, 0.3, 2, 1, 4); err != nil {
 		t.Fatal(err)
 	}
 }

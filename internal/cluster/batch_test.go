@@ -1,0 +1,119 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"repro/internal/serve"
+)
+
+// TestSolveBatchRoutesByDevice fans a batch across devices pinned to
+// different cells and checks each item lands in its device's cell, in
+// request order, with the router's history updated for later handoffs.
+func TestSolveBatchRoutesByDevice(t *testing.T) {
+	r := testRouter(t, 3)
+	defer r.Close()
+	s := testSystem(t, 6, 1)
+
+	// Pin two devices to known cells through explicit solves.
+	if _, _, err := r.Solve(context.Background(), 0, "dev-a", serve.Request{System: s, Weights: balanced()}); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := r.Solve(context.Background(), 2, "dev-b", serve.Request{System: s, Weights: balanced()}); err != nil {
+		t.Fatal(err)
+	}
+
+	reqs := []serve.Request{
+		{System: s, Weights: balanced()},
+		{System: s, Weights: balanced()},
+		{System: s, Weights: balanced()},
+	}
+	items, cells := r.SolveBatch(context.Background(), reqs, []string{"dev-a", "dev-b", "dev-c"}, serve.PriorityBulk)
+	if len(items) != 3 || len(cells) != 3 {
+		t.Fatalf("got %d items / %d cells, want 3 / 3", len(items), len(cells))
+	}
+	for i, it := range items {
+		if it.Err != nil {
+			t.Fatalf("item %d: %v", i, it.Err)
+		}
+	}
+	if cells[0] != 0 || cells[1] != 2 {
+		t.Errorf("pinned devices served by cells (%d, %d), want (0, 2)", cells[0], cells[1])
+	}
+	if want := r.Route("dev-c"); cells[2] != want {
+		t.Errorf("unpinned device served by cell %d, want hash cell %d", cells[2], want)
+	}
+	// The pinned devices' items replayed instances their cells already
+	// cached (planted by the explicit solves).
+	if items[0].Response.Source != serve.SourceCache || items[1].Response.Source != serve.SourceCache {
+		t.Errorf("pinned replays = (%q, %q), want cache hits", items[0].Response.Source, items[1].Response.Source)
+	}
+}
+
+// TestClusterBatchHTTP exercises the routed POST /v1/solve-batch end to
+// end, including the per-item serving cell and the stats rollup.
+func TestClusterBatchHTTP(t *testing.T) {
+	r := testRouter(t, 2)
+	defer r.Close()
+	ts := httptest.NewServer(r.Handler())
+	defer ts.Close()
+	s := testSystem(t, 6, 1)
+
+	item := serve.SolveRequestJSON{System: serve.SystemToJSON(s), DeviceID: "ue-7"}
+	item.Weights.W1, item.Weights.W2 = 0.5, 0.5
+	body, _ := json.Marshal(serve.SolveBatchRequestJSON{Requests: []serve.SolveRequestJSON{item, item}})
+	resp, err := http.Post(ts.URL+"/v1/solve-batch", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	var raw json.RawMessage
+	if err := json.NewDecoder(resp.Body).Decode(&raw); err != nil {
+		t.Fatal(err)
+	}
+	// Every OK item must carry an explicit "cell" key: cell 0 is a real
+	// index, so it must not be omitted from the wire form.
+	var generic struct {
+		Results []map[string]json.RawMessage `json:"results"`
+	}
+	if err := json.Unmarshal(raw, &generic); err != nil {
+		t.Fatal(err)
+	}
+	for i, m := range generic.Results {
+		if _, ok := m["cell"]; !ok {
+			t.Errorf("item %d has no cell key: %s", i, raw)
+		}
+	}
+	var out SolveBatchResponseJSON
+	if err := json.Unmarshal(raw, &out); err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Results) != 2 {
+		t.Fatalf("got %d results, want 2", len(out.Results))
+	}
+	want := r.Route("ue-7")
+	for i, it := range out.Results {
+		if !it.OK {
+			t.Fatalf("item %d: %s", i, it.Error)
+		}
+		if it.Cell != want {
+			t.Errorf("item %d served by cell %d, want %d", i, it.Cell, want)
+		}
+	}
+
+	st := r.Stats()
+	if st.Aggregate.BatchRequests != 1 || st.Aggregate.BatchItems != 2 {
+		t.Errorf("aggregate batch counters = (%d, %d), want (1, 2)",
+			st.Aggregate.BatchRequests, st.Aggregate.BatchItems)
+	}
+	if st.Aggregate.TrackedBuckets == 0 {
+		t.Error("aggregate tracked buckets = 0, want > 0")
+	}
+}

@@ -23,10 +23,24 @@ type HandoffRequestJSON struct {
 	ToCell   int    `json:"to_cell"`
 }
 
+// BatchItemJSON is one item of a routed batch response: the single-server
+// item plus the serving cell (meaningful when OK; cell 0 is a real index,
+// so no omitempty).
+type BatchItemJSON struct {
+	serve.BatchItemJSON
+	Cell int `json:"cell"`
+}
+
+// SolveBatchResponseJSON is the body of a successful POST /v1/solve-batch.
+type SolveBatchResponseJSON struct {
+	Results []BatchItemJSON `json:"results"`
+}
+
 // Handler returns the cluster's HTTP API:
 //
 //	POST /v1/cells/{id}/solve  solve in an explicit cell (pins the device)
 //	POST /v1/solve             solve routed by device_id (pin, else hash)
+//	POST /v1/solve-batch       many device-routed solves in one body
 //	POST /v1/handoff           migrate a device's cached state across cells
 //	GET  /v1/stats             aggregate + per-cell counters (JSON)
 //	GET  /metrics              Prometheus text exposition
@@ -35,6 +49,7 @@ func (r *Router) Handler() http.Handler {
 	mux.HandleFunc("POST /v1/solve", func(w http.ResponseWriter, req *http.Request) {
 		r.handleSolve(w, req, CellAuto)
 	})
+	mux.HandleFunc("POST /v1/solve-batch", r.handleSolveBatch)
 	mux.HandleFunc("POST /v1/cells/{id}/solve", func(w http.ResponseWriter, req *http.Request) {
 		id, err := strconv.Atoi(req.PathValue("id"))
 		if err != nil || id < 0 {
@@ -80,6 +95,31 @@ func (r *Router) handleSolve(w http.ResponseWriter, req *http.Request, cell int)
 		SolveResponseJSON: serve.ResponseToJSON(resp),
 		Cell:              servedBy,
 	})
+}
+
+func (r *Router) handleSolveBatch(w http.ResponseWriter, req *http.Request) {
+	dec, ok := serve.ReadBatchRequest(w, req)
+	if !ok {
+		return
+	}
+	valid := dec.Valid()
+	sub := make([]serve.Request, len(valid))
+	ids := make([]string, len(valid))
+	for k, i := range valid {
+		sub[k] = dec.Requests[i]
+		ids[k] = dec.DeviceIDs[i]
+	}
+	items, cells := r.SolveBatch(req.Context(), sub, ids, dec.Priority)
+	out := SolveBatchResponseJSON{Results: make([]BatchItemJSON, len(dec.Requests))}
+	for i, err := range dec.Errs {
+		if err != nil {
+			out.Results[i] = BatchItemJSON{BatchItemJSON: serve.BatchItemJSON{Error: err.Error()}}
+		}
+	}
+	for k, i := range valid {
+		out.Results[i] = BatchItemJSON{BatchItemJSON: serve.BatchItemToJSON(items[k]), Cell: cells[k]}
+	}
+	writeJSON(w, http.StatusOK, out)
 }
 
 func (r *Router) handleHandoff(w http.ResponseWriter, req *http.Request) {

@@ -191,6 +191,52 @@ func (r *Router) Solve(ctx context.Context, cell int, deviceID string, req serve
 	return resp, cell, nil
 }
 
+// SolveBatch serves many device-routed requests in one call: every item is
+// routed exactly as a CellAuto Solve (device pin, else consistent hash),
+// the items are grouped by destination cell, and each cell's group runs as
+// one serve.SolveBatch — cache lookups and in-batch deduplication amortized
+// per cell, the solves queued at the given priority. deviceIDs[i] names the
+// device behind reqs[i] (empty routes to the hash of ""). Items come back
+// in request order together with the cell that served each.
+func (r *Router) SolveBatch(ctx context.Context, reqs []serve.Request, deviceIDs []string, pri serve.Priority) ([]serve.BatchItem, []int) {
+	items := make([]serve.BatchItem, len(reqs))
+	cells := make([]int, len(reqs))
+	byCell := make(map[int][]int)
+	for i := range reqs {
+		var cell int
+		if st := r.pinOf(deviceIDs[i]); st >= 0 {
+			cell = st
+			r.routedPinned.Add(1)
+		} else {
+			cell = r.ring.cell(deviceIDs[i])
+			r.routedHashed.Add(1)
+		}
+		cells[i] = cell
+		byCell[cell] = append(byCell[cell], i)
+	}
+	var wg sync.WaitGroup
+	for cell, idxs := range byCell {
+		wg.Add(1)
+		go func(cell int, idxs []int) {
+			defer wg.Done()
+			sub := make([]serve.Request, len(idxs))
+			for k, i := range idxs {
+				sub[k] = reqs[i]
+			}
+			for k, it := range r.cells[cell].SolveBatch(ctx, sub, pri) {
+				items[idxs[k]] = it
+			}
+		}(cell, idxs)
+	}
+	wg.Wait()
+	for i, it := range items {
+		if it.Err == nil && deviceIDs[i] != "" {
+			r.remember(deviceIDs[i], cells[i], reqs[i], it.Response.Fingerprint.Exact)
+		}
+	}
+	return items, cells
+}
+
 // pinOf returns the pinned cell for a device, or -1.
 func (r *Router) pinOf(deviceID string) int {
 	if deviceID == "" {
@@ -317,11 +363,13 @@ func (r *Router) Handoff(deviceID string, from, to int) (HandoffReport, error) {
 			// Baseline solvers never read a seeded start; planting their
 			// allocations in the destination's warm index would only burn
 			// bounded slots on entries no solve can consume.
-			m.Warm = nil
+			m.Warm, m.WarmDuals = nil, nil
 		} else if m.Warm == nil && m.Result != nil {
 			// The source's warm bucket was evicted but the solution
-			// survived: its allocation is just as good a seed.
+			// survived: its allocation (and dual state) is just as good a
+			// seed.
 			m.Warm = &m.Result.Allocation
+			m.WarmDuals = m.Result.Duals
 		}
 		if m.Result == nil && m.Warm == nil {
 			continue // expired or evicted at the source; nothing to carry

@@ -60,6 +60,9 @@ func (r *Router) Stats() Stats {
 		agg.Errors += snap.Errors
 		agg.CacheEntries += snap.CacheEntries
 		agg.WarmEntries += snap.WarmEntries
+		agg.BatchRequests += snap.BatchRequests
+		agg.BatchItems += snap.BatchItems
+		agg.TrackedBuckets += snap.TrackedBuckets
 		lat = append(lat, c.SolveLatencies()...)
 	}
 	agg.SolveP50, agg.SolveP99 = serve.LatencyQuantiles(lat)

@@ -15,6 +15,14 @@ import (
 // The weighted objective is non-increasing across both half-steps: SP1 is
 // solved exactly for (f, T) with transmission terms fixed, and SP2 minimizes
 // transmission energy while preserving every rate floor, hence the deadline.
+//
+// The hot loop is allocation-free: scratch memory comes from Options.Work,
+// or from a shared pool when the caller brings none. A caller-provided
+// Options.DualStart seeds the first Subproblem 2 call (see SolveSubproblem2);
+// later calls are seeded from the previous iteration's converged duals, so
+// the confirmation iterations of a converged run skip their Newton steps.
+// The converged dual state of the final iteration is exported in
+// Result.Duals for caching.
 func Optimize(s *fl.System, w fl.Weights, opts Options) (Result, error) {
 	opts = opts.withDefaults()
 	if err := opts.check(s, w); err != nil {
@@ -82,10 +90,25 @@ func Optimize(s *fl.System, w fl.Weights, opts Options) (Result, error) {
 		return res, nil
 	}
 
+	// Scratch memory: the pooled fallback is safe because everything the
+	// Result carries out of this function is copied off the workspace
+	// before it returns to the pool.
+	ws := opts.Work
+	if ws == nil {
+		ws = wsPool.Get().(*Workspace)
+		defer wsPool.Put(ws)
+		opts.Work = ws
+	}
+	ws.grow(s.N())
+	ws.lastMu = 0
+
 	res := Result{Iterations: make([]IterationTrace, 0, opts.MaxOuter)}
-	prev := alloc.Clone()
+	ws.stashPrev(alloc)
+	externalSeed := opts.DualStart
+	var haveDuals bool
+	var duals DualState
 	for k := 0; k < opts.MaxOuter; k++ {
-		upTimes := make([]float64, s.N())
+		upTimes := ws.upTimes
 		for i := range upTimes {
 			upTimes[i] = s.UploadTimeRound(i, alloc.Power[i], alloc.Bandwidth[i])
 		}
@@ -96,7 +119,7 @@ func Optimize(s *fl.System, w fl.Weights, opts Options) (Result, error) {
 		if opts.UsePaperSP1Dual {
 			sp1, err = SolveSubproblem1Dual(s, w, upTimes)
 		} else {
-			sp1, err = SolveSubproblem1(s, w, upTimes)
+			sp1, err = solveSubproblem1Into(s, w, upTimes, ws.freq)
 		}
 		if err != nil {
 			return Result{}, fmt.Errorf("core: Algorithm 2 iteration %d, SP1: %w", k, err)
@@ -108,13 +131,21 @@ func Optimize(s *fl.System, w fl.Weights, opts Options) (Result, error) {
 		trace := IterationTrace{RoundDeadline: roundDeadline}
 		if w.W1 > 0 {
 			w1Rg := w.W1 * s.GlobalRounds
-			rmin := make([]float64, s.N())
+			rmin := ws.rmin
 			for i := range s.Devices {
 				residual := roundDeadline - s.CompTimeRound(i, alloc.Freq[i])
 				if residual <= 0 {
 					return Result{}, fmt.Errorf("core: device %d has no upload window at T=%g: %w", i, roundDeadline, ErrInfeasible)
 				}
 				rmin[i] = s.Devices[i].UploadBits / residual
+			}
+			if k == 0 {
+				opts.DualStart = externalSeed
+			} else {
+				// Seed the confirmation iterations from the previous SP2's
+				// converged duals: when SP1 barely moved the rate floors the
+				// residual check accepts them with zero Newton steps.
+				opts.DualStart = &duals
 			}
 			sp2, err := SolveSubproblem2(s, w1Rg, rmin, alloc.Power, alloc.Bandwidth, opts)
 			if err != nil {
@@ -124,30 +155,45 @@ func Optimize(s *fl.System, w fl.Weights, opts Options) (Result, error) {
 			copy(alloc.Bandwidth, sp2.Bandwidth)
 			trace.NewtonIters = sp2.Iterations
 			trace.PhiResidual = sp2.PhiResidual
+			duals = sp2.Duals
+			haveDuals = true
 		}
 
 		trace.Objective = objectiveFor(s, w, alloc, opts)
-		trace.Distance = alloc.Distance(prev)
+		trace.Distance = ws.distPrev(alloc)
 		res.Iterations = append(res.Iterations, trace)
 		if trace.Distance <= opts.OuterTol {
 			res.Converged = true
 			break
 		}
-		prev = alloc.Clone()
+		ws.stashPrev(alloc)
 	}
 
 	res.Allocation = alloc
 	res.RoundDeadline = roundDeadline
 	res.Metrics = s.Evaluate(alloc)
 	res.Objective = objectiveFor(s, w, alloc, opts)
+	if haveDuals {
+		// Copied off the workspace: the Result outlives the pooled scratch.
+		res.Duals = duals.Clone()
+	}
 	return res, nil
 }
 
 // objectiveFor evaluates the objective consistent with the operating mode:
-// the weighted sum (8) in ModeWeighted, total energy in ModeDeadline.
+// the weighted sum (8) in ModeWeighted, total energy in ModeDeadline. The
+// per-iteration metrics scratch lives in the workspace.
 func objectiveFor(s *fl.System, w fl.Weights, a fl.Allocation, opts Options) float64 {
-	if opts.Mode == ModeDeadline {
-		return s.Evaluate(a).TotalEnergy
+	if opts.Work == nil {
+		if opts.Mode == ModeDeadline {
+			return s.Evaluate(a).TotalEnergy
+		}
+		return s.Objective(w, a)
 	}
-	return s.Objective(w, a)
+	m := &opts.Work.metrics
+	s.EvaluateInto(a, m)
+	if opts.Mode == ModeDeadline {
+		return m.TotalEnergy
+	}
+	return w.W1*m.TotalEnergy + w.W2*m.TotalTime
 }

@@ -99,6 +99,27 @@ type Options struct {
 	// Start optionally overrides the initial allocation; when nil the
 	// optimizer starts from p = PMax, f = FMax, B = B/N.
 	Start *fl.Allocation
+	// DualStart optionally seeds Subproblem 2 with a converged dual state
+	// from a neighbouring instance (typically cached next to the Start
+	// allocation). A valid seed certifies the start point as a Newton fixed
+	// point: the first SP2 call verifies the certificate with one residual
+	// evaluation and, under the hybrid solver's direct polish, accepts it
+	// with zero Newton iterations when the relative residual is below
+	// DualSeedTol; the cached bandwidth price narrows the inner bisection
+	// bracket. A stale or malformed seed (wrong length, non-finite or
+	// non-positive entries, residual above tolerance) is safely ignored and
+	// the solve proceeds exactly as unseeded.
+	DualStart *DualState
+	// DualSeedTol is the relative phi-residual tolerance at which a seeded
+	// Subproblem 2 accepts its certificate, measured against the magnitude
+	// of the residual's constituent terms. Default 1e-6, matching the outer
+	// loop's allocation resolution (OuterTol).
+	DualSeedTol float64
+	// Work optionally supplies reusable scratch memory; when nil the
+	// optimizer borrows a pooled workspace. Callers that solve in a loop
+	// (serving workers) pass their own to keep the hot path allocation-free.
+	// A Workspace must not be shared between concurrent solves.
+	Work *Workspace
 }
 
 func (o Options) withDefaults() Options {
@@ -122,6 +143,9 @@ func (o Options) withDefaults() Options {
 	}
 	if o.Epsilon <= 0 || o.Epsilon >= 1 {
 		o.Epsilon = 0.01
+	}
+	if o.DualSeedTol <= 0 {
+		o.DualSeedTol = 1e-6
 	}
 	return o
 }
@@ -173,4 +197,10 @@ type Result struct {
 	Iterations []IterationTrace
 	// Converged reports whether the outer loop met OuterTol before MaxOuter.
 	Converged bool
+	// Duals is the converged Subproblem 2 dual state at the final
+	// allocation (nil when the solve never ran SP2: deadline mode, w1 = 0,
+	// joint weighted, baselines). Cache it next to the allocation and pass
+	// it back via Options.DualStart to let a neighbouring solve skip the
+	// Newton iteration.
+	Duals *DualState
 }

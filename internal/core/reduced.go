@@ -32,8 +32,15 @@ func newReducedDevice(dev fl.Device, n0, rmin float64) (reducedDevice, error) {
 		return rd, fmt.Errorf("core: rate %g unreachable at pmax: %w (%v)", rmin, ErrInfeasible, err)
 	}
 	rd.bForced = bf
-	if bj, err := wireless.BandwidthForRate(rmin, dev.PMin, dev.Gain, n0); err == nil {
-		rd.bJunction = bj
+	// Probe reachability before solving: rmin is routinely unreachable at
+	// PMin, and the error path allocates on what is a hot loop (one
+	// reduced-device rebuild per direct SP2 solve).
+	if rmin < wireless.RateLimit(dev.PMin, dev.Gain, n0) {
+		if bj, err := wireless.BandwidthForRate(rmin, dev.PMin, dev.Gain, n0); err == nil {
+			rd.bJunction = bj
+		} else {
+			rd.bJunction = math.Inf(1)
+		}
 	} else {
 		rd.bJunction = math.Inf(1)
 	}

@@ -30,6 +30,19 @@ import (
 // where the inner SP2_v2 solution is bang-bang in the multipliers.
 func SolveSubproblem2Direct(s *fl.System, w1Rg float64, rmin []float64) (SP2Result, error) {
 	n := s.N()
+	outP := make([]float64, n)
+	outB := make([]float64, n)
+	ws := wsPool.Get().(*Workspace)
+	defer wsPool.Put(ws)
+	ws.grow(n)
+	return solveSubproblem2DirectInto(s, w1Rg, rmin, ws, outP, outB)
+}
+
+// solveSubproblem2DirectInto is SolveSubproblem2Direct writing powers and
+// bandwidths into caller-provided slices, with the reduced-device table
+// drawn from ws.
+func solveSubproblem2DirectInto(s *fl.System, w1Rg float64, rmin []float64, ws *Workspace, outP, outB []float64) (SP2Result, error) {
+	n := s.N()
 	if len(rmin) != n {
 		return SP2Result{}, fmt.Errorf("core: SolveSubproblem2Direct rmin length: %w", ErrBadInput)
 	}
@@ -37,7 +50,12 @@ func SolveSubproblem2Direct(s *fl.System, w1Rg float64, rmin []float64) (SP2Resu
 		return SP2Result{}, fmt.Errorf("core: SolveSubproblem2Direct needs w1*Rg > 0: %w", ErrBadInput)
 	}
 
-	devs := make([]reducedDevice, n)
+	devs := ws.rdevs
+	if cap(devs) < n {
+		devs = make([]reducedDevice, n)
+		ws.rdevs = devs
+	}
+	devs = devs[:n]
 	var sumForced float64
 	for i, d := range s.Devices {
 		rd, err := newReducedDevice(d, s.N0, rmin[i])
@@ -51,13 +69,13 @@ func SolveSubproblem2Direct(s *fl.System, w1Rg float64, rmin []float64) (SP2Resu
 		return SP2Result{}, fmt.Errorf("core: minimum bandwidths %g exceed B=%g: %w", sumForced, s.Bandwidth, ErrInfeasible)
 	}
 
-	_, bands, err := waterfillReduced(devs, s.N0, s.Bandwidth)
+	_, bands, err := waterfillReducedInto(devs, s.N0, s.Bandwidth, outB)
 	if err != nil {
 		return SP2Result{}, err
 	}
 
 	res := SP2Result{
-		Power:     make([]float64, n),
+		Power:     outP,
 		Bandwidth: bands,
 	}
 	for i, rd := range devs {
@@ -73,6 +91,12 @@ func SolveSubproblem2Direct(s *fl.System, w1Rg float64, rmin []float64) (SP2Resu
 // devices within the bandwidth budget and returns the clearing water level
 // and the bandwidths (rescaled onto the exact budget, floors re-applied).
 func waterfillReduced(devs []reducedDevice, n0, budget float64) (float64, []float64, error) {
+	return waterfillReducedInto(devs, n0, budget, nil)
+}
+
+// waterfillReducedInto is waterfillReduced writing into bands when non-nil
+// (workspace reuse).
+func waterfillReducedInto(devs []reducedDevice, n0, budget float64, bands []float64) (float64, []float64, error) {
 	demand := func(lambda float64) float64 {
 		var sum float64
 		for _, rd := range devs {
@@ -104,7 +128,9 @@ func waterfillReduced(devs []reducedDevice, n0, budget float64) (float64, []floa
 	}
 	// Otherwise the floors fill the whole budget at any price: keep lamHi.
 
-	bands := make([]float64, len(devs))
+	if bands == nil {
+		bands = make([]float64, len(devs))
+	}
 	var sumB float64
 	for i, rd := range devs {
 		bands[i] = rd.bandAt(n0, lambda)

@@ -43,11 +43,21 @@ type sp2Alloc struct {
 
 // buildSP2Devices validates inputs and precomputes per-device constants.
 func buildSP2Devices(s *fl.System, nu, beta, rmin []float64) ([]sp2Device, error) {
+	return buildSP2DevicesInto(nil, s, nu, beta, rmin)
+}
+
+// buildSP2DevicesInto is buildSP2Devices writing into devs when it has the
+// capacity (workspace reuse).
+func buildSP2DevicesInto(devs []sp2Device, s *fl.System, nu, beta, rmin []float64) ([]sp2Device, error) {
 	n := s.N()
 	if len(nu) != n || len(beta) != n || len(rmin) != n {
 		return nil, fmt.Errorf("core: SP2v2 slice lengths: %w", ErrBadInput)
 	}
-	devs := make([]sp2Device, n)
+	if cap(devs) < n {
+		devs = make([]sp2Device, n)
+	} else {
+		devs = devs[:n]
+	}
 	var sumForced float64
 	for i, d := range s.Devices {
 		if !(nu[i] > 0) || !(beta[i] > 0) {
@@ -196,10 +206,31 @@ func (sd sp2Device) allocAtPrice(n0, mu float64) sp2Alloc {
 // reservation price mu0 equals the clearing price split the residual band
 // along their flat segments.
 func SolveSP2v2(s *fl.System, nu, beta, rmin []float64) (SP2v2Result, error) {
-	devs, err := buildSP2Devices(s, nu, beta, rmin)
+	n := s.N()
+	res := SP2v2Result{Power: make([]float64, n), Bandwidth: make([]float64, n)}
+	ws := wsPool.Get().(*Workspace)
+	defer wsPool.Put(ws)
+	ws.grow(n)
+	ws.lastMu = 0
+	mu, obj, err := solveSP2v2Into(s, nu, beta, rmin, ws, res.Power, res.Bandwidth)
 	if err != nil {
 		return SP2v2Result{}, err
 	}
+	res.Mu, res.Objective = mu, obj
+	return res, nil
+}
+
+// solveSP2v2Into is SolveSP2v2 writing powers and bandwidths into
+// caller-provided slices and drawing scratch (device table, per-price
+// allocations) from ws. A positive ws.lastMu seeds the price bracket: the
+// clearing price of a neighbouring solve is verified with two demand probes
+// and, when it still brackets, replaces the from-scratch bracket discovery.
+func solveSP2v2Into(s *fl.System, nu, beta, rmin []float64, ws *Workspace, outP, outB []float64) (float64, float64, error) {
+	devs, err := buildSP2DevicesInto(ws.devs[:0], s, nu, beta, rmin)
+	if err != nil {
+		return 0, 0, err
+	}
+	ws.devs = devs
 	total := s.Bandwidth * (1 + budgetSlack)
 
 	demand := func(mu float64) float64 {
@@ -211,31 +242,42 @@ func SolveSP2v2(s *fl.System, nu, beta, rmin []float64) (SP2v2Result, error) {
 	}
 
 	// Bracket the clearing price. Demand diverges as mu -> 0+ (bandwidth is
-	// always valuable) and falls to the forced floor as mu -> infinity.
-	muLo := math.Inf(1)
-	for _, sd := range devs {
-		if sd.mu0 > 0 && sd.mu0 < muLo {
-			muLo = sd.mu0
+	// always valuable) and falls to the forced floor as mu -> infinity. A
+	// seeded price shortcuts the discovery when it still brackets.
+	var muLo, muHi float64
+	if seed := ws.lastMu; seed > 0 && !math.IsInf(seed, 1) {
+		lo, hi := seed/16, seed*16
+		if demand(lo) > total && demand(hi) <= total {
+			muLo, muHi = lo, hi
 		}
-		if sd.j < muLo {
-			muLo = sd.j
+	}
+	if muHi == 0 {
+		muLo = math.Inf(1)
+		for _, sd := range devs {
+			if sd.mu0 > 0 && sd.mu0 < muLo {
+				muLo = sd.mu0
+			}
+			if sd.j < muLo {
+				muLo = sd.j
+			}
 		}
-	}
-	if math.IsInf(muLo, 1) || muLo <= 0 {
-		muLo = 1
-	}
-	muLo *= 1e-9
-	for demand(muLo) <= total && muLo > 1e-300 {
-		muLo /= 16
-	}
-	muHi, err := numeric.BracketUp(func(mu float64) bool { return demand(mu) <= total }, muLo*2, 600)
-	if err != nil {
-		return SP2v2Result{}, fmt.Errorf("core: SP2v2 price bracket: %w", ErrInfeasible)
+		if math.IsInf(muLo, 1) || muLo <= 0 {
+			muLo = 1
+		}
+		muLo *= 1e-9
+		for demand(muLo) <= total && muLo > 1e-300 {
+			muLo /= 16
+		}
+		muHi, err = numeric.BracketUp(func(mu float64) bool { return demand(mu) <= total }, muLo*2, 600)
+		if err != nil {
+			return 0, 0, fmt.Errorf("core: SP2v2 price bracket: %w", ErrInfeasible)
+		}
 	}
 	mu, err := numeric.BisectDecreasing(func(mu float64) float64 { return demand(mu) - total }, muLo, muHi, 0)
 	if err != nil {
-		return SP2v2Result{}, fmt.Errorf("core: SP2v2 price bisection: %w", err)
+		return 0, 0, fmt.Errorf("core: SP2v2 price bisection: %w", err)
 	}
+	ws.lastMu = mu
 
 	// Evaluate on the feasible (low-demand) side of the clearing price and
 	// hand the residual band to marginal devices along their flat segments.
@@ -246,13 +288,8 @@ func SolveSP2v2(s *fl.System, nu, beta, rmin []float64) (SP2v2Result, error) {
 			side *= 1 + 1e-12
 		}
 	}
-	res := SP2v2Result{
-		Power:     make([]float64, len(devs)),
-		Bandwidth: make([]float64, len(devs)),
-		Mu:        mu,
-	}
 	var used float64
-	allocs := make([]sp2Alloc, len(devs))
+	allocs := ws.allocs[:len(devs)]
 	for i, sd := range devs {
 		allocs[i] = sd.allocAtPrice(s.N0, side)
 		used += allocs[i].b
@@ -303,13 +340,14 @@ func SolveSP2v2(s *fl.System, nu, beta, rmin []float64) (SP2v2Result, error) {
 			allocs[i].b *= scale
 		}
 	}
+	var obj float64
 	for i, sd := range devs {
 		al := allocs[i]
-		res.Power[i] = al.p
-		res.Bandwidth[i] = al.b
-		res.Objective += sd.nu * (al.p*sd.d - sd.beta*wireless.Rate(al.p, al.b, sd.g, s.N0))
+		outP[i] = al.p
+		outB[i] = al.b
+		obj += sd.nu * (al.p*sd.d - sd.beta*wireless.Rate(al.p, al.b, sd.g, s.N0))
 	}
-	return res, nil
+	return mu, obj, nil
 }
 
 // SolveSP2v2PaperDual solves SP2_v2 along the paper's literal Appendix-B

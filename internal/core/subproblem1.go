@@ -54,6 +54,12 @@ func freqForDeadline(s *fl.System, n int, upTime, deadline float64) float64 {
 // f_n(T) = max(Rl*c_n*D_n/(T-T_up_n), FMin) is convex positive decreasing;
 // golden section therefore finds the global optimum.
 func SolveSubproblem1(s *fl.System, w fl.Weights, upTimes []float64) (SP1Result, error) {
+	return solveSubproblem1Into(s, w, upTimes, nil)
+}
+
+// solveSubproblem1Into is SolveSubproblem1 writing the frequencies into
+// freq when non-nil (workspace reuse; the result's Freq aliases it).
+func solveSubproblem1Into(s *fl.System, w fl.Weights, upTimes, freq []float64) (SP1Result, error) {
 	n := s.N()
 	if len(upTimes) != n {
 		return SP1Result{}, fmt.Errorf("core: SolveSubproblem1 upTimes length %d, want %d: %w", len(upTimes), n, ErrBadInput)
@@ -92,7 +98,10 @@ func SolveSubproblem1(s *fl.System, w fl.Weights, upTimes []float64) (SP1Result,
 		}
 	}
 
-	res := SP1Result{Freq: make([]float64, n), RoundDeadline: deadline}
+	if freq == nil {
+		freq = make([]float64, n)
+	}
+	res := SP1Result{Freq: freq, RoundDeadline: deadline}
 	for i := range s.Devices {
 		res.Freq[i] = freqForDeadline(s, i, upTimes[i], deadline)
 	}

@@ -19,6 +19,11 @@ type SP2Result struct {
 	// CommEnergy is the achieved weighted transmission energy
 	// w1*Rg*sum_n p_n*d_n/G_n, the Subproblem 2 objective.
 	CommEnergy float64
+	// Duals is the self-consistent dual state at the returned allocation
+	// (nu_n = w1Rg/G_n, beta_n = p_n*d_n/G_n, plus the final inner
+	// bandwidth price). When Options.Work was provided its slices alias the
+	// workspace and are overwritten by the next solve on it.
+	Duals DualState
 }
 
 // phiResidual computes |phi(beta, nu)| of eq. (26) at rates g.
@@ -32,6 +37,20 @@ func phiResidual(w1Rg float64, d, p, g, beta, nu []float64) float64 {
 	return math.Sqrt(sum)
 }
 
+// phiReference is the magnitude of the residual's constituent terms,
+// sqrt(sum_n ((p_n d_n)^2 + (w1Rg)^2)): the scale against which a phi value
+// counts as converged. Unlike the legacy phi0-relative check it does not
+// depend on the start point, so a seeded solve can recognize an
+// already-converged init.
+func phiReference(w1Rg float64, d, p []float64) float64 {
+	var sum float64
+	for i := range d {
+		pd := p[i] * d[i]
+		sum += pd*pd + w1Rg*w1Rg
+	}
+	return math.Sqrt(sum)
+}
+
 // SolveSubproblem2 runs Algorithm 1: the Newton-like iteration of Jong for
 // the sum-of-ratios program (11). Starting from a feasible (p, B) with rates
 // at least rmin, it alternates
@@ -41,8 +60,18 @@ func phiResidual(w1Rg float64, d, p, g, beta, nu []float64) float64 {
 //	damped Newton update of (beta, nu) per (29)-(31)     (steps 5-6)
 //
 // until phi = 0 (the fixed point where the SP2_v2 solution is optimal for
-// the original fractional program) or MaxNewton iterations. useIPaperDual
-// selects the literal Appendix-B inner solver.
+// the original fractional program) or MaxNewton iterations.
+//
+// A valid Options.DualStart changes the convergence bookkeeping, not the
+// mathematics: it certifies the start point as the converged fixed point of
+// a neighbouring instance, so after the mandatory first inner solve the
+// iteration may stop at zero Newton steps when the measured relative
+// residual confirms the certificate (<= DualSeedTol of the residual term
+// magnitude). The certificate is only honoured under SP2Hybrid, whose
+// direct-solver polish bounds the result by the subproblem's global optimum
+// regardless of the seed's quality; a stale seed simply fails the residual
+// check and the full iteration runs. The seed's bandwidth price narrows the
+// inner bisection bracket either way.
 func SolveSubproblem2(s *fl.System, w1Rg float64, rmin []float64, startP, startB []float64, opts Options) (SP2Result, error) {
 	opts = opts.withDefaults()
 	n := s.N()
@@ -56,117 +85,204 @@ func SolveSubproblem2(s *fl.System, w1Rg float64, rmin []float64, startP, startB
 		return SolveSubproblem2Direct(s, w1Rg, rmin)
 	}
 
-	d := make([]float64, n)
+	// The workspace owns every slice below. A caller-provided one is reused
+	// as documented; otherwise a private one is allocated (not pooled: the
+	// returned slices alias it).
+	ws := opts.Work
+	if ws == nil {
+		ws = NewWorkspace()
+	}
+	ws.grow(n)
+
+	d := ws.d
 	for i, dev := range s.Devices {
 		d[i] = dev.UploadBits
 	}
-	p := append([]float64(nil), startP...)
-	b := append([]float64(nil), startB...)
 
-	rates := func(p, b []float64) []float64 {
-		g := make([]float64, n)
+	ratesInto := func(p, b, g []float64) {
 		for i := range g {
 			g[i] = s.Rate(i, p[i], b[i])
 			if !(g[i] > 0) {
 				g[i] = math.SmallestNonzeroFloat64
 			}
 		}
-		return g
-	}
-
-	// Initialize (nu, beta) from the start point per step 3.
-	g := rates(p, b)
-	nu := make([]float64, n)
-	beta := make([]float64, n)
-	for i := range g {
-		nu[i] = w1Rg / g[i]
-		beta[i] = p[i] * d[i] / g[i]
 	}
 
 	// evalPhi is the residual map of eq. (26) as a function of the
 	// multipliers: it re-solves SP2_v2 at (nu, beta) — the argmin x(beta,nu)
 	// is part of phi's definition in Jong's method, so the damped line
-	// search (29) must re-solve per trial, not reuse a stale point.
-	evalPhi := func(beta, nu []float64) (float64, []float64, []float64, []float64, error) {
-		inner, err := solveInner(s, nu, beta, rmin, opts.UsePaperSP2Dual)
-		if err != nil {
-			return 0, nil, nil, nil, err
+	// search (29) must re-solve per trial, not reuse a stale point. The
+	// inner solution lands in (outP, outB, outG).
+	evalPhi := func(beta, nu, outP, outB, outG []float64) (float64, error) {
+		if err := solveInner(s, nu, beta, rmin, opts.UsePaperSP2Dual, ws, outP, outB); err != nil {
+			return 0, err
 		}
-		gg := rates(inner.Power, inner.Bandwidth)
-		return phiResidual(w1Rg, d, inner.Power, gg, beta, nu), inner.Power, inner.Bandwidth, gg, nil
+		ratesInto(outP, outB, outG)
+		return phiResidual(w1Rg, d, outP, outG, beta, nu), nil
 	}
 
-	residual, pCur, bCur, gCur, err := evalPhi(beta, nu)
+	nu, beta := ws.nu, ws.beta
+	curP, curB, curG := ws.curP, ws.curB, ws.curG
+	triP, triB, triG := ws.triP, ws.triB, ws.triG
+
+	// Initialize (nu, beta) per step 3 from the start point, or from the
+	// dual seed. The seeded path tries the raw cached multipliers first
+	// (exact for a replayed instance); when their residual misses the
+	// certificate tolerance — channel gains drifted, so the cached 1/G_n
+	// scale is off — it falls back to the step-3 init at the certified
+	// start allocation, which projects the same fixed point onto the
+	// current gains, and accepts that when it passes instead.
+	seed := opts.DualStart
+	seeded := opts.SP2Solver == SP2Hybrid && seed.ValidFor(n)
+	if seeded && seed.Mu > 0 {
+		ws.lastMu = seed.Mu
+	}
+	stepThreeInit := func(beta, nu []float64) {
+		ratesInto(startP, startB, triG)
+		for i := range nu {
+			nu[i] = w1Rg / triG[i]
+			beta[i] = startP[i] * d[i] / triG[i]
+		}
+	}
+	if seeded {
+		copy(nu, seed.Nu)
+		copy(beta, seed.Beta)
+	} else {
+		stepThreeInit(beta, nu)
+	}
+
+	residual, err := evalPhi(beta, nu, curP, curB, curG)
+	if err != nil && seeded {
+		// A seed sound enough to pass validation can still push the inner
+		// program somewhere degenerate; fall back to the unseeded init.
+		seeded = false
+		stepThreeInit(beta, nu)
+		residual, err = evalPhi(beta, nu, curP, curB, curG)
+	}
 	if err != nil {
 		return SP2Result{}, fmt.Errorf("core: Algorithm 1 initial solve: %w", err)
 	}
-	p, b, g = pCur, bCur, gCur
+	accepted := false
+	if seeded {
+		if ref := phiReference(w1Rg, d, curP); residual <= opts.DualSeedTol*(1+ref) {
+			accepted = true
+		} else {
+			// Gains drifted: project the certificate through the start
+			// allocation and re-check.
+			stepThreeInit(ws.nb, ws.nn)
+			trial, terr := evalPhi(ws.nb, ws.nn, triP, triB, triG)
+			if terr == nil && trial <= residual {
+				ws.nb, ws.beta = ws.beta, ws.nb
+				ws.nn, ws.nu = ws.nu, ws.nn
+				beta, nu = ws.beta, ws.nu
+				ws.curP, ws.triP = ws.triP, ws.curP
+				ws.curB, ws.triB = ws.triB, ws.curB
+				ws.curG, ws.triG = ws.triG, ws.curG
+				curP, curB, curG = ws.curP, ws.curB, ws.curG
+				triP, triB, triG = ws.triP, ws.triB, ws.triG
+				residual = trial
+				if ref := phiReference(w1Rg, d, curP); residual <= opts.DualSeedTol*(1+ref) {
+					accepted = true
+				}
+			}
+		}
+	}
 	phi0 := residual
 
 	var iters int
-	for iters = 0; iters < opts.MaxNewton; iters++ {
-		if residual <= opts.PhiTol*(1+phi0) {
-			break
-		}
-		// Newton direction (30) with the diagonal Jacobian diag(G_n):
-		// sigma1_n = (p_n d_n - beta_n G_n)/G_n, sigma2_n = (w1Rg - nu_n G_n)/G_n.
-		sigma1 := make([]float64, n)
-		sigma2 := make([]float64, n)
-		for i := range g {
-			sigma1[i] = (p[i]*d[i] - beta[i]*g[i]) / g[i]
-			sigma2[i] = (w1Rg - nu[i]*g[i]) / g[i]
-		}
-		stepTaken := false
-		xi := 1.0 // xi^j with j starting at 0
-		for j := 0; j < 30; j++ {
-			nb := make([]float64, n)
-			nn := make([]float64, n)
-			ok := true
-			for i := range g {
-				nb[i] = beta[i] + xi*sigma1[i]
-				nn[i] = nu[i] + xi*sigma2[i]
-				if !(nb[i] > 0) || !(nn[i] > 0) {
-					ok = false
-					break
-				}
+	if !accepted {
+		for iters = 0; iters < opts.MaxNewton; iters++ {
+			if residual <= opts.PhiTol*(1+phi0) {
+				break
 			}
-			if ok {
-				trial, pT, bT, gT, errT := evalPhi(nb, nn)
-				if errT == nil && trial <= (1-opts.Epsilon*xi)*residual {
-					beta, nu = nb, nn
-					residual, p, b, g = trial, pT, bT, gT
-					stepTaken = true
-					break
-				}
+			// Newton direction (30) with the diagonal Jacobian diag(G_n):
+			// sigma1_n = (p_n d_n - beta_n G_n)/G_n, sigma2_n = (w1Rg - nu_n G_n)/G_n.
+			sigma1, sigma2 := ws.sigma1, ws.sigma2
+			for i := range curG {
+				sigma1[i] = (curP[i]*d[i] - beta[i]*curG[i]) / curG[i]
+				sigma2[i] = (w1Rg - nu[i]*curG[i]) / curG[i]
 			}
-			xi *= opts.Xi
-		}
-		if !stepTaken {
-			// Even heavily damped steps no longer reduce phi: numerical
-			// fixed point of the iteration.
-			break
+			stepTaken := false
+			xi := 1.0 // xi^j with j starting at 0
+			for j := 0; j < 30; j++ {
+				nb, nn := ws.nb, ws.nn
+				ok := true
+				for i := range curG {
+					nb[i] = beta[i] + xi*sigma1[i]
+					nn[i] = nu[i] + xi*sigma2[i]
+					if !(nb[i] > 0) || !(nn[i] > 0) {
+						ok = false
+						break
+					}
+				}
+				if ok {
+					trial, errT := evalPhi(nb, nn, triP, triB, triG)
+					if errT == nil && trial <= (1-opts.Epsilon*xi)*residual {
+						// Accept by swapping buffers: the rejected iterate's
+						// storage becomes the next trial's scratch.
+						ws.beta, ws.nb = ws.nb, ws.beta
+						ws.nu, ws.nn = ws.nn, ws.nu
+						beta, nu = ws.beta, ws.nu
+						ws.curP, ws.triP = ws.triP, ws.curP
+						ws.curB, ws.triB = ws.triB, ws.curB
+						ws.curG, ws.triG = ws.triG, ws.curG
+						curP, curB, curG = ws.curP, ws.curB, ws.curG
+						triP, triB, triG = ws.triP, ws.triB, ws.triG
+						residual = trial
+						stepTaken = true
+						break
+					}
+				}
+				xi *= opts.Xi
+			}
+			if !stepTaken {
+				// Even heavily damped steps no longer reduce phi: numerical
+				// fixed point of the iteration.
+				break
+			}
 		}
 	}
 
-	res := SP2Result{Power: p, Bandwidth: b, Iterations: iters, PhiResidual: residual}
-	for i := range g {
-		res.CommEnergy += w1Rg * p[i] * d[i] / g[i]
+	res := SP2Result{Power: curP, Bandwidth: curB, Iterations: iters, PhiResidual: residual}
+	for i := range curG {
+		res.CommEnergy += w1Rg * curP[i] * d[i] / curG[i]
 	}
 	if opts.SP2Solver == SP2Hybrid {
-		if direct, derr := SolveSubproblem2Direct(s, w1Rg, rmin); derr == nil && direct.CommEnergy < res.CommEnergy {
+		if direct, derr := solveSubproblem2DirectInto(s, w1Rg, rmin, ws, ws.dirP, ws.dirB); derr == nil && direct.CommEnergy < res.CommEnergy {
 			direct.Iterations = res.Iterations
 			direct.PhiResidual = res.PhiResidual
-			return direct, nil
+			res = direct
 		}
 	}
+	// Export the self-consistent dual state at whatever allocation is being
+	// returned; a neighbouring solve seeds from it.
+	ratesInto(res.Power, res.Bandwidth, curG)
+	for i := range curG {
+		ws.outNu[i] = w1Rg / curG[i]
+		ws.outBeta[i] = res.Power[i] * d[i] / curG[i]
+	}
+	res.Duals = DualState{Mu: ws.lastMu, Nu: ws.outNu, Beta: ws.outBeta}
 	return res, nil
 }
 
-func solveInner(s *fl.System, nu, beta, rmin []float64, paperDual bool) (SP2v2Result, error) {
+// solveInner dispatches the inner SP2_v2 solve, writing powers and
+// bandwidths into outP/outB. paperDual selects the literal Appendix-B inner
+// solver (fidelity mode, not allocation-free).
+func solveInner(s *fl.System, nu, beta, rmin []float64, paperDual bool, ws *Workspace, outP, outB []float64) error {
 	if paperDual {
-		return SolveSP2v2PaperDual(s, nu, beta, rmin)
+		inner, err := SolveSP2v2PaperDual(s, nu, beta, rmin)
+		if err != nil {
+			return err
+		}
+		copy(outP, inner.Power)
+		copy(outB, inner.Bandwidth)
+		if inner.Mu > 0 {
+			ws.lastMu = inner.Mu
+		}
+		return nil
 	}
-	return SolveSP2v2(s, nu, beta, rmin)
+	_, _, err := solveSP2v2Into(s, nu, beta, rmin, ws, outP, outB)
+	return err
 }
 
 // CommEnergyWeighted returns w1Rg * sum_n p_n d_n / G_n for an explicit

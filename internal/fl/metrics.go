@@ -66,12 +66,20 @@ func (s *System) TransEnergyRound(n int, p, b float64) float64 {
 // Evaluate computes the complete Metrics for an allocation. It does not
 // check feasibility; combine with Validate when needed.
 func (s *System) Evaluate(a Allocation) Metrics {
+	var m Metrics
+	s.EvaluateInto(a, &m)
+	return m
+}
+
+// EvaluateInto computes the complete Metrics into m, reusing its slice
+// capacity when sufficient. Hot loops that re-evaluate every iteration (the
+// optimizer's objective trace) use it to stay allocation-free.
+func (s *System) EvaluateInto(a Allocation, m *Metrics) {
 	n := s.N()
-	m := Metrics{
-		Rates:       make([]float64, n),
-		UploadTimes: make([]float64, n),
-		CompTimes:   make([]float64, n),
-	}
+	m.Rates = growFloats(m.Rates, n)
+	m.UploadTimes = growFloats(m.UploadTimes, n)
+	m.CompTimes = growFloats(m.CompTimes, n)
+	m.RoundTime, m.TransEnergy, m.CompEnergy = 0, 0, 0
 	for i := 0; i < n; i++ {
 		m.Rates[i] = s.Rate(i, a.Power[i], a.Bandwidth[i])
 		m.UploadTimes[i] = s.UploadTimeRound(i, a.Power[i], a.Bandwidth[i])
@@ -86,7 +94,15 @@ func (s *System) Evaluate(a Allocation) Metrics {
 	m.CompEnergy *= s.GlobalRounds
 	m.TotalEnergy = m.TransEnergy + m.CompEnergy
 	m.TotalTime = s.GlobalRounds * m.RoundTime
-	return m
+}
+
+// growFloats returns a slice of length n, reusing s's backing array when it
+// is large enough.
+func growFloats(s []float64, n int) []float64 {
+	if cap(s) < n {
+		return make([]float64, n)
+	}
+	return s[:n]
 }
 
 // Objective evaluates the weighted objective (8): w1*E + w2*T.

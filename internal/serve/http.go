@@ -56,6 +56,29 @@ type SolveRequestJSON struct {
 	DeviceID string `json:"device_id,omitempty"`
 }
 
+// SolveBatchRequestJSON is the body of POST /v1/solve-batch: many solve
+// requests decoded, fingerprinted and dispatched in one round trip.
+type SolveBatchRequestJSON struct {
+	Requests []SolveRequestJSON `json:"requests"`
+	// Priority is "bulk" (default: replays queue behind live interactive
+	// traffic) or "interactive".
+	Priority string `json:"priority,omitempty"`
+}
+
+// BatchItemJSON is one item of a batch response, aligned by index with the
+// request's items. A failed item carries its error; the others carry a
+// normal solve response.
+type BatchItemJSON struct {
+	OK     bool               `json:"ok"`
+	Error  string             `json:"error,omitempty"`
+	Result *SolveResponseJSON `json:"result,omitempty"`
+}
+
+// SolveBatchResponseJSON is the body of a successful POST /v1/solve-batch.
+type SolveBatchResponseJSON struct {
+	Results []BatchItemJSON `json:"results"`
+}
+
 // SolveResponseJSON is the body of a successful POST /v1/solve.
 type SolveResponseJSON struct {
 	PowerW        []float64 `json:"power_w"`
@@ -181,12 +204,14 @@ func ResponseToJSON(resp Response) SolveResponseJSON {
 
 // Handler returns the HTTP API of the server:
 //
-//	POST /v1/solve  JSON instance in, allocation + metrics out
-//	GET  /v1/stats  counter snapshot (JSON)
-//	GET  /metrics   the same counters in Prometheus text exposition
+//	POST /v1/solve        JSON instance in, allocation + metrics out
+//	POST /v1/solve-batch  many instances in one body, bulk priority
+//	GET  /v1/stats        counter snapshot (JSON)
+//	GET  /metrics         the same counters in Prometheus text exposition
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/solve", s.handleSolve)
+	mux.HandleFunc("POST /v1/solve-batch", s.handleSolveBatch)
 	mux.HandleFunc("GET /v1/stats", s.handleStats)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	return mux
@@ -195,6 +220,120 @@ func (s *Server) Handler() http.Handler {
 // maxSolveBody bounds the /v1/solve request body (8 MiB fits tens of
 // thousands of devices) so one oversized POST cannot exhaust memory.
 const maxSolveBody = 8 << 20
+
+// maxBatchBody bounds the /v1/solve-batch request body: batches amortize
+// a round trip over many instances, so they get a proportionally larger
+// ceiling.
+const maxBatchBody = 64 << 20
+
+// ParseBatchPriority maps the wire priority to the dispatch priority
+// (shared with the cluster front end). Empty means bulk: the batch
+// endpoint exists for replays, and replays must not starve live traffic.
+func ParseBatchPriority(p string) (Priority, error) {
+	switch p {
+	case "", "bulk":
+		return PriorityBulk, nil
+	case "interactive":
+		return PriorityInteractive, nil
+	default:
+		return 0, fmt.Errorf("unknown priority %q: %w", p, ErrBadRequest)
+	}
+}
+
+// BatchItemToJSON flattens one batch outcome into the wire form (shared
+// with the cluster front end).
+func BatchItemToJSON(it BatchItem) BatchItemJSON {
+	if it.Err != nil {
+		return BatchItemJSON{Error: it.Err.Error()}
+	}
+	rj := ResponseToJSON(it.Response)
+	return BatchItemJSON{OK: true, Result: &rj}
+}
+
+// DecodedBatch is the decoded ingress of one solve-batch call, shared with
+// the cluster front end. Requests and DeviceIDs are aligned with the wire
+// items and zero-valued where Errs[i] is non-nil; only the Valid indexes
+// are dispatched, so a malformed item fails alone without polluting the
+// request/error counters or routing state.
+type DecodedBatch struct {
+	Requests  []Request
+	DeviceIDs []string
+	Errs      []error
+	Priority  Priority
+}
+
+// Valid returns the indexes of the items that decoded.
+func (b DecodedBatch) Valid() []int {
+	idx := make([]int, 0, len(b.Requests))
+	for i, err := range b.Errs {
+		if err == nil {
+			idx = append(idx, i)
+		}
+	}
+	return idx
+}
+
+// ReadBatchRequest decodes a POST /v1/solve-batch body. On an envelope
+// error (oversized body, malformed JSON, unknown priority) it writes the
+// HTTP error response itself and reports ok = false; per-item decode
+// failures land in the result's Errs instead.
+func ReadBatchRequest(w http.ResponseWriter, r *http.Request) (DecodedBatch, bool) {
+	var in SolveBatchRequestJSON
+	r.Body = http.MaxBytesReader(w, r.Body, maxBatchBody)
+	if err := json.NewDecoder(r.Body).Decode(&in); err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			httpError(w, http.StatusRequestEntityTooLarge, err)
+			return DecodedBatch{}, false
+		}
+		httpError(w, http.StatusBadRequest, fmt.Errorf("decoding body: %w", err))
+		return DecodedBatch{}, false
+	}
+	pri, err := ParseBatchPriority(in.Priority)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return DecodedBatch{}, false
+	}
+	dec := DecodedBatch{
+		Requests:  make([]Request, len(in.Requests)),
+		DeviceIDs: make([]string, len(in.Requests)),
+		Errs:      make([]error, len(in.Requests)),
+		Priority:  pri,
+	}
+	for i, rj := range in.Requests {
+		req, err := RequestFromJSON(rj)
+		if err != nil {
+			dec.Errs[i] = err
+			continue
+		}
+		dec.Requests[i] = req
+		dec.DeviceIDs[i] = rj.DeviceID
+	}
+	return dec, true
+}
+
+func (s *Server) handleSolveBatch(w http.ResponseWriter, r *http.Request) {
+	dec, ok := ReadBatchRequest(w, r)
+	if !ok {
+		return
+	}
+	valid := dec.Valid()
+	sub := make([]Request, len(valid))
+	for k, i := range valid {
+		sub[k] = dec.Requests[i]
+	}
+	items := s.SolveBatch(r.Context(), sub, dec.Priority)
+	out := SolveBatchResponseJSON{Results: make([]BatchItemJSON, len(dec.Requests))}
+	for i, err := range dec.Errs {
+		if err != nil {
+			out.Results[i] = BatchItemJSON{Error: err.Error()}
+		}
+	}
+	for k, i := range valid {
+		out.Results[i] = BatchItemToJSON(items[k])
+	}
+	writeJSON(w, http.StatusOK, out)
+}
 
 func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 	var in SolveRequestJSON

@@ -74,12 +74,24 @@ func (s Snapshot) WritePrometheus(p *PromWriter, prefix, labels string) {
 		{"deduped_total", "Requests joined onto an identical in-flight solve.", s.Deduped},
 		{"rejected_total", "Requests shed because the queue was full.", s.Rejected},
 		{"errors_total", "Requests that ended in a solver or validation error.", s.Errors},
+		{"batch_requests_total", "SolveBatch calls received.", s.BatchRequests},
+		{"batch_items_total", "Instances carried by SolveBatch calls.", s.BatchItems},
 	}
 	for _, c := range counters {
 		p.Counter(prefix+"_"+c.name, c.help, labels, float64(c.v))
 	}
 	p.Gauge(prefix+"_cache_entries", "Current solution-cache occupancy.", labels, float64(s.CacheEntries))
 	p.Gauge(prefix+"_warm_entries", "Current warm-start index occupancy.", labels, float64(s.WarmEntries))
+	p.Gauge(prefix+"_tracked_buckets", "Topology buckets with per-bucket hit-rate counters.", labels, float64(s.TrackedBuckets))
+	for _, b := range s.Buckets {
+		bl := `bucket="` + b.Bucket + `"`
+		if labels != "" {
+			bl = labels + "," + bl
+		}
+		p.Counter(prefix+"_bucket_hits_total", "Cache hits in the busiest topology buckets.", bl, float64(b.Hits))
+		p.Counter(prefix+"_bucket_misses_total", "Cache misses in the busiest topology buckets.", bl, float64(b.Misses))
+		p.Gauge(prefix+"_bucket_hit_rate", "Cache hit rate in the busiest topology buckets.", bl, b.HitRate)
+	}
 	for _, qv := range []struct {
 		q string
 		v float64

@@ -7,6 +7,7 @@ import (
 	"math"
 	"runtime"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/core"
@@ -45,6 +46,16 @@ type Config struct {
 	DisableCache bool
 	// DisableWarmStart turns off seeding solves from topology neighbours.
 	DisableWarmStart bool
+	// DisableDualSeed restricts warm starts to the allocation alone,
+	// without the cached Subproblem 2 dual state. Allocation-only warm
+	// starts buy safety but re-run the Newton iteration; the dual seed is
+	// what lets a drifted re-solve skip it (kept as a knob so benchmarks
+	// can measure the difference).
+	DisableDualSeed bool
+	// BulkQueueDepth bounds the low-priority queue fed by batch requests;
+	// arrivals beyond it are rejected with ErrOverloaded. Default
+	// 4*QueueDepth.
+	BulkQueueDepth int
 	// Solver overrides the solve function (tests, alternative algorithms).
 	// Default core.Optimize.
 	Solver func(*fl.System, fl.Weights, core.Options) (core.Result, error)
@@ -65,6 +76,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.DefaultTimeout == 0 {
 		c.DefaultTimeout = 30 * time.Second
+	}
+	if c.BulkQueueDepth <= 0 {
+		c.BulkQueueDepth = 4 * c.QueueDepth
 	}
 	if c.Solver == nil {
 		c.Solver = core.Optimize
@@ -127,6 +141,7 @@ type Server struct {
 	stats  Stats
 
 	queue chan *task
+	bulk  chan *task
 	done  chan struct{}
 	wg    sync.WaitGroup
 	close sync.Once
@@ -137,7 +152,31 @@ type task struct {
 	fp    Fingerprint
 	solve func(*fl.System, fl.Weights, core.Options) (core.Result, error)
 	call  *flightCall
+	// pri is the queue the task was enqueued on; promote reads it to
+	// decide whether an interactive follower should re-queue the task.
+	pri Priority
+	// claimed guards against double completion when promotion places the
+	// same task on both queues: the first dequeue claims it and the other
+	// pop discards it, and a failed enqueue may finish the flight call
+	// with an error only if it wins the claim (a promoted copy may
+	// already be running).
+	claimed atomic.Bool
+	// promoted ensures at most one interactive-queue copy exists however
+	// many interactive followers join the flight.
+	promoted atomic.Bool
 }
+
+// Priority ranks a request for worker dispatch. Workers always prefer
+// interactive work; bulk tasks (batch replays) run only when no interactive
+// request is waiting, so a batch cannot starve live traffic.
+type Priority int
+
+const (
+	// PriorityInteractive is the default for single solves.
+	PriorityInteractive Priority = iota
+	// PriorityBulk marks batch replays that may wait behind live traffic.
+	PriorityBulk
+)
 
 // New builds a server and starts its worker pool. Call Close (or cancel a
 // Serve context) to stop it.
@@ -149,6 +188,7 @@ func New(cfg Config) *Server {
 		warm:   newWarmIndex(cfg.CacheEntries),
 		flight: newFlightGroup(),
 		queue:  make(chan *task, cfg.QueueDepth),
+		bulk:   make(chan *task, cfg.BulkQueueDepth),
 		done:   make(chan struct{}),
 	}
 	s.wg.Add(cfg.Workers)
@@ -200,45 +240,48 @@ func (s *Server) SolveLatencies() []time.Duration { return s.stats.latencies() }
 func (s *Server) Quantization() Quantization { return s.cfg.Quantization }
 
 // Migration bundles the cacheable state one fingerprint identifies: the
-// exact-match solution and the topology-bucket warm-start allocation.
-// Either part may be absent (nil).
+// exact-match solution and the topology-bucket warm-start allocation with
+// its dual state. Either part may be absent (nil).
 type Migration struct {
 	// Result is the exact-fingerprint cache entry, nil if absent.
 	Result *core.Result
 	// Warm is the topology-bucket warm-start allocation, nil if absent.
 	Warm *fl.Allocation
+	// WarmDuals is the dual state cached next to Warm, nil if absent.
+	WarmDuals *core.DualState
 }
 
 // Extract removes and returns the solution-cache entry identified by fp,
-// together with a copy of its topology bucket's warm-start allocation. It
-// is the source half of a cross-cell device handoff: after Extract the
-// server answers that exact fingerprint cold again. The warm entry is
-// copied, not removed — topology buckets are shared by every device whose
-// instances collide there, and one device's mobility must not cold-start
-// the neighbours it leaves behind.
+// together with a copy of its topology bucket's warm-start allocation and
+// dual state. It is the source half of a cross-cell device handoff: after
+// Extract the server answers that exact fingerprint cold again. The warm
+// entry is copied, not removed — topology buckets are shared by every
+// device whose instances collide there, and one device's mobility must not
+// cold-start the neighbours it leaves behind.
 func (s *Server) Extract(fp Fingerprint) Migration {
 	var m Migration
 	if res, ok := s.cache.Take(fp.Exact); ok {
 		m.Result = &res
 	}
-	if a, ok := s.warm.get(fp.Topo); ok {
-		m.Warm = &a
+	if e, ok := s.warm.get(fp.Topo); ok {
+		m.Warm = &e.alloc
+		m.WarmDuals = e.duals
 	}
 	return m
 }
 
 // Inject inserts a migrated bundle under fp, the destination half of a
 // handoff: the next identical request is a cache hit, and a drifted one
-// warm-starts from the migrated allocation. Exactly what the bundle
-// carries is inserted — whether a Result should double as a warm seed is
-// the caller's call (it knows the solver; see SolverName.Warmable) — and
-// parts whose pipeline stage is disabled by config are dropped.
+// warm-starts from the migrated allocation and duals. Exactly what the
+// bundle carries is inserted — whether a Result should double as a warm
+// seed is the caller's call (it knows the solver; see SolverName.Warmable)
+// — and parts whose pipeline stage is disabled by config are dropped.
 func (s *Server) Inject(fp Fingerprint, m Migration) {
 	if m.Result != nil && !s.cfg.DisableCache {
 		s.cache.Put(fp.Exact, *m.Result)
 	}
 	if m.Warm != nil && !s.cfg.DisableWarmStart {
-		s.warm.put(fp.Topo, *m.Warm)
+		s.warm.put(fp.Topo, *m.Warm, m.WarmDuals)
 	}
 }
 
@@ -263,9 +306,11 @@ func (s *Server) Solve(ctx context.Context, req Request) (Response, error) {
 	if !s.cfg.DisableCache {
 		if res, ok := s.cache.Get(fp.Exact); ok {
 			s.stats.hits.Add(1)
+			s.stats.bucketEvent(fp.Topo, bucketHit)
 			return Response{Result: res, Source: SourceCache, Solver: req.Solver.normalize(), Fingerprint: fp}, nil
 		}
 		s.stats.misses.Add(1)
+		s.stats.bucketEvent(fp.Topo, bucketMiss)
 	}
 
 	// The default deadline only matters once a solve has to be awaited, so
@@ -280,9 +325,12 @@ func (s *Server) Solve(ctx context.Context, req Request) (Response, error) {
 
 	call, leader := s.flight.join(fp.Exact)
 	if leader {
-		s.enqueue(&task{req: req, fp: fp, solve: solve, call: call})
+		s.enqueue(&task{req: req, fp: fp, solve: solve, call: call}, PriorityInteractive)
 	} else {
 		s.stats.deduped.Add(1)
+		// Joining a batch replay's in-flight solve must not demote this
+		// caller to bulk priority.
+		s.promote(call)
 	}
 	finished := func() (Response, error) {
 		if call.err != nil {
@@ -311,50 +359,128 @@ func (s *Server) Solve(ctx context.Context, req Request) (Response, error) {
 	}
 }
 
-// enqueue places the task on the worker queue; the worker finishes the
-// flight call after solving. When the enqueue itself fails (closed, queue
-// full) the leader finishes the call with the error so every waiter wakes.
-func (s *Server) enqueue(t *task) {
+// enqueue places the task on the queue matching its priority; the worker
+// finishes the flight call after solving. When the enqueue itself fails
+// (closed, queue full) the leader finishes the call with the error so every
+// waiter wakes.
+func (s *Server) enqueue(t *task, pri Priority) {
+	t.pri = pri
+	t.call.leaderTask.Store(t)
 	select {
 	case <-s.done:
-		s.flight.finish(t.fp.Exact, t.call, Response{}, ErrClosed)
+		s.failTask(t, ErrClosed, false)
 		return
 	default:
 	}
+	q := s.queue
+	if pri == PriorityBulk {
+		q = s.bulk
+	}
 	select {
-	case s.queue <- t:
+	case q <- t:
 	case <-s.done:
-		s.flight.finish(t.fp.Exact, t.call, Response{}, ErrClosed)
+		s.failTask(t, ErrClosed, false)
 	default:
-		s.stats.rejected.Add(1)
-		s.flight.finish(t.fp.Exact, t.call, Response{}, ErrOverloaded)
+		s.failTask(t, ErrOverloaded, true)
 	}
 }
 
+// failTask finishes a task's flight call with err — but only after winning
+// the claim: a promoted duplicate may already be running (or queued) on the
+// interactive queue, and finishing here too would complete the call twice
+// (close of a closed channel). Losing the claim means a worker owns the
+// task and will deliver the real outcome.
+func (s *Server) failTask(t *task, err error, shed bool) {
+	if !t.claimed.CompareAndSwap(false, true) {
+		return
+	}
+	if shed {
+		s.stats.rejected.Add(1)
+	}
+	s.flight.finish(t.fp.Exact, t.call, Response{}, err)
+}
+
+// promote re-queues a bulk-queued leader task onto the interactive queue
+// when an interactive caller deduplicates onto its flight: without it, a
+// live request colliding with a batch replay would wait at bulk priority
+// behind all interactive traffic. Best-effort and race-tolerant: the task
+// stays on the bulk queue too, whichever dequeue claims it first runs it,
+// and a full interactive queue simply leaves the bulk copy in charge.
+func (s *Server) promote(call *flightCall) {
+	t := call.leaderTask.Load()
+	if t == nil || t.pri != PriorityBulk || t.claimed.Load() {
+		return
+	}
+	if !t.promoted.CompareAndSwap(false, true) {
+		return // another follower already queued the interactive copy
+	}
+	select {
+	case s.queue <- t:
+	default:
+	}
+}
+
+// worker drains the queues, preferring interactive work: a bulk task is
+// picked up only when no interactive task is waiting at that moment. Each
+// worker owns a solver workspace, reused across every solve it runs, so the
+// steady-state request path performs no solver allocations.
 func (s *Server) worker() {
 	defer s.wg.Done()
+	ws := core.NewWorkspace()
 	for {
+		// Fast path: interactive work (or shutdown) first.
 		select {
 		case t := <-s.queue:
-			resp, err := s.process(t)
-			s.flight.finish(t.fp.Exact, t.call, resp, err)
+			s.runTask(t, ws)
+			continue
+		case <-s.done:
+			return
+		default:
+		}
+		select {
+		case t := <-s.queue:
+			s.runTask(t, ws)
+		case t := <-s.bulk:
+			s.runTask(t, ws)
 		case <-s.done:
 			return
 		}
 	}
 }
 
-// process runs one solve, trying the warm-start path first.
-func (s *Server) process(t *task) (Response, error) {
+// runTask claims and executes one dequeued task. A promoted task sits on
+// both queues; the claim makes the second pop a no-op.
+func (s *Server) runTask(t *task, ws *core.Workspace) {
+	if !t.claimed.CompareAndSwap(false, true) {
+		return
+	}
+	resp, err := s.process(t, ws)
+	s.flight.finish(t.fp.Exact, t.call, resp, err)
+}
+
+// process runs one solve, trying the warm-start path first. A topology-
+// bucket hit seeds both the allocation and, unless disabled, the cached
+// Subproblem 2 dual state, which lets the seeded solve skip its Newton
+// iterations once the solver's residual check confirms the seed (the
+// objective is protected by the hybrid solver's direct polish either way).
+func (s *Server) process(t *task, ws *core.Workspace) (Response, error) {
 	req := t.req
 	source := SourceCold
 	if !s.cfg.DisableWarmStart && startMatters(req) {
 		if cand, ok := s.warm.get(t.fp.Topo); ok {
-			if start, ok := sanitizeStart(req.System, cand); ok {
+			if start, ok := sanitizeStart(req.System, cand.alloc); ok {
 				req.Options.Start = &start
+				if !s.cfg.DisableDualSeed && cand.duals.ValidFor(req.System.N()) {
+					// Entries are immutable and the solver copies the seed
+					// at init, so the reference is safe to share.
+					req.Options.DualStart = cand.duals
+				}
 				source = SourceWarm
 			}
 		}
+	}
+	if req.Options.Work == nil {
+		req.Options.Work = ws
 	}
 
 	began := time.Now()
@@ -367,8 +493,10 @@ func (s *Server) process(t *task) (Response, error) {
 	s.stats.recordLatency(elapsed)
 	if source == SourceWarm {
 		s.stats.warmStarts.Add(1)
+		s.stats.bucketEvent(t.fp.Topo, bucketWarm)
 	} else {
 		s.stats.coldSolves.Add(1)
+		s.stats.bucketEvent(t.fp.Topo, bucketCold)
 	}
 	if !s.cfg.DisableCache {
 		s.cache.Put(t.fp.Exact, res)
@@ -376,7 +504,7 @@ func (s *Server) process(t *task) (Response, error) {
 	// Baselines never consume a seeded start, so their allocations would
 	// only sit dead in (their own, solver-keyed) topology buckets.
 	if !s.cfg.DisableWarmStart && req.Solver.Warmable() {
-		s.warm.put(t.fp.Topo, res.Allocation)
+		s.warm.put(t.fp.Topo, res.Allocation, res.Duals)
 	}
 	// Not cloned here: every waiter in Solve copies Result for itself.
 	return Response{
@@ -446,30 +574,39 @@ func sanitizeStart(s *fl.System, a fl.Allocation) (fl.Allocation, bool) {
 	return out, true
 }
 
-// warmIndex maps topology buckets to the most recent allocation solved in
-// that bucket. Eviction on overflow drops an arbitrary entry — the index
-// is a best-effort hint, never a source of truth.
+// warmEntry is one topology bucket's cached seed: the most recent
+// allocation solved there and, when the solver exported one, its converged
+// dual state.
+type warmEntry struct {
+	alloc fl.Allocation
+	duals *core.DualState
+}
+
+// warmIndex maps topology buckets to the most recent allocation (and dual
+// state) solved in that bucket. Eviction on overflow drops an arbitrary
+// entry — the index is a best-effort hint, never a source of truth.
 type warmIndex struct {
 	mu  sync.Mutex
 	max int
-	m   map[uint64]fl.Allocation
+	m   map[uint64]warmEntry
 }
 
 func newWarmIndex(max int) *warmIndex {
 	if max < 1 {
 		max = 1
 	}
-	return &warmIndex{max: max, m: make(map[uint64]fl.Allocation)}
+	return &warmIndex{max: max, m: make(map[uint64]warmEntry)}
 }
 
-// get returns the stored allocation by reference; entries are immutable
-// (put stores a private clone and replaces wholesale), so callers may read
-// but must clone before mutating — sanitizeStart does.
-func (w *warmIndex) get(key uint64) (fl.Allocation, bool) {
+// get returns the stored entry by reference; entries are immutable (put
+// stores private clones and replaces wholesale), so callers may read but
+// must clone before mutating — sanitizeStart does, and the solver copies a
+// dual seed at init.
+func (w *warmIndex) get(key uint64) (warmEntry, bool) {
 	w.mu.Lock()
 	defer w.mu.Unlock()
-	a, ok := w.m[key]
-	return a, ok
+	e, ok := w.m[key]
+	return e, ok
 }
 
 // len reports the current entry count.
@@ -479,7 +616,7 @@ func (w *warmIndex) len() int {
 	return len(w.m)
 }
 
-func (w *warmIndex) put(key uint64, a fl.Allocation) {
+func (w *warmIndex) put(key uint64, a fl.Allocation, duals *core.DualState) {
 	w.mu.Lock()
 	defer w.mu.Unlock()
 	if _, ok := w.m[key]; !ok && len(w.m) >= w.max {
@@ -488,5 +625,5 @@ func (w *warmIndex) put(key uint64, a fl.Allocation) {
 			break
 		}
 	}
-	w.m[key] = a.Clone()
+	w.m[key] = warmEntry{alloc: a.Clone(), duals: duals.Clone()}
 }

@@ -1,6 +1,9 @@
 package serve
 
-import "sync"
+import (
+	"sync"
+	"sync/atomic"
+)
 
 // flightGroup deduplicates concurrent work on the same fingerprint: the
 // first caller becomes the leader and enqueues the solve; followers
@@ -20,6 +23,10 @@ type flightCall struct {
 	done chan struct{}
 	res  Response
 	err  error
+	// leaderTask, once the leader has built its queue task, lets an
+	// interactive follower promote a bulk-queued call onto the
+	// interactive queue (see Server.promote). Nil until then.
+	leaderTask atomic.Pointer[task]
 }
 
 func newFlightGroup() *flightGroup {

@@ -1,6 +1,7 @@
 package serve
 
 import (
+	"fmt"
 	"math"
 	"sort"
 	"sync"
@@ -11,6 +12,37 @@ import (
 // latencyWindow is how many recent solve latencies the quantile estimator
 // retains. A power of two keeps the ring index cheap.
 const latencyWindow = 1024
+
+// maxTrackedBuckets bounds the per-topology-bucket counters (summed over
+// shards); beyond it an arbitrary bucket's counters are evicted, like the
+// warm index — the per-bucket view is an observability aid, not a source
+// of truth.
+const maxTrackedBuckets = 1024
+
+// bucketStatShards spreads the per-bucket maps over independently locked
+// shards so tracking stays off the request path's critical section (the
+// other counters are atomics; one global mutex here would serialize the
+// microsecond cache-hit path across workers).
+const bucketStatShards = 16
+
+// topBuckets is how many buckets (by request volume) a Snapshot carries.
+const topBuckets = 8
+
+// bucketEventKind tags one per-bucket counter update.
+type bucketEventKind int
+
+const (
+	bucketHit bucketEventKind = iota
+	bucketMiss
+	bucketWarm
+	bucketCold
+)
+
+// bucketCounters tracks one topology bucket's pipeline outcomes.
+type bucketCounters struct {
+	hits, misses int64
+	warm, cold   int64
+}
 
 // Stats aggregates the server's counters. Counters are updated atomically
 // on the request path; quantiles are computed on demand from a sliding
@@ -24,10 +56,51 @@ type Stats struct {
 	deduped    atomic.Int64
 	rejected   atomic.Int64
 	errors     atomic.Int64
+	batchReqs  atomic.Int64
+	batchItems atomic.Int64
 
 	mu    sync.Mutex
 	ring  [latencyWindow]time.Duration
 	count int64 // total latencies ever recorded
+
+	buckets [bucketStatShards]bucketShard
+}
+
+type bucketShard struct {
+	mu sync.Mutex
+	m  map[uint64]*bucketCounters
+}
+
+// bucketEvent updates one topology bucket's counters (sharded, bounded;
+// see maxTrackedBuckets).
+func (st *Stats) bucketEvent(topo uint64, kind bucketEventKind) {
+	sh := &st.buckets[topo%bucketStatShards]
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if sh.m == nil {
+		sh.m = make(map[uint64]*bucketCounters)
+	}
+	bc, ok := sh.m[topo]
+	if !ok {
+		if len(sh.m) >= maxTrackedBuckets/bucketStatShards {
+			for k := range sh.m {
+				delete(sh.m, k)
+				break
+			}
+		}
+		bc = &bucketCounters{}
+		sh.m[topo] = bc
+	}
+	switch kind {
+	case bucketHit:
+		bc.hits++
+	case bucketMiss:
+		bc.misses++
+	case bucketWarm:
+		bc.warm++
+	case bucketCold:
+		bc.cold++
+	}
 }
 
 func (st *Stats) recordLatency(d time.Duration) {
@@ -65,6 +138,32 @@ type Snapshot struct {
 	CacheEntries int `json:"cache_entries"`
 	// WarmEntries is the current warm-start index occupancy.
 	WarmEntries int `json:"warm_entries"`
+	// BatchRequests counts SolveBatch calls; BatchItems counts the
+	// instances they carried (each item also counts in Requests).
+	BatchRequests int64 `json:"batch_requests"`
+	BatchItems    int64 `json:"batch_items"`
+	// TrackedBuckets is how many topology buckets have per-bucket hit-rate
+	// counters (bounded; see Buckets for the busiest ones).
+	TrackedBuckets int `json:"tracked_buckets"`
+	// Buckets lists the busiest topology buckets by request volume with
+	// their cache hit rates, busiest first.
+	Buckets []BucketSnapshot `json:"buckets,omitempty"`
+}
+
+// BucketSnapshot is one topology bucket's hit-rate view.
+type BucketSnapshot struct {
+	// Bucket is the topology-bucket hash in hex (matches the fingerprint's
+	// Topo field).
+	Bucket string `json:"bucket"`
+	// Hits and Misses count exact-fingerprint cache outcomes of requests
+	// landing in this bucket.
+	Hits   int64 `json:"hits"`
+	Misses int64 `json:"misses"`
+	// WarmStarts and ColdSolves split the misses by how they solved.
+	WarmStarts int64 `json:"warm_starts"`
+	ColdSolves int64 `json:"cold_solves"`
+	// HitRate is Hits/(Hits+Misses), 0 for an untouched bucket.
+	HitRate float64 `json:"hit_rate"`
 }
 
 // Snapshot returns the current counter values and latency quantiles.
@@ -78,11 +177,54 @@ func (st *Stats) Snapshot() Snapshot {
 		Deduped:    st.deduped.Load(),
 		Rejected:   st.rejected.Load(),
 		Errors:     st.errors.Load(),
+
+		BatchRequests: st.batchReqs.Load(),
+		BatchItems:    st.batchItems.Load(),
 	}
 	if lat := st.latencies(); len(lat) > 0 {
 		s.SolveP50, s.SolveP99 = LatencyQuantiles(lat)
 	}
+	s.TrackedBuckets, s.Buckets = st.bucketSnapshots()
 	return s
+}
+
+// bucketSnapshots returns the tracked-bucket count and the busiest buckets
+// (by hits+misses), busiest first.
+func (st *Stats) bucketSnapshots() (int, []BucketSnapshot) {
+	var out []BucketSnapshot
+	for i := range st.buckets {
+		sh := &st.buckets[i]
+		sh.mu.Lock()
+		for topo, bc := range sh.m {
+			b := BucketSnapshot{
+				Bucket:     fmt.Sprintf("%016x", topo),
+				Hits:       bc.hits,
+				Misses:     bc.misses,
+				WarmStarts: bc.warm,
+				ColdSolves: bc.cold,
+			}
+			if total := bc.hits + bc.misses; total > 0 {
+				b.HitRate = float64(bc.hits) / float64(total)
+			}
+			out = append(out, b)
+		}
+		sh.mu.Unlock()
+	}
+	if len(out) == 0 {
+		return 0, nil
+	}
+	sort.Slice(out, func(i, j int) bool {
+		ri, rj := out[i].Hits+out[i].Misses, out[j].Hits+out[j].Misses
+		if ri != rj {
+			return ri > rj
+		}
+		return out[i].Bucket < out[j].Bucket
+	})
+	n := len(out)
+	if len(out) > topBuckets {
+		out = out[:topBuckets]
+	}
+	return n, out
 }
 
 // latencies copies the recent-latency window (unsorted).

@@ -61,7 +61,17 @@ type (
 	Mode = core.Mode
 	// SP2Method selects the Subproblem 2 strategy.
 	SP2Method = core.SP2Method
+	// DualState is the converged Subproblem 2 dual state (bandwidth price
+	// plus per-device Newton multipliers); cache it next to an allocation
+	// and pass it back via Options.DualStart to skip Newton iterations.
+	DualState = core.DualState
+	// Workspace is reusable solver scratch memory (Options.Work); one per
+	// goroutine keeps repeated solves allocation-free.
+	Workspace = core.Workspace
 )
+
+// NewWorkspace returns an empty solver workspace; see Options.Work.
+func NewWorkspace() *Workspace { return core.NewWorkspace() }
 
 // Re-exported operating modes and solver selectors.
 const (
@@ -212,6 +222,26 @@ type (
 	SolveResponseJSON = serve.SolveResponseJSON
 	// SystemJSON is the wire form of a System.
 	SystemJSON = serve.SystemJSON
+	// ServeBatchItem is one SolveBatch outcome.
+	ServeBatchItem = serve.BatchItem
+	// ServePriority ranks batch work against interactive traffic.
+	ServePriority = serve.Priority
+	// SolveBatchRequestJSON and SolveBatchResponseJSON are the
+	// POST /v1/solve-batch wire forms.
+	SolveBatchRequestJSON  = serve.SolveBatchRequestJSON
+	SolveBatchResponseJSON = serve.SolveBatchResponseJSON
+	// BatchItemJSON is one item of a batch response.
+	BatchItemJSON = serve.BatchItemJSON
+	// BucketSnapshot is one topology bucket's hit-rate view in ServeStats.
+	BucketSnapshot = serve.BucketSnapshot
+)
+
+// Re-exported batch priorities.
+const (
+	// ServePriorityInteractive competes with live single solves.
+	ServePriorityInteractive = serve.PriorityInteractive
+	// ServePriorityBulk queues behind them (the batch default).
+	ServePriorityBulk = serve.PriorityBulk
 )
 
 // Re-exported response sources.
@@ -258,6 +288,10 @@ type (
 	HandoffRequestJSON = cluster.HandoffRequestJSON
 	// ClusterSolveResponseJSON is a solve response plus its serving cell.
 	ClusterSolveResponseJSON = cluster.SolveResponseJSON
+	// ClusterSolveBatchResponseJSON is the routed batch response wire form.
+	ClusterSolveBatchResponseJSON = cluster.SolveBatchResponseJSON
+	// ClusterBatchItemJSON is one routed batch item plus its serving cell.
+	ClusterBatchItemJSON = cluster.BatchItemJSON
 )
 
 // ClusterCellAuto routes a request by device pin / consistent hash instead

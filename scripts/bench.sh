@@ -1,0 +1,43 @@
+#!/usr/bin/env bash
+# scripts/bench.sh — run the solver/serving benchmark set with -benchmem and
+# emit a machine-readable JSON baseline, so every perf PR can diff its
+# before/after numbers against the committed trajectory (BENCH_PR3.json
+# holds PR 3's pair; later PRs append their own files).
+#
+# Usage:
+#   scripts/bench.sh            # human output to stderr, JSON to stdout
+#   scripts/bench.sh out.json   # ... and the JSON also written to out.json
+#   BENCHTIME=5s scripts/bench.sh
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BENCHES='^(BenchmarkOptimizeWeighted|BenchmarkOptimizeDeadline|BenchmarkServeCold|BenchmarkServeCached|BenchmarkServeWarmStart|BenchmarkServeWarmStartAllocOnly|BenchmarkServeBatch|BenchmarkClusterRoutedCached)$'
+BENCHTIME="${BENCHTIME:-2s}"
+
+out="$(go test -run '^$' -bench "$BENCHES" -benchmem -benchtime "$BENCHTIME" -count 1 .)"
+echo "$out" >&2
+
+json="$(echo "$out" | awk '
+BEGIN { printf "{\n"; sep = "" }
+/^Benchmark/ {
+    name = $1
+    sub(/-[0-9]+$/, "", name)  # strip the GOMAXPROCS suffix
+    printf "%s  \"%s\": {", sep, name
+    sep = ",\n"
+    inner = ""
+    for (i = 3; i + 1 <= NF; i += 2) {
+        unit = $(i + 1)
+        gsub(/\//, "_per_", unit)
+        gsub(/[^a-zA-Z0-9_]/, "_", unit)
+        printf "%s\"%s\": %s", inner, unit, $i
+        inner = ", "
+    }
+    printf "}"
+}
+END { printf "\n}\n" }
+')"
+
+echo "$json"
+if [ $# -ge 1 ]; then
+    echo "$json" > "$1"
+fi
