@@ -6,9 +6,13 @@ package repro_test
 // micro-benchmarks of the core solver stages.
 
 import (
+	"bytes"
 	"context"
+	"encoding/json"
 	"math"
 	"math/rand"
+	"net/http"
+	"net/http/httptest"
 	"testing"
 
 	"repro"
@@ -272,6 +276,155 @@ func BenchmarkServeBatch(b *testing.B) {
 		}
 	}
 	b.ReportMetric(serveBatchSize, "inst/op")
+}
+
+// streamBenchSystem builds the N=50 deployment of the streaming benchmarks:
+// the paper's default population, where re-POSTing the whole system per
+// 3-gain drift is the most wasteful (the regime the subsystem targets).
+func streamBenchSystem(b *testing.B) *repro.System {
+	b.Helper()
+	sc := repro.DefaultScenario()
+	s, err := sc.Build(rand.New(rand.NewSource(1)))
+	if err != nil {
+		b.Fatal(err)
+	}
+	return s
+}
+
+// streamBenchSetup opens one delta session over the full wrapped HTTP stack
+// (server + stream manager + httptest) and returns the base URL, session ID
+// and a cleanup.
+func streamBenchSetup(b *testing.B, base *repro.System) (string, string, func()) {
+	b.Helper()
+	srv := repro.NewServer(repro.ServeConfig{})
+	mgr := repro.NewStreamManager(repro.NewStreamServeBackend(srv), repro.StreamConfig{})
+	ts := httptest.NewServer(repro.StreamHandler(mgr))
+	cleanup := func() {
+		ts.Close()
+		mgr.Close()
+		srv.Close()
+	}
+	req := repro.SolveRequestJSON{System: repro.SystemToJSON(base)}
+	req.Weights.W1, req.Weights.W2 = 0.5, 0.5
+	body, err := json.Marshal(req)
+	if err != nil {
+		b.Fatal(err)
+	}
+	resp, err := http.Post(ts.URL+"/v1/stream", "application/json", bytes.NewReader(body))
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		b.Fatalf("open session: status %d", resp.StatusCode)
+	}
+	var open repro.StreamOpenResponseJSON
+	if err := json.NewDecoder(resp.Body).Decode(&open); err != nil {
+		b.Fatal(err)
+	}
+	return ts.URL, open.SessionID, cleanup
+}
+
+// sparseDriftDelta drifts k random gains of s in place and returns the
+// delta wire form carrying their new absolute values.
+func sparseDriftDelta(s *repro.System, seq uint64, k int, sigma float64, rng *rand.Rand) repro.StreamDeltaJSON {
+	d := repro.StreamDeltaJSON{Seq: seq, Gains: make(map[int]float64, k)}
+	for len(d.Gains) < k {
+		i := rng.Intn(s.N())
+		if _, ok := d.Gains[i]; ok {
+			continue
+		}
+		g := s.Devices[i].Gain * math.Exp(sigma*rng.NormFloat64())
+		d.Gains[i] = g
+		s.Devices[i].Gain = g
+	}
+	return d
+}
+
+// BenchmarkStreamDelta measures the streaming subsystem on its canonical
+// workload — a per-device gain-delta stream: each op posts ONE NDJSON delta
+// carrying one drifted gain of the N=50 system to an open session and reads
+// the re-solve back. The session re-fingerprints incrementally; a drift
+// that leaves its quantization bucket re-solves seeded with the topology
+// bucket's allocation + SP2 dual state (0 Newton iterations — newton/op
+// reports the average), and one that stays inside is answered from the
+// solution cache (warm/op counts both reuse paths). Its counterpart
+// BenchmarkStreamRepostCold pays the full client re-POST + cold solve for
+// the identical drift stream.
+func BenchmarkStreamDelta(b *testing.B) {
+	base := streamBenchSystem(b)
+	url, session, cleanup := streamBenchSetup(b, base)
+	defer cleanup()
+	rng := rand.New(rand.NewSource(2))
+	var newton, warm int
+	seq := uint64(0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		seq++
+		body, err := json.Marshal(sparseDriftDelta(base, seq, 1, 0.05, rng))
+		if err != nil {
+			b.Fatal(err)
+		}
+		resp, err := http.Post(url+"/v1/stream/"+session+"/deltas", repro.StreamNDJSONContentType, bytes.NewReader(body))
+		if err != nil {
+			b.Fatal(err)
+		}
+		var u repro.StreamUpdateJSON
+		err = json.NewDecoder(resp.Body).Decode(&u)
+		resp.Body.Close()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !u.OK || u.Result == nil {
+			b.Fatalf("delta %d: %+v", seq, u)
+		}
+		newton += u.Result.NewtonIters
+		if u.Result.Source == string(repro.ServeSourceWarm) || u.Result.Source == string(repro.ServeSourceCache) {
+			warm++
+		}
+	}
+	b.ReportMetric(float64(newton)/float64(b.N), "newton/op")
+	b.ReportMetric(float64(warm)/float64(b.N), "warm/op")
+}
+
+// BenchmarkStreamRepostCold is the same drifting workload served the
+// pre-stream way: the client re-POSTs the ENTIRE system to /v1/solve for
+// every single-gain drift, and the server (cache and warm starts disabled,
+// as for a stateless client whose every instance is new to the server)
+// solves cold. The gap to BenchmarkStreamDelta is what the delta subsystem
+// buys end to end.
+func BenchmarkStreamRepostCold(b *testing.B) {
+	base := streamBenchSystem(b)
+	srv := repro.NewServer(repro.ServeConfig{DisableCache: true, DisableWarmStart: true})
+	defer srv.Close()
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	rng := rand.New(rand.NewSource(2))
+	seq := uint64(0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		seq++
+		sparseDriftDelta(base, seq, 1, 0.05, rng) // identical drift stream
+		req := repro.SolveRequestJSON{System: repro.SystemToJSON(base)}
+		req.Weights.W1, req.Weights.W2 = 0.5, 0.5
+		body, err := json.Marshal(req)
+		if err != nil {
+			b.Fatal(err)
+		}
+		resp, err := http.Post(ts.URL+"/v1/solve", "application/json", bytes.NewReader(body))
+		if err != nil {
+			b.Fatal(err)
+		}
+		var out repro.SolveResponseJSON
+		err = json.NewDecoder(resp.Body).Decode(&out)
+		resp.Body.Close()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if out.Source != string(repro.ServeSourceCold) {
+			b.Fatalf("repost source %q, want cold", out.Source)
+		}
+	}
 }
 
 // BenchmarkFedAvgRound measures one FedAvg aggregation round (20 devices,

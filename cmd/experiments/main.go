@@ -4,10 +4,16 @@
 // Usage:
 //
 //	experiments [-fig all|2|3|4|5|6|7|8] [-trials 10] [-seed 1] [-csv DIR]
+//	experiments -sweep 20 [-sweepn 15] [-sweepdrift 0.05] [-sweepdeadline 120]
 //
 // Each sweep point is averaged over -trials independent device draws (the
 // paper uses 100; the default of 10 regenerates every qualitative shape in
 // a few minutes).
+//
+// With -sweep S the command instead replays one drifting-gain scenario
+// stream of S steps through the serving path under all three solvers
+// (algorithm2, scheme1, simplified) and prints a served-objective diff
+// table — the live-traffic complement of the figure sweeps.
 package main
 
 import (
@@ -27,10 +33,22 @@ func main() {
 		trials = flag.Int("trials", 10, "random device draws averaged per sweep point")
 		seed   = flag.Int64("seed", 1, "base RNG seed")
 		csvDir = flag.String("csv", "", "also write <dir>/fig<id>.csv files")
+
+		sweep         = flag.Int("sweep", 0, "replay a drifting scenario stream of this many steps through all three served solvers and diff the objectives")
+		sweepN        = flag.Int("sweepn", 15, "sweep: devices per scenario")
+		sweepDrift    = flag.Float64("sweepdrift", 0.05, "sweep: per-step log-normal gain drift (nepers)")
+		sweepDeadline = flag.Float64("sweepdeadline", 120, "sweep: total completion-time limit for the deadline-mode comparison (s)")
+		sweepRadius   = flag.Float64("sweepradius", 0.5, "sweep: placement disk radius (km); wider disks spread SNRs and separate the solvers")
 	)
 	flag.Parse()
 
-	if err := run(*fig, *trials, *seed, *csvDir); err != nil {
+	var err error
+	if *sweep > 0 {
+		err = runSweep(*sweep, *sweepN, *sweepDrift, *sweepDeadline, *sweepRadius, *seed)
+	} else {
+		err = run(*fig, *trials, *seed, *csvDir)
+	}
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "experiments:", err)
 		os.Exit(1)
 	}

@@ -12,6 +12,14 @@ func TestRunUnknownFigure(t *testing.T) {
 	}
 }
 
+func TestRunSweep(t *testing.T) {
+	// A short stream through all three served solvers; any solver/mode
+	// mismatch or serving-path regression fails the replay.
+	if err := runSweep(3, 8, 0.05, 120, 0.5, 1); err != nil {
+		t.Fatal(err)
+	}
+}
+
 func TestRunSingleFigureWithCSV(t *testing.T) {
 	if testing.Short() {
 		t.Skip("figure regeneration is slow")

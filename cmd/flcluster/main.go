@@ -7,15 +7,19 @@
 //
 //	flcluster [-addr :8080] [-cells 4] [-workers 0] [-queue 0]
 //	          [-cache 4096] [-ttl 10m] [-timeout 30s] [-gainres 0.25]
+//	          [-sessions 1024] [-session-ttl 5m]
 //
 // Endpoints:
 //
-//	POST /v1/cells/{id}/solve  solve in an explicit cell (pins the device)
-//	POST /v1/solve             routed by "device_id" (pin, else hash)
-//	POST /v1/solve-batch       many device-routed solves in one body
-//	POST /v1/handoff           {"device_id","from_cell","to_cell"}
-//	GET  /v1/stats             aggregate + per-cell counters (JSON)
-//	GET  /metrics              Prometheus text exposition
+//	POST   /v1/cells/{id}/solve   solve in an explicit cell (pins the device)
+//	POST   /v1/solve              routed by "device_id" (pin, else hash)
+//	POST   /v1/solve-batch        many device-routed solves in one body
+//	POST   /v1/stream             open a device-routed gain-delta session
+//	POST   /v1/stream/{id}/deltas NDJSON deltas in, NDJSON re-solves out
+//	DELETE /v1/stream/{id}        close a session
+//	POST   /v1/handoff            {"device_id","from_cell","to_cell"}
+//	GET    /v1/stats              aggregate + per-cell counters (JSON)
+//	GET    /metrics               Prometheus text exposition
 //
 // Load-generator mode replays drifting per-device scenarios against an
 // in-process instance of the same HTTP stack, migrating devices between
@@ -24,6 +28,7 @@
 //
 //	flcluster -loadgen 300 [-cells 4] [-devices 12] [-n 12] [-drift 0.05]
 //	          [-repeat 0.3] [-migrate 0.1] [-conc 8] [-seed 1] [-batch 0]
+//	          [-stream] [-deltadev 3]
 //
 // With -batch B each worker replays its devices through POST
 // /v1/solve-batch in bulk-priority chunks of B instances.
@@ -34,6 +39,13 @@
 // otherwise a fresh log-normal drift of its gains (exercising warm
 // starts). With probability -migrate the device first hands off to a
 // random other cell.
+//
+// With -stream every device instead opens one delta session and replays
+// sparse NDJSON gain deltas (-deltadev gains per update) down a live
+// connection; migrations fire POST /v1/handoff between deltas of the SAME
+// open session, exercising session survival across cross-cell handoff —
+// the post-move deltas must keep re-solving warm and dual-seeded off the
+// migrated state.
 package main
 
 import (
@@ -66,15 +78,20 @@ func main() {
 		timeout = flag.Duration("timeout", 30*time.Second, "per-request default deadline")
 		gainres = flag.Float64("gainres", 0.25, "channel-gain fingerprint bucket (dB)")
 
-		loadgen = flag.Int("loadgen", 0, "replay this many requests and exit")
-		devices = flag.Int("devices", 12, "loadgen: distinct devices (each owns a scenario)")
-		n       = flag.Int("n", 12, "loadgen: FL devices per scenario")
-		drift   = flag.Float64("drift", 0.05, "loadgen: per-request log-normal gain drift (nepers)")
-		repeat  = flag.Float64("repeat", 0.3, "loadgen: probability of replaying the previous instance")
-		migrate = flag.Float64("migrate", 0.1, "loadgen: per-request device-migration probability")
-		conc    = flag.Int("conc", 8, "loadgen: concurrent clients")
-		seed    = flag.Int64("seed", 1, "loadgen: RNG seed")
-		batch   = flag.Int("batch", 0, "loadgen: replay through POST /v1/solve-batch in batches of this size (0 = per-request /v1/solve)")
+		sessions   = flag.Int("sessions", 1024, "max concurrent stream sessions")
+		sessionTTL = flag.Duration("session-ttl", 5*time.Minute, "stream session idle TTL")
+
+		loadgen  = flag.Int("loadgen", 0, "replay this many requests and exit")
+		devices  = flag.Int("devices", 12, "loadgen: distinct devices (each owns a scenario)")
+		n        = flag.Int("n", 12, "loadgen: FL devices per scenario")
+		drift    = flag.Float64("drift", 0.05, "loadgen: per-request log-normal gain drift (nepers)")
+		repeat   = flag.Float64("repeat", 0.3, "loadgen: probability of replaying the previous instance")
+		migrate  = flag.Float64("migrate", 0.1, "loadgen: per-request device-migration probability")
+		conc     = flag.Int("conc", 8, "loadgen: concurrent clients")
+		seed     = flag.Int64("seed", 1, "loadgen: RNG seed")
+		batch    = flag.Int("batch", 0, "loadgen: replay through POST /v1/solve-batch in batches of this size (0 = per-request /v1/solve)")
+		stream   = flag.Bool("stream", false, "loadgen: replay through per-device NDJSON delta sessions (POST /v1/stream)")
+		deltadev = flag.Int("deltadev", 3, "loadgen -stream: devices drifted per delta")
 	)
 	flag.Parse()
 
@@ -89,12 +106,16 @@ func main() {
 			Quantization:   repro.ServeQuantization{GainResolutionDB: *gainres},
 		},
 	}
+	scfg := repro.StreamConfig{MaxSessions: *sessions, IdleTTL: *sessionTTL}
 
 	var err error
-	if *loadgen > 0 {
+	switch {
+	case *loadgen > 0 && *stream:
+		err = runStreamLoadgen(cfg, scfg, *loadgen, *devices, *n, *drift, *migrate, *conc, *seed, *deltadev)
+	case *loadgen > 0:
 		err = runLoadgen(cfg, *loadgen, *devices, *n, *drift, *repeat, *migrate, *conc, *seed, *batch)
-	} else {
-		err = runServer(cfg, *addr)
+	default:
+		err = runServer(cfg, scfg, *addr)
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "flcluster:", err)
@@ -103,11 +124,13 @@ func main() {
 }
 
 // runServer serves until SIGINT/SIGTERM.
-func runServer(cfg repro.ClusterConfig, addr string) error {
+func runServer(cfg repro.ClusterConfig, scfg repro.StreamConfig, addr string) error {
 	cl := repro.NewCluster(cfg)
 	defer cl.Close()
+	mgr := repro.NewStreamManager(repro.NewStreamClusterBackend(cl), scfg)
+	defer mgr.Close()
 
-	httpSrv := &http.Server{Addr: addr, Handler: cl.Handler()}
+	httpSrv := &http.Server{Addr: addr, Handler: repro.StreamHandler(mgr)}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 	go func() {
@@ -117,7 +140,7 @@ func runServer(cfg repro.ClusterConfig, addr string) error {
 		_ = httpSrv.Shutdown(shutdownCtx)
 	}()
 
-	fmt.Printf("flcluster: %d cells listening on %s (POST /v1/cells/{id}/solve, POST /v1/solve, POST /v1/handoff, GET /v1/stats, GET /metrics)\n",
+	fmt.Printf("flcluster: %d cells listening on %s (POST /v1/cells/{id}/solve, POST /v1/solve, POST /v1/stream, POST /v1/handoff, GET /v1/stats, GET /metrics)\n",
 		cl.Cells(), addr)
 	if err := httpSrv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
 		return err
@@ -396,4 +419,215 @@ func fetchStats(baseURL string) (repro.ClusterStats, error) {
 	defer resp.Body.Close()
 	err = json.NewDecoder(resp.Body).Decode(&stats)
 	return stats, err
+}
+
+// streamDev is one loadgen actor in -stream mode: a device that owns an
+// open delta session and a live NDJSON connection. Driven by exactly one
+// worker goroutine, so no locking.
+type streamDev struct {
+	id       string
+	sys      *repro.System // tracked authoritative gains
+	session  string
+	conn     *repro.StreamDeltaConn
+	lastCell int
+	seq      uint64
+}
+
+// streamClusterStats is the combined /v1/stats body of a stream-wrapped
+// cluster.
+type streamClusterStats struct {
+	repro.ClusterStats
+	Stream repro.StreamSnapshot `json:"stream"`
+}
+
+// runStreamLoadgen replays total sparse gain deltas through per-device
+// delta sessions over the cluster's HTTP stack. With probability migrate a
+// device fires POST /v1/handoff between two deltas of its OPEN session —
+// the stream keeps flowing and the post-move re-solves should stay warm
+// and dual-seeded off the migrated cache state (watch the client cells and
+// dual-seeded counts).
+func runStreamLoadgen(cfg repro.ClusterConfig, scfg repro.StreamConfig, total, devices, n int, drift, migrate float64, conc int, seed int64, deltaDevs int) error {
+	cl := repro.NewCluster(cfg)
+	defer cl.Close()
+	mgr := repro.NewStreamManager(repro.NewStreamClusterBackend(cl), scfg)
+	defer mgr.Close()
+	ts := httptest.NewServer(repro.StreamHandler(mgr))
+	defer ts.Close()
+
+	if devices < 1 {
+		devices = 1
+	}
+	if conc > devices {
+		conc = devices
+	}
+	if deltaDevs < 1 {
+		deltaDevs = 1
+	}
+
+	type tally struct {
+		ok, fail, handoffs     int64
+		cache, warm, cold      int64
+		dualSeeded, postMove   int64
+		postMoveWarm, newtonIt int64
+		err                    error
+	}
+	tallies := make([]tally, conc)
+	var wg sync.WaitGroup
+	began := time.Now()
+	for wkr := 0; wkr < conc; wkr++ {
+		var mine []int
+		for d := wkr; d < devices; d += conc {
+			mine = append(mine, d)
+		}
+		share := total / conc
+		if wkr < total%conc {
+			share++
+		}
+		wg.Add(1)
+		go func(wkr int, mine []int, share int) {
+			defer wg.Done()
+			t := &tallies[wkr]
+			rng := rand.New(rand.NewSource(seed + 1000*int64(wkr+1)))
+			devs := make([]*streamDev, 0, len(mine))
+			defer func() {
+				for _, dev := range devs {
+					if dev.conn != nil {
+						dev.conn.Close()
+					}
+				}
+			}()
+			// Open one session (and one live delta connection) per device.
+			for _, d := range mine {
+				sc := repro.DefaultScenario()
+				sc.N = n
+				sys, err := sc.Build(rand.New(rand.NewSource(seed + int64(d))))
+				if err != nil {
+					t.err = err
+					return
+				}
+				dev := &streamDev{id: fmt.Sprintf("dev-%d", d), sys: sys}
+				openReq := repro.SolveRequestJSON{System: repro.SystemToJSON(sys), DeviceID: dev.id}
+				openReq.Weights.W1, openReq.Weights.W2 = 0.5, 0.5
+				open, err := repro.StreamOpenSession(ts.URL, openReq)
+				if err != nil {
+					t.err = err
+					return
+				}
+				dev.session, dev.lastCell = open.SessionID, open.Cell
+				dev.conn, err = repro.StreamOpenDeltas(ts.URL, dev.session)
+				if err != nil {
+					t.err = err
+					return
+				}
+				devs = append(devs, dev)
+			}
+			for done := 0; done < share; done++ {
+				dev := devs[rng.Intn(len(devs))]
+				migrated := false
+				if cl.Cells() > 1 && rng.Float64() < migrate {
+					to := rng.Intn(cl.Cells() - 1)
+					if to >= dev.lastCell {
+						to++
+					}
+					if err := postHandoff(ts.URL, dev.id, dev.lastCell, to); err != nil {
+						t.err = err
+						return
+					}
+					t.handoffs++
+					migrated = true
+				}
+				dev.seq++
+				dj := repro.StreamDeltaJSON{Seq: dev.seq, Gains: make(map[int]float64, deltaDevs)}
+				for len(dj.Gains) < deltaDevs && len(dj.Gains) < n {
+					i := rng.Intn(n)
+					if _, ok := dj.Gains[i]; ok {
+						continue
+					}
+					g := dev.sys.Devices[i].Gain * math.Exp(drift*rng.NormFloat64())
+					dj.Gains[i] = g
+					dev.sys.Devices[i].Gain = g
+				}
+				if err := dev.conn.Send(dj); err != nil {
+					t.err = err
+					return
+				}
+				u, err := dev.conn.Recv()
+				if err != nil {
+					t.err = err
+					return
+				}
+				if !u.OK || u.Result == nil {
+					t.fail++
+					continue
+				}
+				t.ok++
+				dev.lastCell = u.Cell
+				switch u.Result.Source {
+				case string(repro.ServeSourceCache):
+					t.cache++
+				case string(repro.ServeSourceWarm):
+					t.warm++
+				default:
+					t.cold++
+				}
+				if u.Result.DualSeeded {
+					t.dualSeeded++
+				}
+				t.newtonIt += int64(u.Result.NewtonIters)
+				if migrated {
+					t.postMove++
+					if u.Result.Source == string(repro.ServeSourceWarm) || u.Result.Source == string(repro.ServeSourceCache) {
+						t.postMoveWarm++
+					}
+				}
+			}
+		}(wkr, mine, share)
+	}
+	wg.Wait()
+	elapsed := time.Since(began)
+	var agg tally
+	for i := range tallies {
+		if tallies[i].err != nil {
+			return tallies[i].err
+		}
+		agg.ok += tallies[i].ok
+		agg.fail += tallies[i].fail
+		agg.handoffs += tallies[i].handoffs
+		agg.cache += tallies[i].cache
+		agg.warm += tallies[i].warm
+		agg.cold += tallies[i].cold
+		agg.dualSeeded += tallies[i].dualSeeded
+		agg.postMove += tallies[i].postMove
+		agg.postMoveWarm += tallies[i].postMoveWarm
+		agg.newtonIt += tallies[i].newtonIt
+	}
+
+	var stats streamClusterStats
+	resp, err := http.Get(ts.URL + "/v1/stats")
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if err := json.NewDecoder(resp.Body).Decode(&stats); err != nil {
+		return err
+	}
+	deltas := agg.ok + agg.fail
+	fmt.Printf("loadgen (stream): %d deltas over %d sessions (%d ok, %d failed), %d handoffs in %.3fs = %.1f upd/s, %d cells\n",
+		deltas, devices, agg.ok, agg.fail, agg.handoffs, elapsed.Seconds(),
+		float64(deltas)/elapsed.Seconds(), cl.Cells())
+	perDelta := 0.0
+	if agg.ok > 0 {
+		perDelta = float64(agg.newtonIt) / float64(agg.ok)
+	}
+	fmt.Printf("client sources: %d cache, %d warm, %d cold; dual-seeded %d; newton/delta %.2f\n",
+		agg.cache, agg.warm, agg.cold, agg.dualSeeded, perDelta)
+	fmt.Printf("post-handoff deltas: %d, of which %d warm/cached off migrated state\n",
+		agg.postMove, agg.postMoveWarm)
+	a := stats.Aggregate
+	fmt.Printf("cluster: hits %d, misses %d, warm %d, cold %d, handoffs %d (results %d, warm %d)\n",
+		a.Hits, a.Misses, a.WarmStarts, a.ColdSolves, a.Handoffs, a.MigratedResults, a.MigratedWarm)
+	fmt.Printf("stream:  sessions %d open / %d opened, deltas %d, errors %d, dual-seeded %d\n",
+		stats.Stream.ActiveSessions, stats.Stream.SessionsOpened, stats.Stream.Deltas,
+		stats.Stream.DeltaErrors, stats.Stream.SolveDualSeeded)
+	return nil
 }

@@ -6,26 +6,34 @@
 //
 //	flserved [-addr :8080] [-workers 0] [-queue 0] [-cache 4096]
 //	         [-ttl 10m] [-timeout 30s] [-gainres 0.25]
+//	         [-sessions 1024] [-session-ttl 5m]
 //
 // Endpoints:
 //
-//	POST /v1/solve        {"system": {...}, "weights": {"w1": 0.5, "w2": 0.5}}
-//	POST /v1/solve-batch  {"requests": [...], "priority": "bulk"}
-//	GET  /v1/stats        hit/miss/warm-start counters and solve latency quantiles
-//	GET  /metrics         Prometheus text exposition
+//	POST   /v1/solve              {"system": {...}, "weights": {"w1": 0.5, "w2": 0.5}}
+//	POST   /v1/solve-batch        {"requests": [...], "priority": "bulk"}
+//	POST   /v1/stream             open a gain-delta session (full system once)
+//	POST   /v1/stream/{id}/deltas NDJSON deltas in, NDJSON re-solves out
+//	DELETE /v1/stream/{id}        close a session
+//	GET    /v1/stats              counters (server + "stream" section)
+//	GET    /metrics               Prometheus text exposition
 //
 // Load-generator mode replays randomly-drifted copies of the default
 // scenario against an in-process instance of the same HTTP stack and prints
 // client-side throughput plus the server's own counters:
 //
 //	flserved -loadgen 200 [-n 15] [-drift 0.05] [-repeat 0.3] [-conc 8]
-//	         [-seed 1] [-batch 0]
+//	         [-seed 1] [-batch 0] [-stream] [-deltadev 3]
 //
 // Each request is, with probability -repeat, an exact replay of an earlier
 // instance (exercising the cache), otherwise a fresh log-normal drift of
 // every channel gain by -drift nepers (exercising the warm-start path).
 // With -batch B the stream is replayed through POST /v1/solve-batch in
 // bulk-priority chunks of B instances, amortizing decode and dispatch.
+// With -stream each client opens one delta session and replays its share as
+// sparse NDJSON gain deltas (-deltadev gains drifted per update) over a
+// single live connection, exercising the streaming subsystem's incremental
+// re-solve path instead of whole-system re-POSTs.
 package main
 
 import (
@@ -58,13 +66,18 @@ func main() {
 		timeout = flag.Duration("timeout", 30*time.Second, "per-request default deadline")
 		gainres = flag.Float64("gainres", 0.25, "channel-gain fingerprint bucket (dB)")
 
-		loadgen = flag.Int("loadgen", 0, "replay this many drifted scenarios and exit")
-		n       = flag.Int("n", 15, "loadgen: devices per scenario")
-		drift   = flag.Float64("drift", 0.05, "loadgen: per-request log-normal gain drift (nepers)")
-		repeat  = flag.Float64("repeat", 0.3, "loadgen: probability of replaying an earlier instance")
-		conc    = flag.Int("conc", 8, "loadgen: concurrent clients")
-		seed    = flag.Int64("seed", 1, "loadgen: RNG seed")
-		batch   = flag.Int("batch", 0, "loadgen: replay through POST /v1/solve-batch in batches of this size (0 = per-request /v1/solve)")
+		sessions   = flag.Int("sessions", 1024, "max concurrent stream sessions")
+		sessionTTL = flag.Duration("session-ttl", 5*time.Minute, "stream session idle TTL")
+
+		loadgen  = flag.Int("loadgen", 0, "replay this many drifted scenarios and exit")
+		n        = flag.Int("n", 15, "loadgen: devices per scenario")
+		drift    = flag.Float64("drift", 0.05, "loadgen: per-request log-normal gain drift (nepers)")
+		repeat   = flag.Float64("repeat", 0.3, "loadgen: probability of replaying an earlier instance")
+		conc     = flag.Int("conc", 8, "loadgen: concurrent clients")
+		seed     = flag.Int64("seed", 1, "loadgen: RNG seed")
+		batch    = flag.Int("batch", 0, "loadgen: replay through POST /v1/solve-batch in batches of this size (0 = per-request /v1/solve)")
+		stream   = flag.Bool("stream", false, "loadgen: replay through per-client NDJSON delta sessions (POST /v1/stream)")
+		deltadev = flag.Int("deltadev", 3, "loadgen -stream: devices drifted per delta")
 	)
 	flag.Parse()
 
@@ -76,12 +89,16 @@ func main() {
 		DefaultTimeout: *timeout,
 		Quantization:   repro.ServeQuantization{GainResolutionDB: *gainres},
 	}
+	scfg := repro.StreamConfig{MaxSessions: *sessions, IdleTTL: *sessionTTL}
 
 	var err error
-	if *loadgen > 0 {
+	switch {
+	case *loadgen > 0 && *stream:
+		err = runStreamLoadgen(cfg, scfg, *loadgen, *n, *drift, *conc, *seed, *deltadev)
+	case *loadgen > 0:
 		err = runLoadgen(cfg, *loadgen, *n, *drift, *repeat, *conc, *seed, *batch)
-	} else {
-		err = runServer(cfg, *addr)
+	default:
+		err = runServer(cfg, scfg, *addr)
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "flserved:", err)
@@ -90,11 +107,13 @@ func main() {
 }
 
 // runServer serves until SIGINT/SIGTERM.
-func runServer(cfg repro.ServeConfig, addr string) error {
+func runServer(cfg repro.ServeConfig, scfg repro.StreamConfig, addr string) error {
 	srv := repro.NewServer(cfg)
 	defer srv.Close()
+	mgr := repro.NewStreamManager(repro.NewStreamServeBackend(srv), scfg)
+	defer mgr.Close()
 
-	httpSrv := &http.Server{Addr: addr, Handler: srv.Handler()}
+	httpSrv := &http.Server{Addr: addr, Handler: repro.StreamHandler(mgr)}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 	go func() {
@@ -104,7 +123,7 @@ func runServer(cfg repro.ServeConfig, addr string) error {
 		_ = httpSrv.Shutdown(shutdownCtx)
 	}()
 
-	fmt.Printf("flserved: listening on %s (POST /v1/solve, GET /v1/stats)\n", addr)
+	fmt.Printf("flserved: listening on %s (POST /v1/solve, POST /v1/stream, GET /v1/stats)\n", addr)
 	if err := httpSrv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
 		return err
 	}
@@ -257,4 +276,153 @@ func fetchStats(baseURL string) (repro.ServeStats, error) {
 	defer resp.Body.Close()
 	err = json.NewDecoder(resp.Body).Decode(&stats)
 	return stats, err
+}
+
+// streamStats is the combined /v1/stats body of a stream-wrapped server.
+type streamStats struct {
+	repro.ServeStats
+	Stream repro.StreamSnapshot `json:"stream"`
+}
+
+// runStreamLoadgen replays total sparse gain deltas through per-client
+// NDJSON delta sessions over the full HTTP stack: each of the conc clients
+// opens one session with its own drifted copy of the default scenario, then
+// streams its share of deltas (deltaDevs gains drifted per update) down a
+// single live connection, reading each re-solve back before sending the
+// next. This is the replay mode of the streaming subsystem — compare its
+// inst/s against the plain per-request mode to see what delta re-solves
+// save.
+func runStreamLoadgen(cfg repro.ServeConfig, scfg repro.StreamConfig, total, n int, drift float64, conc int, seed int64, deltaDevs int) error {
+	srv := repro.NewServer(cfg)
+	defer srv.Close()
+	mgr := repro.NewStreamManager(repro.NewStreamServeBackend(srv), scfg)
+	defer mgr.Close()
+	ts := httptest.NewServer(repro.StreamHandler(mgr))
+	defer ts.Close()
+
+	if conc < 1 {
+		conc = 1
+	}
+	if deltaDevs < 1 {
+		deltaDevs = 1
+	}
+	type tally struct {
+		ok, fail                int64
+		cache, warm, cold       int64
+		dualSeeded, newtonIters int64
+		err                     error
+	}
+	tallies := make([]tally, conc)
+	var wg sync.WaitGroup
+	began := time.Now()
+	for wkr := 0; wkr < conc; wkr++ {
+		share := total / conc
+		if wkr < total%conc {
+			share++
+		}
+		wg.Add(1)
+		go func(wkr, share int) {
+			defer wg.Done()
+			t := &tallies[wkr]
+			rng := rand.New(rand.NewSource(seed + 1000*int64(wkr+1)))
+			sc := repro.DefaultScenario()
+			sc.N = n
+			sys, err := sc.Build(rand.New(rand.NewSource(seed + int64(wkr))))
+			if err != nil {
+				t.err = err
+				return
+			}
+			openReq := repro.SolveRequestJSON{System: repro.SystemToJSON(sys), DeviceID: fmt.Sprintf("stream-%d", wkr)}
+			openReq.Weights.W1, openReq.Weights.W2 = 0.5, 0.5
+			open, err := repro.StreamOpenSession(ts.URL, openReq)
+			if err != nil {
+				t.err = err
+				return
+			}
+			conn, err := repro.StreamOpenDeltas(ts.URL, open.SessionID)
+			if err != nil {
+				t.err = err
+				return
+			}
+			defer conn.Close()
+			for seq := uint64(1); seq <= uint64(share); seq++ {
+				d := repro.StreamDeltaJSON{Seq: seq, Gains: make(map[int]float64, deltaDevs)}
+				for len(d.Gains) < deltaDevs && len(d.Gains) < n {
+					i := rng.Intn(n)
+					if _, ok := d.Gains[i]; ok {
+						continue
+					}
+					g := sys.Devices[i].Gain * math.Exp(drift*rng.NormFloat64())
+					d.Gains[i] = g
+					sys.Devices[i].Gain = g
+				}
+				if err := conn.Send(d); err != nil {
+					t.err = err
+					return
+				}
+				u, err := conn.Recv()
+				if err != nil {
+					t.err = err
+					return
+				}
+				if !u.OK || u.Result == nil {
+					t.fail++
+					continue
+				}
+				t.ok++
+				switch u.Result.Source {
+				case string(repro.ServeSourceCache):
+					t.cache++
+				case string(repro.ServeSourceWarm):
+					t.warm++
+				default:
+					t.cold++
+				}
+				if u.Result.DualSeeded {
+					t.dualSeeded++
+				}
+				t.newtonIters += int64(u.Result.NewtonIters)
+			}
+		}(wkr, share)
+	}
+	wg.Wait()
+	elapsed := time.Since(began)
+	var agg tally
+	for i := range tallies {
+		if tallies[i].err != nil {
+			return tallies[i].err
+		}
+		agg.ok += tallies[i].ok
+		agg.fail += tallies[i].fail
+		agg.cache += tallies[i].cache
+		agg.warm += tallies[i].warm
+		agg.cold += tallies[i].cold
+		agg.dualSeeded += tallies[i].dualSeeded
+		agg.newtonIters += tallies[i].newtonIters
+	}
+
+	var stats streamStats
+	resp, err := http.Get(ts.URL + "/v1/stats")
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if err := json.NewDecoder(resp.Body).Decode(&stats); err != nil {
+		return err
+	}
+	deltas := agg.ok + agg.fail
+	fmt.Printf("loadgen (stream): %d deltas over %d sessions (%d ok, %d failed) in %.3fs = %.1f upd/s\n",
+		deltas, conc, agg.ok, agg.fail, elapsed.Seconds(), float64(deltas)/elapsed.Seconds())
+	perDelta := 0.0
+	if agg.ok > 0 {
+		perDelta = float64(agg.newtonIters) / float64(agg.ok)
+	}
+	fmt.Printf("client sources: %d cache, %d warm, %d cold; dual-seeded %d; newton/delta %.2f\n",
+		agg.cache, agg.warm, agg.cold, agg.dualSeeded, perDelta)
+	fmt.Printf("server:  hits %d, misses %d, warm starts %d, cold solves %d; solve p50 %.1f ms, p99 %.1f ms\n",
+		stats.Hits, stats.Misses, stats.WarmStarts, stats.ColdSolves, stats.SolveP50*1e3, stats.SolveP99*1e3)
+	fmt.Printf("stream:  sessions %d open / %d opened, deltas %d, errors %d, dual-seeded %d\n",
+		stats.Stream.ActiveSessions, stats.Stream.SessionsOpened, stats.Stream.Deltas,
+		stats.Stream.DeltaErrors, stats.Stream.SolveDualSeeded)
+	return nil
 }

@@ -136,6 +136,11 @@ func (r *Router) Cells() int { return len(r.cells) }
 // tests and benchmarks that need to poke one cell directly.
 func (r *Router) Cell(i int) *serve.Server { return r.cells[i] }
 
+// Quantization returns the fingerprint quantization shared by every cell
+// (all cells are built from the one Config.Cell template). Streaming delta
+// sessions use it to precompute fingerprints incrementally.
+func (r *Router) Quantization() serve.Quantization { return r.cfg.Cell.Quantization }
+
 // Route resolves the cell a device-routed request would be served by
 // without serving anything: the pinned cell when a handoff or explicit
 // solve pinned the device, the consistent-hash cell otherwise.

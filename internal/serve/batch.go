@@ -44,7 +44,7 @@ func (s *Server) SolveBatch(ctx context.Context, reqs []Request, pri Priority) [
 			out[i].Err = err
 			continue
 		}
-		fp := FingerprintRequest(req, s.cfg.Quantization)
+		fp := req.fingerprint(s.cfg.Quantization)
 		if !s.cfg.DisableCache {
 			if res, ok := s.cache.Get(fp.Exact); ok {
 				s.stats.hits.Add(1)

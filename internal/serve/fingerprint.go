@@ -187,6 +187,26 @@ func FingerprintRequest(req Request, q Quantization) Fingerprint {
 	return Fingerprint{Exact: exact.h, Topo: topo.h}
 }
 
+// FingerprintGains rebuilds a fingerprint from a previously computed
+// topology hash and the system's current channel gains. It is the
+// incremental half of FingerprintRequest: the exact hash is, by
+// construction, the topology hash extended with the bucketed gains, so a
+// caller that knows only the gains changed (a streaming delta session)
+// skips re-hashing the whole device population and pays O(N) gain buckets
+// instead. The topo argument must come from a FingerprintRequest (or
+// earlier FingerprintGains) of the same request under the same
+// quantization; a delta that touches anything besides gains invalidates it.
+func FingerprintGains(topo uint64, s *fl.System, q Quantization) Fingerprint {
+	q = q.withDefaults()
+	gainRes := q.GainResolutionDB / 10 // dB -> decades
+	exact := newHasher()
+	exact.int64(int64(topo))
+	for i := range s.Devices {
+		exact.qlog(s.Devices[i].Gain, gainRes)
+	}
+	return Fingerprint{Exact: exact.h, Topo: topo}
+}
+
 func boolBit(b bool) int64 {
 	if b {
 		return 1

@@ -65,6 +65,44 @@ func TestFingerprintGainBuckets(t *testing.T) {
 	}
 }
 
+func TestFingerprintGainsMatchesFull(t *testing.T) {
+	s := testSystem(t, 12, 3)
+	w := fl.Weights{W1: 0.5, W2: 0.5}
+	q := Quantization{}
+	req := Request{System: s, Weights: w}
+	full := FingerprintRequest(req, q)
+
+	// Drift a few gains: the incremental recompute from the cached topo
+	// hash must agree exactly with a from-scratch fingerprint of the
+	// drifted system.
+	rng := rand.New(rand.NewSource(9))
+	for _, i := range []int{0, 5, 11} {
+		s.Devices[i].Gain *= math.Exp(0.4 * rng.NormFloat64())
+	}
+	inc := FingerprintGains(full.Topo, s, q)
+	fresh := FingerprintRequest(Request{System: s, Weights: w}, q)
+	if inc != fresh {
+		t.Fatalf("incremental fingerprint %+v != full %+v", inc, fresh)
+	}
+	if inc.Topo != full.Topo {
+		t.Fatalf("gain drift moved the topology hash: %x -> %x", full.Topo, inc.Topo)
+	}
+}
+
+func TestRequestPrecomputedFingerprintHonored(t *testing.T) {
+	s := testSystem(t, 6, 4)
+	w := fl.Weights{W1: 0.5, W2: 0.5}
+	fp := Fingerprint{Exact: 12345, Topo: 678}
+	req := Request{System: s, Weights: w, Fingerprint: &fp}
+	if got := req.fingerprint(Quantization{}); got != fp {
+		t.Fatalf("precomputed fingerprint ignored: got %+v want %+v", got, fp)
+	}
+	req.Fingerprint = nil
+	if got := req.fingerprint(Quantization{}); got != FingerprintRequest(req, Quantization{}) {
+		t.Fatalf("nil precomputed fingerprint must fall back to the full hash")
+	}
+}
+
 func TestFingerprintTopologySensitivity(t *testing.T) {
 	s := testSystem(t, 10, 1)
 	w := fl.Weights{W1: 0.5, W2: 0.5}

@@ -81,21 +81,27 @@ type SolveBatchResponseJSON struct {
 
 // SolveResponseJSON is the body of a successful POST /v1/solve.
 type SolveResponseJSON struct {
-	PowerW        []float64 `json:"power_w"`
-	BandwidthHz   []float64 `json:"bandwidth_hz"`
-	FreqHz        []float64 `json:"freq_hz"`
-	RoundTimeS    float64   `json:"round_time_s"`
-	TotalTimeS    float64   `json:"total_time_s"`
-	TotalEnergyJ  float64   `json:"total_energy_j"`
-	TransEnergyJ  float64   `json:"trans_energy_j"`
-	CompEnergyJ   float64   `json:"comp_energy_j"`
-	Objective     float64   `json:"objective"`
-	Converged     bool      `json:"converged"`
-	Iterations    int       `json:"iterations"`
-	Source        string    `json:"source"`
-	Solver        string    `json:"solver"`
-	SolveSeconds  float64   `json:"solve_seconds"`
-	FingerprintHx string    `json:"fingerprint"`
+	PowerW       []float64 `json:"power_w"`
+	BandwidthHz  []float64 `json:"bandwidth_hz"`
+	FreqHz       []float64 `json:"freq_hz"`
+	RoundTimeS   float64   `json:"round_time_s"`
+	TotalTimeS   float64   `json:"total_time_s"`
+	TotalEnergyJ float64   `json:"total_energy_j"`
+	TransEnergyJ float64   `json:"trans_energy_j"`
+	CompEnergyJ  float64   `json:"comp_energy_j"`
+	Objective    float64   `json:"objective"`
+	Converged    bool      `json:"converged"`
+	Iterations   int       `json:"iterations"`
+	// NewtonIters is the total Algorithm 1 (Subproblem 2) iteration count
+	// over all outer iterations — 0 on the dual-seeded warm path.
+	NewtonIters int    `json:"newton_iters"`
+	Source      string `json:"source"`
+	// DualSeeded marks solves that consumed a cached Subproblem 2 dual
+	// state on top of the warm-start allocation.
+	DualSeeded    bool    `json:"dual_seeded"`
+	Solver        string  `json:"solver"`
+	SolveSeconds  float64 `json:"solve_seconds"`
+	FingerprintHx string  `json:"fingerprint"`
 }
 
 // SystemToJSON converts a system to its wire form (used by the load
@@ -183,6 +189,10 @@ func RequestFromJSON(in SolveRequestJSON) (Request, error) {
 // the cluster front end, which adds the serving cell).
 func ResponseToJSON(resp Response) SolveResponseJSON {
 	m := resp.Result.Metrics
+	newton := 0
+	for _, it := range resp.Result.Iterations {
+		newton += it.NewtonIters
+	}
 	return SolveResponseJSON{
 		PowerW:        resp.Result.Allocation.Power,
 		BandwidthHz:   resp.Result.Allocation.Bandwidth,
@@ -195,7 +205,9 @@ func ResponseToJSON(resp Response) SolveResponseJSON {
 		Objective:     resp.Result.Objective,
 		Converged:     resp.Result.Converged,
 		Iterations:    len(resp.Result.Iterations),
+		NewtonIters:   newton,
 		Source:        string(resp.Source),
+		DualSeeded:    resp.DualSeeded,
 		Solver:        string(resp.Solver),
 		SolveSeconds:  resp.SolveTime.Seconds(),
 		FingerprintHx: fmt.Sprintf("%016x", resp.Fingerprint.Exact),

@@ -99,6 +99,22 @@ type Request struct {
 	// The choice is part of the fingerprint, so the same instance under
 	// different solvers never shares a cache entry.
 	Solver SolverName
+	// Fingerprint, when non-nil, is used instead of fingerprinting the
+	// request from scratch. Streaming delta sessions precompute it
+	// incrementally (FingerprintGains) because only the gains moved; it
+	// must describe exactly this request under this server's quantization,
+	// or cache entries would cross-contaminate. Left nil by ordinary
+	// callers.
+	Fingerprint *Fingerprint
+}
+
+// fingerprint resolves the request's fingerprint: the caller-precomputed
+// one when present, a fresh FingerprintRequest otherwise.
+func (req Request) fingerprint(q Quantization) Fingerprint {
+	if req.Fingerprint != nil {
+		return *req.Fingerprint
+	}
+	return FingerprintRequest(req, q)
 }
 
 // Source records how a response was produced.
@@ -127,6 +143,11 @@ type Response struct {
 	Fingerprint Fingerprint
 	// SolveTime is the wall time of the solve (zero on cache hits).
 	SolveTime time.Duration
+	// DualSeeded reports whether the solve was seeded with a cached
+	// Subproblem 2 dual state on top of the warm-start allocation (the
+	// path that lets a drifted re-solve skip its Newton iterations).
+	// Always false on cache hits and cold solves.
+	DualSeeded bool
 }
 
 // Server is a concurrent allocation service over the Algorithm 2 solver: a
@@ -302,7 +323,7 @@ func (s *Server) Solve(ctx context.Context, req Request) (Response, error) {
 		s.stats.errors.Add(1)
 		return Response{}, err
 	}
-	fp := FingerprintRequest(req, s.cfg.Quantization)
+	fp := req.fingerprint(s.cfg.Quantization)
 	if !s.cfg.DisableCache {
 		if res, ok := s.cache.Get(fp.Exact); ok {
 			s.stats.hits.Add(1)
@@ -466,6 +487,7 @@ func (s *Server) runTask(t *task, ws *core.Workspace) {
 func (s *Server) process(t *task, ws *core.Workspace) (Response, error) {
 	req := t.req
 	source := SourceCold
+	dualSeeded := false
 	if !s.cfg.DisableWarmStart && startMatters(req) {
 		if cand, ok := s.warm.get(t.fp.Topo); ok {
 			if start, ok := sanitizeStart(req.System, cand.alloc); ok {
@@ -474,6 +496,7 @@ func (s *Server) process(t *task, ws *core.Workspace) (Response, error) {
 					// Entries are immutable and the solver copies the seed
 					// at init, so the reference is safe to share.
 					req.Options.DualStart = cand.duals
+					dualSeeded = true
 				}
 				source = SourceWarm
 			}
@@ -513,6 +536,7 @@ func (s *Server) process(t *task, ws *core.Workspace) (Response, error) {
 		Solver:      req.Solver.normalize(),
 		Fingerprint: t.fp,
 		SolveTime:   elapsed,
+		DualSeeded:  dualSeeded,
 	}, nil
 }
 

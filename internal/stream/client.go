@@ -1,0 +1,94 @@
+package stream
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+
+	"repro/internal/serve"
+)
+
+// OpenSession opens a delta session over HTTP: one POST /v1/stream with a
+// full solve request. It is the client half of the streaming API, shared
+// by both load generators and usable as a minimal reference client.
+func OpenSession(baseURL string, req serve.SolveRequestJSON) (OpenResponseJSON, error) {
+	var out OpenResponseJSON
+	body, err := json.Marshal(req)
+	if err != nil {
+		return out, err
+	}
+	resp, err := http.Post(baseURL+"/v1/stream", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return out, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		b, _ := io.ReadAll(resp.Body)
+		return out, fmt.Errorf("stream: open session: status %d: %s", resp.StatusCode, b)
+	}
+	err = json.NewDecoder(resp.Body).Decode(&out)
+	return out, err
+}
+
+// DeltaStream is a live NDJSON connection to a session's deltas endpoint:
+// Send writes one delta line, Recv reads one update line back. The two
+// halves ride a single full-duplex HTTP request, so a lock-step
+// Send/Recv loop sees each re-solve as it lands. Not safe for concurrent
+// use; one goroutine owns the stream.
+type DeltaStream struct {
+	enc  *json.Encoder
+	dec  *json.Decoder
+	pw   *io.PipeWriter
+	resp *http.Response
+}
+
+// OpenDeltaStream connects to the session's deltas endpoint.
+func OpenDeltaStream(baseURL, sessionID string) (*DeltaStream, error) {
+	pr, pw := io.Pipe()
+	req, err := http.NewRequest(http.MethodPost, baseURL+"/v1/stream/"+sessionID+"/deltas", pr)
+	if err != nil {
+		pw.Close()
+		return nil, err
+	}
+	req.Header.Set("Content-Type", NDJSONContentType)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		pw.Close()
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		b, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		pw.Close()
+		return nil, fmt.Errorf("stream: delta stream: status %d: %s", resp.StatusCode, b)
+	}
+	return &DeltaStream{
+		enc:  json.NewEncoder(pw),
+		dec:  json.NewDecoder(resp.Body),
+		pw:   pw,
+		resp: resp,
+	}, nil
+}
+
+// Send writes one delta line.
+func (s *DeltaStream) Send(d DeltaJSON) error { return s.enc.Encode(d) }
+
+// Recv reads the next update line (io.EOF after the server ends the
+// stream).
+func (s *DeltaStream) Recv() (UpdateJSON, error) {
+	var u UpdateJSON
+	err := s.dec.Decode(&u)
+	return u, err
+}
+
+// Close tears the connection down (both the request body and the response
+// stream).
+func (s *DeltaStream) Close() error {
+	err := s.pw.Close()
+	if cerr := s.resp.Body.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}

@@ -1,0 +1,532 @@
+// Package stream is the streaming gain-update subsystem: a session-oriented
+// delta layer over the allocation service (internal/serve) and the
+// multi-cell cluster (internal/cluster).
+//
+// The paper's allocation problem is re-solved whenever device channel gains
+// drift. The plain serving path forces clients to re-POST the entire system
+// even when only a few gains changed, re-paying JSON decode, full
+// fingerprinting and a cold solve for what is a tiny perturbation of an
+// instance the server has already solved. A stream session fixes that:
+//
+//   - the client opens a session with one full system; the server pins the
+//     authoritative state server-side and answers with a session ID;
+//   - each subsequent delta message carries only the sparse per-device gain
+//     changes (plus optional weight/deadline updates) and a strictly
+//     increasing sequence number;
+//   - the session applies the delta to its pinned system in place,
+//     re-fingerprints incrementally (gains-only deltas reuse the cached
+//     topology-bucket hash and re-hash just the gains), and re-solves
+//     through the backend — where the topology bucket's warm-start
+//     allocation and Subproblem 2 dual state (Options.DualStart) let the
+//     drifted re-solve skip its Newton iterations entirely;
+//   - every update is answered with the new allocation plus solve metadata:
+//     the path taken (cache/warm/cold), whether the dual seed was consumed,
+//     Newton iteration count and latency.
+//
+// Sessions are bounded (max sessions, idle TTL) and survive cross-cell
+// handoff: session state lives above the cells, deltas route by device ID
+// (following the handoff pin), and the existing cluster Handoff machinery
+// migrates the cached warm allocation and dual state, so the first
+// post-move re-solve is still warm and dual-seeded.
+package stream
+
+import (
+	"context"
+	"crypto/rand"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"math"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/fl"
+	"repro/internal/serve"
+)
+
+// ErrStaleSeq rejects a delta whose sequence number does not advance the
+// session: regressions and replays must fail loudly, or a reordered client
+// stream would silently rewind the authoritative gains.
+var ErrStaleSeq = errors.New("stream: stale delta sequence number")
+
+// ErrBadDelta rejects a malformed delta (empty, out-of-range device index,
+// non-positive or non-finite value, weight/deadline update that the
+// session's mode cannot consume). The session state is left untouched.
+var ErrBadDelta = errors.New("stream: bad delta")
+
+// ErrNoSession flags an unknown, closed or expired session ID.
+var ErrNoSession = errors.New("stream: unknown session")
+
+// ErrSessionLimit rejects an open when the session table is full.
+var ErrSessionLimit = errors.New("stream: too many sessions")
+
+// ErrClosed is returned for requests arriving after the manager closed.
+var ErrClosed = errors.New("stream: manager closed")
+
+// Config parameterizes a Manager. The zero value is usable.
+type Config struct {
+	// MaxSessions bounds the number of concurrently open sessions; opens
+	// beyond it fail with ErrSessionLimit. Default 1024.
+	MaxSessions int
+	// IdleTTL expires sessions that have not applied a delta (or been
+	// opened) for this long. Zero selects the 5-minute default; negative
+	// disables expiry.
+	IdleTTL time.Duration
+	// SweepInterval is how often the background sweeper scans for expired
+	// sessions (expiry is also checked lazily on access). Default 30s,
+	// clamped to IdleTTL when that is shorter.
+	SweepInterval time.Duration
+}
+
+func (c Config) withDefaults() Config {
+	if c.MaxSessions <= 0 {
+		c.MaxSessions = 1024
+	}
+	if c.IdleTTL == 0 {
+		c.IdleTTL = 5 * time.Minute
+	}
+	if c.SweepInterval <= 0 {
+		c.SweepInterval = 30 * time.Second
+	}
+	if c.IdleTTL > 0 && c.SweepInterval > c.IdleTTL {
+		c.SweepInterval = c.IdleTTL
+	}
+	return c
+}
+
+// Delta is one sparse update to a session's authoritative system. Gains
+// carries absolute replacement values (not multipliers), so re-applying a
+// delta after a failed solve is idempotent.
+type Delta struct {
+	// Seq is the client's sequence number; it must exceed the session's
+	// last applied one (gaps are allowed — clients may coalesce).
+	Seq uint64
+	// Gains maps device index to the device's new channel gain.
+	Gains map[int]float64
+	// Weights, when non-nil, replaces the objective weight pair.
+	Weights *fl.Weights
+	// TotalDeadline, when non-nil, replaces the deadline-mode total
+	// completion time (seconds). Rejected for weighted-mode sessions.
+	TotalDeadline *float64
+}
+
+// Update is the outcome of one applied delta (or of the session-opening
+// solve, with Seq 0).
+type Update struct {
+	// SessionID identifies the session the update belongs to.
+	SessionID string
+	// Seq echoes the applied delta's sequence number.
+	Seq uint64
+	// Cell is the cell that served the re-solve (0 on a single server).
+	Cell int
+	// Response is the serving-layer outcome: allocation, metrics, source
+	// (cache/warm/cold), dual-seed flag, fingerprint and solve time.
+	Response serve.Response
+	// Elapsed is the wall time of the whole apply (validation, in-place
+	// application, fingerprint, queueing and solve).
+	Elapsed time.Duration
+}
+
+// Session pins one client's authoritative system state server-side. All
+// methods are safe for concurrent use; deltas are serialized per session,
+// so a session's sequence numbers advance in application order.
+type Session struct {
+	id       string
+	deviceID string
+
+	mu      sync.Mutex
+	sys     *fl.System // authoritative; mutated in place by deltas
+	weights fl.Weights
+	opts    core.Options
+	solver  serve.SolverName
+	seq     uint64
+	topo    uint64 // cached topology-bucket hash
+	hasTopo bool
+	deltas  int64
+	closed  bool
+
+	lastUsed atomic.Int64 // unix nanoseconds
+}
+
+// ID returns the session identifier.
+func (s *Session) ID() string { return s.id }
+
+// DeviceID returns the device the session routes as.
+func (s *Session) DeviceID() string { return s.deviceID }
+
+// Seq returns the last applied sequence number (0 before the first delta).
+func (s *Session) Seq() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.seq
+}
+
+// Deltas returns how many deltas the session has applied.
+func (s *Session) Deltas() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.deltas
+}
+
+// SystemSnapshot returns a private copy of the session's current
+// authoritative system.
+func (s *Session) SystemSnapshot() *fl.System {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return cloneSystem(s.sys)
+}
+
+func (s *Session) touch() { s.lastUsed.Store(time.Now().UnixNano()) }
+
+func (s *Session) idle(now time.Time) time.Duration {
+	return now.Sub(time.Unix(0, s.lastUsed.Load()))
+}
+
+// cloneSystem copies a system deeply enough for independent mutation: the
+// device slice is the only reference field.
+func cloneSystem(s *fl.System) *fl.System {
+	out := *s
+	out.Devices = append([]fl.Device(nil), s.Devices...)
+	return &out
+}
+
+// Manager owns the session table over one backend. It does not own the
+// backend: closing the manager leaves the underlying server/router running.
+type Manager struct {
+	cfg Config
+	be  Backend
+
+	mu       sync.Mutex
+	sessions map[string]*Session
+	pending  int // opens holding a slot while their first solve runs
+	closed   bool
+
+	stats     Stats
+	done      chan struct{}
+	closeOnce sync.Once
+	wg        sync.WaitGroup
+}
+
+// NewManager builds a session manager over the backend and starts its
+// expiry sweeper. Call Close to stop it.
+func NewManager(be Backend, cfg Config) *Manager {
+	m := &Manager{
+		cfg:      cfg.withDefaults(),
+		be:       be,
+		sessions: make(map[string]*Session),
+		done:     make(chan struct{}),
+	}
+	if m.cfg.IdleTTL > 0 {
+		m.wg.Add(1)
+		go m.sweeper()
+	}
+	return m
+}
+
+// Close stops the sweeper and closes every session. Safe to call more than
+// once. The backend is left running (the caller owns it).
+func (m *Manager) Close() {
+	m.closeOnce.Do(func() {
+		m.mu.Lock()
+		m.closed = true
+		sessions := m.sessions
+		m.sessions = make(map[string]*Session)
+		m.mu.Unlock()
+		close(m.done)
+		for _, s := range sessions {
+			s.mu.Lock()
+			s.closed = true
+			s.mu.Unlock()
+		}
+	})
+	m.wg.Wait()
+}
+
+// Len returns the number of open sessions.
+func (m *Manager) Len() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.sessions)
+}
+
+// Stats returns a snapshot of the manager's counters.
+func (m *Manager) Stats() Snapshot {
+	snap := m.stats.snapshot()
+	snap.ActiveSessions = m.Len()
+	return snap
+}
+
+// sweeper evicts idle sessions in the background so an abandoned client
+// cannot hold its slot (and its pinned system) until the next access.
+func (m *Manager) sweeper() {
+	defer m.wg.Done()
+	ticker := time.NewTicker(m.cfg.SweepInterval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-ticker.C:
+			now := time.Now()
+			m.mu.Lock()
+			for id, s := range m.sessions {
+				if s.idle(now) > m.cfg.IdleTTL {
+					delete(m.sessions, id)
+					m.stats.sessionsExpired.Add(1)
+					s.mu.Lock()
+					s.closed = true
+					s.mu.Unlock()
+				}
+			}
+			m.mu.Unlock()
+		case <-m.done:
+			return
+		}
+	}
+}
+
+// newSessionID draws a random 64-bit hex identifier.
+func newSessionID() (string, error) {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		return "", fmt.Errorf("stream: drawing session id: %w", err)
+	}
+	return hex.EncodeToString(b[:]), nil
+}
+
+// Open creates a session from a full solve request, running the opening
+// solve through the backend (routed by deviceID on a cluster). The request's
+// system is copied — the caller keeps ownership of its own — and any
+// caller-provided Start/DualStart/Work/Fingerprint are dropped: seeds are
+// the serving layer's job. On solver or validation failure no session is
+// created. The returned Update carries Seq 0.
+func (m *Manager) Open(ctx context.Context, deviceID string, req serve.Request) (*Session, Update, error) {
+	if req.System == nil {
+		return nil, Update{}, fmt.Errorf("nil system: %w", serve.ErrBadRequest)
+	}
+	// Reserve a slot before the (slow) opening solve so a stampede of opens
+	// cannot overshoot MaxSessions while their first solves are in flight.
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		return nil, Update{}, ErrClosed
+	}
+	if len(m.sessions)+m.pending >= m.cfg.MaxSessions {
+		m.mu.Unlock()
+		m.stats.sessionsRejected.Add(1)
+		return nil, Update{}, fmt.Errorf("%d sessions open: %w", m.cfg.MaxSessions, ErrSessionLimit)
+	}
+	m.pending++
+	m.mu.Unlock()
+	release := func() {
+		m.mu.Lock()
+		m.pending--
+		m.mu.Unlock()
+	}
+
+	id, err := newSessionID()
+	if err != nil {
+		release()
+		return nil, Update{}, err
+	}
+	s := &Session{
+		id:       id,
+		deviceID: deviceID,
+		sys:      cloneSystem(req.System),
+		weights:  req.Weights,
+		opts:     req.Options,
+		solver:   req.Solver,
+	}
+	s.opts.Start, s.opts.DualStart, s.opts.Work = nil, nil, nil
+	s.touch()
+
+	began := time.Now()
+	// The opening solve gets a snapshot, not the live authoritative state:
+	// the backend retains served systems (the cluster's handoff history
+	// re-fingerprints them later), and future deltas mutate s.sys in place.
+	resp, cell, err := m.be.Solve(ctx, deviceID, serve.Request{
+		System:  cloneSystem(s.sys),
+		Weights: s.weights,
+		Options: s.opts,
+		Solver:  s.solver,
+	})
+	if err != nil {
+		release()
+		return nil, Update{}, err
+	}
+	s.topo, s.hasTopo = resp.Fingerprint.Topo, true
+
+	m.mu.Lock()
+	m.pending--
+	if m.closed {
+		m.mu.Unlock()
+		return nil, Update{}, ErrClosed
+	}
+	m.sessions[id] = s
+	m.mu.Unlock()
+	m.stats.sessionsOpened.Add(1)
+	m.stats.countSolve(resp)
+	return s, Update{SessionID: id, Seq: 0, Cell: cell, Response: resp, Elapsed: time.Since(began)}, nil
+}
+
+// lookup resolves a session ID, lazily expiring idle sessions.
+func (m *Manager) lookup(id string) (*Session, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.closed {
+		return nil, ErrClosed
+	}
+	s, ok := m.sessions[id]
+	if !ok {
+		return nil, fmt.Errorf("session %q: %w", id, ErrNoSession)
+	}
+	if m.cfg.IdleTTL > 0 && s.idle(time.Now()) > m.cfg.IdleTTL {
+		delete(m.sessions, id)
+		m.stats.sessionsExpired.Add(1)
+		s.mu.Lock()
+		s.closed = true
+		s.mu.Unlock()
+		return nil, fmt.Errorf("session %q expired: %w", id, ErrNoSession)
+	}
+	return s, nil
+}
+
+// Apply validates and applies one delta to the session, then re-solves the
+// updated system through the backend. Validation is all-or-nothing: a
+// rejected delta (ErrStaleSeq, ErrBadDelta) leaves the session untouched.
+// A delta that applies but whose solve fails keeps the applied state and
+// does NOT advance the sequence number, so the client may retry the same
+// delta (gains are absolute values; re-application is idempotent).
+func (m *Manager) Apply(ctx context.Context, sessionID string, d Delta) (Update, error) {
+	s, err := m.lookup(sessionID)
+	if err != nil {
+		m.stats.deltaErrors.Add(1)
+		return Update{}, err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		m.stats.deltaErrors.Add(1)
+		return Update{}, fmt.Errorf("session %q: %w", sessionID, ErrNoSession)
+	}
+	s.touch()
+	if err := s.validate(d); err != nil {
+		m.stats.deltaErrors.Add(1)
+		return Update{}, err
+	}
+
+	began := time.Now()
+	// Apply in place. Only a weight/deadline change moves the instance to a
+	// different topology bucket; gains-only deltas keep the cached hash.
+	for i, g := range d.Gains {
+		s.sys.Devices[i].Gain = g
+	}
+	topoChanged := d.Weights != nil || d.TotalDeadline != nil
+	if d.Weights != nil {
+		s.weights = *d.Weights
+	}
+	if d.TotalDeadline != nil {
+		s.opts.TotalDeadline = *d.TotalDeadline
+	}
+
+	// The backend keeps references to served systems (the cluster's handoff
+	// history re-fingerprints them later), so each solve gets an immutable
+	// snapshot rather than the live, in-place-mutated authoritative state.
+	req := serve.Request{
+		System:  cloneSystem(s.sys),
+		Weights: s.weights,
+		Options: s.opts,
+		Solver:  s.solver,
+	}
+	var fp serve.Fingerprint
+	if s.hasTopo && !topoChanged {
+		fp = serve.FingerprintGains(s.topo, req.System, m.be.Quantization())
+	} else {
+		fp = serve.FingerprintRequest(req, m.be.Quantization())
+	}
+	s.topo, s.hasTopo = fp.Topo, true
+	req.Fingerprint = &fp
+
+	resp, cell, err := m.be.Solve(ctx, s.deviceID, req)
+	if err != nil {
+		m.stats.deltaErrors.Add(1)
+		return Update{}, err
+	}
+	s.seq = d.Seq
+	s.deltas++
+	m.stats.deltas.Add(1)
+	m.stats.countSolve(resp)
+	return Update{
+		SessionID: sessionID,
+		Seq:       d.Seq,
+		Cell:      cell,
+		Response:  resp,
+		Elapsed:   time.Since(began),
+	}, nil
+}
+
+// validate checks a delta against the session without mutating anything;
+// the caller holds s.mu.
+func (s *Session) validate(d Delta) error {
+	if d.Seq <= s.seq {
+		return fmt.Errorf("seq %d does not advance last applied %d: %w", d.Seq, s.seq, ErrStaleSeq)
+	}
+	if len(d.Gains) == 0 && d.Weights == nil && d.TotalDeadline == nil {
+		return fmt.Errorf("empty delta: %w", ErrBadDelta)
+	}
+	n := s.sys.N()
+	for i, g := range d.Gains {
+		if i < 0 || i >= n {
+			return fmt.Errorf("device index %d out of range [0,%d): %w", i, n, ErrBadDelta)
+		}
+		if !(g > 0) || math.IsInf(g, 0) {
+			return fmt.Errorf("device %d gain %g must be positive and finite: %w", i, g, ErrBadDelta)
+		}
+	}
+	if d.Weights != nil {
+		if err := d.Weights.Check(); err != nil {
+			return fmt.Errorf("%v: %w", err, ErrBadDelta)
+		}
+	}
+	if d.TotalDeadline != nil {
+		if s.opts.Mode != core.ModeDeadline {
+			return fmt.Errorf("total deadline update on a weighted-mode session: %w", ErrBadDelta)
+		}
+		if !(*d.TotalDeadline > 0) || math.IsInf(*d.TotalDeadline, 0) {
+			return fmt.Errorf("total deadline %g must be positive and finite: %w", *d.TotalDeadline, ErrBadDelta)
+		}
+	}
+	return nil
+}
+
+// CloseSummary reports a closed session's final state.
+type CloseSummary struct {
+	SessionID string `json:"session_id"`
+	// LastSeq is the last applied sequence number.
+	LastSeq uint64 `json:"last_seq"`
+	// Deltas is how many deltas the session applied.
+	Deltas int64 `json:"deltas_applied"`
+}
+
+// CloseSession removes a session, returning its final counters.
+func (m *Manager) CloseSession(id string) (CloseSummary, error) {
+	m.mu.Lock()
+	s, ok := m.sessions[id]
+	if ok {
+		delete(m.sessions, id)
+	}
+	closed := m.closed
+	m.mu.Unlock()
+	if closed {
+		return CloseSummary{}, ErrClosed
+	}
+	if !ok {
+		return CloseSummary{}, fmt.Errorf("session %q: %w", id, ErrNoSession)
+	}
+	s.mu.Lock()
+	s.closed = true
+	sum := CloseSummary{SessionID: id, LastSeq: s.seq, Deltas: s.deltas}
+	s.mu.Unlock()
+	m.stats.sessionsClosed.Add(1)
+	return sum, nil
+}

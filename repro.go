@@ -26,6 +26,7 @@ package repro
 
 import (
 	"math/rand"
+	"net/http"
 
 	"repro/internal/baselines"
 	"repro/internal/cluster"
@@ -35,6 +36,7 @@ import (
 	"repro/internal/fl"
 	"repro/internal/serve"
 	"repro/internal/sim"
+	"repro/internal/stream"
 )
 
 // Core model types (see internal/fl).
@@ -301,6 +303,84 @@ const ClusterCellAuto = cluster.CellAuto
 // NewCluster builds a multi-cell router and starts every cell's worker
 // pool; call Close to stop them.
 func NewCluster(cfg ClusterConfig) *Cluster { return cluster.New(cfg) }
+
+// Streaming types (see internal/stream): the session-oriented gain-delta
+// subsystem layered over the allocation service and the cluster.
+type (
+	// StreamManager owns the delta-session table over one backend.
+	StreamManager = stream.Manager
+	// StreamConfig bounds the session table (max sessions, idle TTL).
+	StreamConfig = stream.Config
+	// StreamBackend abstracts what sessions re-solve against (a single
+	// server or a cluster router).
+	StreamBackend = stream.Backend
+	// StreamSession pins one client's authoritative system server-side.
+	StreamSession = stream.Session
+	// StreamDelta is one sparse gain/weight/deadline update.
+	StreamDelta = stream.Delta
+	// StreamUpdate is the outcome of one applied delta.
+	StreamUpdate = stream.Update
+	// StreamSnapshot is the streaming layer's counter snapshot.
+	StreamSnapshot = stream.Snapshot
+	// StreamCloseSummary reports a closed session's final state.
+	StreamCloseSummary = stream.CloseSummary
+	// StreamOpenResponseJSON is the POST /v1/stream response wire form.
+	StreamOpenResponseJSON = stream.OpenResponseJSON
+	// StreamDeltaJSON is one NDJSON delta line.
+	StreamDeltaJSON = stream.DeltaJSON
+	// StreamUpdateJSON is one NDJSON update line.
+	StreamUpdateJSON = stream.UpdateJSON
+	// StreamWeightsJSON is the wire form of a weight update.
+	StreamWeightsJSON = stream.WeightsJSON
+)
+
+// Re-exported streaming errors (typed rejection of bad delta streams).
+var (
+	// StreamErrStaleSeq rejects sequence-number regressions and replays.
+	StreamErrStaleSeq = stream.ErrStaleSeq
+	// StreamErrBadDelta rejects malformed deltas (bad index/value/mode).
+	StreamErrBadDelta = stream.ErrBadDelta
+	// StreamErrNoSession flags unknown, closed or expired sessions.
+	StreamErrNoSession = stream.ErrNoSession
+	// StreamErrSessionLimit rejects opens beyond MaxSessions.
+	StreamErrSessionLimit = stream.ErrSessionLimit
+)
+
+// NewStreamManager builds a delta-session manager over a backend and starts
+// its expiry sweeper; call Close to stop it (the backend stays up).
+func NewStreamManager(be StreamBackend, cfg StreamConfig) *StreamManager {
+	return stream.NewManager(be, cfg)
+}
+
+// NewStreamServeBackend adapts a single allocation server for sessions.
+func NewStreamServeBackend(s *Server) StreamBackend { return stream.NewServeBackend(s) }
+
+// NewStreamClusterBackend adapts a cluster router for sessions (deltas are
+// device-routed, so sessions follow their device across handoffs).
+func NewStreamClusterBackend(c *Cluster) StreamBackend { return stream.NewClusterBackend(c) }
+
+// StreamHandler mounts the streaming API (POST /v1/stream, NDJSON
+// POST /v1/stream/{id}/deltas, DELETE /v1/stream/{id}, merged /v1/stats and
+// /metrics) over the backend's base HTTP API; a drop-in replacement for it.
+func StreamHandler(m *StreamManager) http.Handler { return stream.Handler(m) }
+
+// StreamNDJSONContentType is the media type of delta and update streams.
+const StreamNDJSONContentType = stream.NDJSONContentType
+
+// StreamDeltaConn is a live client connection to a session's deltas
+// endpoint (Send a delta line, Recv the re-solve update).
+type StreamDeltaConn = stream.DeltaStream
+
+// StreamOpenSession opens a delta session over HTTP (the client half of
+// POST /v1/stream).
+func StreamOpenSession(baseURL string, req SolveRequestJSON) (StreamOpenResponseJSON, error) {
+	return stream.OpenSession(baseURL, req)
+}
+
+// StreamOpenDeltas connects to an open session's NDJSON deltas endpoint.
+func StreamOpenDeltas(baseURL, sessionID string) (*StreamDeltaConn, error) {
+	return stream.OpenDeltaStream(baseURL, sessionID)
+}
 
 // FingerprintInstance hashes an instance at cache and topology granularity.
 func FingerprintInstance(s *System, w Weights, opts Options, q ServeQuantization) ServeFingerprint {

@@ -2,7 +2,8 @@
 # scripts/bench.sh — run the solver/serving benchmark set with -benchmem and
 # emit a machine-readable JSON baseline, so every perf PR can diff its
 # before/after numbers against the committed trajectory (BENCH_PR3.json
-# holds PR 3's pair; later PRs append their own files).
+# holds PR 3's pair, BENCH_PR4.json PR 4's streaming-delta pair; later PRs
+# append their own files).
 #
 # Usage:
 #   scripts/bench.sh            # human output to stderr, JSON to stdout
@@ -11,7 +12,7 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-BENCHES='^(BenchmarkOptimizeWeighted|BenchmarkOptimizeDeadline|BenchmarkServeCold|BenchmarkServeCached|BenchmarkServeWarmStart|BenchmarkServeWarmStartAllocOnly|BenchmarkServeBatch|BenchmarkClusterRoutedCached)$'
+BENCHES='^(BenchmarkOptimizeWeighted|BenchmarkOptimizeDeadline|BenchmarkServeCold|BenchmarkServeCached|BenchmarkServeWarmStart|BenchmarkServeWarmStartAllocOnly|BenchmarkServeBatch|BenchmarkClusterRoutedCached|BenchmarkStreamDelta|BenchmarkStreamRepostCold)$'
 BENCHTIME="${BENCHTIME:-2s}"
 
 out="$(go test -run '^$' -bench "$BENCHES" -benchmem -benchtime "$BENCHTIME" -count 1 .)"
