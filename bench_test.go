@@ -13,6 +13,7 @@ import (
 	"math/rand"
 	"net/http"
 	"net/http/httptest"
+	"strconv"
 	"testing"
 
 	"repro"
@@ -385,6 +386,117 @@ func BenchmarkStreamDelta(b *testing.B) {
 	}
 	b.ReportMetric(float64(newton)/float64(b.N), "newton/op")
 	b.ReportMetric(float64(warm)/float64(b.N), "warm/op")
+}
+
+// massHandoffSetup builds a 2-cell cluster with `devices` distinct devices
+// served (and pinned) in cell 0, each with one cached solution, a warm
+// allocation and a dual state to migrate. A stub solver keeps the setup
+// about migration machinery, not solve time: the benchmarks move state,
+// they never re-solve it.
+func massHandoffSetup(b *testing.B, devices int) (*repro.Cluster, []string) {
+	b.Helper()
+	const n = 12
+	stub := func(s *repro.System, w repro.Weights, o repro.Options) (repro.Result, error) {
+		res := repro.Result{Duals: &repro.DualState{Mu: 1, Nu: make([]float64, s.N()), Beta: make([]float64, s.N())}}
+		res.Allocation.Power = make([]float64, s.N())
+		res.Allocation.Bandwidth = make([]float64, s.N())
+		res.Allocation.Freq = make([]float64, s.N())
+		for i, d := range s.Devices {
+			res.Allocation.Power[i] = d.PMax
+			res.Allocation.Bandwidth[i] = s.Bandwidth / float64(s.N())
+			res.Allocation.Freq[i] = d.FMax
+			res.Duals.Nu[i], res.Duals.Beta[i] = 1, 1
+		}
+		return res, nil
+	}
+	cl := repro.NewCluster(repro.ClusterConfig{
+		Cells:      2,
+		Cell:       repro.ServeConfig{Workers: 2, CacheEntries: 2 * devices, Solver: stub},
+		MaxDevices: 2 * devices,
+	})
+	b.Cleanup(cl.Close)
+
+	sc := repro.DefaultScenario()
+	sc.N = n
+	base, err := sc.Build(rand.New(rand.NewSource(1)))
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(2))
+	devs := make([]string, devices)
+	w := repro.Weights{W1: 0.5, W2: 0.5}
+	for d := range devs {
+		devs[d] = "ue-" + strconv.Itoa(d)
+		// Distinct gains per device: every device owns its own fingerprint.
+		if _, _, err := cl.Solve(context.Background(), 0, devs[d], repro.ServeRequest{System: driftBench(base, 0.3, rng), Weights: w}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	return cl, devs
+}
+
+// BenchmarkMassHandoff measures the batched mass-mobility migration: per
+// op, ONE MassHandoff call moves all 1000 devices' cached solutions, warm
+// allocations and dual state to the other cell (directions alternate so
+// every op moves the full population). One routing-lock acquisition and
+// one bulk extract/inject per cell, recorded fingerprints reused — compare
+// BenchmarkHandoffPerDevice, which migrates the identical population
+// through the sequential per-device Handoff loop the control plane
+// replaces.
+func BenchmarkMassHandoff(b *testing.B) {
+	const devices = 1000
+	cl, devs := massHandoffSetup(b, devices)
+	there := make([]repro.ClusterMove, devices)
+	back := make([]repro.ClusterMove, devices)
+	for d, dev := range devs {
+		there[d] = repro.ClusterMove{DeviceID: dev, To: 1}
+		back[d] = repro.ClusterMove{DeviceID: dev, To: 0}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		moves := there
+		if i%2 == 1 {
+			moves = back
+		}
+		rep, err := cl.MassHandoff(moves, true)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if rep.MigratedResults != devices {
+			b.Fatalf("op %d migrated %d results, want %d", i, rep.MigratedResults, devices)
+		}
+	}
+	b.ReportMetric(devices, "dev/op")
+}
+
+// BenchmarkHandoffPerDevice is the pre-control-plane equivalent of
+// BenchmarkMassHandoff: the same 1000-device population migrated by
+// calling Handoff once per device — per device, two full instance
+// re-fingerprints, a routing-lock round trip and per-entry cache
+// operations. The gap to BenchmarkMassHandoff is what batching buys a
+// mass-mobility event (ns/op is per full 1000-device migration in both).
+func BenchmarkHandoffPerDevice(b *testing.B) {
+	const devices = 1000
+	cl, devs := massHandoffSetup(b, devices)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		from, to := 0, 1
+		if i%2 == 1 {
+			from, to = 1, 0
+		}
+		migrated := 0
+		for _, dev := range devs {
+			rep, err := cl.Handoff(dev, from, to)
+			if err != nil {
+				b.Fatal(err)
+			}
+			migrated += rep.MigratedResults
+		}
+		if migrated != devices {
+			b.Fatalf("op %d migrated %d results, want %d", i, migrated, devices)
+		}
+	}
+	b.ReportMetric(devices, "dev/op")
 }
 
 // BenchmarkStreamRepostCold is the same drifting workload served the

@@ -1,7 +1,8 @@
 // Command flcluster runs the multi-cell allocation cluster: N independent
 // per-cell solver services (each with its own cache, warm-start index and
 // worker pool) behind a router with consistent-hash device routing,
-// cross-cell device handoff, and aggregated stats.
+// cross-cell device handoff, runtime cell add/remove under a control
+// plane, and aggregated stats.
 //
 // Usage:
 //
@@ -18,7 +19,11 @@
 //	POST   /v1/stream/{id}/deltas NDJSON deltas in, NDJSON re-solves out
 //	DELETE /v1/stream/{id}        close a session
 //	POST   /v1/handoff            {"device_id","from_cell","to_cell"}
-//	GET    /v1/stats              aggregate + per-cell counters (JSON)
+//	POST   /v1/cells              add a cell (splice + backfill)
+//	DELETE /v1/cells/{id}         drain a cell and remove it
+//	GET    /v1/rebalance/plan     per-cell moved-key counts (dry run)
+//	POST   /v1/rebalance          execute the rebalance
+//	GET    /v1/stats              aggregate + per-cell + stream + ctrl (JSON)
 //	GET    /metrics               Prometheus text exposition
 //
 // Load-generator mode replays drifting per-device scenarios against an
@@ -28,10 +33,17 @@
 //
 //	flcluster -loadgen 300 [-cells 4] [-devices 12] [-n 12] [-drift 0.05]
 //	          [-repeat 0.3] [-migrate 0.1] [-conc 8] [-seed 1] [-batch 0]
-//	          [-stream] [-deltadev 3]
+//	          [-stream] [-deltadev 3] [-churn 0]
 //
 // With -batch B each worker replays its devices through POST
 // /v1/solve-batch in bulk-priority chunks of B instances.
+//
+// With -churn K the replay runs under membership churn: a control-plane
+// goroutine performs K add-cell/drain-cell cycles against the live admin
+// endpoints while the workers keep soliciting device-routed solves, so
+// mass migrations, ring-generation bumps and epoch-checked rerouting all
+// happen mid-traffic (per-request mode; -migrate is forced to 0, mobility
+// comes from the drains).
 //
 // Each device owns a base scenario; every request is, with probability
 // -repeat, an exact replay of that device's previous instance (exercising
@@ -54,6 +66,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"math"
 	"math/rand"
 	"net/http"
@@ -92,8 +105,13 @@ func main() {
 		batch    = flag.Int("batch", 0, "loadgen: replay through POST /v1/solve-batch in batches of this size (0 = per-request /v1/solve)")
 		stream   = flag.Bool("stream", false, "loadgen: replay through per-device NDJSON delta sessions (POST /v1/stream)")
 		deltadev = flag.Int("deltadev", 3, "loadgen -stream: devices drifted per delta")
+		churn    = flag.Int("churn", 0, "loadgen: add+drain this many cells mid-replay (per-request mode)")
 	)
 	flag.Parse()
+	if *churn > 0 && (*stream || *batch > 0) {
+		fmt.Fprintln(os.Stderr, "flcluster: -churn only composes with the per-request loadgen (no -stream/-batch)")
+		os.Exit(2)
+	}
 
 	cfg := repro.ClusterConfig{
 		Cells: *cells,
@@ -113,7 +131,7 @@ func main() {
 	case *loadgen > 0 && *stream:
 		err = runStreamLoadgen(cfg, scfg, *loadgen, *devices, *n, *drift, *migrate, *conc, *seed, *deltadev)
 	case *loadgen > 0:
-		err = runLoadgen(cfg, *loadgen, *devices, *n, *drift, *repeat, *migrate, *conc, *seed, *batch)
+		err = runLoadgen(cfg, *loadgen, *devices, *n, *drift, *repeat, *migrate, *conc, *seed, *batch, *churn)
 	default:
 		err = runServer(cfg, scfg, *addr)
 	}
@@ -129,8 +147,9 @@ func runServer(cfg repro.ClusterConfig, scfg repro.StreamConfig, addr string) er
 	defer cl.Close()
 	mgr := repro.NewStreamManager(repro.NewStreamClusterBackend(cl), scfg)
 	defer mgr.Close()
+	plane := repro.NewControlPlane(cl, mgr)
 
-	httpSrv := &http.Server{Addr: addr, Handler: repro.StreamHandler(mgr)}
+	httpSrv := &http.Server{Addr: addr, Handler: plane.Handler(repro.StreamHandler(mgr))}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 	go func() {
@@ -140,7 +159,7 @@ func runServer(cfg repro.ClusterConfig, scfg repro.StreamConfig, addr string) er
 		_ = httpSrv.Shutdown(shutdownCtx)
 	}()
 
-	fmt.Printf("flcluster: %d cells listening on %s (POST /v1/cells/{id}/solve, POST /v1/solve, POST /v1/stream, POST /v1/handoff, GET /v1/stats, GET /metrics)\n",
+	fmt.Printf("flcluster: %d cells listening on %s (POST /v1/cells/{id}/solve, POST /v1/solve, POST /v1/stream, POST /v1/handoff, POST/DELETE /v1/cells, POST /v1/rebalance, GET /v1/stats, GET /metrics)\n",
 		cl.Cells(), addr)
 	if err := httpSrv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
 		return err
@@ -160,11 +179,20 @@ type device struct {
 
 // runLoadgen replays total requests from `devices` drifting devices over
 // the full HTTP stack of an in-process cluster. batchSize > 0 groups each
-// worker's stream into POST /v1/solve-batch chunks of that size.
-func runLoadgen(cfg repro.ClusterConfig, total, devices, n int, drift, repeat, migrate float64, conc int, seed int64, batchSize int) error {
+// worker's stream into POST /v1/solve-batch chunks of that size; churn > 0
+// mounts the control plane and performs that many add/drain cycles against
+// the admin endpoints while the replay runs.
+func runLoadgen(cfg repro.ClusterConfig, total, devices, n int, drift, repeat, migrate float64, conc int, seed int64, batchSize, churn int) error {
 	cl := repro.NewCluster(cfg)
 	defer cl.Close()
-	ts := httptest.NewServer(cl.Handler())
+	handler := cl.Handler()
+	if churn > 0 {
+		// Drains repin devices wholesale; manual per-device migration on
+		// top would just fight the control plane for the same pins.
+		migrate = 0
+		handler = repro.NewControlPlane(cl, nil).Handler(handler)
+	}
+	ts := httptest.NewServer(handler)
 	defer ts.Close()
 
 	if devices < 1 {
@@ -197,6 +225,14 @@ func runLoadgen(cfg repro.ClusterConfig, total, devices, n int, drift, repeat, m
 	tallies := make([]tally, conc)
 	var wg sync.WaitGroup
 	began := time.Now()
+
+	// The churn driver adds a cell, lets traffic land on it, then drains a
+	// random cell — membership changes racing live device-routed solves.
+	churnStop := make(chan struct{})
+	churnDone := make(chan churnSummary, 1)
+	if churn > 0 {
+		go runChurn(ts.URL, cfg.Cells, churn, seed+777, churnStop, churnDone)
+	}
 	for wkr := 0; wkr < conc; wkr++ {
 		var mine []*device
 		for d := wkr; d < devices; d += conc {
@@ -308,6 +344,11 @@ func runLoadgen(cfg repro.ClusterConfig, total, devices, n int, drift, repeat, m
 		}(wkr, mine, share)
 	}
 	wg.Wait()
+	close(churnStop)
+	var churned churnSummary
+	if churn > 0 {
+		churned = <-churnDone
+	}
 	elapsed := time.Since(began)
 	var agg tally
 	for i := range tallies {
@@ -330,6 +371,9 @@ func runLoadgen(cfg repro.ClusterConfig, total, devices, n int, drift, repeat, m
 	if batchSize > 0 {
 		mode = fmt.Sprintf("batched x%d", batchSize)
 	}
+	if churn > 0 {
+		mode += fmt.Sprintf(", churn x%d", churn)
+	}
 	fmt.Printf("loadgen (%s): %d requests (%d ok, %d failed), %d handoffs in %.3fs = %.1f req/s over %d clients, %d devices, %d cells\n",
 		mode, agg.ok+agg.fail, agg.ok, agg.fail, agg.handoffs, elapsed.Seconds(),
 		float64(agg.ok+agg.fail)/elapsed.Seconds(), conc, devices, cl.Cells())
@@ -340,11 +384,97 @@ func runLoadgen(cfg repro.ClusterConfig, total, devices, n int, drift, repeat, m
 		a.Handoffs, a.MigratedResults, a.MigratedWarm, a.CacheEntries)
 	fmt.Printf("routing: explicit %d, pinned %d, hashed %d; solve latency p50 %.1f ms, p99 %.1f ms\n",
 		a.RoutedExplicit, a.RoutedPinned, a.RoutedHashed, a.SolveP50*1e3, a.SolveP99*1e3)
+	if churn > 0 {
+		if churned.err != nil {
+			return fmt.Errorf("churn driver: %w", churned.err)
+		}
+		fmt.Printf("churn: %d cells added, %d drained (devices moved %d, results migrated %d), final cells %v, ring generation %d, rerouted %d\n",
+			churned.added, churned.drained, churned.movedDevices, churned.migratedResults,
+			cl.CellIDs(), a.Generation, a.Rerouted)
+	}
 	for _, c := range stats.Cells {
 		fmt.Printf("  cell %d: requests %d, hits %d, warm %d, cold %d, cache %d\n",
 			c.Cell, c.Requests, c.Hits, c.WarmStarts, c.ColdSolves, c.CacheEntries)
 	}
 	return nil
+}
+
+// churnSummary is what the churn driver hands back after the replay.
+type churnSummary struct {
+	added, drained  int
+	movedDevices    int
+	migratedResults int
+	err             error
+}
+
+// runChurn performs up to `cycles` add-cell/drain-cell rounds against the
+// live admin API, pausing briefly between membership changes so traffic
+// actually lands on each configuration, and stops early when the replay
+// finishes.
+func runChurn(baseURL string, initialCells, cycles int, seed int64, stop <-chan struct{}, done chan<- churnSummary) {
+	var sum churnSummary
+	defer func() { done <- sum }()
+	rng := rand.New(rand.NewSource(seed))
+	cells := make([]int, initialCells)
+	for i := range cells {
+		cells[i] = i
+	}
+	pause := func() bool {
+		select {
+		case <-stop:
+			return false
+		case <-time.After(25 * time.Millisecond):
+			return true
+		}
+	}
+	for i := 0; i < cycles; i++ {
+		select {
+		case <-stop:
+			return
+		default:
+		}
+		var add repro.AddCellReport
+		if err := doCtrl(baseURL+"/v1/cells", http.MethodPost, &add); err != nil {
+			sum.err = err
+			return
+		}
+		sum.added++
+		cells = add.Cells
+		if !pause() {
+			return
+		}
+		victim := cells[rng.Intn(len(cells))]
+		var drain repro.DrainReport
+		if err := doCtrl(fmt.Sprintf("%s/v1/cells/%d", baseURL, victim), http.MethodDelete, &drain); err != nil {
+			sum.err = err
+			return
+		}
+		sum.drained++
+		sum.movedDevices += drain.Handoff.Devices
+		sum.migratedResults += drain.Handoff.MigratedResults
+		cells = drain.Cells
+		if !pause() {
+			return
+		}
+	}
+}
+
+// doCtrl fires one body-less admin request and decodes the JSON report.
+func doCtrl(url, method string, out any) error {
+	req, err := http.NewRequest(method, url, nil)
+	if err != nil {
+		return err
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		b, _ := io.ReadAll(resp.Body)
+		return fmt.Errorf("%s %s: status %d: %s", method, url, resp.StatusCode, b)
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
 }
 
 // driftedReq builds a fresh solve request for the device with log-normally

@@ -52,10 +52,15 @@ func (r *Router) Handler() http.Handler {
 	mux.HandleFunc("POST /v1/solve-batch", r.handleSolveBatch)
 	mux.HandleFunc("POST /v1/cells/{id}/solve", func(w http.ResponseWriter, req *http.Request) {
 		id, err := strconv.Atoi(req.PathValue("id"))
-		if err != nil || id < 0 {
+		if err != nil {
+			httpError(w, http.StatusBadRequest, fmt.Errorf("malformed cell id %q", req.PathValue("id")))
+			return
+		}
+		if id < 0 {
 			// id < 0 must not fall through: -1 is CellAuto internally, and
-			// an explicit URL aliasing to hash routing would mask typos.
-			httpError(w, http.StatusBadRequest, fmt.Errorf("cell id %q: %w", req.PathValue("id"), ErrUnknownCell))
+			// an explicit URL aliasing to hash routing would mask typos. A
+			// well-formed-but-negative id is an unknown cell like any other.
+			WriteError(w, UnknownCellError{Cell: id})
 			return
 		}
 		r.handleSolve(w, req, id)
@@ -147,14 +152,40 @@ func (r *Router) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 }
 
 // statusFor extends the single-server error mapping with the router's own
-// errors.
+// errors. Unknown cells are 404s — the resource genuinely does not exist,
+// and every endpoint answers them with the same typed body (see
+// WriteError) so clients can branch on one shape.
 func statusFor(err error) int {
 	switch {
-	case errors.Is(err, ErrUnknownCell), errors.Is(err, ErrNoDevice):
+	case errors.Is(err, ErrUnknownCell):
+		return http.StatusNotFound
+	case errors.Is(err, ErrNoDevice), errors.Is(err, ErrLastCell):
 		return http.StatusBadRequest
 	default:
 		return serve.StatusFor(err)
 	}
+}
+
+// ErrorJSON is the error body of every cluster (and control-plane)
+// endpoint. Unknown-cell errors carry the machine-readable form: Error is
+// the fixed code "unknown_cell" and Cell names the offending ID; other
+// errors carry their message.
+type ErrorJSON struct {
+	Error string `json:"error"`
+	Cell  *int   `json:"cell,omitempty"`
+}
+
+// WriteError writes the uniform JSON error body for err, picking the
+// status from the cluster error mapping. Shared by the cluster front end
+// and the control plane so an unknown cell looks identical on every
+// endpoint: 404 {"error":"unknown_cell","cell":N}.
+func WriteError(w http.ResponseWriter, err error) {
+	var uc UnknownCellError
+	if errors.As(err, &uc) {
+		writeJSON(w, http.StatusNotFound, ErrorJSON{Error: "unknown_cell", Cell: &uc.Cell})
+		return
+	}
+	writeJSON(w, statusFor(err), ErrorJSON{Error: err.Error()})
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {
@@ -164,5 +195,10 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 }
 
 func httpError(w http.ResponseWriter, status int, err error) {
+	var uc UnknownCellError
+	if errors.As(err, &uc) {
+		WriteError(w, err)
+		return
+	}
 	writeJSON(w, status, map[string]string{"error": err.Error()})
 }

@@ -96,17 +96,8 @@ func TestHTTPBadRequests(t *testing.T) {
 		"bad cell id": func() (*http.Response, []byte) {
 			return postJSON(t, ts.URL+"/v1/cells/nope/solve", solveBody(testSystem(t, 4, 1), ""))
 		},
-		"cell out of range": func() (*http.Response, []byte) {
-			return postJSON(t, ts.URL+"/v1/cells/9/solve", solveBody(testSystem(t, 4, 1), ""))
-		},
-		"negative cell must not alias CellAuto": func() (*http.Response, []byte) {
-			return postJSON(t, ts.URL+"/v1/cells/-1/solve", solveBody(testSystem(t, 4, 1), ""))
-		},
 		"handoff no device": func() (*http.Response, []byte) {
 			return postJSON(t, ts.URL+"/v1/handoff", HandoffRequestJSON{FromCell: 0, ToCell: 1})
-		},
-		"handoff bad cell": func() (*http.Response, []byte) {
-			return postJSON(t, ts.URL+"/v1/handoff", HandoffRequestJSON{DeviceID: "d", FromCell: 0, ToCell: 7})
 		},
 	} {
 		resp, body := do()
@@ -122,6 +113,49 @@ func TestHTTPBadRequests(t *testing.T) {
 	resp.Body.Close()
 	if resp.StatusCode != http.StatusBadRequest {
 		t.Errorf("malformed json: status %d, want 400", resp.StatusCode)
+	}
+}
+
+// TestHTTPUnknownCellTyped404 pins the uniform unknown-cell contract:
+// every endpoint that takes a cell ID answers a well-formed ID that is not
+// a member with 404 and the machine-readable {"error":"unknown_cell",
+// "cell":N} body — the same shape everywhere, so clients branch on one
+// code instead of parsing per-endpoint prose.
+func TestHTTPUnknownCellTyped404(t *testing.T) {
+	r := testRouter(t, 2)
+	ts := httptest.NewServer(r.Handler())
+	defer ts.Close()
+
+	for name, tc := range map[string]struct {
+		do   func() (*http.Response, []byte)
+		cell int
+	}{
+		"explicit solve, out of range": {func() (*http.Response, []byte) {
+			return postJSON(t, ts.URL+"/v1/cells/9/solve", solveBody(testSystem(t, 4, 1), ""))
+		}, 9},
+		"explicit solve, negative must not alias CellAuto": {func() (*http.Response, []byte) {
+			return postJSON(t, ts.URL+"/v1/cells/-1/solve", solveBody(testSystem(t, 4, 1), ""))
+		}, -1},
+		"handoff, unknown destination": {func() (*http.Response, []byte) {
+			return postJSON(t, ts.URL+"/v1/handoff", HandoffRequestJSON{DeviceID: "d", FromCell: 0, ToCell: 7})
+		}, 7},
+		"handoff, unknown source": {func() (*http.Response, []byte) {
+			return postJSON(t, ts.URL+"/v1/handoff", HandoffRequestJSON{DeviceID: "d", FromCell: -3, ToCell: 1})
+		}, -3},
+	} {
+		resp, body := tc.do()
+		if resp.StatusCode != http.StatusNotFound {
+			t.Errorf("%s: status %d, want 404 (%s)", name, resp.StatusCode, body)
+			continue
+		}
+		var e ErrorJSON
+		if err := json.Unmarshal(body, &e); err != nil {
+			t.Errorf("%s: undecodable error body %q: %v", name, body, err)
+			continue
+		}
+		if e.Error != "unknown_cell" || e.Cell == nil || *e.Cell != tc.cell {
+			t.Errorf("%s: body %s, want {\"error\":\"unknown_cell\",\"cell\":%d}", name, body, tc.cell)
+		}
 	}
 }
 

@@ -23,11 +23,24 @@ type ringPoint struct {
 // newRing builds the ring for cells cells with the given virtual-node
 // count per cell (minimum 1).
 func newRing(cells, replicas int) ring {
+	ids := make([]int, cells)
+	for c := range ids {
+		ids[c] = c
+	}
+	return newRingFor(ids, replicas)
+}
+
+// newRingFor builds the ring over an explicit cell-ID set. A cell's
+// virtual points depend only on its own ID, so splicing a cell in or out
+// leaves every other cell's points exactly where they were — the property
+// that bounds remapping to the joining/leaving cell's arcs. An N-cell ring
+// over IDs 0..N-1 is bit-identical to newRing(N, replicas).
+func newRingFor(ids []int, replicas int) ring {
 	if replicas < 1 {
 		replicas = 1
 	}
-	r := ring{points: make([]ringPoint, 0, cells*replicas)}
-	for c := 0; c < cells; c++ {
+	r := ring{points: make([]ringPoint, 0, len(ids)*replicas)}
+	for _, c := range ids {
 		for v := 0; v < replicas; v++ {
 			r.points = append(r.points, ringPoint{
 				hash: fnv1a(fmt.Sprintf("cell/%d/replica/%d", c, v)),
@@ -44,8 +57,12 @@ func newRing(cells, replicas int) ring {
 	return r
 }
 
-// cell returns the owning cell for key.
+// cell returns the owning cell for key (-1 on an empty ring; the router
+// never installs one, but the hash must stay total).
 func (r ring) cell(key string) int {
+	if len(r.points) == 0 {
+		return -1
+	}
 	h := fnv1a(key)
 	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
 	if i == len(r.points) {

@@ -33,6 +33,99 @@ func TestRingCoversAllCells(t *testing.T) {
 	}
 }
 
+// TestRingRemapInvariants is the property-style membership contract over
+// several cluster sizes, for both directions of change:
+//
+//   - adding one cell to N remaps ~1/(N+1) of a large key sample, and
+//     every moved key moves TO the new cell (a key whose owner did not
+//     change never remaps);
+//   - removing one of N cells remaps ~1/N of the sample, and every moved
+//     key moves FROM the removed cell (survivor-owned keys stay put).
+func TestRingRemapInvariants(t *testing.T) {
+	const keys = 8192
+	key := func(i int) string { return fmt.Sprintf("device-%d", i) }
+	// tolerated relative deviation from the ideal fraction; virtual-node
+	// hashing is noisy at small N, so the band is generous but still tight
+	// enough to catch a mod-N-style full reshuffle (which moves ~(N-1)/N).
+	within := func(moved, total int, ideal float64) bool {
+		frac := float64(moved) / float64(total)
+		return frac > ideal/2.5 && frac < ideal*2.5
+	}
+
+	for _, n := range []int{2, 3, 4, 6, 8} {
+		ids := make([]int, n)
+		for i := range ids {
+			ids[i] = i
+		}
+		base := newRingFor(ids, 64)
+
+		// Growth: splice cell n in.
+		grown := newRingFor(append(append([]int(nil), ids...), n), 64)
+		moved := 0
+		for i := 0; i < keys; i++ {
+			before, after := base.cell(key(i)), grown.cell(key(i))
+			if before == after {
+				continue
+			}
+			moved++
+			if after != n {
+				t.Fatalf("N=%d growth: key %q moved %d -> %d, not to the new cell %d", n, key(i), before, after, n)
+			}
+		}
+		if ideal := 1 / float64(n+1); !within(moved, keys, ideal) {
+			t.Errorf("N=%d growth moved %d/%d keys, want ~%.0f", n, moved, keys, ideal*keys)
+		}
+
+		// Shrink: splice each cell out in turn.
+		for victim := 0; victim < n && n > 1; victim++ {
+			rest := make([]int, 0, n-1)
+			for _, c := range ids {
+				if c != victim {
+					rest = append(rest, c)
+				}
+			}
+			shrunk := newRingFor(rest, 64)
+			moved := 0
+			for i := 0; i < keys; i++ {
+				before, after := base.cell(key(i)), shrunk.cell(key(i))
+				if before == after {
+					continue
+				}
+				moved++
+				if before != victim {
+					t.Fatalf("N=%d remove %d: key %q moved %d -> %d although its owner survived", n, victim, key(i), before, after)
+				}
+			}
+			if ideal := 1 / float64(n); !within(moved, keys, ideal) {
+				t.Errorf("N=%d removing cell %d moved %d/%d keys, want ~%.0f", n, victim, moved, keys, ideal*keys)
+			}
+		}
+	}
+}
+
+// TestRingRoundTripIdentity removes a cell and splices the same ID back:
+// the ring must be exactly the starting ring, so a cell rejoining after
+// maintenance reclaims precisely its old keys.
+func TestRingRoundTripIdentity(t *testing.T) {
+	base := newRingFor([]int{0, 1, 2, 3, 4}, 64)
+	rejoined := newRingFor([]int{0, 1, 2, 3, 4}, 64)
+	for i := 0; i < 2048; i++ {
+		k := fmt.Sprintf("device-%d", i)
+		if base.cell(k) != rejoined.cell(k) {
+			t.Fatalf("key %q owner changed across an identity round trip", k)
+		}
+	}
+	// Sparse ID sets (post-removal membership) behave the same way.
+	a := newRingFor([]int{0, 2, 7}, 64)
+	b := newRingFor([]int{0, 2, 7}, 64)
+	for i := 0; i < 2048; i++ {
+		k := fmt.Sprintf("device-%d", i)
+		if a.cell(k) != b.cell(k) {
+			t.Fatalf("sparse ring not deterministic for %q", k)
+		}
+	}
+}
+
 // TestRingStableUnderGrowth is the property consistent hashing buys: going
 // from N to N+1 cells must not remap the keys that stay — a key either
 // keeps its cell or moves to the new one.

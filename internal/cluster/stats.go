@@ -19,8 +19,18 @@ type CellStats struct {
 // windows (quantiles do not sum), plus the router's own counters.
 type Aggregate struct {
 	serve.Snapshot
-	// Handoffs counts completed Handoff calls (no-ops included).
-	Handoffs int64 `json:"handoffs"`
+	// Generation is the current ring generation (bumped once per
+	// membership change); CellsAdded/CellsRemoved count the changes.
+	Generation   uint64 `json:"ring_generation"`
+	CellsAdded   int64  `json:"cells_added"`
+	CellsRemoved int64  `json:"cells_removed"`
+	// Handoffs counts completed Handoff calls (no-ops included);
+	// MassHandoffs counts batched MassHandoff calls.
+	Handoffs     int64 `json:"handoffs"`
+	MassHandoffs int64 `json:"mass_handoffs"`
+	// Rerouted counts requests that re-resolved onto a post-change owner
+	// after racing a membership change (the epoch check firing).
+	Rerouted int64 `json:"rerouted"`
 	// MigratedResults counts solution-cache entries moved across cells.
 	MigratedResults int64 `json:"migrated_results"`
 	// MigratedWarm counts warm-start allocations moved across cells.
@@ -42,14 +52,18 @@ type Stats struct {
 	Cells     []CellStats `json:"cells"`
 }
 
-// Stats snapshots every cell and rolls the counters up.
+// Stats snapshots every live cell and rolls the counters up. Cells are
+// reported by ID (IDs are stable across membership changes and never
+// reused).
 func (r *Router) Stats() Stats {
-	out := Stats{Cells: make([]CellStats, len(r.cells))}
+	mem := r.mem.Load()
+	out := Stats{Cells: make([]CellStats, len(mem.ids))}
 	agg := &out.Aggregate
 	var lat []time.Duration
-	for i, c := range r.cells {
+	for i, id := range mem.ids {
+		c := mem.cells[id]
 		snap := c.Stats()
-		out.Cells[i] = CellStats{Cell: i, Snapshot: snap}
+		out.Cells[i] = CellStats{Cell: id, Snapshot: snap}
 		agg.Requests += snap.Requests
 		agg.Hits += snap.Hits
 		agg.Misses += snap.Misses
@@ -66,7 +80,12 @@ func (r *Router) Stats() Stats {
 		lat = append(lat, c.SolveLatencies()...)
 	}
 	agg.SolveP50, agg.SolveP99 = serve.LatencyQuantiles(lat)
+	agg.Generation = mem.gen
+	agg.CellsAdded = r.cellsAdded.Load()
+	agg.CellsRemoved = r.cellsRemoved.Load()
 	agg.Handoffs = r.handoffs.Load()
+	agg.MassHandoffs = r.massHandoffs.Load()
+	agg.Rerouted = r.rerouted.Load()
 	agg.MigratedResults = r.migratedResults.Load()
 	agg.MigratedWarm = r.migratedWarm.Load()
 	agg.RoutedExplicit = r.routedExplicit.Load()
@@ -94,7 +113,13 @@ func (s Stats) WritePrometheus(w io.Writer) error {
 		c.Snapshot.WritePrometheus(pw, "flserve", `cell="`+strconv.Itoa(c.Cell)+`"`)
 	}
 	a := s.Aggregate
+	pw.Gauge("flcluster_ring_generation", "Current consistent-hash ring generation.", "", float64(a.Generation))
+	pw.Gauge("flcluster_cells", "Live cells in the cluster.", "", float64(len(s.Cells)))
+	pw.Counter("flcluster_cells_added_total", "Cells added at runtime.", "", float64(a.CellsAdded))
+	pw.Counter("flcluster_cells_removed_total", "Cells removed at runtime.", "", float64(a.CellsRemoved))
 	pw.Counter("flcluster_handoffs_total", "Cross-cell device handoffs.", "", float64(a.Handoffs))
+	pw.Counter("flcluster_mass_handoffs_total", "Batched mass migrations (drains, rebalances, mobility events).", "", float64(a.MassHandoffs))
+	pw.Counter("flcluster_rerouted_total", "Requests re-resolved after racing a membership change.", "", float64(a.Rerouted))
 	pw.Counter("flcluster_migrated_results_total", "Solution-cache entries moved across cells.", "", float64(a.MigratedResults))
 	pw.Counter("flcluster_migrated_warm_starts_total", "Warm-start allocations moved across cells.", "", float64(a.MigratedWarm))
 	pw.Counter("flcluster_routed_total", "Requests by routing decision.", `via="explicit"`, float64(a.RoutedExplicit))

@@ -1,0 +1,218 @@
+package ctrl
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"repro/internal/cluster"
+	"repro/internal/serve"
+	"repro/internal/stream"
+)
+
+// testHTTPStack mounts the full production layering: control plane over
+// the stream handler over the cluster handler.
+func testHTTPStack(t *testing.T, cells int) (*cluster.Router, *stream.Manager, *Plane, *httptest.Server) {
+	t.Helper()
+	r, m, p := testStack(t, cells)
+	ts := httptest.NewServer(p.Handler(stream.Handler(m)))
+	t.Cleanup(ts.Close)
+	return r, m, p, ts
+}
+
+func doJSON(t *testing.T, method, url string, body any) (*http.Response, []byte) {
+	t.Helper()
+	var rd io.Reader
+	if body != nil {
+		b, err := json.Marshal(body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rd = bytes.NewReader(b)
+	}
+	req, err := http.NewRequest(method, url, rd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	out, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp, out
+}
+
+// TestHTTPAddDrainLifecycle drives the elastic lifecycle over the wire:
+// add a cell, solve through it, drain a cell, and watch membership,
+// merged stats and metrics stay coherent the whole way.
+func TestHTTPAddDrainLifecycle(t *testing.T) {
+	r, _, _, ts := testHTTPStack(t, 2)
+
+	// Add a cell.
+	resp, body := doJSON(t, http.MethodPost, ts.URL+"/v1/cells", nil)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("add cell: status %d: %s", resp.StatusCode, body)
+	}
+	var add AddCellReport
+	if err := json.Unmarshal(body, &add); err != nil {
+		t.Fatal(err)
+	}
+	if add.Cell != 2 || len(add.Cells) != 3 {
+		t.Fatalf("add report %+v, want cell 2 of [0 1 2]", add)
+	}
+
+	// Solve a device explicitly in the new cell (the data plane passed
+	// through the control handler still works).
+	sreq := serve.SolveRequestJSON{System: serve.SystemToJSON(testSystem(t, 5, 600)), DeviceID: "ue-new"}
+	sreq.Weights.W1, sreq.Weights.W2 = 0.5, 0.5
+	resp, body = doJSON(t, http.MethodPost, ts.URL+"/v1/cells/2/solve", sreq)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("solve in new cell: status %d: %s", resp.StatusCode, body)
+	}
+
+	// Drain cell 0; its devices (if any) move, membership shrinks.
+	resp, body = doJSON(t, http.MethodDelete, ts.URL+"/v1/cells/0", nil)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("drain: status %d: %s", resp.StatusCode, body)
+	}
+	var drain DrainReport
+	if err := json.Unmarshal(body, &drain); err != nil {
+		t.Fatal(err)
+	}
+	if drain.Cell != 0 || len(drain.Cells) != 2 || r.HasCell(0) {
+		t.Fatalf("drain report %+v (HasCell(0)=%v)", drain, r.HasCell(0))
+	}
+
+	// Stats: one object, backend sections plus "ctrl" and "stream".
+	resp, body = doJSON(t, http.MethodGet, ts.URL+"/v1/stats", nil)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("stats: status %d: %s", resp.StatusCode, body)
+	}
+	var stats struct {
+		Aggregate cluster.Aggregate `json:"aggregate"`
+		Stream    *stream.Snapshot  `json:"stream"`
+		Ctrl      *Snapshot         `json:"ctrl"`
+	}
+	if err := json.Unmarshal(body, &stats); err != nil {
+		t.Fatal(err)
+	}
+	if stats.Ctrl == nil || stats.Stream == nil {
+		t.Fatalf("stats missing ctrl/stream sections: %s", body)
+	}
+	if stats.Ctrl.CellsAdded != 1 || stats.Ctrl.CellsRemoved != 1 || stats.Ctrl.Generation != 2 {
+		t.Fatalf("ctrl section %+v, want 1 added / 1 removed / generation 2", stats.Ctrl)
+	}
+	if stats.Aggregate.Generation != 2 {
+		t.Fatalf("cluster aggregate generation %d, want 2", stats.Aggregate.Generation)
+	}
+
+	// Metrics: ctrl series appended after the data plane's.
+	resp, body = doJSON(t, http.MethodGet, ts.URL+"/metrics", nil)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("metrics: status %d", resp.StatusCode)
+	}
+	text := string(body)
+	for _, want := range []string{
+		"ctrl_cells 2",
+		"ctrl_ring_generation 2",
+		"ctrl_cells_added_total 1",
+		"ctrl_cells_removed_total 1",
+		"ctrl_drains_total 1",
+		"flcluster_ring_generation 2",
+		"flstream_active_sessions",
+		"flserve_requests_total",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("metrics missing %q", want)
+		}
+	}
+}
+
+// TestHTTPRebalanceEndpoints drives the planner and the executor over the
+// wire after pinning a device away from its ring owner.
+func TestHTTPRebalanceEndpoints(t *testing.T) {
+	r, _, _, ts := testHTTPStack(t, 3)
+
+	s := testSystem(t, 5, 610)
+	const dev = "ue-planner"
+	if _, _, err := r.Solve(context.Background(), cluster.CellAuto, dev, serve.Request{System: s, Weights: balanced()}); err != nil {
+		t.Fatal(err)
+	}
+	owner := r.Route(dev)
+	if _, err := r.Handoff(dev, owner, (owner+1)%3); err != nil {
+		t.Fatal(err)
+	}
+
+	resp, body := doJSON(t, http.MethodGet, ts.URL+"/v1/rebalance/plan", nil)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("plan: status %d: %s", resp.StatusCode, body)
+	}
+	var plan RebalancePlan
+	if err := json.Unmarshal(body, &plan); err != nil {
+		t.Fatal(err)
+	}
+	if plan.Moves != 1 {
+		t.Fatalf("plan moves %d, want 1: %s", plan.Moves, body)
+	}
+
+	resp, body = doJSON(t, http.MethodPost, ts.URL+"/v1/rebalance", nil)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("rebalance: status %d: %s", resp.StatusCode, body)
+	}
+	var rep RebalanceReport
+	if err := json.Unmarshal(body, &rep); err != nil {
+		t.Fatal(err)
+	}
+	if rep.Handoff.Devices != 1 {
+		t.Fatalf("rebalance moved %d devices, want 1: %s", rep.Handoff.Devices, body)
+	}
+	if got := r.Route(dev); got != owner {
+		t.Fatalf("device routes to %d after rebalance, want ring owner %d", got, owner)
+	}
+}
+
+// TestHTTPUnknownCellTyped404 checks the control-plane endpoints answer
+// unknown cells with the same typed body as the data plane.
+func TestHTTPUnknownCellTyped404(t *testing.T) {
+	_, _, _, ts := testHTTPStack(t, 2)
+
+	resp, body := doJSON(t, http.MethodDelete, ts.URL+"/v1/cells/9", nil)
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("drain unknown: status %d, want 404 (%s)", resp.StatusCode, body)
+	}
+	var e cluster.ErrorJSON
+	if err := json.Unmarshal(body, &e); err != nil {
+		t.Fatal(err)
+	}
+	if e.Error != "unknown_cell" || e.Cell == nil || *e.Cell != 9 {
+		t.Fatalf("body %s, want {\"error\":\"unknown_cell\",\"cell\":9}", body)
+	}
+
+	// Malformed IDs are 400s, not 404s.
+	resp, _ = doJSON(t, http.MethodDelete, ts.URL+"/v1/cells/nope", nil)
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("malformed id: status %d, want 400", resp.StatusCode)
+	}
+
+	// Draining the last cell is a 400 with the reason.
+	resp, body = doJSON(t, http.MethodDelete, ts.URL+"/v1/cells/0", nil)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("first drain: status %d: %s", resp.StatusCode, body)
+	}
+	resp, body = doJSON(t, http.MethodDelete, ts.URL+"/v1/cells/1", nil)
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("last-cell drain: status %d, want 400 (%s)", resp.StatusCode, body)
+	}
+}

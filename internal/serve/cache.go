@@ -119,6 +119,77 @@ func (c *Cache) Take(key uint64) (core.Result, bool) {
 	return ent.res, true
 }
 
+// TakeBatch removes and returns the cached results for a whole key set,
+// grouping the keys by shard so each shard's lock is taken once instead of
+// once per key; out[i] is the entry for keys[i], nil when absent or
+// expired. Like Take, removal transfers ownership, so nothing is cloned.
+func (c *Cache) TakeBatch(keys []uint64) []*core.Result {
+	out := make([]*core.Result, len(keys))
+	var byShard [cacheShards][]int
+	for i, key := range keys {
+		byShard[key%cacheShards] = append(byShard[key%cacheShards], i)
+	}
+	now := time.Now()
+	for shard, idxs := range byShard {
+		if len(idxs) == 0 {
+			continue
+		}
+		sh := &c.shards[shard]
+		sh.mu.Lock()
+		for _, i := range idxs {
+			el, ok := sh.items[keys[i]]
+			if !ok {
+				continue
+			}
+			ent := el.Value.(*cacheEntry)
+			sh.lru.Remove(el)
+			delete(sh.items, keys[i])
+			if c.ttl > 0 && now.After(ent.expires) {
+				continue
+			}
+			out[i] = &ent.res
+		}
+		sh.mu.Unlock()
+	}
+	return out
+}
+
+// PutBatch stores copies of many results, one shard-lock acquisition per
+// shard touched; results[i] lands under keys[i]. Clones are taken outside
+// the locks, exactly as Put does.
+func (c *Cache) PutBatch(keys []uint64, results []core.Result) {
+	ents := make([]*cacheEntry, len(keys))
+	var byShard [cacheShards][]int
+	for i, key := range keys {
+		ents[i] = &cacheEntry{key: key, res: cloneResult(results[i])}
+		byShard[key%cacheShards] = append(byShard[key%cacheShards], i)
+	}
+	for shard, idxs := range byShard {
+		if len(idxs) == 0 {
+			continue
+		}
+		sh := &c.shards[shard]
+		sh.mu.Lock()
+		for _, i := range idxs {
+			ent := ents[i]
+			ent.expires = time.Now().Add(c.ttl)
+			if el, ok := sh.items[ent.key]; ok {
+				el.Value = ent
+				sh.lru.MoveToFront(el)
+				continue
+			}
+			if sh.lru.Len() >= c.perShard {
+				if back := sh.lru.Back(); back != nil {
+					sh.lru.Remove(back)
+					delete(sh.items, back.Value.(*cacheEntry).key)
+				}
+			}
+			sh.items[ent.key] = sh.lru.PushFront(ent)
+		}
+		sh.mu.Unlock()
+	}
+}
+
 // Len reports the live entry count across shards (expired entries that have
 // not been touched since expiry still count).
 func (c *Cache) Len() int {

@@ -150,6 +150,14 @@ type Response struct {
 	DualSeeded bool
 }
 
+// Clone returns a response whose Result is privately owned by the caller;
+// layers that fan one response out to several callers (a coalesced stream
+// re-solve) clone per recipient, since Result is documented mutable.
+func (r Response) Clone() Response {
+	r.Result = cloneResult(r.Result)
+	return r
+}
+
 // Server is a concurrent allocation service over the Algorithm 2 solver: a
 // fixed worker pool drains a bounded queue, identical in-flight instances
 // are deduplicated, exact fingerprint matches are answered from an LRU

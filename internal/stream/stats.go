@@ -14,6 +14,7 @@ type Stats struct {
 	sessionsExpired  atomic.Int64
 	sessionsRejected atomic.Int64
 	deltas           atomic.Int64
+	deltasCoalesced  atomic.Int64
 	deltaErrors      atomic.Int64
 	solveCache       atomic.Int64
 	solveWarm        atomic.Int64
@@ -48,10 +49,14 @@ type Snapshot struct {
 	SessionsClosed   int64 `json:"sessions_closed"`
 	SessionsExpired  int64 `json:"sessions_expired"`
 	SessionsRejected int64 `json:"sessions_rejected"`
-	// Deltas counts applied deltas; DeltaErrors counts rejected or failed
-	// ones (stale seq, bad delta, unknown session, solver error).
-	Deltas      int64 `json:"deltas_applied"`
-	DeltaErrors int64 `json:"delta_errors"`
+	// Deltas counts applied deltas; DeltasCoalesced counts the subset that
+	// queued behind a slow solve (or a drain suspension) and were answered
+	// by a covering re-solve of a later state instead of a solve of their
+	// own; DeltaErrors counts rejected or failed ones (stale seq, bad
+	// delta, unknown session, solver error).
+	Deltas          int64 `json:"deltas_applied"`
+	DeltasCoalesced int64 `json:"deltas_coalesced"`
+	DeltaErrors     int64 `json:"delta_errors"`
 	// SolveCache/Warm/Cold split session solves (open + delta) by serving
 	// path; SolveDualSeeded counts the warm solves that also consumed the
 	// cached Subproblem 2 dual state.
@@ -68,6 +73,7 @@ func (st *Stats) snapshot() Snapshot {
 		SessionsExpired:  st.sessionsExpired.Load(),
 		SessionsRejected: st.sessionsRejected.Load(),
 		Deltas:           st.deltas.Load(),
+		DeltasCoalesced:  st.deltasCoalesced.Load(),
 		DeltaErrors:      st.deltaErrors.Load(),
 		SolveCache:       st.solveCache.Load(),
 		SolveWarm:        st.solveWarm.Load(),
@@ -88,6 +94,7 @@ func (s Snapshot) WritePrometheus(p *serve.PromWriter, prefix, labels string) {
 		{"sessions_expired_total", "Stream sessions evicted at the idle TTL.", s.SessionsExpired},
 		{"sessions_rejected_total", "Stream opens refused at the session limit.", s.SessionsRejected},
 		{"deltas_total", "Gain deltas applied across all sessions.", s.Deltas},
+		{"deltas_coalesced_total", "Deltas answered by a covering coalesced re-solve instead of their own.", s.DeltasCoalesced},
 		{"delta_errors_total", "Deltas rejected (stale seq, bad delta, unknown session) or failed in the solver.", s.DeltaErrors},
 	}
 	for _, c := range counters {

@@ -130,22 +130,37 @@ type Update struct {
 }
 
 // Session pins one client's authoritative system state server-side. All
-// methods are safe for concurrent use; deltas are serialized per session,
-// so a session's sequence numbers advance in application order.
+// methods are safe for concurrent use; deltas validate and apply to the
+// authoritative state strictly in sequence order, while their re-solves
+// coalesce: when several deltas queue behind a slow solve (or behind a
+// drain suspension), the state absorbs all of them and ONE re-solve of the
+// latest state answers them all.
 type Session struct {
 	id       string
 	deviceID string
 
 	mu      sync.Mutex
+	cond    *sync.Cond // signals solve completion, resume and close
 	sys     *fl.System // authoritative; mutated in place by deltas
 	weights fl.Weights
 	opts    core.Options
 	solver  serve.SolverName
-	seq     uint64
-	topo    uint64 // cached topology-bucket hash
-	hasTopo bool
-	deltas  int64
-	closed  bool
+	// seq is the last sequence number covered by a successful re-solve;
+	// pendingSeq is the last one applied to sys (>= seq — the gap is the
+	// backlog a coalesced solve will cover). Validation advances on
+	// pendingSeq; a failed solve rolls pendingSeq back to seq so the
+	// client may retry the same number (gains are absolute, so
+	// re-application is idempotent).
+	seq        uint64
+	pendingSeq uint64
+	solving    bool   // a re-solve for this session is in flight
+	suspended  bool   // drain in progress: deltas apply and queue, no solves
+	topo       uint64 // cached topology-bucket hash
+	hasTopo    bool
+	topoDirty  bool   // weights/deadline changed since topo was computed
+	lastUpd    Update // outcome of the last successful re-solve
+	deltas     int64
+	closed     bool
 
 	lastUsed atomic.Int64 // unix nanoseconds
 }
@@ -179,6 +194,15 @@ func (s *Session) SystemSnapshot() *fl.System {
 }
 
 func (s *Session) touch() { s.lastUsed.Store(time.Now().UnixNano()) }
+
+// markClosed flags the session closed and wakes every queued delta so no
+// goroutine stays parked on a session that will never solve again.
+func (s *Session) markClosed() {
+	s.mu.Lock()
+	s.closed = true
+	s.cond.Broadcast()
+	s.mu.Unlock()
+}
 
 func (s *Session) idle(now time.Time) time.Duration {
 	return now.Sub(time.Unix(0, s.lastUsed.Load()))
@@ -236,9 +260,7 @@ func (m *Manager) Close() {
 		m.mu.Unlock()
 		close(m.done)
 		for _, s := range sessions {
-			s.mu.Lock()
-			s.closed = true
-			s.mu.Unlock()
+			s.markClosed()
 		}
 	})
 	m.wg.Wait()
@@ -273,9 +295,7 @@ func (m *Manager) sweeper() {
 				if s.idle(now) > m.cfg.IdleTTL {
 					delete(m.sessions, id)
 					m.stats.sessionsExpired.Add(1)
-					s.mu.Lock()
-					s.closed = true
-					s.mu.Unlock()
+					s.markClosed()
 				}
 			}
 			m.mu.Unlock()
@@ -337,6 +357,7 @@ func (m *Manager) Open(ctx context.Context, deviceID string, req serve.Request) 
 		opts:     req.Options,
 		solver:   req.Solver,
 	}
+	s.cond = sync.NewCond(&s.mu)
 	s.opts.Start, s.opts.DualStart, s.opts.Work = nil, nil, nil
 	s.touch()
 
@@ -383,9 +404,7 @@ func (m *Manager) lookup(id string) (*Session, error) {
 	if m.cfg.IdleTTL > 0 && s.idle(time.Now()) > m.cfg.IdleTTL {
 		delete(m.sessions, id)
 		m.stats.sessionsExpired.Add(1)
-		s.mu.Lock()
-		s.closed = true
-		s.mu.Unlock()
+		s.markClosed()
 		return nil, fmt.Errorf("session %q expired: %w", id, ErrNoSession)
 	}
 	return s, nil
@@ -397,6 +416,16 @@ func (m *Manager) lookup(id string) (*Session, error) {
 // A delta that applies but whose solve fails keeps the applied state and
 // does NOT advance the sequence number, so the client may retry the same
 // delta (gains are absolute values; re-application is idempotent).
+//
+// Re-solves coalesce under backlog: a delta arriving while the session's
+// previous re-solve is still in flight (or while a drain has the session
+// suspended) applies to the authoritative state immediately and queues.
+// When the in-flight solve lands, ONE re-solve of the latest state covers
+// the whole queue — every queued caller gets that solve's outcome (tagged
+// with its own sequence number), and the skipped per-delta solves are
+// counted as coalesced in the stream stats. Order is preserved by
+// construction: deltas apply in strictly increasing sequence order, and a
+// covering solve always sees the newest state.
 func (m *Manager) Apply(ctx context.Context, sessionID string, d Delta) (Update, error) {
 	s, err := m.lookup(sessionID)
 	if err != nil {
@@ -421,14 +450,68 @@ func (m *Manager) Apply(ctx context.Context, sessionID string, d Delta) (Update,
 	for i, g := range d.Gains {
 		s.sys.Devices[i].Gain = g
 	}
-	topoChanged := d.Weights != nil || d.TotalDeadline != nil
 	if d.Weights != nil {
 		s.weights = *d.Weights
+		s.topoDirty = true
 	}
 	if d.TotalDeadline != nil {
 		s.opts.TotalDeadline = *d.TotalDeadline
+		s.topoDirty = true
+	}
+	s.pendingSeq = d.Seq
+
+	// Queue while a re-solve is in flight or the session is suspended for a
+	// drain; the wait ends when the solve lands, the drain resumes, the
+	// session closes, or the caller's context expires (the AfterFunc
+	// broadcast is what turns a ctx cancellation into a wake-up — a cond
+	// cannot select on a channel).
+	stopCtxWake := context.AfterFunc(ctx, func() {
+		s.mu.Lock()
+		s.cond.Broadcast()
+		s.mu.Unlock()
+	})
+	defer stopCtxWake()
+	for (s.solving || s.suspended) && s.seq < d.Seq && !s.closed && ctx.Err() == nil {
+		s.cond.Wait()
+	}
+	switch {
+	case s.closed:
+		m.stats.deltaErrors.Add(1)
+		return Update{}, fmt.Errorf("session %q: %w", sessionID, ErrNoSession)
+	case s.seq < d.Seq && ctx.Err() != nil:
+		// Abandoned wait: the delta stays applied to the authoritative
+		// state (a later covering solve absorbs it), but the sequence
+		// baseline rolls back like a failed solve so the client may retry
+		// the same number — unless later deltas already staged past it.
+		if s.pendingSeq == d.Seq {
+			s.pendingSeq = s.seq
+		}
+		m.stats.deltaErrors.Add(1)
+		return Update{}, ctx.Err()
+	case s.seq >= d.Seq:
+		// Coalesced: a covering re-solve (of this seq or a later one) ran
+		// while this delta was queued. Hand its outcome back, privately
+		// cloned — Result is documented caller-mutable.
+		m.stats.deltasCoalesced.Add(1)
+		m.stats.deltas.Add(1)
+		s.deltas++
+		upd := s.lastUpd
+		upd.Seq = d.Seq
+		upd.Response = upd.Response.Clone()
+		upd.Elapsed = time.Since(began)
+		return upd, nil
 	}
 
+	// Become the solver for everything staged so far. A failed solve may
+	// have rolled pendingSeq below this delta's seq while it sat queued;
+	// its gains are still applied (absolute values, idempotent), so the
+	// covering solve must advance at least to it or a success would be
+	// reported without moving the sequence, re-admitting the number later.
+	if s.pendingSeq < d.Seq {
+		s.pendingSeq = d.Seq
+	}
+	target := s.pendingSeq
+	s.solving = true
 	// The backend keeps references to served systems (the cluster's handoff
 	// history re-fingerprints them later), so each solve gets an immutable
 	// snapshot rather than the live, in-place-mutated authoritative state.
@@ -439,37 +522,55 @@ func (m *Manager) Apply(ctx context.Context, sessionID string, d Delta) (Update,
 		Solver:  s.solver,
 	}
 	var fp serve.Fingerprint
-	if s.hasTopo && !topoChanged {
+	if s.hasTopo && !s.topoDirty {
 		fp = serve.FingerprintGains(s.topo, req.System, m.be.Quantization())
 	} else {
 		fp = serve.FingerprintRequest(req, m.be.Quantization())
 	}
-	s.topo, s.hasTopo = fp.Topo, true
+	s.topo, s.hasTopo, s.topoDirty = fp.Topo, true, false
 	req.Fingerprint = &fp
 
+	s.mu.Unlock()
 	resp, cell, err := m.be.Solve(ctx, s.deviceID, req)
+	s.mu.Lock()
+	s.solving = false
+	s.cond.Broadcast()
 	if err != nil {
+		// Roll the validation baseline back to the last solved seq so the
+		// client may retry the failed delta under the same number — unless
+		// later deltas already staged beyond the failed target (their
+		// staging stands; one of their callers re-solves next).
+		if s.pendingSeq == target {
+			s.pendingSeq = s.seq
+		}
 		m.stats.deltaErrors.Add(1)
 		return Update{}, err
 	}
-	s.seq = d.Seq
+	if target > s.seq {
+		s.seq = target
+	}
 	s.deltas++
 	m.stats.deltas.Add(1)
 	m.stats.countSolve(resp)
-	return Update{
+	s.lastUpd = Update{
 		SessionID: sessionID,
-		Seq:       d.Seq,
+		Seq:       target,
 		Cell:      cell,
 		Response:  resp,
 		Elapsed:   time.Since(began),
-	}, nil
+	}
+	upd := s.lastUpd
+	upd.Seq = d.Seq
+	upd.Response = upd.Response.Clone()
+	upd.Elapsed = time.Since(began)
+	return upd, nil
 }
 
 // validate checks a delta against the session without mutating anything;
 // the caller holds s.mu.
 func (s *Session) validate(d Delta) error {
-	if d.Seq <= s.seq {
-		return fmt.Errorf("seq %d does not advance last applied %d: %w", d.Seq, s.seq, ErrStaleSeq)
+	if d.Seq <= s.pendingSeq {
+		return fmt.Errorf("seq %d does not advance last applied %d: %w", d.Seq, s.pendingSeq, ErrStaleSeq)
 	}
 	if len(d.Gains) == 0 && d.Weights == nil && d.TotalDeadline == nil {
 		return fmt.Errorf("empty delta: %w", ErrBadDelta)
@@ -499,6 +600,79 @@ func (s *Session) validate(d Delta) error {
 	return nil
 }
 
+// SessionDevices returns the device ID of every open session (duplicates
+// collapsed, sessions without a device skipped). Control planes use it to
+// find the sessions a membership change is about to move.
+func (m *Manager) SessionDevices() []string {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	seen := make(map[string]bool, len(m.sessions))
+	var devs []string
+	for _, s := range m.sessions {
+		if s.deviceID == "" || seen[s.deviceID] {
+			continue
+		}
+		seen[s.deviceID] = true
+		devs = append(devs, s.deviceID)
+	}
+	return devs
+}
+
+// SuspendDevices pauses the re-solve path of every open session owned by
+// one of the given devices, and returns how many sessions it suspended.
+// While suspended, deltas keep validating and applying to the
+// authoritative state in sequence order — so a drain never surfaces
+// ErrStaleSeq to a client — but they queue instead of solving.
+// SuspendDevices blocks until no suspended session has a solve in flight,
+// so on return the backend state of those devices is quiescent and safe to
+// migrate. Pair with ResumeDevices.
+func (m *Manager) SuspendDevices(devices map[string]bool) int {
+	n := 0
+	for _, s := range m.byDevices(devices) {
+		s.mu.Lock()
+		if !s.closed {
+			s.suspended = true
+			n++
+			for s.solving {
+				s.cond.Wait()
+			}
+		}
+		s.mu.Unlock()
+	}
+	return n
+}
+
+// ResumeDevices lifts a SuspendDevices suspension: every queued delta
+// wakes, the backlog coalesces, and one re-solve of the latest state (on
+// the post-migration cell, reached through the usual device routing)
+// answers the whole queue. Returns how many sessions it resumed.
+func (m *Manager) ResumeDevices(devices map[string]bool) int {
+	n := 0
+	for _, s := range m.byDevices(devices) {
+		s.mu.Lock()
+		if s.suspended {
+			s.suspended = false
+			n++
+			s.cond.Broadcast()
+		}
+		s.mu.Unlock()
+	}
+	return n
+}
+
+// byDevices snapshots the open sessions owned by the given devices.
+func (m *Manager) byDevices(devices map[string]bool) []*Session {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	var out []*Session
+	for _, s := range m.sessions {
+		if devices[s.deviceID] {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
 // CloseSummary reports a closed session's final state.
 type CloseSummary struct {
 	SessionID string `json:"session_id"`
@@ -525,6 +699,7 @@ func (m *Manager) CloseSession(id string) (CloseSummary, error) {
 	}
 	s.mu.Lock()
 	s.closed = true
+	s.cond.Broadcast()
 	sum := CloseSummary{SessionID: id, LastSeq: s.seq, Deltas: s.deltas}
 	s.mu.Unlock()
 	m.stats.sessionsClosed.Add(1)

@@ -31,6 +31,7 @@ import (
 	"repro/internal/baselines"
 	"repro/internal/cluster"
 	"repro/internal/core"
+	"repro/internal/ctrl"
 	"repro/internal/experiments"
 	"repro/internal/fedavg"
 	"repro/internal/fl"
@@ -303,6 +304,56 @@ const ClusterCellAuto = cluster.CellAuto
 // NewCluster builds a multi-cell router and starts every cell's worker
 // pool; call Close to stop them.
 func NewCluster(cfg ClusterConfig) *Cluster { return cluster.New(cfg) }
+
+// Elastic-membership types (see internal/cluster): runtime cell add/remove
+// and batched mass migration.
+type (
+	// ClusterMove is one device's planned migration in a mass handoff.
+	ClusterMove = cluster.Move
+	// MassHandoffReport summarizes one batched migration.
+	MassHandoffReport = cluster.MassHandoffReport
+	// ClusterCellFlow counts per-cell instance flow in a mass migration.
+	ClusterCellFlow = cluster.CellFlow
+	// ClusterUnknownCellError is the typed unknown-cell error (unwraps to
+	// ClusterErrUnknownCell; HTTP front ends answer it with the uniform
+	// 404 {"error":"unknown_cell","cell":N} body).
+	ClusterUnknownCellError = cluster.UnknownCellError
+	// ClusterErrorJSON is the uniform error body of cluster and
+	// control-plane endpoints.
+	ClusterErrorJSON = cluster.ErrorJSON
+)
+
+// Re-exported membership errors.
+var (
+	// ClusterErrUnknownCell flags a cell ID that is not a member.
+	ClusterErrUnknownCell = cluster.ErrUnknownCell
+	// ClusterErrLastCell refuses removing/draining the final cell.
+	ClusterErrLastCell = cluster.ErrLastCell
+)
+
+// Control-plane types (see internal/ctrl): the elastic-cluster layer that
+// owns ring membership and bulk state migration.
+type (
+	// ControlPlane owns runtime membership over a Cluster (and optionally
+	// the stream manager mounted on it).
+	ControlPlane = ctrl.Plane
+	// CtrlStats is the control plane's counter snapshot (the "ctrl"
+	// section of GET /v1/stats).
+	CtrlStats = ctrl.Snapshot
+	// AddCellReport reports one cell addition (ID, generation, backfill).
+	AddCellReport = ctrl.AddCellReport
+	// DrainReport reports one cell drain + removal.
+	DrainReport = ctrl.DrainReport
+	// RebalancePlan is the dry-run per-cell moved-key view.
+	RebalancePlan = ctrl.RebalancePlan
+	// RebalanceReport reports one executed rebalance.
+	RebalanceReport = ctrl.RebalanceReport
+)
+
+// NewControlPlane builds the control plane over a cluster router; mgr may
+// be nil when no streaming layer is mounted (drains then skip session
+// suspension).
+func NewControlPlane(c *Cluster, mgr *StreamManager) *ControlPlane { return ctrl.New(c, mgr) }
 
 // Streaming types (see internal/stream): the session-oriented gain-delta
 // subsystem layered over the allocation service and the cluster.

@@ -2,8 +2,9 @@
 # scripts/bench.sh — run the solver/serving benchmark set with -benchmem and
 # emit a machine-readable JSON baseline, so every perf PR can diff its
 # before/after numbers against the committed trajectory (BENCH_PR3.json
-# holds PR 3's pair, BENCH_PR4.json PR 4's streaming-delta pair; later PRs
-# append their own files).
+# holds PR 3's pair, BENCH_PR4.json PR 4's streaming-delta pair,
+# BENCH_PR5.json PR 5's mass-handoff pair; later PRs append their own
+# files).
 #
 # Usage:
 #   scripts/bench.sh            # human output to stderr, JSON to stdout
@@ -12,8 +13,14 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-BENCHES='^(BenchmarkOptimizeWeighted|BenchmarkOptimizeDeadline|BenchmarkServeCold|BenchmarkServeCached|BenchmarkServeWarmStart|BenchmarkServeWarmStartAllocOnly|BenchmarkServeBatch|BenchmarkClusterRoutedCached|BenchmarkStreamDelta|BenchmarkStreamRepostCold)$'
+BENCHES='^(BenchmarkOptimizeWeighted|BenchmarkOptimizeDeadline|BenchmarkServeCold|BenchmarkServeCached|BenchmarkServeWarmStart|BenchmarkServeWarmStartAllocOnly|BenchmarkServeBatch|BenchmarkClusterRoutedCached|BenchmarkStreamDelta|BenchmarkStreamRepostCold|BenchmarkMassHandoff|BenchmarkHandoffPerDevice)$'
 BENCHTIME="${BENCHTIME:-2s}"
+
+# Churn smoke: the elastic-cluster loadgen with cells added and drained
+# mid-replay — membership changes, mass migrations and epoch rerouting all
+# race live traffic. Failures (lost requests, ErrStaleSeq leaks) abort the
+# bench run; the stats line lands on stderr next to the benchmark output.
+go run ./cmd/flcluster -loadgen 600 -cells 3 -devices 12 -n 8 -conc 4 -churn 3 >&2
 
 out="$(go test -run '^$' -bench "$BENCHES" -benchmem -benchtime "$BENCHTIME" -count 1 .)"
 echo "$out" >&2
