@@ -215,7 +215,7 @@ func BenchmarkServeCached(b *testing.B) {
 // so the seeded solves skip their Newton iterations (reported as the
 // newton/op metric).
 func BenchmarkServeWarmStart(b *testing.B) {
-	benchServeWarm(b, repro.ServeConfig{})
+	benchServeWarm(b, repro.ServeConfig{}, nil)
 }
 
 // BenchmarkServeWarmStartAllocOnly is the same drifted stream with the dual
@@ -223,10 +223,20 @@ func BenchmarkServeWarmStart(b *testing.B) {
 // solve re-runs its Newton iteration. The gap to BenchmarkServeWarmStart
 // (ns/op and newton/op) is what dual-state caching buys.
 func BenchmarkServeWarmStartAllocOnly(b *testing.B) {
-	benchServeWarm(b, repro.ServeConfig{DisableDualSeed: true})
+	benchServeWarm(b, repro.ServeConfig{DisableDualSeed: true}, nil)
 }
 
-func benchServeWarm(b *testing.B, cfg repro.ServeConfig) {
+// BenchmarkServeTraced is BenchmarkServeWarmStart with the observability
+// stack live: a collector at the default 1-in-16 sampling starts and
+// finishes one solve-lifecycle trace per iteration, and the server records
+// fingerprint/cache/queue/solve spans into it. The gap to
+// BenchmarkServeWarmStart (which runs the nil-collector fast path) is the
+// tracing overhead, budgeted at under 5%.
+func BenchmarkServeTraced(b *testing.B) {
+	benchServeWarm(b, repro.ServeConfig{}, repro.NewObsCollector(repro.ObsConfig{}))
+}
+
+func benchServeWarm(b *testing.B, cfg repro.ServeConfig, col *repro.ObsCollector) {
 	b.Helper()
 	base := serveBenchSystem(b)
 	srv := repro.NewServer(cfg)
@@ -240,7 +250,9 @@ func benchServeWarm(b *testing.B, cfg repro.ServeConfig) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		s := driftBench(base, 0.3, rng)
-		resp, err := srv.Solve(context.Background(), repro.ServeRequest{System: s, Weights: w})
+		ctx, tr := col.StartTrace(context.Background())
+		resp, err := srv.Solve(ctx, repro.ServeRequest{System: s, Weights: w})
+		tr.Finish()
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -458,7 +470,7 @@ func BenchmarkMassHandoff(b *testing.B) {
 		if i%2 == 1 {
 			moves = back
 		}
-		rep, err := cl.MassHandoff(moves, true)
+		rep, err := cl.MassHandoff(context.Background(), moves, true)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -486,7 +498,7 @@ func BenchmarkHandoffPerDevice(b *testing.B) {
 		}
 		migrated := 0
 		for _, dev := range devs {
-			rep, err := cl.Handoff(dev, from, to)
+			rep, err := cl.Handoff(context.Background(), dev, from, to)
 			if err != nil {
 				b.Fatal(err)
 			}
@@ -595,7 +607,7 @@ func BenchmarkClusterHandoff(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		from, to := i%2, (i+1)%2
-		if _, err := cl.Handoff("bench-dev", from, to); err != nil {
+		if _, err := cl.Handoff(context.Background(), "bench-dev", from, to); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -39,8 +39,15 @@ func main() {
 		sweepDrift    = flag.Float64("sweepdrift", 0.05, "sweep: per-step log-normal gain drift (nepers)")
 		sweepDeadline = flag.Float64("sweepdeadline", 120, "sweep: total completion-time limit for the deadline-mode comparison (s)")
 		sweepRadius   = flag.Float64("sweepradius", 0.5, "sweep: placement disk radius (km); wider disks spread SNRs and separate the solvers")
+
+		logLevel = flag.String("log-level", "info", "structured log level (debug|info|warn|error)")
+		logJSON  = flag.Bool("log-json", false, "emit structured logs as JSON instead of text")
 	)
 	flag.Parse()
+	if _, err := repro.ObsSetupLogger(os.Stderr, *logLevel, *logJSON); err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
 
 	var err error
 	if *sweep > 0 {

@@ -67,10 +67,12 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"log/slog"
 	"math"
 	"math/rand"
 	"net/http"
 	"net/http/httptest"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"sync"
@@ -94,6 +96,12 @@ func main() {
 		sessions   = flag.Int("sessions", 1024, "max concurrent stream sessions")
 		sessionTTL = flag.Duration("session-ttl", 5*time.Minute, "stream session idle TTL")
 
+		logLevel  = flag.String("log-level", "info", "structured log level (debug|info|warn|error)")
+		logJSON   = flag.Bool("log-json", false, "emit structured logs as JSON instead of text")
+		debugAddr = flag.String("debug-addr", "", "optional debug listen address (net/http/pprof + /debug/traces)")
+		traceN    = flag.Int("trace-sample", 16, "retain 1 in N traces in the debug ring (0 disables tracing)")
+		traceSlow = flag.Duration("trace-slow", 0, "slow-solve promotion threshold (0 = 250ms default)")
+
 		loadgen  = flag.Int("loadgen", 0, "replay this many requests and exit")
 		devices  = flag.Int("devices", 12, "loadgen: distinct devices (each owns a scenario)")
 		n        = flag.Int("n", 12, "loadgen: FL devices per scenario")
@@ -108,6 +116,10 @@ func main() {
 		churn    = flag.Int("churn", 0, "loadgen: add+drain this many cells mid-replay (per-request mode)")
 	)
 	flag.Parse()
+	if _, err := repro.ObsSetupLogger(os.Stderr, *logLevel, *logJSON); err != nil {
+		fmt.Fprintln(os.Stderr, "flcluster:", err)
+		os.Exit(1)
+	}
 	if *churn > 0 && (*stream || *batch > 0) {
 		fmt.Fprintln(os.Stderr, "flcluster: -churn only composes with the per-request loadgen (no -stream/-batch)")
 		os.Exit(2)
@@ -133,7 +145,7 @@ func main() {
 	case *loadgen > 0:
 		err = runLoadgen(cfg, *loadgen, *devices, *n, *drift, *repeat, *migrate, *conc, *seed, *batch, *churn)
 	default:
-		err = runServer(cfg, scfg, *addr)
+		err = runServer(cfg, scfg, *addr, *debugAddr, *traceN, *traceSlow)
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "flcluster:", err)
@@ -142,14 +154,31 @@ func main() {
 }
 
 // runServer serves until SIGINT/SIGTERM.
-func runServer(cfg repro.ClusterConfig, scfg repro.StreamConfig, addr string) error {
+func runServer(cfg repro.ClusterConfig, scfg repro.StreamConfig, addr, debugAddr string, traceN int, traceSlow time.Duration) error {
+	var col *repro.ObsCollector
+	if traceN > 0 {
+		col = repro.NewObsCollector(repro.ObsConfig{SampleEvery: traceN, SlowThreshold: traceSlow})
+	}
+	scfg.Trace = col
+
 	cl := repro.NewCluster(cfg)
 	defer cl.Close()
 	mgr := repro.NewStreamManager(repro.NewStreamClusterBackend(cl), scfg)
 	defer mgr.Close()
 	plane := repro.NewControlPlane(cl, mgr)
+	plane.SetLogger(slog.Default())
 
-	httpSrv := &http.Server{Addr: addr, Handler: plane.Handler(repro.StreamHandler(mgr))}
+	httpSrv := &http.Server{Addr: addr, Handler: repro.ObsMiddleware(col, plane.Handler(repro.StreamHandler(mgr)))}
+	var debugSrv *http.Server
+	if debugAddr != "" {
+		debugSrv = &http.Server{Addr: debugAddr, Handler: debugMux(col)}
+		go func() {
+			if err := debugSrv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+				slog.Warn("debug listener failed", "addr", debugAddr, "err", err)
+			}
+		}()
+		slog.Info("debug listener up", "addr", debugAddr)
+	}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 	go func() {
@@ -157,6 +186,9 @@ func runServer(cfg repro.ClusterConfig, scfg repro.StreamConfig, addr string) er
 		shutdownCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
 		defer cancel()
 		_ = httpSrv.Shutdown(shutdownCtx)
+		if debugSrv != nil {
+			_ = debugSrv.Shutdown(shutdownCtx)
+		}
 	}()
 
 	fmt.Printf("flcluster: %d cells listening on %s (POST /v1/cells/{id}/solve, POST /v1/solve, POST /v1/stream, POST /v1/handoff, POST/DELETE /v1/cells, POST /v1/rebalance, GET /v1/stats, GET /metrics)\n",
@@ -165,6 +197,21 @@ func runServer(cfg repro.ClusterConfig, scfg repro.StreamConfig, addr string) er
 		return err
 	}
 	return nil
+}
+
+// debugMux mounts net/http/pprof and the trace dump on a standalone mux so
+// the profiling surface never rides the public listener.
+func debugMux(col *repro.ObsCollector) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	if col != nil {
+		mux.Handle(repro.ObsDebugPath, col.DebugHandler())
+	}
+	return mux
 }
 
 // device is one loadgen actor: a scenario owner that drifts, repeats and

@@ -33,8 +33,14 @@ func main() {
 		fmaxHz   = flag.Float64("fmax", 2e9, "maximum CPU frequency (Hz)")
 		deadline = flag.Float64("deadline", 0, "fixed total completion time in seconds (0 = weighted mode)")
 		verbose  = flag.Bool("verbose", false, "print the per-device allocation table and solver trace")
+		logLevel = flag.String("log-level", "info", "structured log level (debug|info|warn|error)")
+		logJSON  = flag.Bool("log-json", false, "emit structured logs as JSON instead of text")
 	)
 	flag.Parse()
+	if _, err := repro.ObsSetupLogger(os.Stderr, *logLevel, *logJSON); err != nil {
+		fmt.Fprintln(os.Stderr, "flopt:", err)
+		os.Exit(1)
+	}
 
 	if err := run(*n, *radius, *seed, *w1, *pmaxDBm, *fmaxHz, *deadline, *verbose); err != nil {
 		fmt.Fprintln(os.Stderr, "flopt:", err)

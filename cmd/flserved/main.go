@@ -42,10 +42,12 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"log/slog"
 	"math"
 	"math/rand"
 	"net/http"
 	"net/http/httptest"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"sync"
@@ -69,6 +71,12 @@ func main() {
 		sessions   = flag.Int("sessions", 1024, "max concurrent stream sessions")
 		sessionTTL = flag.Duration("session-ttl", 5*time.Minute, "stream session idle TTL")
 
+		logLevel  = flag.String("log-level", "info", "structured log level (debug|info|warn|error)")
+		logJSON   = flag.Bool("log-json", false, "emit structured logs as JSON instead of text")
+		debugAddr = flag.String("debug-addr", "", "optional debug listen address (net/http/pprof + /debug/traces)")
+		traceN    = flag.Int("trace-sample", 16, "retain 1 in N traces in the debug ring (0 disables tracing)")
+		traceSlow = flag.Duration("trace-slow", 0, "slow-solve promotion threshold (0 = 250ms default)")
+
 		loadgen  = flag.Int("loadgen", 0, "replay this many drifted scenarios and exit")
 		n        = flag.Int("n", 15, "loadgen: devices per scenario")
 		drift    = flag.Float64("drift", 0.05, "loadgen: per-request log-normal gain drift (nepers)")
@@ -80,6 +88,11 @@ func main() {
 		deltadev = flag.Int("deltadev", 3, "loadgen -stream: devices drifted per delta")
 	)
 	flag.Parse()
+
+	if _, err := repro.ObsSetupLogger(os.Stderr, *logLevel, *logJSON); err != nil {
+		fmt.Fprintln(os.Stderr, "flserved:", err)
+		os.Exit(1)
+	}
 
 	cfg := repro.ServeConfig{
 		Workers:        *workers,
@@ -98,7 +111,7 @@ func main() {
 	case *loadgen > 0:
 		err = runLoadgen(cfg, *loadgen, *n, *drift, *repeat, *conc, *seed, *batch)
 	default:
-		err = runServer(cfg, scfg, *addr)
+		err = runServer(cfg, scfg, *addr, *debugAddr, *traceN, *traceSlow)
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "flserved:", err)
@@ -107,13 +120,29 @@ func main() {
 }
 
 // runServer serves until SIGINT/SIGTERM.
-func runServer(cfg repro.ServeConfig, scfg repro.StreamConfig, addr string) error {
+func runServer(cfg repro.ServeConfig, scfg repro.StreamConfig, addr, debugAddr string, traceN int, traceSlow time.Duration) error {
+	var col *repro.ObsCollector
+	if traceN > 0 {
+		col = repro.NewObsCollector(repro.ObsConfig{SampleEvery: traceN, SlowThreshold: traceSlow})
+	}
+	scfg.Trace = col
+
 	srv := repro.NewServer(cfg)
 	defer srv.Close()
 	mgr := repro.NewStreamManager(repro.NewStreamServeBackend(srv), scfg)
 	defer mgr.Close()
 
-	httpSrv := &http.Server{Addr: addr, Handler: repro.StreamHandler(mgr)}
+	httpSrv := &http.Server{Addr: addr, Handler: repro.ObsMiddleware(col, repro.StreamHandler(mgr))}
+	var debugSrv *http.Server
+	if debugAddr != "" {
+		debugSrv = &http.Server{Addr: debugAddr, Handler: debugMux(col)}
+		go func() {
+			if err := debugSrv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+				slog.Warn("debug listener failed", "addr", debugAddr, "err", err)
+			}
+		}()
+		slog.Info("debug listener up", "addr", debugAddr)
+	}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 	go func() {
@@ -121,6 +150,9 @@ func runServer(cfg repro.ServeConfig, scfg repro.StreamConfig, addr string) erro
 		shutdownCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
 		defer cancel()
 		_ = httpSrv.Shutdown(shutdownCtx)
+		if debugSrv != nil {
+			_ = debugSrv.Shutdown(shutdownCtx)
+		}
 	}()
 
 	fmt.Printf("flserved: listening on %s (POST /v1/solve, POST /v1/stream, GET /v1/stats)\n", addr)
@@ -128,6 +160,21 @@ func runServer(cfg repro.ServeConfig, scfg repro.StreamConfig, addr string) erro
 		return err
 	}
 	return nil
+}
+
+// debugMux mounts net/http/pprof and the trace dump on a standalone mux so
+// the profiling surface never rides the public listener.
+func debugMux(col *repro.ObsCollector) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	if col != nil {
+		mux.Handle(repro.ObsDebugPath, col.DebugHandler())
+	}
+	return mux
 }
 
 // runLoadgen replays total drifted instances against an in-process server

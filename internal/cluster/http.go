@@ -134,7 +134,7 @@ func (r *Router) handleHandoff(w http.ResponseWriter, req *http.Request) {
 		httpError(w, http.StatusBadRequest, fmt.Errorf("decoding body: %w", err))
 		return
 	}
-	rep, err := r.Handoff(in.DeviceID, in.FromCell, in.ToCell)
+	rep, err := r.Handoff(req.Context(), in.DeviceID, in.FromCell, in.ToCell)
 	if err != nil {
 		httpError(w, statusFor(err), err)
 		return

@@ -39,12 +39,12 @@ func TestMassHandoffMatchesPerDeviceHandoff(t *testing.T) {
 		moves = append(moves, Move{DeviceID: st.id, To: (d%3 + 1) % 3})
 	}
 
-	rep, err := batched.MassHandoff(moves, true)
+	rep, err := batched.MassHandoff(context.Background(), moves, true)
 	if err != nil {
 		t.Fatal(err)
 	}
 	for d, mv := range moves {
-		if _, err := loop.Handoff(mv.DeviceID, d%3, mv.To); err != nil {
+		if _, err := loop.Handoff(context.Background(), mv.DeviceID, d%3, mv.To); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -106,7 +106,7 @@ func TestMassHandoffPinSemantics(t *testing.T) {
 	owner := r.Route(dev)
 	other := 1 - owner
 
-	if _, err := r.MassHandoff([]Move{{DeviceID: dev, To: other}}, true); err != nil {
+	if _, err := r.MassHandoff(context.Background(), []Move{{DeviceID: dev, To: other}}, true); err != nil {
 		t.Fatal(err)
 	}
 	if got := r.Route(dev); got != other {
@@ -114,7 +114,7 @@ func TestMassHandoffPinSemantics(t *testing.T) {
 	}
 
 	// pin=false back to the ring owner: the pin clears, hashing rules again.
-	if _, err := r.MassHandoff([]Move{{DeviceID: dev, To: owner}}, false); err != nil {
+	if _, err := r.MassHandoff(context.Background(), []Move{{DeviceID: dev, To: owner}}, false); err != nil {
 		t.Fatal(err)
 	}
 	if got := r.Route(dev); got != owner {
@@ -134,10 +134,10 @@ func TestMassHandoffValidation(t *testing.T) {
 		t.Fatal(err)
 	}
 	var uc UnknownCellError
-	if _, err := r.MassHandoff([]Move{{DeviceID: "ue-keep", To: 1}, {DeviceID: "x", To: 9}}, true); !errors.As(err, &uc) || uc.Cell != 9 {
+	if _, err := r.MassHandoff(context.Background(), []Move{{DeviceID: "ue-keep", To: 1}, {DeviceID: "x", To: 9}}, true); !errors.As(err, &uc) || uc.Cell != 9 {
 		t.Fatalf("err = %v, want UnknownCellError{9}", err)
 	}
-	if _, err := r.MassHandoff([]Move{{DeviceID: "", To: 1}}, true); !errors.Is(err, ErrNoDevice) {
+	if _, err := r.MassHandoff(context.Background(), []Move{{DeviceID: "", To: 1}}, true); !errors.Is(err, ErrNoDevice) {
 		t.Fatalf("err = %v, want ErrNoDevice", err)
 	}
 	// Nothing moved: the replay still hits in cell 0.
@@ -159,7 +159,7 @@ func TestMassHandoffRecordsAtDestinationUntouched(t *testing.T) {
 	if _, _, err := r.Solve(context.Background(), 1, dev, serve.Request{System: s, Weights: balanced()}); err != nil {
 		t.Fatal(err)
 	}
-	rep, err := r.MassHandoff([]Move{{DeviceID: dev, To: 1}}, true)
+	rep, err := r.MassHandoff(context.Background(), []Move{{DeviceID: dev, To: 1}}, true)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -33,7 +33,9 @@ import (
 	"sort"
 	"sync"
 	"sync/atomic"
+	"time"
 
+	"repro/internal/obs"
 	"repro/internal/serve"
 )
 
@@ -362,6 +364,7 @@ func (r *Router) Route(deviceID string) int {
 // surfacing ErrClosed for a cell that no longer exists.
 func (r *Router) Solve(ctx context.Context, cell int, deviceID string, req serve.Request) (serve.Response, int, error) {
 	explicit := cell != CellAuto
+	tr := obs.FromContext(ctx)
 	for {
 		mem := r.mem.Load()
 		target := cell
@@ -377,6 +380,10 @@ func (r *Router) Solve(ctx context.Context, cell int, deviceID string, req serve
 		if !ok { // only reachable for a poisoned ring; defensive
 			return serve.Response{}, 0, UnknownCellError{Cell: target}
 		}
+		var attemptBegan time.Time
+		if tr != nil {
+			attemptBegan = time.Now()
+		}
 		resp, err := srv.Solve(ctx, req)
 		if err != nil {
 			if !explicit && errors.Is(err, serve.ErrClosed) && r.mem.Load().gen != mem.gen {
@@ -384,10 +391,12 @@ func (r *Router) Solve(ctx context.Context, cell int, deviceID string, req serve
 				// queued on a cell that has since been drained. Land on
 				// the post-move owner.
 				r.rerouted.Add(1)
+				tr.RecordAttr(obs.PhaseRoute, attemptBegan, obs.Attr{Cell: target, Detail: "rerouted: cell closed mid-flight"})
 				continue
 			}
 			return serve.Response{}, target, err
 		}
+		tr.RecordAttr(obs.PhaseRoute, attemptBegan, obs.Attr{Cell: target})
 		if deviceID != "" {
 			if explicit {
 				r.pin(deviceID, target)
@@ -531,10 +540,15 @@ type HandoffReport struct {
 // Instances whose history says they were last served by a different cell
 // than from are left where they are. A device the router has never seen is
 // still pinned to the destination.
-func (r *Router) Handoff(deviceID string, from, to int) (HandoffReport, error) {
+//
+// ctx carries the caller's lifecycle trace, if any: the extract and inject
+// sides record spans against it (cell-tagged, so one trace shows state
+// leaving the source and landing on the destination).
+func (r *Router) Handoff(ctx context.Context, deviceID string, from, to int) (HandoffReport, error) {
 	if deviceID == "" {
 		return HandoffReport{}, ErrNoDevice
 	}
+	tr := obs.FromContext(ctx)
 	mem := r.mem.Load()
 	src, okFrom := mem.server(from)
 	if !okFrom {
@@ -554,6 +568,11 @@ func (r *Router) Handoff(deviceID string, from, to int) (HandoffReport, error) {
 	if from == to {
 		return rep, nil
 	}
+	var began, t0 time.Time
+	var extractDur, injectDur time.Duration
+	if tr != nil {
+		began = time.Now()
+	}
 	for i := range st.records {
 		rec := &st.records[i]
 		if rec.cell != from {
@@ -561,14 +580,26 @@ func (r *Router) Handoff(deviceID string, from, to int) (HandoffReport, error) {
 		}
 		rep.Instances++
 		fpSrc := serve.FingerprintRequest(rec.req, src.Quantization())
+		if tr != nil {
+			t0 = time.Now()
+		}
 		m := src.Extract(fpSrc)
+		if tr != nil {
+			extractDur += time.Since(t0)
+		}
 		fpDst := serve.FingerprintRequest(rec.req, dst.Quantization())
 		rec.cell, rec.fp = to, fpDst
 		prepareMigration(&m, rec.req.Solver)
 		if m.Result == nil && m.Warm == nil {
 			continue // expired or evicted at the source; nothing to carry
 		}
+		if tr != nil {
+			t0 = time.Now()
+		}
 		dst.Inject(fpDst, m)
+		if tr != nil {
+			injectDur += time.Since(t0)
+		}
 		if m.Result != nil {
 			rep.MigratedResults++
 			r.migratedResults.Add(1)
@@ -577,6 +608,10 @@ func (r *Router) Handoff(deviceID string, from, to int) (HandoffReport, error) {
 			rep.MigratedWarm++
 			r.migratedWarm.Add(1)
 		}
+	}
+	if tr != nil {
+		tr.RecordDur(obs.PhaseHandoffExtract, began, extractDur, obs.Attr{Cell: from, Value: int64(rep.Instances)})
+		tr.RecordDur(obs.PhaseHandoffInject, began, injectDur, obs.Attr{Cell: to, Value: int64(rep.MigratedResults + rep.MigratedWarm)})
 	}
 	return rep, nil
 }
@@ -645,7 +680,12 @@ type MassHandoffReport struct {
 // Records already living at their destination are left untouched. Every
 // destination must be a live member; unknown cells fail the whole batch
 // before anything moves.
-func (r *Router) MassHandoff(moves []Move, pin bool) (MassHandoffReport, error) {
+//
+// ctx carries the caller's lifecycle trace, if any: the plan walk and the
+// per-cell extract/inject stages record cell-tagged spans against it, so a
+// drain or rebalance trace shows where the migration time went.
+func (r *Router) MassHandoff(ctx context.Context, moves []Move, pin bool) (MassHandoffReport, error) {
+	tr := obs.FromContext(ctx)
 	mem := r.mem.Load()
 	rep := MassHandoffReport{Moves: len(moves), PerCell: make(map[int]CellFlow)}
 	for _, mv := range moves {
@@ -672,6 +712,10 @@ func (r *Router) MassHandoff(moves []Move, pin bool) (MassHandoffReport, error) 
 		mig    serve.Migration
 	}
 	bySrc := make(map[int][]*pending)
+	var t0 time.Time
+	if tr != nil {
+		t0 = time.Now()
+	}
 	r.mu.Lock()
 	for _, mv := range moves {
 		st := r.state(mv.DeviceID)
@@ -702,11 +746,17 @@ func (r *Router) MassHandoff(moves []Move, pin bool) (MassHandoffReport, error) 
 		}
 	}
 	r.mu.Unlock()
+	if tr != nil {
+		tr.RecordAttr(obs.PhaseMassPlan, t0, obs.Attr{Cell: obs.CellNone, Value: int64(rep.Instances)})
+	}
 
 	// Phase 2 — bulk-extract per source cell off the recorded
 	// fingerprints, one pass each, no routing lock held.
 	byDst := make(map[int][]*pending)
 	for src, ps := range bySrc {
+		if tr != nil {
+			t0 = time.Now()
+		}
 		fps := make([]serve.Fingerprint, len(ps))
 		for i, p := range ps {
 			fps[i] = p.fp
@@ -722,10 +772,16 @@ func (r *Router) MassHandoff(moves []Move, pin bool) (MassHandoffReport, error) 
 				byDst[p.to] = append(byDst[p.to], p)
 			}
 		}
+		if tr != nil {
+			tr.RecordAttr(obs.PhaseMassExtract, t0, obs.Attr{Cell: src, Value: int64(len(ps))})
+		}
 	}
 
 	// Bulk-inject per destination cell.
 	for dst, ps := range byDst {
+		if tr != nil {
+			t0 = time.Now()
+		}
 		fps := make([]serve.Fingerprint, len(ps))
 		migs := make([]serve.Migration, len(ps))
 		for i, p := range ps {
@@ -744,6 +800,9 @@ func (r *Router) MassHandoff(moves []Move, pin bool) (MassHandoffReport, error) 
 			}
 		}
 		mem.cells[dst].InjectBatch(fps, migs)
+		if tr != nil {
+			tr.RecordAttr(obs.PhaseMassInject, t0, obs.Attr{Cell: dst, Value: int64(len(ps))})
+		}
 	}
 	return rep, nil
 }

@@ -96,7 +96,7 @@ func TestHandoffMigratesCacheAndWarm(t *testing.T) {
 		t.Fatalf("setup solve: cell %d source %q", cell, first.Source)
 	}
 
-	rep, err := r.Handoff(dev, 0, 2)
+	rep, err := r.Handoff(context.Background(), dev, 0, 2)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -165,7 +165,7 @@ func TestHandoffLeavesSharedWarmBucket(t *testing.T) {
 	if _, _, err := r.Solve(context.Background(), 0, "mover", serve.Request{System: base, Weights: balanced()}); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := r.Handoff("mover", 0, 1); err != nil {
+	if _, err := r.Handoff(context.Background(), "mover", 0, 1); err != nil {
 		t.Fatal(err)
 	}
 	stay, _, err := r.Solve(context.Background(), 0, "stayer", serve.Request{System: driftGains(base, 0.25, rng), Weights: balanced()})
@@ -203,7 +203,7 @@ func TestHandoffBaselineCarriesNoWarmSeed(t *testing.T) {
 	if _, _, err := r.Solve(context.Background(), 0, "b-dev", req); err != nil {
 		t.Fatal(err)
 	}
-	rep, err := r.Handoff("b-dev", 0, 1)
+	rep, err := r.Handoff(context.Background(), "b-dev", 0, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -221,17 +221,17 @@ func TestHandoffBaselineCarriesNoWarmSeed(t *testing.T) {
 
 func TestHandoffValidation(t *testing.T) {
 	r := testRouter(t, 2)
-	if _, err := r.Handoff("", 0, 1); !errors.Is(err, ErrNoDevice) {
+	if _, err := r.Handoff(context.Background(), "", 0, 1); !errors.Is(err, ErrNoDevice) {
 		t.Fatalf("empty device: %v", err)
 	}
-	if _, err := r.Handoff("d", -1, 1); !errors.Is(err, ErrUnknownCell) {
+	if _, err := r.Handoff(context.Background(), "d", -1, 1); !errors.Is(err, ErrUnknownCell) {
 		t.Fatalf("from -1: %v", err)
 	}
-	if _, err := r.Handoff("d", 0, 2); !errors.Is(err, ErrUnknownCell) {
+	if _, err := r.Handoff(context.Background(), "d", 0, 2); !errors.Is(err, ErrUnknownCell) {
 		t.Fatalf("to 2 of 2: %v", err)
 	}
 	// Unknown device: no records, but the pin is established.
-	rep, err := r.Handoff("newcomer", 0, 1)
+	rep, err := r.Handoff(context.Background(), "newcomer", 0, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -242,7 +242,7 @@ func TestHandoffValidation(t *testing.T) {
 		t.Fatalf("newcomer routed to %d, want pinned 1", got)
 	}
 	// Same-cell handoff is a pin-only no-op.
-	if rep, err = r.Handoff("newcomer", 1, 1); err != nil || rep.Instances != 0 {
+	if rep, err = r.Handoff(context.Background(), "newcomer", 1, 1); err != nil || rep.Instances != 0 {
 		t.Fatalf("same-cell handoff: %+v, %v", rep, err)
 	}
 }
@@ -261,7 +261,7 @@ func TestClusterStatsAggregateConsistent(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
-	if _, err := r.Handoff("a", r.Route("a"), (r.Route("a")+1)%3); err != nil {
+	if _, err := r.Handoff(context.Background(), "a", r.Route("a"), (r.Route("a")+1)%3); err != nil {
 		t.Fatal(err)
 	}
 
@@ -313,10 +313,10 @@ func TestHandoffTwoHops(t *testing.T) {
 	if _, _, err := r.Solve(context.Background(), 0, dev, req); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := r.Handoff(dev, 0, 1); err != nil {
+	if _, err := r.Handoff(context.Background(), dev, 0, 1); err != nil {
 		t.Fatal(err)
 	}
-	rep, err := r.Handoff(dev, 1, 2)
+	rep, err := r.Handoff(context.Background(), dev, 1, 2)
 	if err != nil {
 		t.Fatal(err)
 	}

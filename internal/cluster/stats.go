@@ -59,7 +59,7 @@ func (r *Router) Stats() Stats {
 	mem := r.mem.Load()
 	out := Stats{Cells: make([]CellStats, len(mem.ids))}
 	agg := &out.Aggregate
-	var lat []time.Duration
+	var lat, hitLat []time.Duration
 	for i, id := range mem.ids {
 		c := mem.cells[id]
 		snap := c.Stats()
@@ -78,8 +78,10 @@ func (r *Router) Stats() Stats {
 		agg.BatchItems += snap.BatchItems
 		agg.TrackedBuckets += snap.TrackedBuckets
 		lat = append(lat, c.SolveLatencies()...)
+		hitLat = append(hitLat, c.CacheHitLatencies()...)
 	}
 	agg.SolveP50, agg.SolveP99 = serve.LatencyQuantiles(lat)
+	agg.CacheHitP50, agg.CacheHitP99 = serve.LatencyQuantiles(hitLat)
 	agg.Generation = mem.gen
 	agg.CellsAdded = r.cellsAdded.Load()
 	agg.CellsRemoved = r.cellsRemoved.Load()
@@ -129,5 +131,7 @@ func (s Stats) WritePrometheus(w io.Writer) error {
 	pw.Gauge("flcluster_tracked_devices", "Devices the router holds state for.", "", float64(a.TrackedDevices))
 	pw.Gauge("flcluster_solve_latency_seconds", "Cluster-wide recent solve latency quantiles.", `quantile="0.5"`, a.SolveP50)
 	pw.Gauge("flcluster_solve_latency_seconds", "Cluster-wide recent solve latency quantiles.", `quantile="0.99"`, a.SolveP99)
+	pw.Gauge("flcluster_cache_hit_latency_seconds", "Cluster-wide recent cache-hit path latency quantiles.", `quantile="0.5"`, a.CacheHitP50)
+	pw.Gauge("flcluster_cache_hit_latency_seconds", "Cluster-wide recent cache-hit path latency quantiles.", `quantile="0.99"`, a.CacheHitP99)
 	return pw.Err()
 }

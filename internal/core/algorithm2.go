@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"time"
 
 	"repro/internal/fl"
 )
@@ -61,8 +62,17 @@ func Optimize(s *fl.System, w fl.Weights, opts Options) (Result, error) {
 	if opts.Mode == ModeDeadline {
 		roundDeadline = opts.TotalDeadline / s.GlobalRounds
 		// Screen feasibility once, and repair the start point when it cannot
-		// meet the deadline even at full frequency.
+		// meet the deadline even at full frequency. For tracing, the probe
+		// plays SP1's role (it fixes the deadline side) and the joint solve
+		// below plays SP2's.
+		var t0 time.Time
+		if opts.Trace != nil {
+			t0 = time.Now()
+		}
 		mt, err := SolveMinTime(s)
+		if opts.Trace != nil {
+			opts.Trace.SP1Time += time.Since(t0)
+		}
 		if err != nil {
 			return Result{}, err
 		}
@@ -75,7 +85,14 @@ func Optimize(s *fl.System, w fl.Weights, opts Options) (Result, error) {
 		// would ratchet each device's rate floor at its incoming upload
 		// time, conceding the compute/communicate tradeoff (see
 		// solveDeadlineJoint).
+		if opts.Trace != nil {
+			t0 = time.Now()
+		}
 		joint, err := solveDeadlineJoint(s, roundDeadline)
+		if opts.Trace != nil {
+			opts.Trace.SP2Time += time.Since(t0)
+			opts.Trace.OuterIters++
+		}
 		if err != nil {
 			return Result{}, err
 		}
@@ -116,10 +133,18 @@ func Optimize(s *fl.System, w fl.Weights, opts Options) (Result, error) {
 		// ---- Subproblem 1: frequencies and the round deadline.
 		var sp1 SP1Result
 		var err error
+		var t0 time.Time
+		if opts.Trace != nil {
+			t0 = time.Now()
+		}
 		if opts.UsePaperSP1Dual {
 			sp1, err = SolveSubproblem1Dual(s, w, upTimes)
 		} else {
 			sp1, err = solveSubproblem1Into(s, w, upTimes, ws.freq)
+		}
+		if opts.Trace != nil {
+			opts.Trace.SP1Time += time.Since(t0)
+			opts.Trace.OuterIters++
 		}
 		if err != nil {
 			return Result{}, fmt.Errorf("core: Algorithm 2 iteration %d, SP1: %w", k, err)
@@ -147,7 +172,13 @@ func Optimize(s *fl.System, w fl.Weights, opts Options) (Result, error) {
 				// residual check accepts them with zero Newton steps.
 				opts.DualStart = &duals
 			}
+			if opts.Trace != nil {
+				t0 = time.Now()
+			}
 			sp2, err := SolveSubproblem2(s, w1Rg, rmin, alloc.Power, alloc.Bandwidth, opts)
+			if opts.Trace != nil {
+				opts.Trace.SP2Time += time.Since(t0)
+			}
 			if err != nil {
 				return Result{}, fmt.Errorf("core: Algorithm 2 iteration %d, SP2: %w", k, err)
 			}
@@ -155,6 +186,9 @@ func Optimize(s *fl.System, w fl.Weights, opts Options) (Result, error) {
 			copy(alloc.Bandwidth, sp2.Bandwidth)
 			trace.NewtonIters = sp2.Iterations
 			trace.PhiResidual = sp2.PhiResidual
+			if opts.Trace != nil {
+				opts.Trace.NewtonIters += sp2.Iterations
+			}
 			duals = sp2.Duals
 			haveDuals = true
 		}

@@ -18,6 +18,7 @@ package core
 import (
 	"errors"
 	"fmt"
+	"time"
 
 	"repro/internal/fl"
 )
@@ -120,6 +121,29 @@ type Options struct {
 	// (serving workers) pass their own to keep the hot path allocation-free.
 	// A Workspace must not be shared between concurrent solves.
 	Work *Workspace
+	// Trace, when non-nil, receives per-phase solver timing (SP1/SP2 wall
+	// time, Newton and outer iteration counts). The serving layer points
+	// this at a request-scoped struct so a lifecycle trace can attribute
+	// solve time to its subproblems; unset, the hook costs one nil check
+	// per phase.
+	Trace *SolveTrace
+}
+
+// SolveTrace accumulates per-phase timing facts for one Optimize call.
+// The caller owns the struct and Optimize adds into it, so a staged or
+// retried solve aggregates naturally. Fields are written without
+// synchronization: do not share one SolveTrace between concurrent solves.
+type SolveTrace struct {
+	// SP1Time and SP2Time are cumulative wall time spent in Subproblem 1
+	// (frequencies/deadline) and Subproblem 2 (powers/bandwidths). In
+	// ModeDeadline, SP1Time covers the min-time feasibility probe and
+	// SP2Time the joint dual-decomposition solve.
+	SP1Time time.Duration
+	SP2Time time.Duration
+	// NewtonIters totals Subproblem 2 Newton iterations; OuterIters counts
+	// Algorithm 2 outer loops (1 for the one-shot deadline path).
+	NewtonIters int
+	OuterIters  int
 }
 
 func (o Options) withDefaults() Options {

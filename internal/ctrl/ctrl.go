@@ -31,11 +31,15 @@
 package ctrl
 
 import (
+	"context"
 	"fmt"
+	"log/slog"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/cluster"
+	"repro/internal/obs"
 	"repro/internal/serve"
 	"repro/internal/stream"
 )
@@ -65,6 +69,10 @@ type Plane struct {
 	migratedResults   atomic.Int64
 	migratedWarm      atomic.Int64
 	suspendedSessions atomic.Int64
+
+	// log receives structured membership-change events (set before the
+	// plane serves traffic; nil falls back to slog.Default()).
+	log *slog.Logger
 }
 
 // New builds a control plane over the router; mgr may be nil when no
@@ -75,6 +83,18 @@ func New(r *cluster.Router, mgr *stream.Manager) *Plane {
 
 // Router returns the governed data-plane router.
 func (p *Plane) Router() *cluster.Router { return p.router }
+
+// SetLogger routes the plane's structured membership-change events (cell
+// added, drain, rebalance — all carrying the operation's trace ID) to l.
+// Call before serving; nil keeps slog.Default().
+func (p *Plane) SetLogger(l *slog.Logger) { p.log = l }
+
+func (p *Plane) logger() *slog.Logger {
+	if p.log != nil {
+		return p.log
+	}
+	return slog.Default()
+}
 
 // AddCellReport is the outcome of one cell addition.
 type AddCellReport struct {
@@ -97,8 +117,10 @@ type AddCellReport struct {
 // cell in one batched pass, so the first post-add solve of a remapped
 // device is warm or cached, not cold. Their stream sessions (if any) are
 // suspended around the move, so in-flight deltas queue and coalesce
-// instead of racing the migration.
-func (p *Plane) AddCell() (AddCellReport, error) {
+// instead of racing the migration. ctx carries the operation's lifecycle
+// trace, if any; the backfill migration records spans against it.
+func (p *Plane) AddCell(ctx context.Context) (AddCellReport, error) {
+	tr := obs.FromContext(ctx)
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	id := p.router.AddCell()
@@ -117,6 +139,11 @@ func (p *Plane) AddCell() (AddCellReport, error) {
 			moves = append(moves, mv)
 		}
 	}
+	defer func() {
+		p.logger().Info("cell added",
+			"trace_id", tr.ID(), "cell", id, "generation", rep.Generation,
+			"backfilled_devices", rep.Backfill.Devices)
+	}()
 	if len(moves) == 0 {
 		return rep, nil
 	}
@@ -125,7 +152,7 @@ func (p *Plane) AddCell() (AddCellReport, error) {
 	// pin=false: these devices follow the ring (that is why they moved);
 	// pinning them would glue them to this cell across future changes.
 	var err error
-	rep.Backfill, err = p.router.MassHandoff(moves, false)
+	rep.Backfill, err = p.router.MassHandoff(ctx, moves, false)
 	if err != nil {
 		return rep, fmt.Errorf("backfilling cell %d: %w", id, err)
 	}
@@ -157,29 +184,50 @@ type DrainReport struct {
 // they coalesce into a single re-solve on the destination cell, which is
 // warm and dual-seeded off the migrated state. Draining the last cell is
 // refused.
-func (p *Plane) DrainCell(id int) (DrainReport, error) {
+//
+// ctx carries the operation's lifecycle trace, if any: the plan, session
+// suspension, migration, removal and resume stages each record a span, so
+// one trace explains where a drain's time went. Drains are logged at warn
+// level (they are deliberate disruptions) with the trace ID.
+func (p *Plane) DrainCell(ctx context.Context, id int) (DrainReport, error) {
+	tr := obs.FromContext(ctx)
 	p.mu.Lock()
 	defer p.mu.Unlock()
+	began := time.Now()
 	moves, err := p.router.PlanDrain(id)
 	if err != nil {
 		return DrainReport{}, err
 	}
+	tr.RecordAttr(obs.PhaseDrainPlan, began, obs.Attr{Cell: id, Value: int64(len(moves))})
 	rep := DrainReport{Cell: id}
+	began = time.Now()
 	resume := p.suspendSessionsOn(id, moves)
 	rep.SuspendedSessions = p.lastSuspended
-	defer resume()
-	rep.Handoff, err = p.router.MassHandoff(moves, true)
+	tr.RecordAttr(obs.PhaseDrainSuspend, began, obs.Attr{Cell: id, Value: int64(rep.SuspendedSessions)})
+	defer func() {
+		rb := time.Now()
+		resume()
+		tr.RecordAttr(obs.PhaseDrainResume, rb, obs.Attr{Cell: obs.CellNone, Value: int64(rep.SuspendedSessions)})
+	}()
+	rep.Handoff, err = p.router.MassHandoff(ctx, moves, true)
 	if err != nil {
 		return DrainReport{}, fmt.Errorf("draining cell %d: %w", id, err)
 	}
 	p.countMigration(rep.Handoff)
+	began = time.Now()
 	if err := p.router.RemoveCell(id); err != nil {
 		return DrainReport{}, err
 	}
+	tr.RecordAttr(obs.PhaseDrainRemove, began, obs.Attr{Cell: id})
 	p.cellsRemoved.Add(1)
 	p.drains.Add(1)
 	rep.Generation = p.router.Generation()
 	rep.Cells = p.router.CellIDs()
+	p.logger().Warn("cell drained",
+		"trace_id", tr.ID(), "cell", id, "generation", rep.Generation,
+		"moved_devices", rep.Handoff.Devices,
+		"migrated_results", rep.Handoff.MigratedResults,
+		"suspended_sessions", rep.SuspendedSessions)
 	return rep, nil
 }
 
@@ -224,8 +272,10 @@ type RebalanceReport struct {
 // Rebalance executes the current plan: misplaced devices' cached state
 // moves home to each one's ring owner in one batched MassHandoff, and the
 // devices return to hash routing (pins cleared) so future ring changes
-// keep moving only the remapped arcs.
-func (p *Plane) Rebalance() (RebalanceReport, error) {
+// keep moving only the remapped arcs. ctx carries the operation's
+// lifecycle trace, if any; the event is warn-logged with the trace ID.
+func (p *Plane) Rebalance(ctx context.Context) (RebalanceReport, error) {
+	tr := obs.FromContext(ctx)
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	moves, _ := p.router.Misplaced(true)
@@ -237,12 +287,17 @@ func (p *Plane) Rebalance() (RebalanceReport, error) {
 	rep.SuspendedSessions = p.lastSuspended
 	defer resume()
 	var err error
-	rep.Handoff, err = p.router.MassHandoff(moves, false)
+	rep.Handoff, err = p.router.MassHandoff(ctx, moves, false)
 	if err != nil {
 		return RebalanceReport{}, fmt.Errorf("rebalancing: %w", err)
 	}
 	p.countMigration(rep.Handoff)
 	p.rebalances.Add(1)
+	p.logger().Warn("rebalanced",
+		"trace_id", tr.ID(), "generation", rep.Generation,
+		"moved_devices", rep.Handoff.Devices,
+		"migrated_results", rep.Handoff.MigratedResults,
+		"suspended_sessions", rep.SuspendedSessions)
 	return rep, nil
 }
 

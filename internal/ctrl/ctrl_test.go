@@ -72,7 +72,7 @@ func TestAddCellBackfillsRemappedKeyspace(t *testing.T) {
 		before[d] = cell
 	}
 
-	rep, err := p.AddCell()
+	rep, err := p.AddCell(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -137,7 +137,7 @@ func TestDrainCellMigratesStateAndMembership(t *testing.T) {
 		}
 	}
 
-	rep, err := p.DrainCell(0)
+	rep, err := p.DrainCell(context.Background(), 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -162,14 +162,14 @@ func TestDrainCellMigratesStateAndMembership(t *testing.T) {
 	}
 
 	// Draining the survivor is refused; the unknown cell is a typed error.
-	if _, err := p.DrainCell(1); !errors.Is(err, cluster.ErrLastCell) {
+	if _, err := p.DrainCell(context.Background(), 1); !errors.Is(err, cluster.ErrLastCell) {
 		t.Fatalf("last-cell drain err = %v, want ErrLastCell", err)
 	}
-	if _, err := p.DrainCell(0); !errors.Is(err, cluster.ErrUnknownCell) {
+	if _, err := p.DrainCell(context.Background(), 0); !errors.Is(err, cluster.ErrUnknownCell) {
 		t.Fatalf("re-drain err = %v, want ErrUnknownCell", err)
 	}
 	var uc cluster.UnknownCellError
-	if _, err := p.DrainCell(7); !errors.As(err, &uc) || uc.Cell != 7 {
+	if _, err := p.DrainCell(context.Background(), 7); !errors.As(err, &uc) || uc.Cell != 7 {
 		t.Fatalf("drain 7 err = %v, want UnknownCellError{7}", err)
 	}
 }
@@ -263,7 +263,7 @@ func TestDrainWithLiveStreamSessions(t *testing.T) {
 		}(si, ls)
 	}
 	<-gate
-	rep, err := p.DrainCell(drain)
+	rep, err := p.DrainCell(context.Background(), drain)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -340,7 +340,7 @@ func TestRebalanceReturnsPinnedDevicesToRing(t *testing.T) {
 		// Mobility: hand the device off to the next cell over.
 		owner := r.Route(dev)
 		to := (owner + 1) % 3
-		if _, err := r.Handoff(dev, owner, to); err != nil {
+		if _, err := r.Handoff(context.Background(), dev, owner, to); err != nil {
 			t.Fatal(err)
 		}
 		pinnedAway++
@@ -359,7 +359,7 @@ func TestRebalanceReturnsPinnedDevicesToRing(t *testing.T) {
 		t.Fatalf("plan per-cell flows in %d out %d, want %d each (%+v)", in, out, pinnedAway, plan.PerCell)
 	}
 
-	rep, err := p.Rebalance()
+	rep, err := p.Rebalance(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}

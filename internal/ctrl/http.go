@@ -27,8 +27,8 @@ import (
 // uniform 404 {"error":"unknown_cell","cell":N} body.
 func (p *Plane) Handler(next http.Handler) http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("POST /v1/cells", func(w http.ResponseWriter, _ *http.Request) {
-		rep, err := p.AddCell()
+	mux.HandleFunc("POST /v1/cells", func(w http.ResponseWriter, r *http.Request) {
+		rep, err := p.AddCell(r.Context())
 		if err != nil {
 			cluster.WriteError(w, err)
 			return
@@ -41,7 +41,7 @@ func (p *Plane) Handler(next http.Handler) http.Handler {
 			writeJSON(w, http.StatusBadRequest, cluster.ErrorJSON{Error: "malformed cell id " + strconv.Quote(r.PathValue("id"))})
 			return
 		}
-		rep, err := p.DrainCell(id)
+		rep, err := p.DrainCell(r.Context(), id)
 		if err != nil {
 			cluster.WriteError(w, err)
 			return
@@ -51,8 +51,8 @@ func (p *Plane) Handler(next http.Handler) http.Handler {
 	mux.HandleFunc("GET /v1/rebalance/plan", func(w http.ResponseWriter, _ *http.Request) {
 		writeJSON(w, http.StatusOK, p.RebalancePlan())
 	})
-	mux.HandleFunc("POST /v1/rebalance", func(w http.ResponseWriter, _ *http.Request) {
-		rep, err := p.Rebalance()
+	mux.HandleFunc("POST /v1/rebalance", func(w http.ResponseWriter, r *http.Request) {
+		rep, err := p.Rebalance(r.Context())
 		if err != nil {
 			cluster.WriteError(w, err)
 			return

@@ -151,7 +151,7 @@ func TestHTTPRebalanceEndpoints(t *testing.T) {
 		t.Fatal(err)
 	}
 	owner := r.Route(dev)
-	if _, err := r.Handoff(dev, owner, (owner+1)%3); err != nil {
+	if _, err := r.Handoff(context.Background(), dev, owner, (owner+1)%3); err != nil {
 		t.Fatal(err)
 	}
 

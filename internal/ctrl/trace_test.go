@@ -1,0 +1,91 @@
+package ctrl
+
+import (
+	"bytes"
+	"context"
+	"log/slog"
+	"strings"
+	"testing"
+
+	"repro/internal/cluster"
+	"repro/internal/obs"
+	"repro/internal/serve"
+)
+
+func phaseIndex(spans []obs.Span, phase string) int {
+	for i, s := range spans {
+		if s.Phase == phase {
+			return i
+		}
+	}
+	return -1
+}
+
+// TestDrainTraceContinuity drains a populated cell under one trace and
+// checks the whole lifecycle landed on it as ordered spans — the plan, the
+// session suspension, the mass migration out of the drained cell, the
+// membership removal, and the resume — with the structured drain log
+// carrying the same trace ID.
+func TestDrainTraceContinuity(t *testing.T) {
+	r, _, p := testStack(t, 2)
+	var logBuf bytes.Buffer
+	p.SetLogger(slog.New(slog.NewTextHandler(&logBuf, nil)))
+
+	const devices = 10
+	for d := 0; d < devices; d++ {
+		sys := testSystem(t, 5, int64(500+d))
+		if _, _, err := r.Solve(context.Background(), cluster.CellAuto, devName(d), serve.Request{System: sys, Weights: balanced()}); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	col := obs.NewCollector(obs.Config{SampleEvery: 1, SlowThreshold: -1})
+	ctx, tr := col.StartTrace(context.Background())
+	rep, err := p.DrainCell(ctx, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr.Finish()
+	if rep.Handoff.Devices == 0 {
+		t.Fatal("setup left cell 0 empty; drain moved nothing")
+	}
+
+	spans := tr.Spans()
+	order := []string{
+		obs.PhaseDrainPlan,
+		obs.PhaseDrainSuspend,
+		obs.PhaseMassPlan,
+		obs.PhaseMassExtract,
+		obs.PhaseMassInject,
+		obs.PhaseDrainRemove,
+		obs.PhaseDrainResume,
+	}
+	prev := -1
+	for _, phase := range order {
+		i := phaseIndex(spans, phase)
+		if i < 0 {
+			t.Fatalf("phase %q dropped from drain trace: %+v", phase, spans)
+		}
+		if i < prev {
+			t.Fatalf("phase %q out of order in drain trace: %+v", phase, spans)
+		}
+		prev = i
+	}
+	if sp := spans[phaseIndex(spans, obs.PhaseDrainPlan)]; sp.Cell != 0 || sp.Value != int64(rep.Handoff.Devices) {
+		t.Fatalf("drain_plan span %+v, want cell 0 with %d planned moves", sp, rep.Handoff.Devices)
+	}
+	if sp := spans[phaseIndex(spans, obs.PhaseMassExtract)]; sp.Cell != 0 {
+		t.Fatalf("mass_extract span %+v, want source cell 0", sp)
+	}
+	if sp := spans[phaseIndex(spans, obs.PhaseMassInject)]; sp.Cell != 1 {
+		t.Fatalf("mass_inject span %+v, want surviving cell 1", sp)
+	}
+
+	if !strings.Contains(logBuf.String(), tr.ID()) {
+		t.Fatalf("drain log must carry the trace ID %s; got %q", tr.ID(), logBuf.String())
+	}
+	recent := col.Recent()
+	if len(recent) != 1 || recent[0].TraceID != tr.ID() {
+		t.Fatalf("drain trace not retained: %+v", recent)
+	}
+}

@@ -1,0 +1,333 @@
+package obs
+
+import (
+	"context"
+	"io"
+	"log/slog"
+	"sort"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Defaults applied by Config.withDefaults.
+const (
+	// DefaultSampleEvery retains 1 in 16 finished traces in the ring
+	// (slow traces are always retained).
+	DefaultSampleEvery = 16
+	// DefaultSlowThreshold promotes and warn-logs traces at or above it.
+	DefaultSlowThreshold = 250 * time.Millisecond
+	// DefaultRecent / DefaultSlowest size the retention ring and the
+	// slowest-N exemplar list.
+	DefaultRecent  = 64
+	DefaultSlowest = 8
+)
+
+// histBuckets are the fixed log-spaced histogram bounds: 1µs doubling up
+// to ~2.1s, plus a +Inf overflow bucket. Every phase shares the layout so
+// the /metrics series are directly comparable.
+const histBuckets = 22
+
+// Config tunes a Collector; the zero value is usable (all defaults).
+type Config struct {
+	// SampleEvery retains 1 in N finished traces; 1 retains every trace.
+	// Negative disables tracing entirely: StartTrace returns a nil trace
+	// and the whole stack falls to its nil-check fast path.
+	SampleEvery int
+	// SlowThreshold promotes traces into the ring regardless of sampling
+	// and logs them at warn level. Zero means the default; negative
+	// disables promotion and slow logging.
+	SlowThreshold time.Duration
+	// Recent is the retention ring capacity; Slowest the exemplar count.
+	Recent  int
+	Slowest int
+	// Logger receives slow-trace warnings; nil uses slog.Default().
+	Logger *slog.Logger
+}
+
+func (c Config) withDefaults() Config {
+	if c.SampleEvery == 0 {
+		c.SampleEvery = DefaultSampleEvery
+	}
+	if c.SlowThreshold == 0 {
+		c.SlowThreshold = DefaultSlowThreshold
+	}
+	if c.SlowThreshold < 0 {
+		c.SlowThreshold = 0
+	}
+	if c.Recent <= 0 {
+		c.Recent = DefaultRecent
+	}
+	if c.Slowest <= 0 {
+		c.Slowest = DefaultSlowest
+	}
+	return c
+}
+
+// phaseHist is one phase's fixed-bucket latency histogram; mutated only
+// under the collector mutex.
+type phaseHist struct {
+	buckets [histBuckets + 1]int64 // +1 for +Inf
+	sum     time.Duration
+	count   int64
+}
+
+func (h *phaseHist) record(d time.Duration) {
+	b := histBuckets // +Inf
+	for i := 0; i < histBuckets; i++ {
+		if d <= time.Microsecond<<i {
+			b = i
+			break
+		}
+	}
+	h.buckets[b]++
+	h.sum += d
+	h.count++
+}
+
+// Collector owns the per-process trace ring, slowest-N exemplars, and
+// per-phase histograms. One collector serves a whole process — in
+// cluster mode every cell's spans land here via the shared context — and
+// all methods are safe on a nil receiver, so wiring is optional at every
+// layer.
+type Collector struct {
+	cfg Config
+
+	seq   atomic.Uint64 // sampling counter
+	idseq atomic.Uint64 // trace-ID counter
+	idkey uint64        // per-process ID mixing key
+
+	started  atomic.Int64
+	retained atomic.Int64
+	slow     atomic.Int64
+
+	mu      sync.Mutex
+	ring    []*Trace // retention ring, ring[next-1] newest
+	next    int
+	full    bool
+	slowest []*Trace // sorted by total descending, capped at cfg.Slowest
+	hist    map[string]*phaseHist
+}
+
+// NewCollector builds a collector. The zero Config applies defaults
+// (1-in-16 sampling, 250ms slow threshold, 64-entry ring, 8 exemplars).
+func NewCollector(cfg Config) *Collector {
+	cfg = cfg.withDefaults()
+	return &Collector{
+		cfg:   cfg,
+		idkey: uint64(time.Now().UnixNano()),
+		ring:  make([]*Trace, cfg.Recent),
+		hist:  make(map[string]*phaseHist),
+	}
+}
+
+// splitmix64 mixes the ID counter into well-spread 64-bit trace IDs
+// without a per-request crypto/rand syscall.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// StartTrace begins a trace for one request and returns a context
+// carrying it. On a nil collector, or with sampling disabled
+// (SampleEvery < 0), it returns (ctx, nil) — the nil trace no-ops
+// everywhere, so this is the zero-overhead path. If the context already
+// carries a trace, that trace is returned unchanged, which makes nested
+// middlewares and facade layers idempotent.
+func (c *Collector) StartTrace(ctx context.Context) (context.Context, *Trace) {
+	if c == nil || c.cfg.SampleEvery < 0 {
+		return ctx, nil
+	}
+	if t := FromContext(ctx); t != nil {
+		return ctx, t
+	}
+	n := c.seq.Add(1)
+	c.started.Add(1)
+	t := &Trace{
+		c:       c,
+		id:      formatID(splitmix64(c.idkey ^ c.idseq.Add(1))),
+		start:   time.Now(),
+		sampled: (n-1)%uint64(c.cfg.SampleEvery) == 0,
+		spans:   make([]Span, 0, 8),
+	}
+	return WithTrace(ctx, t), t
+}
+
+func formatID(x uint64) string {
+	const hexdig = "0123456789abcdef"
+	var b [16]byte
+	for i := 15; i >= 0; i-- {
+		b[i] = hexdig[x&0xf]
+		x >>= 4
+	}
+	return string(b[:])
+}
+
+// observe is called once per Finish: fold the spans into the histograms
+// and decide retention. One short mutex hold per request end.
+func (c *Collector) observe(t *Trace) {
+	if c == nil {
+		return
+	}
+	slow := c.cfg.SlowThreshold > 0 && t.total >= c.cfg.SlowThreshold
+	keep := t.sampled || slow
+
+	c.mu.Lock()
+	t.mu.Lock()
+	for i := range t.spans {
+		h := c.hist[t.spans[i].Phase]
+		if h == nil {
+			h = &phaseHist{}
+			c.hist[t.spans[i].Phase] = h
+		}
+		h.record(t.spans[i].dur)
+	}
+	t.mu.Unlock()
+	if keep {
+		c.ring[c.next] = t
+		c.next++
+		if c.next == len(c.ring) {
+			c.next, c.full = 0, true
+		}
+		i := sort.Search(len(c.slowest), func(i int) bool { return c.slowest[i].total < t.total })
+		if i < c.cfg.Slowest {
+			c.slowest = append(c.slowest, nil)
+			copy(c.slowest[i+1:], c.slowest[i:])
+			c.slowest[i] = t
+			if len(c.slowest) > c.cfg.Slowest {
+				c.slowest = c.slowest[:c.cfg.Slowest]
+			}
+		}
+	}
+	c.mu.Unlock()
+
+	if keep {
+		c.retained.Add(1)
+	}
+	if slow {
+		c.slow.Add(1)
+		logger := c.cfg.Logger
+		if logger == nil {
+			logger = slog.Default()
+		}
+		logger.Warn("slow trace",
+			"trace_id", t.id,
+			"total", t.total.String(),
+			"phases", t.phaseSummary())
+	}
+}
+
+// Recent returns the retained traces, newest first, as debug JSON.
+func (c *Collector) Recent() []TraceJSON {
+	if c == nil {
+		return nil
+	}
+	c.mu.Lock()
+	var traces []*Trace
+	for i := c.next - 1; i >= 0; i-- {
+		traces = append(traces, c.ring[i])
+	}
+	if c.full {
+		for i := len(c.ring) - 1; i >= c.next; i-- {
+			traces = append(traces, c.ring[i])
+		}
+	}
+	c.mu.Unlock()
+	out := make([]TraceJSON, 0, len(traces))
+	for _, t := range traces {
+		out = append(out, t.toJSON(c.cfg.SlowThreshold))
+	}
+	return out
+}
+
+// Slowest returns the slowest-N exemplars, slowest first, as debug JSON.
+func (c *Collector) Slowest() []TraceJSON {
+	if c == nil {
+		return nil
+	}
+	c.mu.Lock()
+	traces := make([]*Trace, len(c.slowest))
+	copy(traces, c.slowest)
+	c.mu.Unlock()
+	out := make([]TraceJSON, 0, len(traces))
+	for _, t := range traces {
+		out = append(out, t.toJSON(c.cfg.SlowThreshold))
+	}
+	return out
+}
+
+// WritePrometheus appends the obs series to a /metrics exposition:
+// per-phase duration histograms (real _bucket/_sum/_count series with
+// log-spaced le bounds) plus trace lifecycle counters.
+func (c *Collector) WritePrometheus(w io.Writer) error {
+	if c == nil {
+		return nil
+	}
+	type snap struct {
+		phase string
+		h     phaseHist
+	}
+	c.mu.Lock()
+	snaps := make([]snap, 0, len(c.hist))
+	for phase, h := range c.hist {
+		snaps = append(snaps, snap{phase, *h})
+	}
+	c.mu.Unlock()
+	sort.Slice(snaps, func(i, j int) bool { return snaps[i].phase < snaps[j].phase })
+
+	var b []byte
+	b = append(b, "# HELP obs_phase_seconds Solve-lifecycle per-phase latency by span phase.\n"...)
+	b = append(b, "# TYPE obs_phase_seconds histogram\n"...)
+	for _, s := range snaps {
+		cum := int64(0)
+		for i := 0; i <= histBuckets; i++ {
+			cum += s.h.buckets[i]
+			le := "+Inf"
+			if i < histBuckets {
+				le = strconv.FormatFloat((time.Microsecond << i).Seconds(), 'g', -1, 64)
+			}
+			b = append(b, `obs_phase_seconds_bucket{phase="`...)
+			b = append(b, s.phase...)
+			b = append(b, `",le="`...)
+			b = append(b, le...)
+			b = append(b, `"} `...)
+			b = strconv.AppendInt(b, cum, 10)
+			b = append(b, '\n')
+		}
+		b = append(b, `obs_phase_seconds_sum{phase="`...)
+		b = append(b, s.phase...)
+		b = append(b, `"} `...)
+		b = strconv.AppendFloat(b, s.h.sum.Seconds(), 'g', -1, 64)
+		b = append(b, '\n')
+		b = append(b, `obs_phase_seconds_count{phase="`...)
+		b = append(b, s.phase...)
+		b = append(b, `"} `...)
+		b = strconv.AppendInt(b, s.h.count, 10)
+		b = append(b, '\n')
+	}
+	for _, ctr := range []struct {
+		name, help string
+		v          int64
+	}{
+		{"obs_traces_started_total", "Traces started (every request when tracing is enabled).", c.started.Load()},
+		{"obs_traces_retained_total", "Traces retained in the debug ring (sampled in, or slow-promoted).", c.retained.Load()},
+		{"obs_traces_slow_total", "Traces at or above the slow threshold.", c.slow.Load()},
+	} {
+		b = append(b, "# HELP "...)
+		b = append(b, ctr.name...)
+		b = append(b, ' ')
+		b = append(b, ctr.help...)
+		b = append(b, "\n# TYPE "...)
+		b = append(b, ctr.name...)
+		b = append(b, " counter\n"...)
+		b = append(b, ctr.name...)
+		b = append(b, ' ')
+		b = strconv.AppendInt(b, ctr.v, 10)
+		b = append(b, '\n')
+	}
+	_, err := w.Write(b)
+	return err
+}

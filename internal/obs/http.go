@@ -1,0 +1,86 @@
+package obs
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+)
+
+// DebugPath is where Middleware serves the trace dump.
+const DebugPath = "/debug/traces"
+
+// TracesJSON is the body of GET /debug/traces: the retained ring newest
+// first, plus the slowest-N exemplars.
+type TracesJSON struct {
+	Recent  []TraceJSON `json:"recent"`
+	Slowest []TraceJSON `json:"slowest"`
+}
+
+// DebugHandler serves the trace dump as JSON (mounted by Middleware at
+// DebugPath, and by the cmds on their -debug-addr servers next to pprof).
+func (c *Collector) DebugHandler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodGet {
+			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		_ = json.NewEncoder(w).Encode(TracesJSON{Recent: c.Recent(), Slowest: c.Slowest()})
+	})
+}
+
+// Middleware wraps a front-end handler with the observability boundary:
+//
+//   - every request gets a trace (per Collector sampling rules), carried
+//     on the request context and finished when the handler returns;
+//   - the trace ID is echoed in the X-Trace-Id response header;
+//   - GET /debug/traces serves the collector's ring + exemplars;
+//   - GET /metrics responses get the obs histogram series appended, using
+//     the same replay-and-append composition as the ctrl plane.
+//
+// Long-lived NDJSON delta streams (POST /v1/stream/{id}/deltas) are NOT
+// traced as one request — a connection-spanning trace would be
+// meaningless — the stream layer starts a fresh trace per delta instead.
+// A nil collector returns next unchanged.
+func Middleware(c *Collector, next http.Handler) http.Handler {
+	if c == nil {
+		return next
+	}
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		switch {
+		case r.URL.Path == DebugPath:
+			c.DebugHandler().ServeHTTP(w, r)
+		case r.Method == http.MethodGet && r.URL.Path == "/metrics":
+			rec := httptest.NewRecorder()
+			next.ServeHTTP(rec, r)
+			for k, vs := range rec.Header() {
+				for _, v := range vs {
+					w.Header().Add(k, v)
+				}
+			}
+			w.WriteHeader(rec.Code)
+			_, _ = w.Write(rec.Body.Bytes())
+			if rec.Code == http.StatusOK {
+				_ = c.WritePrometheus(w)
+			}
+		case isDeltaStream(r):
+			next.ServeHTTP(w, r)
+		default:
+			ctx, tr := c.StartTrace(r.Context())
+			if tr == nil {
+				next.ServeHTTP(w, r)
+				return
+			}
+			w.Header().Set("X-Trace-Id", tr.ID())
+			next.ServeHTTP(w, r.WithContext(ctx))
+			tr.Finish()
+		}
+	})
+}
+
+func isDeltaStream(r *http.Request) bool {
+	return r.Method == http.MethodPost &&
+		strings.HasPrefix(r.URL.Path, "/v1/stream/") &&
+		strings.HasSuffix(r.URL.Path, "/deltas")
+}

@@ -1,0 +1,317 @@
+package obs
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"log/slog"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestNilSafety exercises the disabled-tracing fast path: every method on
+// a nil trace and a nil collector must be a usable no-op, since that is
+// exactly what instrumented code calls when tracing is off.
+func TestNilSafety(t *testing.T) {
+	var tr *Trace
+	if tr.ID() != "" || tr.Sampled() || tr.Total() != 0 || tr.Spans() != nil {
+		t.Fatal("nil trace accessors must return zero values")
+	}
+	tr.Record(PhaseSolve, time.Now())
+	tr.RecordAttr(PhaseRoute, time.Now(), Attr{Cell: 1})
+	tr.RecordDur(PhaseSP2, time.Now(), time.Millisecond, Attr{Cell: CellNone})
+	tr.Mark(PhaseDrainPlan, Attr{Cell: CellNone})
+	tr.Finish()
+
+	var c *Collector
+	ctx, got := c.StartTrace(context.Background())
+	if got != nil {
+		t.Fatal("nil collector must hand out nil traces")
+	}
+	if FromContext(ctx) != nil {
+		t.Fatal("nil trace must not be attached to the context")
+	}
+	if c.Recent() != nil || c.Slowest() != nil {
+		t.Fatal("nil collector dumps must be empty")
+	}
+	var buf bytes.Buffer
+	if err := c.WritePrometheus(&buf); err != nil || buf.Len() != 0 {
+		t.Fatalf("nil collector exposition: err=%v len=%d", err, buf.Len())
+	}
+}
+
+func TestSampling(t *testing.T) {
+	c := NewCollector(Config{SampleEvery: 2, SlowThreshold: -1})
+	_, t1 := c.StartTrace(context.Background())
+	_, t2 := c.StartTrace(context.Background())
+	_, t3 := c.StartTrace(context.Background())
+	if !t1.Sampled() || t2.Sampled() || !t3.Sampled() {
+		t.Fatalf("1-in-2 sampling: got %v %v %v, want true false true",
+			t1.Sampled(), t2.Sampled(), t3.Sampled())
+	}
+	for _, tr := range []*Trace{t1, t2, t3} {
+		tr.Finish()
+	}
+	if got := len(c.Recent()); got != 2 {
+		t.Fatalf("retained %d traces, want the 2 sampled ones", got)
+	}
+
+	// Negative sampling disables tracing entirely.
+	off := NewCollector(Config{SampleEvery: -1})
+	if _, tr := off.StartTrace(context.Background()); tr != nil {
+		t.Fatal("SampleEvery < 0 must return nil traces")
+	}
+}
+
+// TestStartTraceIdempotent checks that nested middlewares and facade
+// layers sharing one context do not stack a second trace on it.
+func TestStartTraceIdempotent(t *testing.T) {
+	c := NewCollector(Config{})
+	ctx, tr := c.StartTrace(context.Background())
+	ctx2, tr2 := c.StartTrace(ctx)
+	if tr2 != tr {
+		t.Fatal("StartTrace on a carrying context must return the existing trace")
+	}
+	if FromContext(ctx2) != tr {
+		t.Fatal("context must still carry the original trace")
+	}
+}
+
+func TestTraceIDsDistinctHex(t *testing.T) {
+	c := NewCollector(Config{SampleEvery: 1})
+	seen := map[string]bool{}
+	for i := 0; i < 64; i++ {
+		_, tr := c.StartTrace(context.Background())
+		id := tr.ID()
+		if len(id) != 16 || strings.Trim(id, "0123456789abcdef") != "" {
+			t.Fatalf("trace ID %q is not 16 lowercase hex chars", id)
+		}
+		if seen[id] {
+			t.Fatalf("duplicate trace ID %q", id)
+		}
+		seen[id] = true
+	}
+}
+
+// TestSlowPromotion: an unsampled trace crossing the slow threshold must
+// still land in the ring and the slowest list, with a warn log naming its
+// trace ID — that is what makes a single slow solve explainable at 1-in-N
+// sampling.
+func TestSlowPromotion(t *testing.T) {
+	var logBuf bytes.Buffer
+	c := NewCollector(Config{
+		SampleEvery:   1 << 30, // nothing sampled after the first
+		SlowThreshold: time.Nanosecond,
+		Logger:        slog.New(slog.NewTextHandler(&logBuf, nil)),
+	})
+	c.StartTrace(context.Background()) // burn the always-sampled first slot
+	_, tr := c.StartTrace(context.Background())
+	if tr.Sampled() {
+		t.Fatal("second trace should be sampled out")
+	}
+	tr.Record(PhaseSolve, time.Now())
+	tr.Finish()
+	recent := c.Recent()
+	if len(recent) != 1 || recent[0].TraceID != tr.ID() {
+		t.Fatalf("slow trace not promoted into the ring: %+v", recent)
+	}
+	if !recent[0].Slow {
+		t.Fatal("promoted trace must be marked slow in the dump")
+	}
+	if slowest := c.Slowest(); len(slowest) != 1 || slowest[0].TraceID != tr.ID() {
+		t.Fatalf("slow trace missing from slowest list: %+v", slowest)
+	}
+	if !strings.Contains(logBuf.String(), tr.ID()) {
+		t.Fatalf("slow-trace warn log must carry the trace ID; got %q", logBuf.String())
+	}
+}
+
+func TestFinishIdempotentAndSealing(t *testing.T) {
+	c := NewCollector(Config{SampleEvery: 1, SlowThreshold: -1})
+	_, tr := c.StartTrace(context.Background())
+	tr.Record(PhaseFingerprint, time.Now())
+	tr.Finish()
+	tr.Finish()
+	if got := len(c.Recent()); got != 1 {
+		t.Fatalf("double Finish retained %d traces, want 1", got)
+	}
+	n := len(tr.Spans())
+	tr.Record(PhaseSolve, time.Now()) // after Finish: dropped
+	if len(tr.Spans()) != n {
+		t.Fatal("spans recorded after Finish must be dropped")
+	}
+	var totalSpans int
+	for _, s := range tr.Spans() {
+		if s.Phase == PhaseTotal {
+			totalSpans++
+		}
+	}
+	if totalSpans != 1 {
+		t.Fatalf("want exactly one total span, got %d", totalSpans)
+	}
+}
+
+func TestRingEvictionNewestFirst(t *testing.T) {
+	c := NewCollector(Config{SampleEvery: 1, Recent: 3, SlowThreshold: -1})
+	var ids []string
+	for i := 0; i < 5; i++ {
+		_, tr := c.StartTrace(context.Background())
+		tr.Finish()
+		ids = append(ids, tr.ID())
+	}
+	recent := c.Recent()
+	if len(recent) != 3 {
+		t.Fatalf("ring kept %d, want 3", len(recent))
+	}
+	for i, want := range []string{ids[4], ids[3], ids[2]} {
+		if recent[i].TraceID != want {
+			t.Fatalf("recent[%d] = %s, want %s (newest first)", i, recent[i].TraceID, want)
+		}
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	var h phaseHist
+	h.record(time.Microsecond)     // bucket 0: d <= 1µs
+	h.record(3 * time.Microsecond) // bucket 2: 2µs < d <= 4µs
+	h.record(time.Hour)            // +Inf overflow
+	if h.buckets[0] != 1 || h.buckets[2] != 1 || h.buckets[histBuckets] != 1 {
+		t.Fatalf("bucket placement wrong: %v", h.buckets)
+	}
+	if h.count != 3 {
+		t.Fatalf("count = %d, want 3", h.count)
+	}
+}
+
+func TestWritePrometheus(t *testing.T) {
+	c := NewCollector(Config{SampleEvery: 1, SlowThreshold: -1})
+	_, tr := c.StartTrace(context.Background())
+	tr.RecordDur(PhaseSolve, time.Now(), 3*time.Microsecond, Attr{Cell: CellNone})
+	tr.Finish()
+	var buf bytes.Buffer
+	if err := c.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"# TYPE obs_phase_seconds histogram",
+		`obs_phase_seconds_bucket{phase="solve",le="+Inf"} 1`,
+		`obs_phase_seconds_count{phase="solve"} 1`,
+		`obs_phase_seconds_count{phase="total"} 1`,
+		"obs_traces_started_total 1",
+		"obs_traces_retained_total 1",
+		"obs_traces_slow_total 0",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("exposition missing %q:\n%s", want, out)
+		}
+	}
+	// Buckets are cumulative: the 1µs bucket must be 0 for the 3µs solve
+	// span, and every bucket from 4µs up must be 1.
+	if !strings.Contains(out, `obs_phase_seconds_bucket{phase="solve",le="1e-06"} 0`) {
+		t.Fatalf("3µs span leaked into the 1µs bucket:\n%s", out)
+	}
+	if !strings.Contains(out, `obs_phase_seconds_bucket{phase="solve",le="4e-06"} 1`) {
+		t.Fatalf("3µs span missing from the cumulative 4µs bucket:\n%s", out)
+	}
+}
+
+func TestMiddleware(t *testing.T) {
+	c := NewCollector(Config{SampleEvery: 1, SlowThreshold: -1})
+	next := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		switch {
+		case r.URL.Path == "/metrics":
+			w.WriteHeader(http.StatusOK)
+			_, _ = w.Write([]byte("downstream_metric 1\n"))
+		default:
+			tr := FromContext(r.Context())
+			tr.Record(PhaseSolve, time.Now())
+			w.WriteHeader(http.StatusOK)
+		}
+	})
+	h := Middleware(c, next)
+
+	// A normal request is traced end to end.
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest(http.MethodPost, "/v1/solve", nil))
+	id := rec.Header().Get("X-Trace-Id")
+	if id == "" {
+		t.Fatal("X-Trace-Id header missing")
+	}
+
+	// The trace shows up in /debug/traces with its solve span.
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, DebugPath, nil))
+	var dump TracesJSON
+	if err := json.Unmarshal(rec.Body.Bytes(), &dump); err != nil {
+		t.Fatalf("decoding %s: %v", DebugPath, err)
+	}
+	found := false
+	for _, tj := range dump.Recent {
+		if tj.TraceID == id {
+			found = true
+			if len(tj.Spans) < 2 || tj.Spans[0].Phase != PhaseSolve {
+				t.Fatalf("trace %s spans: %+v", id, tj.Spans)
+			}
+		}
+	}
+	if !found {
+		t.Fatalf("trace %s not in %s dump", id, DebugPath)
+	}
+
+	// /metrics passes the downstream body through and appends obs series.
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/metrics", nil))
+	body := rec.Body.String()
+	if !strings.Contains(body, "downstream_metric 1") {
+		t.Fatal("downstream exposition dropped")
+	}
+	if !strings.Contains(body, "obs_phase_seconds_bucket") {
+		t.Fatal("obs histograms not appended to /metrics")
+	}
+
+	// NDJSON delta streams are not traced as one request.
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest(http.MethodPost, "/v1/stream/abc/deltas", nil))
+	if rec.Header().Get("X-Trace-Id") != "" {
+		t.Fatal("delta stream must not get a connection-spanning trace")
+	}
+
+	// A nil collector is a pass-through.
+	if Middleware(nil, next) == nil {
+		t.Fatal("nil-collector middleware must still serve")
+	}
+}
+
+func TestParseLevel(t *testing.T) {
+	cases := map[string]slog.Level{
+		"debug": slog.LevelDebug, "info": slog.LevelInfo, "": slog.LevelInfo,
+		"warn": slog.LevelWarn, "warning": slog.LevelWarn, "ERROR": slog.LevelError,
+	}
+	for in, want := range cases {
+		got, err := ParseLevel(in)
+		if err != nil || got != want {
+			t.Fatalf("ParseLevel(%q) = %v, %v; want %v", in, got, err, want)
+		}
+	}
+	if _, err := ParseLevel("loud"); err == nil {
+		t.Fatal("ParseLevel must reject unknown levels")
+	}
+}
+
+func TestSetupDefaultJSON(t *testing.T) {
+	var buf bytes.Buffer
+	l, err := SetupDefault(&buf, "warn", true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l.Info("dropped")
+	l.Warn("kept", "k", "v")
+	out := buf.String()
+	if strings.Contains(out, "dropped") || !strings.Contains(out, `"msg":"kept"`) {
+		t.Fatalf("level filtering / JSON encoding wrong: %q", out)
+	}
+}

@@ -3,6 +3,9 @@ package serve
 import (
 	"context"
 	"fmt"
+	"time"
+
+	"repro/internal/obs"
 )
 
 // BatchItem is the outcome of one instance in a SolveBatch call: exactly
@@ -29,10 +32,14 @@ func (s *Server) SolveBatch(ctx context.Context, reqs []Request, pri Priority) [
 	// Phase 1: fingerprint, answer from cache, dispatch the misses. The
 	// flight calls double as the batch's join handles: identical instances
 	// share one call, and a leader enqueues exactly once.
+	// One batch request carries one trace: spans from every item land in
+	// it, which is the right granularity for a single HTTP call.
+	tr := obs.FromContext(ctx)
 	calls := make([]*flightCall, len(reqs))
 	anySolve := false
 	for i, req := range reqs {
 		s.stats.requests.Add(1)
+		itemBegan := time.Now()
 		if req.System == nil {
 			s.stats.errors.Add(1)
 			out[i].Err = fmt.Errorf("nil system: %w", ErrBadRequest)
@@ -49,7 +56,8 @@ func (s *Server) SolveBatch(ctx context.Context, reqs []Request, pri Priority) [
 			if res, ok := s.cache.Get(fp.Exact); ok {
 				s.stats.hits.Add(1)
 				s.stats.bucketEvent(fp.Topo, bucketHit)
-				out[i].Response = Response{Result: res, Source: SourceCache, Solver: req.Solver.normalize(), Fingerprint: fp}
+				s.stats.recordHitLatency(time.Since(itemBegan))
+				out[i].Response = Response{Result: res, Source: SourceCache, Solver: req.Solver.normalize(), Fingerprint: fp, TraceID: tr.ID()}
 				continue
 			}
 			s.stats.misses.Add(1)
@@ -57,7 +65,7 @@ func (s *Server) SolveBatch(ctx context.Context, reqs []Request, pri Priority) [
 		}
 		call, leader := s.flight.join(fp.Exact)
 		if leader {
-			s.enqueue(&task{req: req, fp: fp, solve: solve, call: call}, pri)
+			s.enqueue(&task{req: req, fp: fp, solve: solve, call: call, tr: tr}, pri)
 		} else {
 			s.stats.deduped.Add(1)
 			if pri == PriorityInteractive {

@@ -102,6 +102,9 @@ type SolveResponseJSON struct {
 	Solver        string  `json:"solver"`
 	SolveSeconds  float64 `json:"solve_seconds"`
 	FingerprintHx string  `json:"fingerprint"`
+	// TraceID names the lifecycle trace this solve was recorded under
+	// (also echoed in the X-Trace-Id header; "" when untraced).
+	TraceID string `json:"trace_id,omitempty"`
 }
 
 // SystemToJSON converts a system to its wire form (used by the load
@@ -211,6 +214,7 @@ func ResponseToJSON(resp Response) SolveResponseJSON {
 		Solver:        string(resp.Solver),
 		SolveSeconds:  resp.SolveTime.Seconds(),
 		FingerprintHx: fmt.Sprintf("%016x", resp.Fingerprint.Exact),
+		TraceID:       resp.TraceID,
 	}
 }
 

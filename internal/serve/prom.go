@@ -102,4 +102,14 @@ func (s Snapshot) WritePrometheus(p *PromWriter, prefix, labels string) {
 		}
 		p.Gauge(prefix+"_solve_latency_seconds", "Recent solve latency quantiles (cache hits excluded).", ql, qv.v)
 	}
+	for _, qv := range []struct {
+		q string
+		v float64
+	}{{"0.5", s.CacheHitP50}, {"0.99", s.CacheHitP99}} {
+		ql := `quantile="` + qv.q + `"`
+		if labels != "" {
+			ql = labels + "," + ql
+		}
+		p.Gauge(prefix+"_cache_hit_latency_seconds", "Recent cache-hit path latency quantiles (fingerprint + lookup).", ql, qv.v)
+	}
 }

@@ -12,6 +12,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/fl"
+	"repro/internal/obs"
 )
 
 // ErrOverloaded is returned when the request queue is full; callers should
@@ -148,6 +149,11 @@ type Response struct {
 	// path that lets a drifted re-solve skip its Newton iterations).
 	// Always false on cache hits and cold solves.
 	DualSeeded bool
+	// TraceID identifies the lifecycle trace this solve was recorded
+	// under ("" when the request was not traced); the same ID is echoed
+	// in the X-Trace-Id response header and retrievable via
+	// GET /debug/traces.
+	TraceID string
 }
 
 // Clone returns a response whose Result is privately owned by the caller;
@@ -181,6 +187,11 @@ type task struct {
 	fp    Fingerprint
 	solve func(*fl.System, fl.Weights, core.Options) (core.Result, error)
 	call  *flightCall
+	// tr is the leader caller's lifecycle trace (nil when untraced); the
+	// worker records queue-wait and solver-phase spans against it. enq is
+	// the enqueue instant the queue-wait span starts from.
+	tr  *obs.Trace
+	enq time.Time
 	// pri is the queue the task was enqueued on; promote reads it to
 	// decide whether an interactive follower should re-queue the task.
 	pri Priority
@@ -263,6 +274,11 @@ func (s *Server) Stats() Snapshot {
 // their cells to compute cluster-wide quantiles.
 func (s *Server) SolveLatencies() []time.Duration { return s.stats.latencies() }
 
+// CacheHitLatencies returns a copy of the recent cache-hit latency window
+// (unsorted); the hit path is tracked separately so solve quantiles stay
+// honest. Cluster routers merge these exactly like SolveLatencies.
+func (s *Server) CacheHitLatencies() []time.Duration { return s.stats.hitLatencies() }
+
 // Quantization returns the fingerprint quantization this server buckets
 // with. Handoff re-fingerprints migrating instances under the destination
 // server's quantization, which need not match the source's.
@@ -331,15 +347,31 @@ func (s *Server) Solve(ctx context.Context, req Request) (Response, error) {
 		s.stats.errors.Add(1)
 		return Response{}, err
 	}
+	tr := obs.FromContext(ctx)
+	began := time.Now()
 	fp := req.fingerprint(s.cfg.Quantization)
+	if tr != nil {
+		tr.Record(obs.PhaseFingerprint, began)
+	}
 	if !s.cfg.DisableCache {
+		var lookBegan time.Time
+		if tr != nil {
+			lookBegan = time.Now()
+		}
 		if res, ok := s.cache.Get(fp.Exact); ok {
 			s.stats.hits.Add(1)
 			s.stats.bucketEvent(fp.Topo, bucketHit)
-			return Response{Result: res, Source: SourceCache, Solver: req.Solver.normalize(), Fingerprint: fp}, nil
+			s.stats.recordHitLatency(time.Since(began))
+			if tr != nil {
+				tr.RecordAttr(obs.PhaseCacheLookup, lookBegan, obs.Attr{Cell: obs.CellNone, Detail: "hit"})
+			}
+			return Response{Result: res, Source: SourceCache, Solver: req.Solver.normalize(), Fingerprint: fp, TraceID: tr.ID()}, nil
 		}
 		s.stats.misses.Add(1)
 		s.stats.bucketEvent(fp.Topo, bucketMiss)
+		if tr != nil {
+			tr.RecordAttr(obs.PhaseCacheLookup, lookBegan, obs.Attr{Cell: obs.CellNone, Detail: "miss"})
+		}
 	}
 
 	// The default deadline only matters once a solve has to be awaited, so
@@ -353,15 +385,22 @@ func (s *Server) Solve(ctx context.Context, req Request) (Response, error) {
 	}
 
 	call, leader := s.flight.join(fp.Exact)
+	var waitBegan time.Time
 	if leader {
-		s.enqueue(&task{req: req, fp: fp, solve: solve, call: call}, PriorityInteractive)
+		s.enqueue(&task{req: req, fp: fp, solve: solve, call: call, tr: tr}, PriorityInteractive)
 	} else {
 		s.stats.deduped.Add(1)
+		if tr != nil {
+			waitBegan = time.Now()
+		}
 		// Joining a batch replay's in-flight solve must not demote this
 		// caller to bulk priority.
 		s.promote(call)
 	}
 	finished := func() (Response, error) {
+		if !waitBegan.IsZero() {
+			tr.RecordAttr(obs.PhaseDedupWait, waitBegan, obs.Attr{Cell: obs.CellNone, Detail: "joined in-flight solve"})
+		}
 		if call.err != nil {
 			return Response{}, call.err
 		}
@@ -369,6 +408,11 @@ func (s *Server) Solve(ctx context.Context, req Request) (Response, error) {
 		// every deduplicated caller, and Result is documented as mutable.
 		resp := call.res
 		resp.Result = cloneResult(resp.Result)
+		if tr != nil {
+			// Per-caller attribution: followers stamp their own trace over
+			// the leader's shared response copy.
+			resp.TraceID = tr.ID()
+		}
 		return resp, nil
 	}
 	select {
@@ -394,6 +438,9 @@ func (s *Server) Solve(ctx context.Context, req Request) (Response, error) {
 // waiter wakes.
 func (s *Server) enqueue(t *task, pri Priority) {
 	t.pri = pri
+	if t.tr != nil {
+		t.enq = time.Now()
+	}
 	t.call.leaderTask.Store(t)
 	select {
 	case <-s.done:
@@ -483,6 +530,13 @@ func (s *Server) runTask(t *task, ws *core.Workspace) {
 	if !t.claimed.CompareAndSwap(false, true) {
 		return
 	}
+	if t.tr != nil {
+		queue := "interactive"
+		if t.pri == PriorityBulk {
+			queue = "bulk"
+		}
+		t.tr.RecordAttr(obs.PhaseQueueWait, t.enq, obs.Attr{Cell: obs.CellNone, Detail: queue})
+	}
 	resp, err := s.process(t, ws)
 	s.flight.finish(t.fp.Exact, t.call, resp, err)
 }
@@ -513,13 +567,38 @@ func (s *Server) process(t *task, ws *core.Workspace) (Response, error) {
 	if req.Options.Work == nil {
 		req.Options.Work = ws
 	}
+	var st core.SolveTrace
+	if t.tr != nil {
+		req.Options.Trace = &st
+	}
 
 	began := time.Now()
 	res, err := t.solve(req.System, req.Weights, req.Options)
 	elapsed := time.Since(began)
 	if err != nil {
+		if t.tr != nil {
+			t.tr.RecordDur(obs.PhaseSolve, began, elapsed, obs.Attr{Cell: obs.CellNone, Detail: "error: " + err.Error()})
+		}
 		s.stats.errors.Add(1)
 		return Response{}, err
+	}
+	if t.tr != nil {
+		detail := "cold"
+		if source == SourceWarm {
+			detail = "warm"
+			if dualSeeded {
+				detail = "warm+dual"
+			}
+		}
+		t.tr.RecordDur(obs.PhaseSolve, began, elapsed, obs.Attr{Cell: obs.CellNone, Detail: detail, Value: int64(st.NewtonIters)})
+		// SP1/SP2 sub-spans are drawn from the solver's own clocks; they
+		// share the solve's start offset since only the split matters.
+		if st.SP1Time > 0 {
+			t.tr.RecordDur(obs.PhaseSP1, began, st.SP1Time, obs.Attr{Cell: obs.CellNone, Value: int64(st.OuterIters)})
+		}
+		if st.SP2Time > 0 {
+			t.tr.RecordDur(obs.PhaseSP2, began, st.SP2Time, obs.Attr{Cell: obs.CellNone, Value: int64(st.NewtonIters)})
+		}
 	}
 	s.stats.recordLatency(elapsed)
 	if source == SourceWarm {
@@ -545,6 +624,7 @@ func (s *Server) process(t *task, ws *core.Workspace) (Response, error) {
 		Fingerprint: t.fp,
 		SolveTime:   elapsed,
 		DualSeeded:  dualSeeded,
+		TraceID:     t.tr.ID(),
 	}, nil
 }
 

@@ -63,6 +63,13 @@ type Stats struct {
 	ring  [latencyWindow]time.Duration
 	count int64 // total latencies ever recorded
 
+	// Cache hits get their own window: their microsecond latencies would
+	// drown in the solve ring, and the solve quantiles would lie about
+	// solver speed if hits diluted them.
+	hitMu    sync.Mutex
+	hitRing  [latencyWindow]time.Duration
+	hitCount int64
+
 	buckets [bucketStatShards]bucketShard
 }
 
@@ -110,6 +117,13 @@ func (st *Stats) recordLatency(d time.Duration) {
 	st.mu.Unlock()
 }
 
+func (st *Stats) recordHitLatency(d time.Duration) {
+	st.hitMu.Lock()
+	st.hitRing[st.hitCount%latencyWindow] = d
+	st.hitCount++
+	st.hitMu.Unlock()
+}
+
 // Snapshot is a consistent point-in-time copy of the counters, shaped for
 // JSON encoding by the /v1/stats endpoint.
 type Snapshot struct {
@@ -133,6 +147,10 @@ type Snapshot struct {
 	// seconds (cache hits excluded; zero until the first solve completes).
 	SolveP50 float64 `json:"solve_p50_seconds"`
 	SolveP99 float64 `json:"solve_p99_seconds"`
+	// CacheHitP50 and CacheHitP99 are quantiles of the cache-hit path's
+	// own latency window (fingerprint + lookup; zero until the first hit).
+	CacheHitP50 float64 `json:"cache_hit_p50_seconds"`
+	CacheHitP99 float64 `json:"cache_hit_p99_seconds"`
 	// CacheEntries is the current solution-cache occupancy (filled by
 	// Server.Stats; Stats itself does not know the cache).
 	CacheEntries int `json:"cache_entries"`
@@ -183,6 +201,9 @@ func (st *Stats) Snapshot() Snapshot {
 	}
 	if lat := st.latencies(); len(lat) > 0 {
 		s.SolveP50, s.SolveP99 = LatencyQuantiles(lat)
+	}
+	if lat := st.hitLatencies(); len(lat) > 0 {
+		s.CacheHitP50, s.CacheHitP99 = LatencyQuantiles(lat)
 	}
 	s.TrackedBuckets, s.Buckets = st.bucketSnapshots()
 	return s
@@ -237,6 +258,19 @@ func (st *Stats) latencies() []time.Duration {
 	}
 	lat := make([]time.Duration, n)
 	copy(lat, st.ring[:n])
+	return lat
+}
+
+// hitLatencies copies the recent cache-hit latency window (unsorted).
+func (st *Stats) hitLatencies() []time.Duration {
+	st.hitMu.Lock()
+	defer st.hitMu.Unlock()
+	n := st.hitCount
+	if n > latencyWindow {
+		n = latencyWindow
+	}
+	lat := make([]time.Duration, n)
+	copy(lat, st.hitRing[:n])
 	return lat
 }
 

@@ -1,0 +1,90 @@
+package serve
+
+import (
+	"context"
+	"testing"
+
+	"repro/internal/obs"
+)
+
+func phases(spans []obs.Span, phase string) []obs.Span {
+	var out []obs.Span
+	for _, s := range spans {
+		if s.Phase == phase {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// TestSolveTraceLifecycle runs a cold solve and an exact replay under
+// traces and checks the server recorded every lifecycle phase, stamped
+// the trace ID on both responses, and fed the hit into the cache-hit
+// latency window (the satellite cache_hit_p50/p99 stats).
+func TestSolveTraceLifecycle(t *testing.T) {
+	s := testSystem(t, 8, 7)
+	srv := New(Config{Workers: 2})
+	defer srv.Close()
+	col := obs.NewCollector(obs.Config{SampleEvery: 1, SlowThreshold: -1})
+
+	ctx, tr := col.StartTrace(context.Background())
+	first, err := srv.Solve(ctx, Request{System: s, Weights: balanced()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr.Finish()
+	if first.TraceID != tr.ID() {
+		t.Fatalf("cold response trace ID %q, want %q", first.TraceID, tr.ID())
+	}
+	spans := tr.Spans()
+	for _, phase := range []string{obs.PhaseFingerprint, obs.PhaseCacheLookup, obs.PhaseQueueWait, obs.PhaseSolve} {
+		if len(phases(spans, phase)) == 0 {
+			t.Fatalf("cold solve trace missing %q: %+v", phase, spans)
+		}
+	}
+	if lk := phases(spans, obs.PhaseCacheLookup); lk[0].Detail != "miss" {
+		t.Fatalf("cold cache_lookup detail %q, want miss", lk[0].Detail)
+	}
+	if sv := phases(spans, obs.PhaseSolve); sv[0].Detail != "cold" {
+		t.Fatalf("cold solve detail %q, want cold", sv[0].Detail)
+	}
+
+	ctx, tr = col.StartTrace(context.Background())
+	second, err := srv.Solve(ctx, Request{System: s, Weights: balanced()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr.Finish()
+	if second.Source != SourceCache {
+		t.Fatalf("replay source %q, want cache", second.Source)
+	}
+	if second.TraceID != tr.ID() {
+		t.Fatalf("hit response trace ID %q, want %q", second.TraceID, tr.ID())
+	}
+	if lk := phases(tr.Spans(), obs.PhaseCacheLookup); len(lk) != 1 || lk[0].Detail != "hit" {
+		t.Fatalf("hit cache_lookup spans %+v, want one with detail hit", lk)
+	}
+
+	st := srv.Stats()
+	if st.CacheHitP50 <= 0 || st.CacheHitP99 < st.CacheHitP50 {
+		t.Fatalf("cache-hit quantiles p50=%g p99=%g, want 0 < p50 <= p99", st.CacheHitP50, st.CacheHitP99)
+	}
+	if len(srv.CacheHitLatencies()) != 1 {
+		t.Fatalf("cache-hit window holds %d samples, want 1", len(srv.CacheHitLatencies()))
+	}
+}
+
+// TestSolveUntracedNoOverheadPath checks the nil-trace fast path stays
+// inert: no trace ID on the response and no samples beyond the hit window.
+func TestSolveUntracedNoOverheadPath(t *testing.T) {
+	s := testSystem(t, 6, 8)
+	srv := New(Config{Workers: 2})
+	defer srv.Close()
+	resp, err := srv.Solve(context.Background(), Request{System: s, Weights: balanced()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.TraceID != "" {
+		t.Fatalf("untraced response carries trace ID %q", resp.TraceID)
+	}
+}

@@ -86,7 +86,7 @@ func TestActiveSessionSurvivesHandoff(t *testing.T) {
 		}
 	}()
 	<-handoffGate
-	rep, err := r.Handoff(dev, from, to)
+	rep, err := r.Handoff(context.Background(), dev, from, to)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -187,7 +187,7 @@ func TestHandoffRefingerprintRacesDeltas(t *testing.T) {
 			if i%2 == 1 {
 				from, to = cellB, cellA
 			}
-			if _, err := r.Handoff(dev, from, to); err != nil {
+			if _, err := r.Handoff(context.Background(), dev, from, to); err != nil {
 				t.Errorf("handoff %d: %v", i, err)
 				return
 			}
@@ -243,7 +243,7 @@ func TestHandoffMigratesOpeningInstanceAfterDeltas(t *testing.T) {
 	}}); err != nil {
 		t.Fatal(err)
 	}
-	rep, err := r.Handoff(dev, from, to)
+	rep, err := r.Handoff(context.Background(), dev, from, to)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -282,7 +282,7 @@ func TestHandoffPinMovesSessionRouting(t *testing.T) {
 	}
 	from := upd0.Cell
 	to := (from + 1) % 3
-	if _, err := r.Handoff(dev, from, to); err != nil {
+	if _, err := r.Handoff(context.Background(), dev, from, to); err != nil {
 		t.Fatal(err)
 	}
 	u, err := m.Apply(context.Background(), sess.ID(), Delta{Seq: 1, Gains: map[int]float64{0: base.Devices[0].Gain * 1.3}})

@@ -189,7 +189,11 @@ func (m *Manager) handleDeltas(w http.ResponseWriter, r *http.Request) {
 			}
 			return
 		}
-		upd, err := m.Apply(r.Context(), id, dj.ToDelta())
+		// One trace per delta, not per connection: the obs middleware skips
+		// this long-lived endpoint, so the lifecycle trace starts here.
+		ctx, tr := m.cfg.Trace.StartTrace(r.Context())
+		upd, err := m.Apply(ctx, id, dj.ToDelta())
+		tr.Finish()
 		if err != nil {
 			emit(UpdateJSON{Seq: dj.Seq, OK: false, Error: err.Error()})
 			if errors.Is(err, ErrNoSession) || errors.Is(err, ErrClosed) ||

@@ -43,6 +43,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/fl"
+	"repro/internal/obs"
 	"repro/internal/serve"
 )
 
@@ -78,6 +79,12 @@ type Config struct {
 	// sessions (expiry is also checked lazily on access). Default 30s,
 	// clamped to IdleTTL when that is shorter.
 	SweepInterval time.Duration
+	// Trace, when non-nil, gives each NDJSON delta its own lifecycle
+	// trace: the HTTP middleware deliberately skips the long-lived delta
+	// stream (one connection-spanning trace would be meaningless), so the
+	// manager starts a per-delta trace here instead. Per-delta trace IDs
+	// surface in the update lines' trace_id field. Nil disables.
+	Trace *obs.Collector
 }
 
 func (c Config) withDefaults() Config {
@@ -444,6 +451,7 @@ func (m *Manager) Apply(ctx context.Context, sessionID string, d Delta) (Update,
 		return Update{}, err
 	}
 
+	tr := obs.FromContext(ctx)
 	began := time.Now()
 	// Apply in place. Only a weight/deadline change moves the instance to a
 	// different topology bucket; gains-only deltas keep the cached hash.
@@ -471,8 +479,18 @@ func (m *Manager) Apply(ctx context.Context, sessionID string, d Delta) (Update,
 		s.mu.Unlock()
 	})
 	defer stopCtxWake()
+	waitCause := ""
+	if s.suspended {
+		waitCause = "suspended"
+	} else if s.solving {
+		waitCause = "solve in flight"
+	}
+	waitBegan := time.Now()
 	for (s.solving || s.suspended) && s.seq < d.Seq && !s.closed && ctx.Err() == nil {
 		s.cond.Wait()
+	}
+	if waitCause != "" {
+		tr.RecordAttr(obs.PhaseCoalesceWait, waitBegan, obs.Attr{Detail: waitCause, Value: int64(d.Seq)})
 	}
 	switch {
 	case s.closed:
@@ -499,6 +517,7 @@ func (m *Manager) Apply(ctx context.Context, sessionID string, d Delta) (Update,
 		upd.Seq = d.Seq
 		upd.Response = upd.Response.Clone()
 		upd.Elapsed = time.Since(began)
+		tr.RecordAttr(obs.PhaseDeltaApply, began, obs.Attr{Cell: upd.Cell, Detail: "coalesced", Value: int64(d.Seq)})
 		return upd, nil
 	}
 
@@ -544,6 +563,7 @@ func (m *Manager) Apply(ctx context.Context, sessionID string, d Delta) (Update,
 			s.pendingSeq = s.seq
 		}
 		m.stats.deltaErrors.Add(1)
+		tr.RecordAttr(obs.PhaseDeltaApply, began, obs.Attr{Detail: "error: " + err.Error(), Value: int64(d.Seq)})
 		return Update{}, err
 	}
 	if target > s.seq {
@@ -563,6 +583,7 @@ func (m *Manager) Apply(ctx context.Context, sessionID string, d Delta) (Update,
 	upd.Seq = d.Seq
 	upd.Response = upd.Response.Clone()
 	upd.Elapsed = time.Since(began)
+	tr.RecordAttr(obs.PhaseDeltaApply, began, obs.Attr{Cell: cell, Detail: "solved", Value: int64(target)})
 	return upd, nil
 }
 

@@ -1,0 +1,97 @@
+package stream
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"repro/internal/obs"
+	"repro/internal/serve"
+)
+
+// TestPerDeltaTraces checks the streaming trace contract: the HTTP
+// middleware skips the long-lived NDJSON connection, so with a collector
+// wired into the manager each delta gets its OWN lifecycle trace — a
+// distinct trace ID per update line, with the delta_apply span and the
+// serving-layer spans riding the same per-delta trace.
+func TestPerDeltaTraces(t *testing.T) {
+	srv := serve.New(serve.Config{Workers: 2})
+	col := obs.NewCollector(obs.Config{SampleEvery: 1, SlowThreshold: -1})
+	m := NewManager(NewServeBackend(srv), Config{Trace: col})
+	ts := httptest.NewServer(Handler(m))
+	defer func() {
+		ts.Close()
+		m.Close()
+		srv.Close()
+	}()
+
+	base := testSystem(t, 6, 31)
+	open := openHTTP(t, ts, base, "dev-traced")
+
+	const deltas = 3
+	var buf bytes.Buffer
+	enc := json.NewEncoder(&buf)
+	for seq := uint64(1); seq <= deltas; seq++ {
+		d := DeltaJSON{Seq: seq, Gains: map[int]float64{
+			0: base.Devices[0].Gain * (1 + 0.2*float64(seq)),
+		}}
+		if err := enc.Encode(d); err != nil {
+			t.Fatal(err)
+		}
+	}
+	resp, err := http.Post(ts.URL+"/v1/stream/"+open.SessionID+"/deltas", NDJSONContentType, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("delta stream status %d", resp.StatusCode)
+	}
+	if got := resp.Header.Get("X-Trace-Id"); got != "" {
+		t.Fatalf("delta-stream connection must not carry one trace ID, got %q", got)
+	}
+
+	seen := map[string]bool{}
+	sc := bufio.NewScanner(resp.Body)
+	for sc.Scan() {
+		var u UpdateJSON
+		if err := json.Unmarshal(sc.Bytes(), &u); err != nil {
+			t.Fatal(err)
+		}
+		if !u.OK {
+			t.Fatalf("update seq %d failed: %s", u.Seq, u.Error)
+		}
+		if u.Result.TraceID == "" {
+			t.Fatalf("update seq %d carries no trace ID", u.Seq)
+		}
+		if seen[u.Result.TraceID] {
+			t.Fatalf("trace ID %s reused across deltas — traces must be per delta", u.Result.TraceID)
+		}
+		seen[u.Result.TraceID] = true
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if len(seen) != deltas {
+		t.Fatalf("got %d distinct per-delta trace IDs, want %d", len(seen), deltas)
+	}
+
+	// Every retained delta trace carries the delta_apply span.
+	applied := 0
+	for _, tj := range col.Recent() {
+		for _, sp := range tj.Spans {
+			if sp.Phase == obs.PhaseDeltaApply {
+				applied++
+				if !seen[tj.TraceID] {
+					t.Fatalf("retained delta trace %s not answered to the client", tj.TraceID)
+				}
+			}
+		}
+	}
+	if applied != deltas {
+		t.Fatalf("%d delta_apply spans retained, want %d", applied, deltas)
+	}
+}

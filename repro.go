@@ -25,6 +25,9 @@
 package repro
 
 import (
+	"context"
+	"io"
+	"log/slog"
 	"math/rand"
 	"net/http"
 
@@ -35,6 +38,7 @@ import (
 	"repro/internal/experiments"
 	"repro/internal/fedavg"
 	"repro/internal/fl"
+	"repro/internal/obs"
 	"repro/internal/serve"
 	"repro/internal/sim"
 	"repro/internal/stream"
@@ -443,3 +447,44 @@ func SystemToJSON(s *System) SystemJSON { return serve.SystemToJSON(s) }
 
 // SystemFromJSON converts the HTTP wire form back to a checked System.
 func SystemFromJSON(in SystemJSON) (*System, error) { return serve.SystemFromJSON(in) }
+
+// Observability types (see internal/obs): request-scoped solve-lifecycle
+// tracing, per-phase latency histograms and structured logging.
+type (
+	// ObsCollector owns a process's trace ring, slowest-N exemplars and
+	// per-phase histograms; all methods are nil-safe, so wiring is optional.
+	ObsCollector = obs.Collector
+	// ObsConfig tunes sampling, the slow threshold and retention sizes.
+	ObsConfig = obs.Config
+	// ObsTrace is one request's ordered span record (nil-safe methods).
+	ObsTrace = obs.Trace
+	// ObsSpan is one recorded phase of a trace.
+	ObsSpan = obs.Span
+	// ObsTraceJSON is the GET /debug/traces wire form of one trace.
+	ObsTraceJSON = obs.TraceJSON
+)
+
+// ObsDebugPath is the trace-inspection endpoint mounted by ObsMiddleware.
+const ObsDebugPath = obs.DebugPath
+
+// NewObsCollector builds a trace collector; the zero config applies the
+// defaults (1-in-16 sampling, 250ms slow threshold, 64-entry ring).
+func NewObsCollector(cfg ObsConfig) *ObsCollector { return obs.NewCollector(cfg) }
+
+// ObsMiddleware wraps an HTTP handler with lifecycle tracing: it starts a
+// trace per request (X-Trace-Id on the response), serves GET /debug/traces,
+// and appends the obs histograms to GET /metrics. A nil collector passes
+// requests through untouched.
+func ObsMiddleware(c *ObsCollector, next http.Handler) http.Handler {
+	return obs.Middleware(c, next)
+}
+
+// ObsFromContext returns the context's trace, or nil (whose methods no-op).
+func ObsFromContext(ctx context.Context) *ObsTrace { return obs.FromContext(ctx) }
+
+// ObsSetupLogger installs a structured slog default logger writing to w at
+// the named level ("debug", "info", "warn", "error"; "" means info), in
+// JSON when jsonOut is set and human-readable text otherwise.
+func ObsSetupLogger(w io.Writer, level string, jsonOut bool) (*slog.Logger, error) {
+	return obs.SetupDefault(w, level, jsonOut)
+}

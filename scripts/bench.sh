@@ -3,8 +3,8 @@
 # emit a machine-readable JSON baseline, so every perf PR can diff its
 # before/after numbers against the committed trajectory (BENCH_PR3.json
 # holds PR 3's pair, BENCH_PR4.json PR 4's streaming-delta pair,
-# BENCH_PR5.json PR 5's mass-handoff pair; later PRs append their own
-# files).
+# BENCH_PR5.json PR 5's mass-handoff pair, BENCH_PR6.json PR 6's traced
+# serving numbers; later PRs append their own files).
 #
 # Usage:
 #   scripts/bench.sh            # human output to stderr, JSON to stdout
@@ -13,7 +13,7 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-BENCHES='^(BenchmarkOptimizeWeighted|BenchmarkOptimizeDeadline|BenchmarkServeCold|BenchmarkServeCached|BenchmarkServeWarmStart|BenchmarkServeWarmStartAllocOnly|BenchmarkServeBatch|BenchmarkClusterRoutedCached|BenchmarkStreamDelta|BenchmarkStreamRepostCold|BenchmarkMassHandoff|BenchmarkHandoffPerDevice)$'
+BENCHES='^(BenchmarkOptimizeWeighted|BenchmarkOptimizeDeadline|BenchmarkServeCold|BenchmarkServeCached|BenchmarkServeWarmStart|BenchmarkServeWarmStartAllocOnly|BenchmarkServeTraced|BenchmarkServeBatch|BenchmarkClusterRoutedCached|BenchmarkStreamDelta|BenchmarkStreamRepostCold|BenchmarkMassHandoff|BenchmarkHandoffPerDevice)$'
 BENCHTIME="${BENCHTIME:-2s}"
 
 # Churn smoke: the elastic-cluster loadgen with cells added and drained

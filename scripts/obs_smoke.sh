@@ -1,0 +1,56 @@
+#!/usr/bin/env bash
+# scripts/obs_smoke.sh — end-to-end observability smoke test: start
+# flserved with tracing always-on (-trace-sample 1) and a separate debug
+# listener, drive one solve through the public API, and assert every
+# observability surface answers:
+#
+#   - the solve response carries an X-Trace-Id header,
+#   - GET /metrics includes the obs_phase_seconds histogram series,
+#   - GET /debug/traces (public listener) retained the trace,
+#   - the -debug-addr listener serves /debug/traces and net/http/pprof.
+#
+# Used by CI's "obs smoke" step; runnable locally with no arguments.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+PORT="${PORT:-18080}"
+DEBUG_PORT="${DEBUG_PORT:-18081}"
+BIN="$(mktemp -d)/flserved"
+trap 'kill "${pid:-0}" 2>/dev/null || true; rm -rf "$(dirname "$BIN")"' EXIT
+
+go build -o "$BIN" ./cmd/flserved
+"$BIN" -addr ":$PORT" -debug-addr ":$DEBUG_PORT" -trace-sample 1 -log-json &
+pid=$!
+
+for _ in $(seq 1 50); do
+    curl -fsS "http://localhost:$PORT/v1/stats" >/dev/null 2>&1 && break
+    sleep 0.2
+done
+
+# A tiny 3-device FL system with the paper's default constants (20 MHz
+# uplink, -174 dBm/Hz noise, 0-12 dBm power box, 10 MHz - 2 GHz CPU box).
+dev='{"samples":500,"cycles_per_sample":2e4,"upload_bits":2.81e4,"gain":1e-10,"f_min_hz":1e7,"f_max_hz":2e9,"p_min_w":1e-3,"p_max_w":1.585e-2}'
+body='{"device_id":"smoke-1","weights":{"w1":0.5,"w2":0.5},"system":{"bandwidth_hz":2e7,"n0_w_per_hz":3.98e-21,"kappa":1e-28,"local_iters":10,"global_rounds":400,"devices":['"$dev,$dev,$dev"']}}'
+
+out="$(mktemp)"
+headers="$(curl -fsS -D - -o "$out" -H 'Content-Type: application/json' \
+    -d "$body" "http://localhost:$PORT/v1/solve")"
+grep -qi '^X-Trace-Id:' <<<"$headers" ||
+    { echo "obs smoke: no X-Trace-Id on the solve response" >&2; exit 1; }
+grep -q '"objective"' "$out" ||
+    { echo "obs smoke: solve failed: $(cat "$out")" >&2; exit 1; }
+
+curl -fsS "http://localhost:$PORT/metrics" -o "$out"
+grep -q 'obs_phase_seconds_bucket' "$out" ||
+    { echo "obs smoke: obs_phase_seconds_bucket missing from /metrics" >&2; exit 1; }
+curl -fsS "http://localhost:$PORT/debug/traces" -o "$out"
+grep -q '"trace_id"' "$out" ||
+    { echo "obs smoke: no retained trace on the public /debug/traces" >&2; exit 1; }
+curl -fsS "http://localhost:$DEBUG_PORT/debug/traces" -o "$out"
+grep -q '"trace_id"' "$out" ||
+    { echo "obs smoke: no retained trace on the -debug-addr listener" >&2; exit 1; }
+curl -fsS "http://localhost:$DEBUG_PORT/debug/pprof/cmdline" >/dev/null ||
+    { echo "obs smoke: pprof not served on the -debug-addr listener" >&2; exit 1; }
+rm -f "$out"
+
+echo "obs smoke OK"
