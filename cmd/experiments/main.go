@@ -42,8 +42,13 @@ func main() {
 
 		logLevel = flag.String("log-level", "info", "structured log level (debug|info|warn|error)")
 		logJSON  = flag.Bool("log-json", false, "emit structured logs as JSON instead of text")
+		version  = flag.Bool("version", false, "print build/version info and exit")
 	)
 	flag.Parse()
+	if *version {
+		fmt.Println(repro.ObsVersionString())
+		return
+	}
 	if _, err := repro.ObsSetupLogger(os.Stderr, *logLevel, *logJSON); err != nil {
 		fmt.Fprintln(os.Stderr, "experiments:", err)
 		os.Exit(1)

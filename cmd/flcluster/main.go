@@ -23,8 +23,22 @@
 //	DELETE /v1/cells/{id}         drain a cell and remove it
 //	GET    /v1/rebalance/plan     per-cell moved-key counts (dry run)
 //	POST   /v1/rebalance          execute the rebalance
-//	GET    /v1/stats              aggregate + per-cell + stream + ctrl (JSON)
+//	GET    /v1/health             per-cell rolling windows + SLO standing
+//	                              (503 when breached — readiness probe)
+//	GET    /v1/autoscale/plan     the health advisor's current recommendation
+//	GET    /debug/alerts          the alert-event ring (SLO transitions,
+//	                              membership changes, autoscale actions)
+//	GET    /v1/version            build/version info (also: -version flag)
+//	GET    /v1/stats              aggregate + per-cell + stream + ctrl +
+//	                              health (JSON)
 //	GET    /metrics               Prometheus text exposition
+//
+// A health evaluator always runs over the cluster, judging per-cell SLO
+// rules on rolling windows and advising on scale. With -autoscale the
+// advisor's plans are enacted through the control plane: sustained SLO
+// breach adds a cell (up to -max-cells), sustained idleness drains the
+// least-loaded cell (down to -min-cells), with -scale-cooldown between
+// actions.
 //
 // Load-generator mode replays drifting per-device scenarios against an
 // in-process instance of the same HTTP stack, migrating devices between
@@ -51,6 +65,13 @@
 // otherwise a fresh log-normal drift of its gains (exercising warm
 // starts). With probability -migrate the device first hands off to a
 // random other cell.
+//
+// With -loadgen N -wave the replay instead runs a traffic wave against an
+// autoscaling cluster: a hot phase of N cache-defeating solves at full
+// concurrency (driving queue waits over the SLO until the advisor adds
+// cells), then silence until the advisor drains the cluster back down to
+// -min-cells. The run reports peak/final cell counts, the health and plan
+// endpoints, and the alert ring.
 //
 // With -stream every device instead opens one delta session and replays
 // sparse NDJSON gain deltas (-deltadev gains per update) down a live
@@ -96,6 +117,12 @@ func main() {
 		sessions   = flag.Int("sessions", 1024, "max concurrent stream sessions")
 		sessionTTL = flag.Duration("session-ttl", 5*time.Minute, "stream session idle TTL")
 
+		autoscale     = flag.Bool("autoscale", false, "enact health advisor plans (add/drain cells) through the control plane")
+		minCells      = flag.Int("min-cells", 1, "autoscale: lower bound on cluster size")
+		maxCells      = flag.Int("max-cells", 8, "autoscale: upper bound on cluster size")
+		healthTick    = flag.Duration("health-tick", 2*time.Second, "health evaluator polling interval")
+		scaleCooldown = flag.Duration("scale-cooldown", 30*time.Second, "autoscale: minimum wall time between actions")
+
 		logLevel  = flag.String("log-level", "info", "structured log level (debug|info|warn|error)")
 		logJSON   = flag.Bool("log-json", false, "emit structured logs as JSON instead of text")
 		debugAddr = flag.String("debug-addr", "", "optional debug listen address (net/http/pprof + /debug/traces)")
@@ -114,14 +141,25 @@ func main() {
 		stream   = flag.Bool("stream", false, "loadgen: replay through per-device NDJSON delta sessions (POST /v1/stream)")
 		deltadev = flag.Int("deltadev", 3, "loadgen -stream: devices drifted per delta")
 		churn    = flag.Int("churn", 0, "loadgen: add+drain this many cells mid-replay (per-request mode)")
+		wave     = flag.Bool("wave", false, "loadgen: autoscale traffic wave (hot phase, then idle until the cluster drains back)")
+
+		version = flag.Bool("version", false, "print build/version info and exit")
 	)
 	flag.Parse()
+	if *version {
+		fmt.Println(repro.ObsVersionString())
+		return
+	}
 	if _, err := repro.ObsSetupLogger(os.Stderr, *logLevel, *logJSON); err != nil {
 		fmt.Fprintln(os.Stderr, "flcluster:", err)
 		os.Exit(1)
 	}
 	if *churn > 0 && (*stream || *batch > 0) {
 		fmt.Fprintln(os.Stderr, "flcluster: -churn only composes with the per-request loadgen (no -stream/-batch)")
+		os.Exit(2)
+	}
+	if *wave && (*stream || *batch > 0 || *churn > 0) {
+		fmt.Fprintln(os.Stderr, "flcluster: -wave only composes with the per-request loadgen (no -stream/-batch/-churn)")
 		os.Exit(2)
 	}
 
@@ -138,14 +176,25 @@ func main() {
 	}
 	scfg := repro.StreamConfig{MaxSessions: *sessions, IdleTTL: *sessionTTL}
 
+	hcfg := repro.HealthConfig{
+		Tick: *healthTick,
+		Advisor: repro.HealthAdvisorConfig{
+			MinCells: *minCells,
+			MaxCells: *maxCells,
+			Cooldown: *scaleCooldown,
+		},
+	}
+
 	var err error
 	switch {
 	case *loadgen > 0 && *stream:
 		err = runStreamLoadgen(cfg, scfg, *loadgen, *devices, *n, *drift, *migrate, *conc, *seed, *deltadev)
+	case *loadgen > 0 && *wave:
+		err = runAutoscaleWave(cfg, hcfg, *autoscale, *loadgen, *devices, *n, *drift, *conc, *seed)
 	case *loadgen > 0:
 		err = runLoadgen(cfg, *loadgen, *devices, *n, *drift, *repeat, *migrate, *conc, *seed, *batch, *churn)
 	default:
-		err = runServer(cfg, scfg, *addr, *debugAddr, *traceN, *traceSlow)
+		err = runServer(cfg, scfg, hcfg, *autoscale, *addr, *debugAddr, *traceN, *traceSlow)
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "flcluster:", err)
@@ -154,7 +203,7 @@ func main() {
 }
 
 // runServer serves until SIGINT/SIGTERM.
-func runServer(cfg repro.ClusterConfig, scfg repro.StreamConfig, addr, debugAddr string, traceN int, traceSlow time.Duration) error {
+func runServer(cfg repro.ClusterConfig, scfg repro.StreamConfig, hcfg repro.HealthConfig, autoscale bool, addr, debugAddr string, traceN int, traceSlow time.Duration) error {
 	var col *repro.ObsCollector
 	if traceN > 0 {
 		col = repro.NewObsCollector(repro.ObsConfig{SampleEvery: traceN, SlowThreshold: traceSlow})
@@ -168,7 +217,16 @@ func runServer(cfg repro.ClusterConfig, scfg repro.StreamConfig, addr, debugAddr
 	plane := repro.NewControlPlane(cl, mgr)
 	plane.SetLogger(slog.Default())
 
-	httpSrv := &http.Server{Addr: addr, Handler: repro.ObsMiddleware(col, plane.Handler(repro.StreamHandler(mgr)))}
+	hcfg.Source = repro.HealthRouterSource(cl)
+	hcfg.Logger = slog.Default()
+	if autoscale {
+		hcfg.Actuator = repro.NewCtrlActuator(plane)
+	}
+	ev := repro.NewHealthEvaluator(hcfg)
+	ev.Start()
+	defer ev.Close()
+
+	httpSrv := &http.Server{Addr: addr, Handler: repro.ObsMiddleware(col, ev.Handler(plane.Handler(repro.StreamHandler(mgr))))}
 	var debugSrv *http.Server
 	if debugAddr != "" {
 		debugSrv = &http.Server{Addr: debugAddr, Handler: debugMux(col)}
@@ -191,8 +249,12 @@ func runServer(cfg repro.ClusterConfig, scfg repro.StreamConfig, addr, debugAddr
 		}
 	}()
 
-	fmt.Printf("flcluster: %d cells listening on %s (POST /v1/cells/{id}/solve, POST /v1/solve, POST /v1/stream, POST /v1/handoff, POST/DELETE /v1/cells, POST /v1/rebalance, GET /v1/stats, GET /metrics)\n",
-		cl.Cells(), addr)
+	mode := "advise-only"
+	if autoscale {
+		mode = "enacting"
+	}
+	fmt.Printf("flcluster: %d cells listening on %s (POST /v1/cells/{id}/solve, POST /v1/solve, POST /v1/stream, POST /v1/handoff, POST/DELETE /v1/cells, POST /v1/rebalance, GET /v1/health, GET /v1/autoscale/plan, GET /debug/alerts, GET /v1/version, GET /v1/stats, GET /metrics); autoscale %s\n",
+		cl.Cells(), addr, mode)
 	if err := httpSrv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
 		return err
 	}
@@ -444,6 +506,243 @@ func runLoadgen(cfg repro.ClusterConfig, total, devices, n int, drift, repeat, m
 			c.Cell, c.Requests, c.Hits, c.WarmStarts, c.ColdSolves, c.CacheEntries)
 	}
 	return nil
+}
+
+// runAutoscaleWave drives a traffic wave against an autoscaling cluster:
+// a hot phase of cache-defeating solves at full concurrency until the
+// health advisor's sustained-breach signal adds cells, then silence until
+// the sustained-idle signal drains the cluster back to its minimum. The
+// whole loop — rolling windows, SLO hysteresis, advisor, control-plane
+// enactment — runs exactly as in server mode; the wave just supplies the
+// traffic shape. Without -autoscale the advisor only reports (and the run
+// skips the drain-back wait, since nothing will act).
+func runAutoscaleWave(cfg repro.ClusterConfig, hcfg repro.HealthConfig, autoscale bool, total, devices, n int, drift float64, conc int, seed int64) error {
+	cl := repro.NewCluster(cfg)
+	defer cl.Close()
+	plane := repro.NewControlPlane(cl, nil)
+	plane.SetLogger(slog.Default())
+
+	// Tighter-than-server hysteresis so the wave turns around in seconds
+	// on a fast -health-tick; bounds, tick and cooldown come from flags.
+	hcfg.Source = repro.HealthRouterSource(cl)
+	hcfg.Logger = slog.Default()
+	if autoscale {
+		hcfg.Actuator = repro.NewCtrlActuator(plane)
+	}
+	hcfg.WindowTicks = 8
+	hcfg.BreachAfter = 2
+	hcfg.ClearAfter = 2
+	hcfg.Advisor.ScaleUpAfter = 2
+	hcfg.Advisor.ScaleDownAfter = 4
+	// The wave's scaling story is queue pressure: judge only the latency
+	// and error SLOs, so the zero hit rate of cache-defeating traffic
+	// doesn't trip the cache-hit floor and muddy what drove the adds.
+	hcfg.Rules = []repro.HealthRule{}
+	for _, r := range repro.HealthDefaultRules() {
+		if r.Metric != repro.HealthMetricCacheHitRate {
+			hcfg.Rules = append(hcfg.Rules, r)
+		}
+	}
+	ev := repro.NewHealthEvaluator(hcfg)
+	ev.Start()
+	defer ev.Close()
+	ts := httptest.NewServer(ev.Handler(plane.Handler(cl.Handler())))
+	defer ts.Close()
+
+	if devices < 1 {
+		devices = 1
+	}
+	if conc > devices {
+		conc = devices
+	}
+	devs := make([]*device, devices)
+	for d := range devs {
+		sc := repro.DefaultScenario()
+		sc.N = n
+		base, err := sc.Build(rand.New(rand.NewSource(seed + int64(d))))
+		if err != nil {
+			return err
+		}
+		devs[d] = &device{id: fmt.Sprintf("dev-%d", d), base: base, lastCell: -1}
+	}
+
+	// Peak-cell monitor: membership moves on the evaluator's clock, not the
+	// request path, so sample it continuously.
+	monStop := make(chan struct{})
+	monDone := make(chan int, 1)
+	go func() {
+		peak := cl.Cells()
+		tk := time.NewTicker(20 * time.Millisecond)
+		defer tk.Stop()
+		for {
+			select {
+			case <-monStop:
+				monDone <- peak
+				return
+			case <-tk.C:
+				if c := cl.Cells(); c > peak {
+					peak = c
+				}
+			}
+		}
+	}()
+
+	// Hot phase: every request is a fresh drift (no repeats), so nothing
+	// caches and every solve queues behind the worker pool.
+	type tally struct {
+		ok, fail int64
+		err      error
+	}
+	tallies := make([]tally, conc)
+	var wg sync.WaitGroup
+	began := time.Now()
+	for wkr := 0; wkr < conc; wkr++ {
+		var mine []*device
+		for d := wkr; d < devices; d += conc {
+			mine = append(mine, devs[d])
+		}
+		share := total / conc
+		if wkr < total%conc {
+			share++
+		}
+		wg.Add(1)
+		go func(wkr int, mine []*device, share int) {
+			defer wg.Done()
+			t := &tallies[wkr]
+			rng := rand.New(rand.NewSource(seed + 1000*int64(wkr+1)))
+			for done := 0; done < share; done++ {
+				dev := mine[rng.Intn(len(mine))]
+				body, err := json.Marshal(driftedReq(dev, drift, rng))
+				if err != nil {
+					t.err = err
+					return
+				}
+				out, status, err := postSolve(ts.URL, body)
+				if err != nil {
+					t.err = err
+					return
+				}
+				if status != http.StatusOK {
+					t.fail++
+					continue
+				}
+				t.ok++
+				dev.lastCell = out.Cell
+			}
+		}(wkr, mine, share)
+	}
+	wg.Wait()
+	hotElapsed := time.Since(began)
+	var agg tally
+	for i := range tallies {
+		if tallies[i].err != nil {
+			return tallies[i].err
+		}
+		agg.ok += tallies[i].ok
+		agg.fail += tallies[i].fail
+	}
+	hotHealth, err := fetchHealth(ts.URL)
+	if err != nil {
+		return err
+	}
+	hotCells := cl.Cells()
+
+	// Idle phase: no traffic at all. Wait for the advisor to walk the
+	// cluster back down to MinCells, one cooldown-spaced drain at a time.
+	minCells := hcfg.Advisor.MinCells
+	if minCells < 1 {
+		minCells = 1
+	}
+	deadline := time.Now().Add(time.Duration(hotCells)*hcfg.Advisor.Cooldown + 30*time.Second)
+	drained := true
+	for autoscale && cl.Cells() > minCells {
+		if time.Now().After(deadline) {
+			drained = false
+			break
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	close(monStop)
+	peak := <-monDone
+	// Let the evaluator tick past the final membership change before
+	// snapshotting, so the report reflects the settled cluster.
+	time.Sleep(2 * hcfg.Tick)
+
+	finalHealth, err := fetchHealth(ts.URL)
+	if err != nil {
+		return err
+	}
+	plan, err := fetchPlan(ts.URL)
+	if err != nil {
+		return err
+	}
+	alerts, alertsTotal, err := fetchAlerts(ts.URL)
+	if err != nil {
+		return err
+	}
+	ps := plane.Stats()
+
+	fmt.Printf("wave: hot phase %d requests (%d ok, %d failed) over %d clients in %.2fs = %.1f req/s\n",
+		agg.ok+agg.fail, agg.ok, agg.fail, conc, hotElapsed.Seconds(),
+		float64(agg.ok+agg.fail)/hotElapsed.Seconds())
+	fmt.Printf("wave: cells %d -> peak %d -> final %d (autoscale adds %d, drains %d; bounds [%d,%d])\n",
+		cfg.Cells, peak, cl.Cells(), ps.AutoscaleAdds, ps.AutoscaleDrains,
+		minCells, hcfg.Advisor.MaxCells)
+	fmt.Printf("health: after hot phase %s (%d cells), final %s (%d cells)\n",
+		hotHealth.Status, len(hotHealth.Cells), finalHealth.Status, len(finalHealth.Cells))
+	fmt.Printf("plan: action=%s cells=%d reason=%q\n", plan.Action, plan.Cells, plan.Reason)
+	fmt.Printf("alerts (%d total, %d retained), oldest first:\n", alertsTotal, len(alerts))
+	const maxAlertLines = 40
+	if len(alerts) > maxAlertLines {
+		fmt.Printf("  ... %d earlier events elided ...\n", len(alerts)-maxAlertLines)
+		alerts = alerts[:maxAlertLines]
+	}
+	for i := len(alerts) - 1; i >= 0; i-- {
+		fmt.Printf("  [%s] %s\n", alerts[i].Kind, alerts[i].Message)
+	}
+	if !drained {
+		return fmt.Errorf("wave: cluster did not drain back to %d cells before deadline (now %d)", minCells, cl.Cells())
+	}
+	return nil
+}
+
+// fetchHealth decodes GET /v1/health (any status — breached answers 503).
+func fetchHealth(baseURL string) (repro.HealthJSON, error) {
+	var h repro.HealthJSON
+	resp, err := http.Get(baseURL + "/v1/health")
+	if err != nil {
+		return h, err
+	}
+	defer resp.Body.Close()
+	err = json.NewDecoder(resp.Body).Decode(&h)
+	return h, err
+}
+
+// fetchPlan decodes GET /v1/autoscale/plan.
+func fetchPlan(baseURL string) (repro.AutoscalePlan, error) {
+	var p repro.AutoscalePlan
+	resp, err := http.Get(baseURL + "/v1/autoscale/plan")
+	if err != nil {
+		return p, err
+	}
+	defer resp.Body.Close()
+	err = json.NewDecoder(resp.Body).Decode(&p)
+	return p, err
+}
+
+// fetchAlerts decodes GET /debug/alerts (newest first).
+func fetchAlerts(baseURL string) ([]repro.HealthAlert, int64, error) {
+	var body struct {
+		Alerts []repro.HealthAlert `json:"alerts"`
+		Total  int64               `json:"total"`
+	}
+	resp, err := http.Get(baseURL + "/debug/alerts")
+	if err != nil {
+		return nil, 0, err
+	}
+	defer resp.Body.Close()
+	err = json.NewDecoder(resp.Body).Decode(&body)
+	return body.Alerts, body.Total, err
 }
 
 // churnSummary is what the churn driver hands back after the replay.

@@ -35,8 +35,13 @@ func main() {
 		verbose  = flag.Bool("verbose", false, "print the per-device allocation table and solver trace")
 		logLevel = flag.String("log-level", "info", "structured log level (debug|info|warn|error)")
 		logJSON  = flag.Bool("log-json", false, "emit structured logs as JSON instead of text")
+		version  = flag.Bool("version", false, "print build/version info and exit")
 	)
 	flag.Parse()
+	if *version {
+		fmt.Println(repro.ObsVersionString())
+		return
+	}
 	if _, err := repro.ObsSetupLogger(os.Stderr, *logLevel, *logJSON); err != nil {
 		fmt.Fprintln(os.Stderr, "flopt:", err)
 		os.Exit(1)

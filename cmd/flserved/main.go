@@ -15,8 +15,16 @@
 //	POST   /v1/stream             open a gain-delta session (full system once)
 //	POST   /v1/stream/{id}/deltas NDJSON deltas in, NDJSON re-solves out
 //	DELETE /v1/stream/{id}        close a session
-//	GET    /v1/stats              counters (server + "stream" section)
+//	GET    /v1/health             rolling-window SLO standing (503 when
+//	                              breached — readiness probe)
+//	GET    /debug/alerts          the alert-event ring
+//	GET    /v1/version            build/version info (also: -version flag)
+//	GET    /v1/stats              counters (server + "stream" + "health")
 //	GET    /metrics               Prometheus text exposition
+//
+// A health evaluator runs over the server (the single-cell analogue of
+// flcluster's: the one serve pool is observed as cell 0) — advise-only,
+// there is no membership to actuate here.
 //
 // Load-generator mode replays randomly-drifted copies of the default
 // scenario against an in-process instance of the same HTTP stack and prints
@@ -86,8 +94,15 @@ func main() {
 		batch    = flag.Int("batch", 0, "loadgen: replay through POST /v1/solve-batch in batches of this size (0 = per-request /v1/solve)")
 		stream   = flag.Bool("stream", false, "loadgen: replay through per-client NDJSON delta sessions (POST /v1/stream)")
 		deltadev = flag.Int("deltadev", 3, "loadgen -stream: devices drifted per delta")
+
+		healthTick = flag.Duration("health-tick", 2*time.Second, "health evaluator polling interval")
+		version    = flag.Bool("version", false, "print build/version info and exit")
 	)
 	flag.Parse()
+	if *version {
+		fmt.Println(repro.ObsVersionString())
+		return
+	}
 
 	if _, err := repro.ObsSetupLogger(os.Stderr, *logLevel, *logJSON); err != nil {
 		fmt.Fprintln(os.Stderr, "flserved:", err)
@@ -111,7 +126,7 @@ func main() {
 	case *loadgen > 0:
 		err = runLoadgen(cfg, *loadgen, *n, *drift, *repeat, *conc, *seed, *batch)
 	default:
-		err = runServer(cfg, scfg, *addr, *debugAddr, *traceN, *traceSlow)
+		err = runServer(cfg, scfg, *healthTick, *addr, *debugAddr, *traceN, *traceSlow)
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "flserved:", err)
@@ -120,7 +135,7 @@ func main() {
 }
 
 // runServer serves until SIGINT/SIGTERM.
-func runServer(cfg repro.ServeConfig, scfg repro.StreamConfig, addr, debugAddr string, traceN int, traceSlow time.Duration) error {
+func runServer(cfg repro.ServeConfig, scfg repro.StreamConfig, healthTick time.Duration, addr, debugAddr string, traceN int, traceSlow time.Duration) error {
 	var col *repro.ObsCollector
 	if traceN > 0 {
 		col = repro.NewObsCollector(repro.ObsConfig{SampleEvery: traceN, SlowThreshold: traceSlow})
@@ -131,8 +146,15 @@ func runServer(cfg repro.ServeConfig, scfg repro.StreamConfig, addr, debugAddr s
 	defer srv.Close()
 	mgr := repro.NewStreamManager(repro.NewStreamServeBackend(srv), scfg)
 	defer mgr.Close()
+	ev := repro.NewHealthEvaluator(repro.HealthConfig{
+		Source: repro.HealthServerSource(srv),
+		Tick:   healthTick,
+		Logger: slog.Default(),
+	})
+	ev.Start()
+	defer ev.Close()
 
-	httpSrv := &http.Server{Addr: addr, Handler: repro.ObsMiddleware(col, repro.StreamHandler(mgr))}
+	httpSrv := &http.Server{Addr: addr, Handler: repro.ObsMiddleware(col, ev.Handler(repro.StreamHandler(mgr)))}
 	var debugSrv *http.Server
 	if debugAddr != "" {
 		debugSrv = &http.Server{Addr: debugAddr, Handler: debugMux(col)}
@@ -155,7 +177,7 @@ func runServer(cfg repro.ServeConfig, scfg repro.StreamConfig, addr, debugAddr s
 		}
 	}()
 
-	fmt.Printf("flserved: listening on %s (POST /v1/solve, POST /v1/stream, GET /v1/stats)\n", addr)
+	fmt.Printf("flserved: listening on %s (POST /v1/solve, POST /v1/stream, GET /v1/health, GET /v1/stats)\n", addr)
 	if err := httpSrv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
 		return err
 	}

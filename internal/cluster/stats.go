@@ -59,7 +59,7 @@ func (r *Router) Stats() Stats {
 	mem := r.mem.Load()
 	out := Stats{Cells: make([]CellStats, len(mem.ids))}
 	agg := &out.Aggregate
-	var lat, hitLat []time.Duration
+	var lat, hitLat, qwLat []time.Duration
 	for i, id := range mem.ids {
 		c := mem.cells[id]
 		snap := c.Stats()
@@ -74,14 +74,18 @@ func (r *Router) Stats() Stats {
 		agg.Errors += snap.Errors
 		agg.CacheEntries += snap.CacheEntries
 		agg.WarmEntries += snap.WarmEntries
+		agg.QueueLen += snap.QueueLen
+		agg.BulkQueueLen += snap.BulkQueueLen
 		agg.BatchRequests += snap.BatchRequests
 		agg.BatchItems += snap.BatchItems
 		agg.TrackedBuckets += snap.TrackedBuckets
 		lat = append(lat, c.SolveLatencies()...)
 		hitLat = append(hitLat, c.CacheHitLatencies()...)
+		qwLat = append(qwLat, c.QueueWaitLatencies()...)
 	}
 	agg.SolveP50, agg.SolveP99 = serve.LatencyQuantiles(lat)
 	agg.CacheHitP50, agg.CacheHitP99 = serve.LatencyQuantiles(hitLat)
+	agg.QueueWaitP50, agg.QueueWaitP99 = serve.LatencyQuantiles(qwLat)
 	agg.Generation = mem.gen
 	agg.CellsAdded = r.cellsAdded.Load()
 	agg.CellsRemoved = r.cellsRemoved.Load()
@@ -133,5 +137,9 @@ func (s Stats) WritePrometheus(w io.Writer) error {
 	pw.Gauge("flcluster_solve_latency_seconds", "Cluster-wide recent solve latency quantiles.", `quantile="0.99"`, a.SolveP99)
 	pw.Gauge("flcluster_cache_hit_latency_seconds", "Cluster-wide recent cache-hit path latency quantiles.", `quantile="0.5"`, a.CacheHitP50)
 	pw.Gauge("flcluster_cache_hit_latency_seconds", "Cluster-wide recent cache-hit path latency quantiles.", `quantile="0.99"`, a.CacheHitP99)
+	pw.Gauge("flcluster_queue_wait_seconds", "Cluster-wide recent queue-wait quantiles.", `quantile="0.5"`, a.QueueWaitP50)
+	pw.Gauge("flcluster_queue_wait_seconds", "Cluster-wide recent queue-wait quantiles.", `quantile="0.99"`, a.QueueWaitP99)
+	pw.Gauge("flcluster_queue_len", "Cluster-wide instantaneous queue depth (interactive).", "", float64(a.QueueLen))
+	pw.Gauge("flcluster_bulk_queue_len", "Cluster-wide instantaneous queue depth (bulk).", "", float64(a.BulkQueueLen))
 	return pw.Err()
 }

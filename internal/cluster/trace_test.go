@@ -1,7 +1,12 @@
 package cluster
 
 import (
+	"bytes"
 	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
 	"strconv"
 	"testing"
 
@@ -124,5 +129,87 @@ func TestMassHandoffTraceContinuity(t *testing.T) {
 	injects := spansByPhase(spans, obs.PhaseMassInject)
 	if len(injects) != 1 || injects[0].Cell != 2 {
 		t.Fatalf("mass_inject spans %+v, want one on cell 2", injects)
+	}
+}
+
+// TestHTTPTraceAdoptionAcrossHop stacks two obs-wrapped HTTP services —
+// an edge that forwards to a cluster — and checks one trace ID flows from
+// the client's X-Trace-Id header through both hops: the edge adopts the
+// wire ID instead of minting its own, forwards it, and the cluster side
+// adopts it again, so both collectors retain the SAME trace.
+func TestHTTPTraceAdoptionAcrossHop(t *testing.T) {
+	r := testRouter(t, 2)
+	colCell := traceCollector()
+	cellSrv := httptest.NewServer(obs.Middleware(colCell, r.Handler()))
+	defer cellSrv.Close()
+
+	colEdge := traceCollector()
+	edgeSrv := httptest.NewServer(obs.Middleware(colEdge, http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		// Forward router-style, carrying this hop's trace on the wire.
+		tr := obs.FromContext(req.Context())
+		fwd, err := http.NewRequest(req.Method, cellSrv.URL+req.URL.Path, req.Body)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		fwd.Header.Set("Content-Type", req.Header.Get("Content-Type"))
+		fwd.Header.Set(obs.TraceHeader, tr.ID())
+		resp, err := http.DefaultClient.Do(fwd)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadGateway)
+			return
+		}
+		defer resp.Body.Close()
+		w.WriteHeader(resp.StatusCode)
+		_, _ = io.Copy(w, resp.Body)
+	})))
+	defer edgeSrv.Close()
+
+	body, err := json.Marshal(solveBody(testSystem(t, 5, 21), "ue-wire-trace"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	const wireID = "wire-trace-0123456789abcdef"
+	req, err := http.NewRequest(http.MethodPost, edgeSrv.URL+"/v1/solve", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set(obs.TraceHeader, wireID)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		b, _ := io.ReadAll(resp.Body)
+		t.Fatalf("solve through both hops: status %d: %s", resp.StatusCode, b)
+	}
+	if got := resp.Header.Get(obs.TraceHeader); got != wireID {
+		t.Fatalf("edge response trace header %q, want the client's %q", got, wireID)
+	}
+	for name, col := range map[string]*obs.Collector{"edge": colEdge, "cell": colCell} {
+		recent := col.Recent()
+		if len(recent) != 1 || recent[0].TraceID != wireID {
+			t.Fatalf("%s collector retained %+v, want one trace with ID %q", name, recent, wireID)
+		}
+	}
+
+	// A malformed wire ID must not be adopted: the middleware mints a
+	// fresh one instead of letting arbitrary bytes into logs and dumps.
+	req2, err := http.NewRequest(http.MethodPost, edgeSrv.URL+"/v1/solve", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req2.Header.Set("Content-Type", "application/json")
+	req2.Header.Set(obs.TraceHeader, "not a valid id!")
+	resp2, err := http.DefaultClient.Do(req2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp2.Body.Close()
+	minted := resp2.Header.Get(obs.TraceHeader)
+	if minted == "" || minted == "not a valid id!" {
+		t.Fatalf("malformed wire ID handling: response header %q, want a freshly minted ID", minted)
 	}
 }

@@ -1,0 +1,55 @@
+package ctrl
+
+import (
+	"context"
+	"sync/atomic"
+)
+
+// Autoscale counters live on the Plane so operator-initiated membership
+// changes (the HTTP API) and autoscaler-initiated ones stay separable in
+// /v1/stats and /metrics.
+type autoscaleCounters struct {
+	adds   atomic.Int64
+	drains atomic.Int64
+}
+
+// AutoscaleAddCell is AddCell invoked by the health layer's autoscaler
+// rather than an operator. Same splice + backfill; the log line and the
+// ctrl_autoscale_* counters carry the origin.
+func (p *Plane) AutoscaleAddCell(ctx context.Context) (AddCellReport, error) {
+	rep, err := p.AddCell(ctx)
+	if err != nil {
+		return rep, err
+	}
+	p.autoscale.adds.Add(1)
+	p.logger().Info("autoscale add", "cell", rep.Cell, "generation", rep.Generation, "cells", len(rep.Cells))
+	return rep, nil
+}
+
+// AutoscaleDrainCell is DrainCell invoked by the autoscaler.
+func (p *Plane) AutoscaleDrainCell(ctx context.Context, id int) (DrainReport, error) {
+	rep, err := p.DrainCell(ctx, id)
+	if err != nil {
+		return rep, err
+	}
+	p.autoscale.drains.Add(1)
+	p.logger().Info("autoscale drain", "cell", rep.Cell, "generation", rep.Generation, "cells", len(rep.Cells))
+	return rep, nil
+}
+
+// Actuator adapts the plane's autoscale entry points to the health
+// layer's Actuator interface (satisfied structurally — ctrl stays
+// ignorant of the health package).
+type Actuator struct{ Plane *Plane }
+
+// ScaleUp adds a cell through the autoscale path and returns its ID.
+func (a Actuator) ScaleUp(ctx context.Context) (int, error) {
+	rep, err := a.Plane.AutoscaleAddCell(ctx)
+	return rep.Cell, err
+}
+
+// ScaleDown drains and removes cell through the autoscale path.
+func (a Actuator) ScaleDown(ctx context.Context, cell int) error {
+	_, err := a.Plane.AutoscaleDrainCell(ctx, cell)
+	return err
+}

@@ -69,6 +69,7 @@ type Plane struct {
 	migratedResults   atomic.Int64
 	migratedWarm      atomic.Int64
 	suspendedSessions atomic.Int64
+	autoscale         autoscaleCounters
 
 	// log receives structured membership-change events (set before the
 	// plane serves traffic; nil falls back to slog.Default()).
@@ -366,6 +367,10 @@ type Snapshot struct {
 	// SuspendedSessions counts stream sessions suspended around control-
 	// plane migrations (their deltas queued + coalesced, never failed).
 	SuspendedSessions int64 `json:"suspended_sessions"`
+	// AutoscaleAdds/AutoscaleDrains are the subset of adds/removals that
+	// the health layer's autoscaler initiated (vs operator API calls).
+	AutoscaleAdds   int64 `json:"autoscale_adds"`
+	AutoscaleDrains int64 `json:"autoscale_drains"`
 }
 
 // Stats snapshots the control plane.
@@ -381,6 +386,8 @@ func (p *Plane) Stats() Snapshot {
 		MigratedResults:   p.migratedResults.Load(),
 		MigratedWarm:      p.migratedWarm.Load(),
 		SuspendedSessions: p.suspendedSessions.Load(),
+		AutoscaleAdds:     p.autoscale.adds.Load(),
+		AutoscaleDrains:   p.autoscale.drains.Load(),
 	}
 }
 
@@ -396,4 +403,6 @@ func (s Snapshot) WritePrometheus(pw *serve.PromWriter) {
 	pw.Counter("ctrl_migrated_results_total", "Cache entries migrated by control-plane batches.", "", float64(s.MigratedResults))
 	pw.Counter("ctrl_migrated_warm_starts_total", "Warm-start allocations migrated by control-plane batches.", "", float64(s.MigratedWarm))
 	pw.Counter("ctrl_suspended_sessions_total", "Stream sessions suspended around control-plane migrations.", "", float64(s.SuspendedSessions))
+	pw.Counter("ctrl_autoscale_adds_total", "Cells added by the autoscaler.", "", float64(s.AutoscaleAdds))
+	pw.Counter("ctrl_autoscale_drains_total", "Cells drained by the autoscaler.", "", float64(s.AutoscaleDrains))
 }

@@ -1,0 +1,238 @@
+package health
+
+import (
+	"context"
+	"fmt"
+	"time"
+)
+
+// Action is an advisor recommendation.
+type Action string
+
+const (
+	ActionNone      Action = "none"
+	ActionScaleUp   Action = "scale_up"
+	ActionScaleDown Action = "scale_down"
+)
+
+// AdvisorConfig tunes the autoscale policy; zero values take defaults.
+type AdvisorConfig struct {
+	// MinCells/MaxCells bound the cluster size the advisor will recommend.
+	MinCells int `json:"min_cells"`
+	MaxCells int `json:"max_cells"`
+	// ScaleUpAfter is how many consecutive ticks with at least one
+	// breached rule trigger a scale-up; ScaleDownAfter how many
+	// consecutive idle ticks (all rules ok, per-cell request rate under
+	// IdleRPS) trigger a drain.
+	ScaleUpAfter   int `json:"scale_up_after"`
+	ScaleDownAfter int `json:"scale_down_after"`
+	// IdleRPS is the per-cell request rate below which a tick counts as
+	// idle.
+	IdleRPS float64 `json:"idle_rps"`
+	// Cooldown is the minimum wall time between enacted actions, so the
+	// cluster settles (backfill, rebalance, window refill) before the next
+	// decision.
+	Cooldown time.Duration `json:"-"`
+}
+
+// Advisor defaults.
+const (
+	DefaultMinCells       = 1
+	DefaultMaxCells       = 8
+	DefaultScaleUpAfter   = 3
+	DefaultScaleDownAfter = 10
+	DefaultIdleRPS        = 0.5
+	DefaultCooldown       = 30 * time.Second
+)
+
+func (a AdvisorConfig) withDefaults() AdvisorConfig {
+	if a.MinCells <= 0 {
+		a.MinCells = DefaultMinCells
+	}
+	if a.MaxCells <= 0 {
+		a.MaxCells = DefaultMaxCells
+	}
+	if a.MaxCells < a.MinCells {
+		a.MaxCells = a.MinCells
+	}
+	if a.ScaleUpAfter <= 0 {
+		a.ScaleUpAfter = DefaultScaleUpAfter
+	}
+	if a.ScaleDownAfter <= 0 {
+		a.ScaleDownAfter = DefaultScaleDownAfter
+	}
+	if a.IdleRPS <= 0 {
+		a.IdleRPS = DefaultIdleRPS
+	}
+	if a.Cooldown <= 0 {
+		a.Cooldown = DefaultCooldown
+	}
+	return a
+}
+
+// Actuator enacts advisor plans. The control plane's autoscale entry
+// points (ctrl.Plane.AutoscaleAddCell / AutoscaleDrainCell) satisfy it via
+// a thin adapter in the cmds; tests plug in fakes.
+type Actuator interface {
+	// ScaleUp adds a cell and returns its ID.
+	ScaleUp(ctx context.Context) (int, error)
+	// ScaleDown drains and removes the given cell.
+	ScaleDown(ctx context.Context, cell int) error
+}
+
+// Plan is the advisor's current recommendation, served at
+// GET /v1/autoscale/plan.
+type Plan struct {
+	Action Action `json:"action"`
+	// Cell is the drain victim for scale_down, -1 otherwise.
+	Cell int `json:"cell"`
+	// Reason is the human-readable justification.
+	Reason string `json:"reason"`
+	// Cells is the live cell count the plan was computed against.
+	Cells int `json:"cells"`
+	// BreachTicks / IdleTicks are the sustained-signal counters behind the
+	// decision.
+	BreachTicks int `json:"breach_ticks"`
+	IdleTicks   int `json:"idle_ticks"`
+	// CooldownSeconds is how long until the advisor may act again
+	// (0 when free).
+	CooldownSeconds float64 `json:"cooldown_seconds"`
+}
+
+// advisorState is the sustained-signal memory between ticks.
+type advisorState struct {
+	breachTicks int
+	idleTicks   int
+	lastAction  time.Time
+}
+
+// advise recomputes the plan from this tick's standing. Caller holds e.mu.
+func (e *Evaluator) advise(now time.Time, samples []CellSample, anyBreached bool) Plan {
+	cfg := e.cfg.Advisor
+	cells := len(samples)
+
+	// Sustained-signal counters: breach and idle are mutually exclusive
+	// readings of one tick, and any non-matching tick resets its counter —
+	// "sustained" means consecutive, not cumulative.
+	if anyBreached {
+		e.adv.breachTicks++
+		e.adv.idleTicks = 0
+	} else {
+		e.adv.breachTicks = 0
+		idle := cells > 0
+		for _, s := range samples {
+			if ws := e.windows[s.Cell].stats(); ws.Ticks == 0 || ws.RequestRate >= cfg.IdleRPS {
+				idle = false
+				break
+			}
+		}
+		// Degraded cells are recovering, not idle; don't drain under them.
+		if idle {
+			for id := range e.rules {
+				for i := range e.rules[id] {
+					if e.rules[id][i].state.severity() > 0 {
+						idle = false
+					}
+				}
+			}
+		}
+		if idle {
+			e.adv.idleTicks++
+		} else {
+			e.adv.idleTicks = 0
+		}
+	}
+
+	p := Plan{
+		Action:      ActionNone,
+		Cell:        -1,
+		Cells:       cells,
+		BreachTicks: e.adv.breachTicks,
+		IdleTicks:   e.adv.idleTicks,
+	}
+	if !e.adv.lastAction.IsZero() {
+		if rem := cfg.Cooldown - now.Sub(e.adv.lastAction); rem > 0 {
+			p.CooldownSeconds = rem.Seconds()
+		}
+	}
+
+	switch {
+	case p.CooldownSeconds > 0:
+		p.Reason = fmt.Sprintf("cooling down (%.1fs left)", p.CooldownSeconds)
+	case e.adv.breachTicks >= cfg.ScaleUpAfter && cells >= cfg.MaxCells:
+		p.Reason = fmt.Sprintf("sustained breach (%d ticks) but at max cells (%d)", e.adv.breachTicks, cfg.MaxCells)
+	case e.adv.breachTicks >= cfg.ScaleUpAfter:
+		p.Action = ActionScaleUp
+		p.Reason = fmt.Sprintf("SLO breached for %d consecutive ticks", e.adv.breachTicks)
+	case e.adv.idleTicks >= cfg.ScaleDownAfter && cells <= cfg.MinCells:
+		p.Reason = fmt.Sprintf("idle (%d ticks) but at min cells (%d)", e.adv.idleTicks, cfg.MinCells)
+	case e.adv.idleTicks >= cfg.ScaleDownAfter:
+		p.Action = ActionScaleDown
+		p.Cell = e.leastLoadedCell(samples)
+		p.Reason = fmt.Sprintf("all cells idle (<%.2g rps) for %d consecutive ticks", cfg.IdleRPS, e.adv.idleTicks)
+	default:
+		p.Reason = "within SLO"
+	}
+	return p
+}
+
+// leastLoadedCell picks the drain victim: the cell with the lowest window
+// request total (ties to the highest ID, so the newest cell drains first).
+// Caller holds e.mu.
+func (e *Evaluator) leastLoadedCell(samples []CellSample) int {
+	best, bestReq := -1, int64(-1)
+	for _, s := range samples {
+		req := e.windows[s.Cell].stats().Requests
+		if best == -1 || req < bestReq || (req == bestReq && s.Cell > best) {
+			best, bestReq = s.Cell, req
+		}
+	}
+	return best
+}
+
+// enact executes one plan through the actuator, records the outcome as an
+// autoscale alert, and arms the cooldown. Called from Tick outside e.mu
+// (membership changes re-enter the router/ctrl stack and can take a
+// while).
+func (e *Evaluator) enact(ctx context.Context, p Plan) {
+	now := time.Now()
+	var (
+		msg  string
+		cell = p.Cell
+		err  error
+	)
+	switch p.Action {
+	case ActionScaleUp:
+		cell, err = e.cfg.Actuator.ScaleUp(ctx)
+		if err == nil {
+			e.scaleUps.Add(1)
+			msg = fmt.Sprintf("autoscale: added cell %d (%s)", cell, p.Reason)
+		} else {
+			cell = -1
+			msg = fmt.Sprintf("autoscale: scale-up failed: %v", err)
+		}
+	case ActionScaleDown:
+		err = e.cfg.Actuator.ScaleDown(ctx, p.Cell)
+		if err == nil {
+			e.scaleDowns.Add(1)
+			msg = fmt.Sprintf("autoscale: drained cell %d (%s)", p.Cell, p.Reason)
+		} else {
+			msg = fmt.Sprintf("autoscale: drain of cell %d failed: %v", p.Cell, err)
+		}
+	default:
+		return
+	}
+
+	e.mu.Lock()
+	e.adv.lastAction = now
+	e.adv.breachTicks = 0
+	e.adv.idleTicks = 0
+	e.emit(Alert{Time: now, Kind: KindAutoscale, Cell: cell, Message: msg})
+	e.mu.Unlock()
+
+	if err != nil {
+		e.log.Warn("autoscale action failed", "action", string(p.Action), "cell", p.Cell, "err", err)
+		return
+	}
+	e.log.Info("autoscale action", "action", string(p.Action), "cell", cell, "reason", p.Reason)
+}

@@ -1,0 +1,109 @@
+package health
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+
+	"repro/internal/serve"
+)
+
+// AlertsPath is where Handler serves the alert-event ring.
+const AlertsPath = "/debug/alerts"
+
+// AlertsJSON is the GET /debug/alerts body: the retained ring newest
+// first, plus the lifetime append count (Total > len(Alerts) means old
+// events were evicted).
+type AlertsJSON struct {
+	Alerts []Alert `json:"alerts"`
+	Total  int64   `json:"total"`
+}
+
+// Handler mounts the health API over next (any handler exposing
+// GET /v1/stats as a JSON object and GET /metrics as a Prometheus
+// exposition composes — same contract as the ctrl and obs layers):
+//
+//	GET /v1/health          per-cell windows + SLO standing; 503 when any
+//	                        cell is breached, so it works as a readiness
+//	                        probe
+//	GET /debug/alerts       the alert-event ring, newest first
+//	GET /v1/autoscale/plan  the advisor's current recommendation
+//	GET /v1/stats           next's stats + "health" section
+//	GET /metrics            next's exposition + health_* series
+//
+// Every other route is delegated to next.
+func (e *Evaluator) Handler(next http.Handler) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /v1/health", func(w http.ResponseWriter, _ *http.Request) {
+		h := e.Health()
+		status := http.StatusOK
+		if h.Status == StateBreached {
+			status = http.StatusServiceUnavailable
+		}
+		writeJSON(w, status, h)
+	})
+	mux.HandleFunc("GET "+AlertsPath, func(w http.ResponseWriter, _ *http.Request) {
+		writeJSON(w, http.StatusOK, AlertsJSON{Alerts: e.Alerts(), Total: e.alerts.Total()})
+	})
+	mux.HandleFunc("GET /v1/autoscale/plan", func(w http.ResponseWriter, _ *http.Request) {
+		writeJSON(w, http.StatusOK, e.Plan())
+	})
+	mux.HandleFunc("GET /v1/stats", func(w http.ResponseWriter, r *http.Request) {
+		e.handleStats(w, r, next)
+	})
+	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
+		e.handleMetrics(w, r, next)
+	})
+	mux.Handle("/", next)
+	return mux
+}
+
+// handleStats merges the wrapped stack's stats object with a "health"
+// section, keeping /v1/stats one endpoint however many layers compose.
+func (e *Evaluator) handleStats(w http.ResponseWriter, r *http.Request, next http.Handler) {
+	rec := httptest.NewRecorder()
+	next.ServeHTTP(rec, r)
+	var obj map[string]json.RawMessage
+	if rec.Code != http.StatusOK || json.Unmarshal(rec.Body.Bytes(), &obj) != nil {
+		replay(w, rec)
+		return
+	}
+	hj, err := json.Marshal(e.Health())
+	if err != nil {
+		writeJSON(w, http.StatusInternalServerError, map[string]string{"error": err.Error()})
+		return
+	}
+	obj["health"] = hj
+	writeJSON(w, http.StatusOK, obj)
+}
+
+// handleMetrics appends the health_* series after the wrapped stack's
+// exposition.
+func (e *Evaluator) handleMetrics(w http.ResponseWriter, r *http.Request, next http.Handler) {
+	rec := httptest.NewRecorder()
+	next.ServeHTTP(rec, r)
+	if rec.Code != http.StatusOK {
+		replay(w, rec)
+		return
+	}
+	w.Header().Set("Content-Type", serve.PromContentType)
+	_, _ = w.Write(rec.Body.Bytes())
+	pw := serve.NewPromWriter(w)
+	e.WritePrometheus(pw)
+}
+
+func replay(w http.ResponseWriter, rec *httptest.ResponseRecorder) {
+	for k, vs := range rec.Header() {
+		for _, v := range vs {
+			w.Header().Add(k, v)
+		}
+	}
+	w.WriteHeader(rec.Code)
+	_, _ = w.Write(rec.Body.Bytes())
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}

@@ -1,0 +1,157 @@
+package health
+
+import (
+	"context"
+	"math/rand"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/ctrl"
+	"repro/internal/experiments"
+	"repro/internal/fl"
+	"repro/internal/serve"
+)
+
+// trackedSource fabricates per-cell metrics but tracks the REAL membership
+// of a router, so advisor victims are live cells and membership alerts
+// reflect actual adds/drains.
+type trackedSource struct {
+	r *cluster.Router
+	// breach switches every live cell between breaching and idle metrics.
+	breach bool
+	reqs   int64
+}
+
+func (s *trackedSource) Sample() []CellSample {
+	out := make([]CellSample, 0, 4)
+	for _, id := range s.r.CellIDs() {
+		cs := CellSample{Cell: id, Requests: s.reqs}
+		if s.breach {
+			cs.QueueWaitP99 = 0.200
+		}
+		out = append(out, cs)
+	}
+	return out
+}
+
+// TestAutoscaleDrivesRealControlPlane closes the loop the wave demo runs:
+// sustained breach adds a real cell through ctrl.Plane, sustained idle
+// drains one, and both membership changes surface as alerts.
+func TestAutoscaleDrivesRealControlPlane(t *testing.T) {
+	r := cluster.New(cluster.Config{Cells: 2, Cell: serve.Config{Workers: 1}})
+	defer r.Close()
+	plane := ctrl.New(r, nil)
+	src := &trackedSource{r: r, breach: true}
+	e := New(Config{
+		Source: src,
+		// WindowTicks 2 + ClearAfter 1 so the breach rolls out of the
+		// window quickly once the source calms down — the idle signal
+		// can't start counting while any rule is still tripped.
+		WindowTicks: 2,
+		Rules:       []Rule{{Name: "qw", Metric: MetricQueueWaitP99, Threshold: 0.050, ClearAfter: 1}},
+		BreachAfter: 1,
+		Logger:      quietLogger(),
+		Advisor: AdvisorConfig{
+			MinCells: 2, MaxCells: 3,
+			ScaleUpAfter: 1, ScaleDownAfter: 2,
+			IdleRPS: 0.5, Cooldown: time.Millisecond,
+		},
+		Actuator: ctrl.Actuator{Plane: plane},
+	})
+
+	ctx := context.Background()
+	for i := 0; i < 8 && r.Cells() < 3; i++ {
+		src.reqs += 50 // keep traffic flowing so breach ticks count
+		e.Tick(ctx)
+	}
+	if r.Cells() != 3 {
+		t.Fatalf("sustained breach never added a real cell: %d cells", r.Cells())
+	}
+	if s := plane.Stats(); s.AutoscaleAdds != 1 {
+		t.Fatalf("ctrl autoscale add counter %d, want 1", s.AutoscaleAdds)
+	}
+
+	// Calm down: constant counters + clean quantiles read as idle, and the
+	// advisor drains back inside the bounds.
+	src.breach = false
+	time.Sleep(2 * time.Millisecond) // clear the cooldown
+	for i := 0; i < 12 && r.Cells() > 2; i++ {
+		e.Tick(ctx)
+		time.Sleep(time.Millisecond)
+	}
+	if r.Cells() != 2 {
+		t.Fatalf("sustained idle never drained: %d cells", r.Cells())
+	}
+	if s := plane.Stats(); s.AutoscaleDrains != 1 {
+		t.Fatalf("ctrl autoscale drain counter %d, want 1", s.AutoscaleDrains)
+	}
+	// One more observation so the drained cell's departure lands in the
+	// ring (membership is noticed on the tick after the drain).
+	e.Tick(ctx)
+
+	// Every membership change the autoscaler made is visible in the ring.
+	var joins, leaves int
+	for _, a := range e.Alerts() {
+		if a.Kind == KindMembership {
+			if strings.HasSuffix(a.Message, "joined") {
+				joins++
+			} else {
+				leaves++
+			}
+		}
+	}
+	// 2 initial joins + 1 autoscale join; 1 autoscale leave.
+	if joins != 3 || leaves != 1 {
+		t.Fatalf("membership alerts: %d joins / %d leaves, want 3 / 1", joins, leaves)
+	}
+}
+
+// TestRouterSourceSamplesRealTraffic runs real solves through a router and
+// checks the sampled windows carry coherent, non-negative aggregates.
+func TestRouterSourceSamplesRealTraffic(t *testing.T) {
+	r := cluster.New(cluster.Config{Cells: 2, Cell: serve.Config{Workers: 2}})
+	defer r.Close()
+
+	sc := experiments.Default()
+	sc.N = 5
+	sys, err := sc.Build(rand.New(rand.NewSource(7)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := New(Config{Source: RouterSource(r), Logger: quietLogger()})
+	now := time.Unix(1000, 0)
+	e.Observe(now, e.cfg.Source.Sample()) // seed windows
+
+	for i := 0; i < 6; i++ {
+		dev := "health-dev"
+		if i%2 == 1 {
+			dev = "health-dev-2"
+		}
+		if _, _, err := r.Solve(context.Background(), cluster.CellAuto, dev,
+			serve.Request{System: sys, Weights: fl.Weights{W1: 0.5, W2: 0.5}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	e.Observe(now.Add(time.Second), e.cfg.Source.Sample())
+
+	h := e.Health()
+	if len(h.Cells) != 2 {
+		t.Fatalf("sampled %d cells, want 2", len(h.Cells))
+	}
+	var total int64
+	for _, c := range h.Cells {
+		w := c.Window
+		if w.Requests < 0 || w.ErrorRate < 0 || w.CacheHitRate < 0 || w.RequestRate < 0 {
+			t.Fatalf("negative window aggregate: %+v", w)
+		}
+		if w.QueueWaitP50 < 0 || w.SolveP99 < 0 {
+			t.Fatalf("negative latency aggregate: %+v", w)
+		}
+		total += w.Requests
+	}
+	if total != 6 {
+		t.Fatalf("window request total %d, want the 6 solves", total)
+	}
+}

@@ -1,0 +1,153 @@
+package health
+
+import "time"
+
+// Metric names a window aggregate an SLO rule can bind to. The string
+// values appear in rule configs, alert events, and health_* label values.
+type Metric string
+
+const (
+	MetricQueueWaitP50 Metric = "queue_wait_p50"
+	MetricQueueWaitP99 Metric = "queue_wait_p99"
+	MetricSolveP50     Metric = "solve_p50"
+	MetricSolveP99     Metric = "solve_p99"
+	MetricErrorRate    Metric = "error_rate"
+	MetricCacheHitRate Metric = "cache_hit_rate"
+	MetricQueueDepth   Metric = "queue_depth"
+	MetricRequestRate  Metric = "request_rate"
+)
+
+// State is one rule's (or, aggregated, one cell's) SLO standing.
+type State string
+
+const (
+	// StateOK: the metric is inside its SLO.
+	StateOK State = "ok"
+	// StateDegraded: violating, but not yet for BreachAfter consecutive
+	// ticks — the hysteresis band that keeps one bad tick from paging.
+	StateDegraded State = "degraded"
+	// StateBreached: violating for BreachAfter consecutive ticks.
+	StateBreached State = "breached"
+)
+
+// severity orders states for worst-of aggregation.
+func (s State) severity() int {
+	switch s {
+	case StateBreached:
+		return 2
+	case StateDegraded:
+		return 1
+	default:
+		return 0
+	}
+}
+
+// Rule is one SLO: a window metric judged against a threshold, with
+// hysteresis on both edges so the state machine doesn't flap when the
+// metric hovers at the bar.
+type Rule struct {
+	// Name labels alerts, health output, and Prometheus series.
+	Name string `json:"name"`
+	// Metric is the window aggregate to judge.
+	Metric Metric `json:"metric"`
+	// Threshold is the bar, in the metric's unit (seconds for latency
+	// metrics, a fraction for rates, a count for queue_depth).
+	Threshold float64 `json:"threshold"`
+	// Under inverts the comparison: the rule is violated when the value is
+	// BELOW the threshold (cache_hit_rate style floors). Default: violated
+	// when above.
+	Under bool `json:"under,omitempty"`
+	// BreachAfter is how many consecutive violating ticks escalate
+	// degraded→breached; ClearAfter how many consecutive ok ticks recover
+	// to ok. Zero means the evaluator's defaults.
+	BreachAfter int `json:"breach_after,omitempty"`
+	ClearAfter  int `json:"clear_after,omitempty"`
+	// MinRequests gates evaluation on window traffic: below it the tick
+	// never counts as violating (an empty window's cache_hit_rate of 0 is
+	// absence of data, not an outage) — it counts toward recovery instead,
+	// so a rule tripped under load clears once traffic goes away rather
+	// than pinning its last state forever (which would deadlock the
+	// advisor's idle detection).
+	MinRequests int64 `json:"min_requests,omitempty"`
+}
+
+// violated reports whether the window value breaks the rule's bar.
+func (r Rule) violated(v float64) bool {
+	if r.Under {
+		return v < r.Threshold
+	}
+	return v > r.Threshold
+}
+
+// DefaultRules is the stock SLO set: queue-wait p99 under 50ms (the
+// scaling signal named by the roadmap), solve p99 under 500ms, error rate
+// under 5%, and a 20% cache-hit-rate floor once a window has real traffic.
+func DefaultRules() []Rule {
+	return []Rule{
+		{Name: "queue-wait-p99", Metric: MetricQueueWaitP99, Threshold: 0.050},
+		{Name: "solve-p99", Metric: MetricSolveP99, Threshold: 0.500},
+		{Name: "error-rate", Metric: MetricErrorRate, Threshold: 0.05, MinRequests: 20},
+		{Name: "cache-hit-floor", Metric: MetricCacheHitRate, Threshold: 0.20, Under: true, MinRequests: 200},
+	}
+}
+
+// ruleState is the per-(cell, rule) hysteresis state machine.
+type ruleState struct {
+	state        State
+	breachStreak int
+	clearStreak  int
+	lastValue    float64
+	lastChange   time.Time
+}
+
+// stepRule advances one rule's state machine with this tick's value.
+// Returns the prior state and whether the state changed.
+func (rs *ruleState) step(r Rule, ws WindowStats, breachAfter, clearAfter int, now time.Time) (from State, changed bool) {
+	from = rs.state
+	if rs.state == "" {
+		rs.state, from = StateOK, StateOK
+	}
+	if r.BreachAfter > 0 {
+		breachAfter = r.BreachAfter
+	}
+	if r.ClearAfter > 0 {
+		clearAfter = r.ClearAfter
+	}
+	v := ws.Value(r.Metric)
+	rs.lastValue = v
+	if r.violated(v) && ws.Requests >= r.MinRequests {
+		rs.breachStreak++
+		rs.clearStreak = 0
+		switch {
+		case rs.state == StateOK:
+			rs.state = StateDegraded
+		case rs.state == StateDegraded && rs.breachStreak >= breachAfter:
+			rs.state = StateBreached
+		}
+	} else {
+		rs.clearStreak++
+		rs.breachStreak = 0
+		if rs.state != StateOK && rs.clearStreak >= clearAfter {
+			rs.state = StateOK
+		}
+	}
+	if rs.state != from {
+		rs.lastChange = now
+		return from, true
+	}
+	return from, false
+}
+
+// RuleStatus is one rule's standing in the /v1/health body.
+type RuleStatus struct {
+	Rule      string  `json:"rule"`
+	Metric    Metric  `json:"metric"`
+	State     State   `json:"state"`
+	Value     float64 `json:"value"`
+	Threshold float64 `json:"threshold"`
+	Under     bool    `json:"under,omitempty"`
+	// BreachStreak / ClearStreak expose the hysteresis counters so an
+	// operator can see how close a transition is.
+	BreachStreak int `json:"breach_streak,omitempty"`
+	ClearStreak  int `json:"clear_streak,omitempty"`
+}

@@ -1,0 +1,116 @@
+package health
+
+import (
+	"testing"
+	"time"
+)
+
+func stepValue(rs *ruleState, r Rule, v float64, requests int64) (State, bool) {
+	ws := WindowStats{Ticks: 1, Requests: requests}
+	switch r.Metric {
+	case MetricQueueWaitP99:
+		ws.QueueWaitP99 = v
+	case MetricErrorRate:
+		ws.ErrorRate = v
+	case MetricCacheHitRate:
+		ws.CacheHitRate = v
+	}
+	_, changed := rs.step(r, ws, 3, 3, time.Unix(0, 0))
+	return rs.state, changed
+}
+
+func TestHysteresisBreachAndRecover(t *testing.T) {
+	r := Rule{Name: "qw", Metric: MetricQueueWaitP99, Threshold: 0.050}
+	var rs ruleState
+
+	if st, _ := stepValue(&rs, r, 0.010, 100); st != StateOK {
+		t.Fatalf("within SLO: state %s, want ok", st)
+	}
+	// First violation degrades immediately; breach needs 3 consecutive.
+	if st, changed := stepValue(&rs, r, 0.080, 100); st != StateDegraded || !changed {
+		t.Fatalf("first violation: state %s changed %v, want degraded true", st, changed)
+	}
+	if st, _ := stepValue(&rs, r, 0.080, 100); st != StateDegraded {
+		t.Fatalf("second violation: state %s, want still degraded", st)
+	}
+	if st, changed := stepValue(&rs, r, 0.080, 100); st != StateBreached || !changed {
+		t.Fatalf("third violation: state %s changed %v, want breached true", st, changed)
+	}
+	// Recovery needs 3 consecutive clean ticks.
+	stepValue(&rs, r, 0.010, 100)
+	stepValue(&rs, r, 0.010, 100)
+	if rs.state != StateBreached {
+		t.Fatalf("two clean ticks: state %s, want still breached", rs.state)
+	}
+	if st, changed := stepValue(&rs, r, 0.010, 100); st != StateOK || !changed {
+		t.Fatalf("third clean tick: state %s changed %v, want ok true", st, changed)
+	}
+}
+
+// TestHysteresisFlapping drives the metric across the threshold every tick:
+// the state machine must settle in degraded — neither escalating to
+// breached (no 3 consecutive violations) nor bouncing back to ok (no 3
+// consecutive clears), and emitting exactly one transition.
+func TestHysteresisFlapping(t *testing.T) {
+	r := Rule{Name: "qw", Metric: MetricQueueWaitP99, Threshold: 0.050}
+	var rs ruleState
+	transitions := 0
+	for i := 0; i < 40; i++ {
+		v := 0.080 // just over
+		if i%2 == 1 {
+			v = 0.030 // just under
+		}
+		if _, changed := stepValue(&rs, r, v, 100); changed {
+			transitions++
+		}
+		if rs.state == StateBreached {
+			t.Fatalf("tick %d: flapping must never breach", i)
+		}
+	}
+	if rs.state != StateDegraded || transitions != 1 {
+		t.Fatalf("after flapping: state %s with %d transitions, want degraded with exactly 1", rs.state, transitions)
+	}
+}
+
+// TestMinRequestsGate: a violating value on a near-empty window must not
+// degrade (absence of data is not an outage), and a rule tripped under
+// load must clear once traffic goes away — low-traffic ticks count toward
+// recovery, otherwise the advisor's idle detection would deadlock on a
+// state pinned forever.
+func TestMinRequestsGate(t *testing.T) {
+	r := Rule{Name: "hit-floor", Metric: MetricCacheHitRate, Threshold: 0.20, Under: true, MinRequests: 50}
+	var rs ruleState
+
+	// Violating value, not enough traffic: stays ok.
+	for i := 0; i < 5; i++ {
+		if st, _ := stepValue(&rs, r, 0.0, 10); st != StateOK {
+			t.Fatalf("low-traffic violation must not degrade, got %s", st)
+		}
+	}
+	// Real traffic violating: degrades, then breaches.
+	stepValue(&rs, r, 0.0, 500)
+	stepValue(&rs, r, 0.0, 500)
+	stepValue(&rs, r, 0.0, 500)
+	if rs.state != StateBreached {
+		t.Fatalf("sustained violation under traffic: %s, want breached", rs.state)
+	}
+	// Traffic disappears: the window still shows a 0 hit rate, but the
+	// low-traffic ticks count as recovery.
+	stepValue(&rs, r, 0.0, 0)
+	stepValue(&rs, r, 0.0, 0)
+	if st, _ := stepValue(&rs, r, 0.0, 0); st != StateOK {
+		t.Fatalf("idle ticks must clear a tripped rule, got %s", st)
+	}
+}
+
+func TestRuleOverridesHysteresisWidths(t *testing.T) {
+	r := Rule{Name: "qw", Metric: MetricQueueWaitP99, Threshold: 0.050, BreachAfter: 1, ClearAfter: 1}
+	var rs ruleState
+	stepValue(&rs, r, 0.080, 100)
+	if st, _ := stepValue(&rs, r, 0.080, 100); st != StateBreached {
+		t.Fatalf("BreachAfter 1: second violation should breach, got %s", st)
+	}
+	if st, _ := stepValue(&rs, r, 0.010, 100); st != StateOK {
+		t.Fatalf("ClearAfter 1: one clean tick should recover, got %s", st)
+	}
+}

@@ -1,0 +1,217 @@
+// Package health is the cluster's temporal view: a background evaluator
+// polls each cell's cumulative serve.Snapshot on a fixed tick, folds the
+// deltas into per-cell rolling windows, judges the windows against SLO
+// rules with hysteresis, keeps an alert-event ring, and advises the
+// control plane on scaling. Where internal/obs answers "what happened to
+// this request", health answers "how has this cell been doing lately" —
+// and, through the advisor, "should the cluster grow or shrink".
+package health
+
+import (
+	"time"
+)
+
+// CellSample is one cell's raw reading at a tick. Counters are cumulative
+// (lifetime) values straight from serve.Snapshot; quantiles are the
+// serving layer's point-in-time sliding-window estimates; QueueDepth is
+// instantaneous. The evaluator differences the counters itself.
+type CellSample struct {
+	Cell int
+
+	// Cumulative counters.
+	Requests int64
+	Errors   int64
+	Hits     int64
+	Misses   int64
+
+	// Point-in-time latency quantiles, seconds.
+	QueueWaitP50 float64
+	QueueWaitP99 float64
+	SolveP50     float64
+	SolveP99     float64
+
+	// Instantaneous combined queue depth (interactive + bulk).
+	QueueDepth int
+}
+
+// bucket holds one tick interval's worth of activity: counter deltas plus
+// the quantiles and depth sampled at the interval's end.
+type bucket struct {
+	requests int64
+	errors   int64
+	hits     int64
+	misses   int64
+
+	queueWaitP50 float64
+	queueWaitP99 float64
+	solveP50     float64
+	solveP99     float64
+	queueDepth   int
+
+	span time.Duration // wall time this bucket covers
+}
+
+// cellWindow is one cell's rolling window: a ring of interval buckets and
+// the previous cumulative sample to difference against.
+type cellWindow struct {
+	cell     int
+	prev     CellSample
+	havePrev bool
+
+	buckets []bucket
+	next    int
+	filled  int // buckets holding data, ≤ len(buckets)
+	resets  int64
+}
+
+func newCellWindow(cell, buckets int) *cellWindow {
+	return &cellWindow{cell: cell, buckets: make([]bucket, buckets)}
+}
+
+// counterDelta differences a cumulative counter across one tick. A counter
+// that went backwards means the cell restarted (cumulative counters reset
+// to zero); the current value IS the activity since restart, so it becomes
+// the delta — never a negative rate.
+func counterDelta(cur, prev int64) (delta int64, reset bool) {
+	if cur >= prev {
+		return cur - prev, false
+	}
+	return cur, true
+}
+
+// step folds one sample into the window. The first sample for a cell only
+// seeds prev: there is nothing to difference yet, so it fills no bucket.
+func (cw *cellWindow) step(s CellSample, span time.Duration) {
+	if !cw.havePrev {
+		cw.prev, cw.havePrev = s, true
+		return
+	}
+	var b bucket
+	var reset bool
+	for _, d := range []struct {
+		dst       *int64
+		cur, prev int64
+	}{
+		{&b.requests, s.Requests, cw.prev.Requests},
+		{&b.errors, s.Errors, cw.prev.Errors},
+		{&b.hits, s.Hits, cw.prev.Hits},
+		{&b.misses, s.Misses, cw.prev.Misses},
+	} {
+		var r bool
+		*d.dst, r = counterDelta(d.cur, d.prev)
+		reset = reset || r
+	}
+	if reset {
+		cw.resets++
+	}
+	b.queueWaitP50 = s.QueueWaitP50
+	b.queueWaitP99 = s.QueueWaitP99
+	b.solveP50 = s.SolveP50
+	b.solveP99 = s.SolveP99
+	b.queueDepth = s.QueueDepth
+	b.span = span
+
+	cw.buckets[cw.next] = b
+	cw.next = (cw.next + 1) % len(cw.buckets)
+	if cw.filled < len(cw.buckets) {
+		cw.filled++
+	}
+	cw.prev = s
+}
+
+// WindowStats is the aggregated view of one cell's rolling window, the
+// input to SLO rule evaluation and the /v1/health body.
+type WindowStats struct {
+	// Ticks is how many interval buckets the window currently holds;
+	// SpanSeconds the wall time they cover. Both are zero until the second
+	// sample for a cell arrives.
+	Ticks       int     `json:"ticks"`
+	SpanSeconds float64 `json:"span_seconds"`
+	// Requests and Errors are window totals (deltas summed, reset-safe).
+	Requests int64 `json:"requests"`
+	Errors   int64 `json:"errors"`
+	// RequestRate is Requests/SpanSeconds, per second.
+	RequestRate float64 `json:"request_rate"`
+	// ErrorRate is Errors/Requests over the window, 0 with no traffic.
+	ErrorRate float64 `json:"error_rate"`
+	// CacheHitRate is hits/(hits+misses) over the window, 0 with none.
+	CacheHitRate float64 `json:"cache_hit_rate"`
+	// Latency quantiles are the worst (max) per-tick sample in the window:
+	// "queue_wait_p99 over 30s" means the p99 never cleared the bar at any
+	// point in the window, which is the conservative reading for SLOs.
+	QueueWaitP50 float64 `json:"queue_wait_p50_seconds"`
+	QueueWaitP99 float64 `json:"queue_wait_p99_seconds"`
+	SolveP50     float64 `json:"solve_p50_seconds"`
+	SolveP99     float64 `json:"solve_p99_seconds"`
+	// QueueDepth is the most recent instantaneous depth; QueueDepthMax the
+	// worst seen in the window.
+	QueueDepth    int `json:"queue_depth"`
+	QueueDepthMax int `json:"queue_depth_max"`
+	// CounterResets counts detected cell restarts (cumulative counters
+	// moving backwards) over the window's lifetime.
+	CounterResets int64 `json:"counter_resets,omitempty"`
+}
+
+// stats aggregates the ring into WindowStats. An empty window (no
+// completed tick yet) returns the zero value.
+func (cw *cellWindow) stats() WindowStats {
+	var ws WindowStats
+	ws.Ticks = cw.filled
+	ws.CounterResets = cw.resets
+	if cw.filled == 0 {
+		return ws
+	}
+	var span time.Duration
+	var hits, misses int64
+	newest := (cw.next - 1 + len(cw.buckets)) % len(cw.buckets)
+	for i := 0; i < cw.filled; i++ {
+		b := &cw.buckets[(newest-i+len(cw.buckets))%len(cw.buckets)]
+		span += b.span
+		ws.Requests += b.requests
+		ws.Errors += b.errors
+		hits += b.hits
+		misses += b.misses
+		ws.QueueWaitP50 = max(ws.QueueWaitP50, b.queueWaitP50)
+		ws.QueueWaitP99 = max(ws.QueueWaitP99, b.queueWaitP99)
+		ws.SolveP50 = max(ws.SolveP50, b.solveP50)
+		ws.SolveP99 = max(ws.SolveP99, b.solveP99)
+		if b.queueDepth > ws.QueueDepthMax {
+			ws.QueueDepthMax = b.queueDepth
+		}
+	}
+	ws.SpanSeconds = span.Seconds()
+	ws.QueueDepth = cw.buckets[newest].queueDepth
+	if ws.SpanSeconds > 0 {
+		ws.RequestRate = float64(ws.Requests) / ws.SpanSeconds
+	}
+	if ws.Requests > 0 {
+		ws.ErrorRate = float64(ws.Errors) / float64(ws.Requests)
+	}
+	if total := hits + misses; total > 0 {
+		ws.CacheHitRate = float64(hits) / float64(total)
+	}
+	return ws
+}
+
+// Value reads one metric out of the window for rule evaluation.
+func (ws WindowStats) Value(m Metric) float64 {
+	switch m {
+	case MetricQueueWaitP50:
+		return ws.QueueWaitP50
+	case MetricQueueWaitP99:
+		return ws.QueueWaitP99
+	case MetricSolveP50:
+		return ws.SolveP50
+	case MetricSolveP99:
+		return ws.SolveP99
+	case MetricErrorRate:
+		return ws.ErrorRate
+	case MetricCacheHitRate:
+		return ws.CacheHitRate
+	case MetricQueueDepth:
+		return float64(ws.QueueDepthMax)
+	case MetricRequestRate:
+		return ws.RequestRate
+	}
+	return 0
+}

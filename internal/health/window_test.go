@@ -1,0 +1,126 @@
+package health
+
+import (
+	"testing"
+	"time"
+)
+
+func counterSample(cell int, requests, errors, hits, misses int64) CellSample {
+	return CellSample{Cell: cell, Requests: requests, Errors: errors, Hits: hits, Misses: misses}
+}
+
+func TestFirstSampleOnlySeeds(t *testing.T) {
+	cw := newCellWindow(0, 4)
+	cw.step(counterSample(0, 100, 1, 10, 90), time.Second)
+	ws := cw.stats()
+	if ws.Ticks != 0 || ws.Requests != 0 || ws.RequestRate != 0 {
+		t.Fatalf("first sample must not fill a bucket: %+v", ws)
+	}
+}
+
+func TestWindowAggregation(t *testing.T) {
+	cw := newCellWindow(0, 4)
+	cw.step(counterSample(0, 100, 0, 10, 90), time.Second)
+	s2 := counterSample(0, 160, 3, 40, 120)
+	s2.QueueWaitP99 = 0.080
+	s2.QueueDepth = 5
+	cw.step(s2, time.Second)
+	s3 := counterSample(0, 200, 3, 70, 130)
+	s3.QueueWaitP99 = 0.020
+	s3.QueueDepth = 2
+	cw.step(s3, time.Second)
+
+	ws := cw.stats()
+	if ws.Ticks != 2 {
+		t.Fatalf("ticks %d, want 2", ws.Ticks)
+	}
+	if ws.Requests != 100 || ws.Errors != 3 {
+		t.Fatalf("requests %d errors %d, want 100 / 3", ws.Requests, ws.Errors)
+	}
+	if ws.SpanSeconds != 2 || ws.RequestRate != 50 {
+		t.Fatalf("span %v rate %v, want 2s / 50 rps", ws.SpanSeconds, ws.RequestRate)
+	}
+	if ws.ErrorRate != 0.03 {
+		t.Fatalf("error rate %v, want 0.03", ws.ErrorRate)
+	}
+	// hits 30+30=60, misses 30+10=40 over the two buckets.
+	if ws.CacheHitRate != 0.6 {
+		t.Fatalf("cache hit rate %v, want 0.6", ws.CacheHitRate)
+	}
+	// Window quantile is the worst per-tick sample, not the latest.
+	if ws.QueueWaitP99 != 0.080 {
+		t.Fatalf("queue wait p99 %v, want the max 0.080", ws.QueueWaitP99)
+	}
+	// Depth: latest instantaneous vs worst in window.
+	if ws.QueueDepth != 2 || ws.QueueDepthMax != 5 {
+		t.Fatalf("depth %d max %d, want 2 / 5", ws.QueueDepth, ws.QueueDepthMax)
+	}
+}
+
+// TestCounterResetNoNegativeRates pins the restart contract: cumulative
+// counters moving backwards mean the cell restarted, and the post-restart
+// value is the delta — rates must never go negative and the reset must be
+// counted.
+func TestCounterResetNoNegativeRates(t *testing.T) {
+	cw := newCellWindow(0, 4)
+	cw.step(counterSample(0, 1000, 50, 600, 400), time.Second)
+	// Restart: all counters back near zero, 7 requests since.
+	cw.step(counterSample(0, 7, 1, 2, 5), time.Second)
+
+	ws := cw.stats()
+	if ws.Requests != 7 || ws.Errors != 1 {
+		t.Fatalf("post-reset deltas requests %d errors %d, want 7 / 1", ws.Requests, ws.Errors)
+	}
+	if ws.RequestRate < 0 || ws.ErrorRate < 0 || ws.CacheHitRate < 0 {
+		t.Fatalf("negative rate after reset: %+v", ws)
+	}
+	if ws.CounterResets != 1 {
+		t.Fatalf("counter resets %d, want 1", ws.CounterResets)
+	}
+	// The next normal tick differences against the post-restart sample.
+	cw.step(counterSample(0, 17, 1, 4, 13), time.Second)
+	if ws = cw.stats(); ws.Requests != 17 || ws.CounterResets != 1 {
+		t.Fatalf("follow-up tick: %+v, want 17 requests and still 1 reset", ws)
+	}
+}
+
+func TestEmptyWindowStats(t *testing.T) {
+	cw := newCellWindow(3, 8)
+	ws := cw.stats()
+	if ws.Ticks != 0 || ws.SpanSeconds != 0 || ws.RequestRate != 0 || ws.ErrorRate != 0 {
+		t.Fatalf("empty window stats %+v, want zero value", ws)
+	}
+	for _, m := range []Metric{MetricQueueWaitP99, MetricErrorRate, MetricCacheHitRate, MetricQueueDepth, MetricRequestRate} {
+		if v := ws.Value(m); v != 0 {
+			t.Fatalf("empty window %s = %v, want 0", m, v)
+		}
+	}
+}
+
+// TestWindowEviction checks old buckets roll out of the ring: a latency
+// spike stops dominating the window quantile once it is older than the
+// window.
+func TestWindowEviction(t *testing.T) {
+	cw := newCellWindow(0, 2)
+	s := counterSample(0, 0, 0, 0, 0)
+	cw.step(s, time.Second) // seed
+	spike := s
+	spike.Requests, spike.QueueWaitP99 = 10, 0.500
+	cw.step(spike, time.Second)
+	if ws := cw.stats(); ws.QueueWaitP99 != 0.500 {
+		t.Fatalf("spike not in window: %+v", ws)
+	}
+	calm := spike
+	calm.QueueWaitP99 = 0.001
+	for i := 0; i < 2; i++ {
+		calm.Requests += 10
+		cw.step(calm, time.Second)
+	}
+	ws := cw.stats()
+	if ws.Ticks != 2 || ws.QueueWaitP99 != 0.001 {
+		t.Fatalf("spike must have rolled out of the 2-bucket window: %+v", ws)
+	}
+	if ws.Requests != 20 {
+		t.Fatalf("window requests %d, want the last two deltas (20)", ws.Requests)
+	}
+}

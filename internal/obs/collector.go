@@ -102,10 +102,9 @@ type Collector struct {
 	retained atomic.Int64
 	slow     atomic.Int64
 
+	ring *Ring[*Trace] // retention ring, self-synchronized
+
 	mu      sync.Mutex
-	ring    []*Trace // retention ring, ring[next-1] newest
-	next    int
-	full    bool
 	slowest []*Trace // sorted by total descending, capped at cfg.Slowest
 	hist    map[string]*phaseHist
 }
@@ -117,7 +116,7 @@ func NewCollector(cfg Config) *Collector {
 	return &Collector{
 		cfg:   cfg,
 		idkey: uint64(time.Now().UnixNano()),
-		ring:  make([]*Trace, cfg.Recent),
+		ring:  NewRing[*Trace](cfg.Recent),
 		hist:  make(map[string]*phaseHist),
 	}
 }
@@ -138,22 +137,55 @@ func splitmix64(x uint64) uint64 {
 // carries a trace, that trace is returned unchanged, which makes nested
 // middlewares and facade layers idempotent.
 func (c *Collector) StartTrace(ctx context.Context) (context.Context, *Trace) {
+	return c.StartTraceID(ctx, "")
+}
+
+// StartTraceID is StartTrace but adopts id as the trace ID when it is a
+// valid wire ID (non-empty, ≤64 chars of [0-9a-zA-Z_-]); otherwise a
+// fresh ID is minted. This is how a cluster-internal HTTP hop keeps one
+// trace identity across processes: the router's middleware mints, the
+// cell's middleware adopts the forwarded X-Trace-Id.
+func (c *Collector) StartTraceID(ctx context.Context, id string) (context.Context, *Trace) {
 	if c == nil || c.cfg.SampleEvery < 0 {
 		return ctx, nil
 	}
 	if t := FromContext(ctx); t != nil {
 		return ctx, t
 	}
+	if !validWireID(id) {
+		id = ""
+	}
 	n := c.seq.Add(1)
 	c.started.Add(1)
+	if id == "" {
+		id = formatID(splitmix64(c.idkey ^ c.idseq.Add(1)))
+	}
 	t := &Trace{
 		c:       c,
-		id:      formatID(splitmix64(c.idkey ^ c.idseq.Add(1))),
+		id:      id,
 		start:   time.Now(),
 		sampled: (n-1)%uint64(c.cfg.SampleEvery) == 0,
 		spans:   make([]Span, 0, 8),
 	}
 	return WithTrace(ctx, t), t
+}
+
+// validWireID accepts trace IDs safe to adopt from the wire: 1–64 chars
+// of [0-9a-zA-Z_-]. Anything else (empty, junk, log-injection attempts)
+// is discarded in favor of a minted ID.
+func validWireID(id string) bool {
+	if len(id) == 0 || len(id) > 64 {
+		return false
+	}
+	for i := 0; i < len(id); i++ {
+		c := id[i]
+		switch {
+		case c >= '0' && c <= '9', c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c == '_', c == '-':
+		default:
+			return false
+		}
+	}
+	return true
 }
 
 func formatID(x uint64) string {
@@ -187,11 +219,7 @@ func (c *Collector) observe(t *Trace) {
 	}
 	t.mu.Unlock()
 	if keep {
-		c.ring[c.next] = t
-		c.next++
-		if c.next == len(c.ring) {
-			c.next, c.full = 0, true
-		}
+		c.ring.Append(t)
 		i := sort.Search(len(c.slowest), func(i int) bool { return c.slowest[i].total < t.total })
 		if i < c.cfg.Slowest {
 			c.slowest = append(c.slowest, nil)
@@ -225,17 +253,7 @@ func (c *Collector) Recent() []TraceJSON {
 	if c == nil {
 		return nil
 	}
-	c.mu.Lock()
-	var traces []*Trace
-	for i := c.next - 1; i >= 0; i-- {
-		traces = append(traces, c.ring[i])
-	}
-	if c.full {
-		for i := len(c.ring) - 1; i >= c.next; i-- {
-			traces = append(traces, c.ring[i])
-		}
-	}
-	c.mu.Unlock()
+	traces := c.ring.Snapshot()
 	out := make([]TraceJSON, 0, len(traces))
 	for _, t := range traces {
 		out = append(out, t.toJSON(c.cfg.SlowThreshold))

@@ -4,11 +4,17 @@ import (
 	"encoding/json"
 	"net/http"
 	"net/http/httptest"
+	"strconv"
 	"strings"
 )
 
 // DebugPath is where Middleware serves the trace dump.
 const DebugPath = "/debug/traces"
+
+// TraceHeader carries the trace ID on both directions of the wire: echoed
+// on every traced response, and adopted from incoming requests so a
+// router→cell forward keeps one trace identity across processes.
+const TraceHeader = "X-Trace-Id"
 
 // TracesJSON is the body of GET /debug/traces: the retained ring newest
 // first, plus the slowest-N exemplars.
@@ -33,9 +39,13 @@ func (c *Collector) DebugHandler() http.Handler {
 // Middleware wraps a front-end handler with the observability boundary:
 //
 //   - every request gets a trace (per Collector sampling rules), carried
-//     on the request context and finished when the handler returns;
+//     on the request context and finished when the handler returns; an
+//     incoming X-Trace-Id header is adopted so cross-process hops share
+//     one trace identity;
 //   - the trace ID is echoed in the X-Trace-Id response header;
 //   - GET /debug/traces serves the collector's ring + exemplars;
+//   - GET /v1/version serves the binary's build info;
+//   - GET /v1/stats responses get an uptime_seconds field injected;
 //   - GET /metrics responses get the obs histogram series appended, using
 //     the same replay-and-append composition as the ctrl plane.
 //
@@ -51,6 +61,10 @@ func Middleware(c *Collector, next http.Handler) http.Handler {
 		switch {
 		case r.URL.Path == DebugPath:
 			c.DebugHandler().ServeHTTP(w, r)
+		case r.URL.Path == VersionPath:
+			VersionHandler().ServeHTTP(w, r)
+		case r.Method == http.MethodGet && r.URL.Path == "/v1/stats":
+			serveStatsWithUptime(w, r, next)
 		case r.Method == http.MethodGet && r.URL.Path == "/metrics":
 			rec := httptest.NewRecorder()
 			next.ServeHTTP(rec, r)
@@ -67,16 +81,46 @@ func Middleware(c *Collector, next http.Handler) http.Handler {
 		case isDeltaStream(r):
 			next.ServeHTTP(w, r)
 		default:
-			ctx, tr := c.StartTrace(r.Context())
+			ctx, tr := c.StartTraceID(r.Context(), r.Header.Get(TraceHeader))
 			if tr == nil {
 				next.ServeHTTP(w, r)
 				return
 			}
-			w.Header().Set("X-Trace-Id", tr.ID())
+			w.Header().Set(TraceHeader, tr.ID())
 			next.ServeHTTP(w, r.WithContext(ctx))
 			tr.Finish()
 		}
 	})
+}
+
+// serveStatsWithUptime replays the stack's GET /v1/stats response with an
+// uptime_seconds field injected at the top level, giving every HTTP cmd a
+// process-age signal for free. Non-200 or non-object bodies replay
+// untouched.
+func serveStatsWithUptime(w http.ResponseWriter, r *http.Request, next http.Handler) {
+	rec := httptest.NewRecorder()
+	next.ServeHTTP(rec, r)
+	body := rec.Body.Bytes()
+	if rec.Code == http.StatusOK {
+		var stats map[string]json.RawMessage
+		if err := json.Unmarshal(body, &stats); err == nil {
+			stats["uptime_seconds"] = json.RawMessage(
+				strconv.FormatFloat(Uptime().Seconds(), 'f', 3, 64))
+			if merged, err := json.Marshal(stats); err == nil {
+				body = append(merged, '\n')
+			}
+		}
+	}
+	for k, vs := range rec.Header() {
+		if k == "Content-Length" { // body may have been rewritten
+			continue
+		}
+		for _, v := range vs {
+			w.Header().Add(k, v)
+		}
+	}
+	w.WriteHeader(rec.Code)
+	_, _ = w.Write(body)
 }
 
 func isDeltaStream(r *http.Request) bool {

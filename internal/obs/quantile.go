@@ -1,0 +1,49 @@
+package obs
+
+import (
+	"math"
+	"sort"
+	"time"
+)
+
+// Quantile reads the q-quantile from an ascending float64 slice by nearest
+// rank (ceil(q*n) - 1), which keeps upper quantiles honest for small
+// samples: the p99 of two values is the larger one, not the smaller.
+// Returns 0 on an empty sample. Shared by the serving stats and the health
+// layer's rolling windows so every quantile in the system means the same
+// thing.
+func Quantile(sorted []float64, q float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	return sorted[rank(len(sorted), q)]
+}
+
+// QuantileDur is Quantile over an ascending duration slice.
+func QuantileDur(sorted []time.Duration, q float64) time.Duration {
+	if len(sorted) == 0 {
+		return 0
+	}
+	return sorted[rank(len(sorted), q)]
+}
+
+// DurationQuantiles reports the p50 and p99 of a latency sample in seconds
+// (zeros for an empty sample). The sample is sorted in place.
+func DurationQuantiles(lat []time.Duration) (p50, p99 float64) {
+	if len(lat) == 0 {
+		return 0, 0
+	}
+	sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
+	return QuantileDur(lat, 0.50).Seconds(), QuantileDur(lat, 0.99).Seconds()
+}
+
+func rank(n int, q float64) int {
+	idx := int(math.Ceil(q*float64(n))) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= n {
+		idx = n - 1
+	}
+	return idx
+}

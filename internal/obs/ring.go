@@ -1,0 +1,71 @@
+package obs
+
+import "sync"
+
+// Ring is a bounded append-only event ring: the most recent N appended
+// values are retained and Snapshot returns them newest first. It is the
+// shared retention primitive behind the trace ring (GET /debug/traces) and
+// the health layer's alert ring (GET /debug/alerts). Safe for concurrent
+// use; the zero value is unusable — construct with NewRing.
+type Ring[T any] struct {
+	mu    sync.Mutex
+	buf   []T
+	next  int
+	full  bool
+	total int64
+}
+
+// NewRing builds a ring retaining the last n values (n < 1 is clamped
+// to 1).
+func NewRing[T any](n int) *Ring[T] {
+	if n < 1 {
+		n = 1
+	}
+	return &Ring[T]{buf: make([]T, n)}
+}
+
+// Append retains v, evicting the oldest value once the ring is full.
+func (r *Ring[T]) Append(v T) {
+	r.mu.Lock()
+	r.buf[r.next] = v
+	r.next++
+	if r.next == len(r.buf) {
+		r.next, r.full = 0, true
+	}
+	r.total++
+	r.mu.Unlock()
+}
+
+// Snapshot copies the retained values, newest first.
+func (r *Ring[T]) Snapshot() []T {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]T, 0, len(r.buf))
+	for i := r.next - 1; i >= 0; i-- {
+		out = append(out, r.buf[i])
+	}
+	if r.full {
+		for i := len(r.buf) - 1; i >= r.next; i-- {
+			out = append(out, r.buf[i])
+		}
+	}
+	return out
+}
+
+// Len reports how many values are currently retained.
+func (r *Ring[T]) Len() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.full {
+		return len(r.buf)
+	}
+	return r.next
+}
+
+// Total reports how many values were ever appended (evicted ones
+// included).
+func (r *Ring[T]) Total() int64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.total
+}

@@ -1,0 +1,99 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"runtime/debug"
+	"sync"
+	"time"
+)
+
+// VersionPath is where Middleware serves the build-info report.
+const VersionPath = "/v1/version"
+
+// processStart anchors the uptime reported by Uptime and injected into
+// GET /v1/stats. Package init runs before any listener comes up, so the
+// value is a faithful process birth time for serving purposes.
+var processStart = time.Now()
+
+// Uptime returns how long this process has been running.
+func Uptime() time.Duration { return time.Since(processStart) }
+
+// VersionInfo is the GET /v1/version body: the module path and version
+// plus the VCS revision baked in by the Go toolchain, so a deployed binary
+// can always say which commit it was built from.
+type VersionInfo struct {
+	Module      string `json:"module"`
+	Version     string `json:"version"`
+	GoVersion   string `json:"go_version"`
+	VCSRevision string `json:"vcs_revision,omitempty"`
+	VCSTime     string `json:"vcs_time,omitempty"`
+	// VCSModified marks builds from a dirty working tree.
+	VCSModified bool `json:"vcs_modified,omitempty"`
+}
+
+var (
+	versionOnce sync.Once
+	versionInfo VersionInfo
+)
+
+// Version reports the running binary's build information via
+// debug.ReadBuildInfo (cached after the first call). Binaries built
+// without module metadata (some test harnesses) report "(devel)" fields
+// rather than failing.
+func Version() VersionInfo {
+	versionOnce.Do(func() {
+		versionInfo = VersionInfo{Module: "unknown", Version: "(devel)"}
+		bi, ok := debug.ReadBuildInfo()
+		if !ok {
+			return
+		}
+		versionInfo.Module = bi.Main.Path
+		if bi.Main.Version != "" {
+			versionInfo.Version = bi.Main.Version
+		}
+		versionInfo.GoVersion = bi.GoVersion
+		for _, s := range bi.Settings {
+			switch s.Key {
+			case "vcs.revision":
+				versionInfo.VCSRevision = s.Value
+			case "vcs.time":
+				versionInfo.VCSTime = s.Value
+			case "vcs.modified":
+				versionInfo.VCSModified = s.Value == "true"
+			}
+		}
+	})
+	return versionInfo
+}
+
+// VersionString renders the build info on one line for -version flags:
+// "module version (revision, goN.NN)".
+func VersionString() string {
+	v := Version()
+	rev := v.VCSRevision
+	if len(rev) > 12 {
+		rev = rev[:12]
+	}
+	if rev == "" {
+		rev = "no vcs"
+	}
+	if v.VCSModified {
+		rev += "+dirty"
+	}
+	return fmt.Sprintf("%s %s (%s, %s)", v.Module, v.Version, rev, v.GoVersion)
+}
+
+// VersionHandler serves VersionPath (mounted by Middleware on every HTTP
+// cmd, and mountable standalone).
+func VersionHandler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodGet {
+			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		_ = json.NewEncoder(w).Encode(Version())
+	})
+}

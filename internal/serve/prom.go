@@ -82,6 +82,8 @@ func (s Snapshot) WritePrometheus(p *PromWriter, prefix, labels string) {
 	}
 	p.Gauge(prefix+"_cache_entries", "Current solution-cache occupancy.", labels, float64(s.CacheEntries))
 	p.Gauge(prefix+"_warm_entries", "Current warm-start index occupancy.", labels, float64(s.WarmEntries))
+	p.Gauge(prefix+"_queue_len", "Instantaneous interactive-queue depth.", labels, float64(s.QueueLen))
+	p.Gauge(prefix+"_bulk_queue_len", "Instantaneous bulk-queue depth.", labels, float64(s.BulkQueueLen))
 	p.Gauge(prefix+"_tracked_buckets", "Topology buckets with per-bucket hit-rate counters.", labels, float64(s.TrackedBuckets))
 	for _, b := range s.Buckets {
 		bl := `bucket="` + b.Bucket + `"`
@@ -111,5 +113,15 @@ func (s Snapshot) WritePrometheus(p *PromWriter, prefix, labels string) {
 			ql = labels + "," + ql
 		}
 		p.Gauge(prefix+"_cache_hit_latency_seconds", "Recent cache-hit path latency quantiles (fingerprint + lookup).", ql, qv.v)
+	}
+	for _, qv := range []struct {
+		q string
+		v float64
+	}{{"0.5", s.QueueWaitP50}, {"0.99", s.QueueWaitP99}} {
+		ql := `quantile="` + qv.q + `"`
+		if labels != "" {
+			ql = labels + "," + ql
+		}
+		p.Gauge(prefix+"_queue_wait_seconds", "Recent enqueue-to-dequeue wait quantiles.", ql, qv.v)
 	}
 }

@@ -266,6 +266,8 @@ func (s *Server) Stats() Snapshot {
 	st := s.stats.Snapshot()
 	st.CacheEntries = s.cache.Len()
 	st.WarmEntries = s.warm.len()
+	st.QueueLen = len(s.queue)
+	st.BulkQueueLen = len(s.bulk)
 	return st
 }
 
@@ -278,6 +280,11 @@ func (s *Server) SolveLatencies() []time.Duration { return s.stats.latencies() }
 // (unsorted); the hit path is tracked separately so solve quantiles stay
 // honest. Cluster routers merge these exactly like SolveLatencies.
 func (s *Server) CacheHitLatencies() []time.Duration { return s.stats.hitLatencies() }
+
+// QueueWaitLatencies returns a copy of the recent enqueue→dequeue wait
+// window (unsorted). Cluster routers merge these exactly like
+// SolveLatencies; the health layer windows them per cell.
+func (s *Server) QueueWaitLatencies() []time.Duration { return s.stats.queueWaitLatencies() }
 
 // Quantization returns the fingerprint quantization this server buckets
 // with. Handoff re-fingerprints migrating instances under the destination
@@ -438,9 +445,9 @@ func (s *Server) Solve(ctx context.Context, req Request) (Response, error) {
 // waiter wakes.
 func (s *Server) enqueue(t *task, pri Priority) {
 	t.pri = pri
-	if t.tr != nil {
-		t.enq = time.Now()
-	}
+	// Always stamped (not just when traced): the queue-wait stats window
+	// is the health layer's scaling signal and must see every task.
+	t.enq = time.Now()
 	t.call.leaderTask.Store(t)
 	select {
 	case <-s.done:
@@ -530,6 +537,7 @@ func (s *Server) runTask(t *task, ws *core.Workspace) {
 	if !t.claimed.CompareAndSwap(false, true) {
 		return
 	}
+	s.stats.recordQueueWait(time.Since(t.enq))
 	if t.tr != nil {
 		queue := "interactive"
 		if t.pri == PriorityBulk {

@@ -2,11 +2,12 @@ package serve
 
 import (
 	"fmt"
-	"math"
 	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"repro/internal/obs"
 )
 
 // latencyWindow is how many recent solve latencies the quantile estimator
@@ -70,6 +71,13 @@ type Stats struct {
 	hitRing  [latencyWindow]time.Duration
 	hitCount int64
 
+	// Queue wait (enqueue→dequeue) gets a third window: it is the load
+	// signal the health layer scales on, and mixing it into solve time
+	// would conflate "solver is slow" with "queue is deep".
+	qwMu    sync.Mutex
+	qwRing  [latencyWindow]time.Duration
+	qwCount int64
+
 	buckets [bucketStatShards]bucketShard
 }
 
@@ -124,6 +132,13 @@ func (st *Stats) recordHitLatency(d time.Duration) {
 	st.hitMu.Unlock()
 }
 
+func (st *Stats) recordQueueWait(d time.Duration) {
+	st.qwMu.Lock()
+	st.qwRing[st.qwCount%latencyWindow] = d
+	st.qwCount++
+	st.qwMu.Unlock()
+}
+
 // Snapshot is a consistent point-in-time copy of the counters, shaped for
 // JSON encoding by the /v1/stats endpoint.
 type Snapshot struct {
@@ -151,6 +166,14 @@ type Snapshot struct {
 	// own latency window (fingerprint + lookup; zero until the first hit).
 	CacheHitP50 float64 `json:"cache_hit_p50_seconds"`
 	CacheHitP99 float64 `json:"cache_hit_p99_seconds"`
+	// QueueWaitP50 and QueueWaitP99 are quantiles of recent enqueue→dequeue
+	// waits in seconds — the health layer's primary scaling signal.
+	QueueWaitP50 float64 `json:"queue_wait_p50_seconds"`
+	QueueWaitP99 float64 `json:"queue_wait_p99_seconds"`
+	// QueueLen and BulkQueueLen are the instantaneous depths of the
+	// interactive and bulk queues (filled by Server.Stats).
+	QueueLen     int `json:"queue_len"`
+	BulkQueueLen int `json:"bulk_queue_len"`
 	// CacheEntries is the current solution-cache occupancy (filled by
 	// Server.Stats; Stats itself does not know the cache).
 	CacheEntries int `json:"cache_entries"`
@@ -204,6 +227,9 @@ func (st *Stats) Snapshot() Snapshot {
 	}
 	if lat := st.hitLatencies(); len(lat) > 0 {
 		s.CacheHitP50, s.CacheHitP99 = LatencyQuantiles(lat)
+	}
+	if lat := st.queueWaitLatencies(); len(lat) > 0 {
+		s.QueueWaitP50, s.QueueWaitP99 = LatencyQuantiles(lat)
 	}
 	s.TrackedBuckets, s.Buckets = st.bucketSnapshots()
 	return s
@@ -274,28 +300,24 @@ func (st *Stats) hitLatencies() []time.Duration {
 	return lat
 }
 
+// queueWaitLatencies copies the recent queue-wait window (unsorted).
+func (st *Stats) queueWaitLatencies() []time.Duration {
+	st.qwMu.Lock()
+	defer st.qwMu.Unlock()
+	n := st.qwCount
+	if n > latencyWindow {
+		n = latencyWindow
+	}
+	lat := make([]time.Duration, n)
+	copy(lat, st.qwRing[:n])
+	return lat
+}
+
 // LatencyQuantiles reports the p50 and p99 of a latency sample in seconds
 // (zeros for an empty sample). The sample is sorted in place. Cluster
 // routers use it to merge the windows of several servers into one
-// cluster-wide quantile pair.
+// cluster-wide quantile pair. The nearest-rank math lives in obs so the
+// health layer's rolling windows agree with these numbers exactly.
 func LatencyQuantiles(lat []time.Duration) (p50, p99 float64) {
-	if len(lat) == 0 {
-		return 0, 0
-	}
-	sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
-	return quantile(lat, 0.50).Seconds(), quantile(lat, 0.99).Seconds()
-}
-
-// quantile reads the q-quantile from an ascending slice by nearest rank
-// (ceil(q*n) - 1), which keeps upper quantiles honest for small samples:
-// the p99 of two values is the larger one, not the smaller.
-func quantile(sorted []time.Duration, q float64) time.Duration {
-	idx := int(math.Ceil(q*float64(len(sorted)))) - 1
-	if idx < 0 {
-		idx = 0
-	}
-	if idx >= len(sorted) {
-		idx = len(sorted) - 1
-	}
-	return sorted[idx]
+	return obs.DurationQuantiles(lat)
 }

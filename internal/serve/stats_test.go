@@ -3,18 +3,20 @@ package serve
 import (
 	"testing"
 	"time"
+
+	"repro/internal/obs"
 )
 
 func TestQuantileNearestRank(t *testing.T) {
 	two := []time.Duration{time.Millisecond, 500 * time.Millisecond}
-	if got := quantile(two, 0.99); got != 500*time.Millisecond {
+	if got := obs.QuantileDur(two, 0.99); got != 500*time.Millisecond {
 		t.Errorf("p99 of two samples = %v, want the larger", got)
 	}
-	if got := quantile(two, 0.50); got != time.Millisecond {
+	if got := obs.QuantileDur(two, 0.50); got != time.Millisecond {
 		t.Errorf("p50 of two samples = %v, want the smaller", got)
 	}
 	one := []time.Duration{7 * time.Millisecond}
-	if got := quantile(one, 0.99); got != 7*time.Millisecond {
+	if got := obs.QuantileDur(one, 0.99); got != 7*time.Millisecond {
 		t.Errorf("p99 of one sample = %v", got)
 	}
 }

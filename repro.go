@@ -38,6 +38,7 @@ import (
 	"repro/internal/experiments"
 	"repro/internal/fedavg"
 	"repro/internal/fl"
+	"repro/internal/health"
 	"repro/internal/obs"
 	"repro/internal/serve"
 	"repro/internal/sim"
@@ -488,3 +489,71 @@ func ObsFromContext(ctx context.Context) *ObsTrace { return obs.FromContext(ctx)
 func ObsSetupLogger(w io.Writer, level string, jsonOut bool) (*slog.Logger, error) {
 	return obs.SetupDefault(w, level, jsonOut)
 }
+
+// ObsVersionString renders the binary's build info (module, version, VCS
+// revision, Go version) on one line, for -version flags.
+func ObsVersionString() string { return obs.VersionString() }
+
+// Health types (see internal/health): the rolling-window SLO engine with
+// its alert ring and autoscale advisor.
+type (
+	// HealthEvaluator maintains per-cell rolling windows, judges SLO rules
+	// with hysteresis, keeps the alert ring, and advises on scaling.
+	HealthEvaluator = health.Evaluator
+	// HealthConfig tunes the evaluator (tick, window, rules, advisor).
+	HealthConfig = health.Config
+	// HealthAdvisorConfig tunes the autoscale policy (bounds, sustained-
+	// signal widths, cooldown).
+	HealthAdvisorConfig = health.AdvisorConfig
+	// HealthRule is one SLO (metric, threshold, hysteresis widths).
+	HealthRule = health.Rule
+	// HealthState is an SLO standing: ok, degraded or breached.
+	HealthState = health.State
+	// HealthAlert is one event in the ring behind GET /debug/alerts.
+	HealthAlert = health.Alert
+	// HealthWindowStats is one cell's aggregated rolling window.
+	HealthWindowStats = health.WindowStats
+	// HealthCellSample is one cell's raw per-tick reading.
+	HealthCellSample = health.CellSample
+	// HealthSource feeds the evaluator one reading per cell per tick.
+	HealthSource = health.Source
+	// HealthActuator enacts advisor plans (the ctrl plane adapts to it).
+	HealthActuator = health.Actuator
+	// AutoscalePlan is the advisor's recommendation
+	// (GET /v1/autoscale/plan).
+	AutoscalePlan = health.Plan
+	// HealthJSON is the GET /v1/health body.
+	HealthJSON = health.HealthJSON
+	// HealthMetric names the window aggregate an SLO rule judges.
+	HealthMetric = health.Metric
+)
+
+// Window metrics health rules can bind to.
+const (
+	HealthMetricQueueWaitP50 = health.MetricQueueWaitP50
+	HealthMetricQueueWaitP99 = health.MetricQueueWaitP99
+	HealthMetricSolveP50     = health.MetricSolveP50
+	HealthMetricSolveP99     = health.MetricSolveP99
+	HealthMetricErrorRate    = health.MetricErrorRate
+	HealthMetricCacheHitRate = health.MetricCacheHitRate
+	HealthMetricQueueDepth   = health.MetricQueueDepth
+	HealthMetricRequestRate  = health.MetricRequestRate
+)
+
+// HealthDefaultRules returns the stock SLO set: queue-wait p99 under 50ms,
+// solve p99 under 500ms, error rate under 5%, and a cache-hit-rate floor.
+func HealthDefaultRules() []HealthRule { return health.DefaultRules() }
+
+// NewHealthEvaluator builds the health engine; call Start to poll on the
+// configured tick (or drive Observe directly) and Close to stop.
+func NewHealthEvaluator(cfg HealthConfig) *HealthEvaluator { return health.New(cfg) }
+
+// HealthRouterSource samples every live cell of a cluster router.
+func HealthRouterSource(c *Cluster) HealthSource { return health.RouterSource(c) }
+
+// HealthServerSource samples a standalone server as cell 0.
+func HealthServerSource(s *Server) HealthSource { return health.ServerSource(s) }
+
+// NewCtrlActuator adapts the control plane's autoscale entry points
+// (AutoscaleAddCell / AutoscaleDrainCell) to the health layer's Actuator.
+func NewCtrlActuator(p *ControlPlane) HealthActuator { return ctrl.Actuator{Plane: p} }

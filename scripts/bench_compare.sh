@@ -1,0 +1,71 @@
+#!/usr/bin/env bash
+# scripts/bench_compare.sh — diff two bench.sh JSON baselines and fail when
+# any benchmark present in BOTH files regressed its ns/op by more than the
+# threshold. Guards the committed perf trajectory (BENCH_PR3.json → ...):
+# a PR that lands a new baseline must not quietly give back the wins the
+# earlier PRs recorded.
+#
+# Usage:
+#   scripts/bench_compare.sh OLD.json NEW.json [threshold_pct]
+#   scripts/bench_compare.sh BENCH_PR6.json BENCH_PR7.json       # default 25
+#
+# Benchmarks that appear in only one file (added or retired) are reported
+# but never fail the check — the contract covers the overlap only.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+if [ $# -lt 2 ]; then
+    echo "usage: $0 OLD.json NEW.json [threshold_pct]" >&2
+    exit 2
+fi
+old="$1"
+new="$2"
+threshold="${3:-25}"
+
+for f in "$old" "$new"; do
+    if [ ! -r "$f" ]; then
+        echo "bench_compare: cannot read $f" >&2
+        exit 2
+    fi
+done
+
+# Each baseline line looks like:
+#   "BenchmarkFoo": {"ns_per_op": 12345, "B_per_op": 67, ...},
+# Pull name + ns_per_op; everything else in the object is informational.
+extract() {
+    awk -F'"' '
+    /"ns_per_op"/ {
+        name = $2
+        line = $0
+        sub(/.*"ns_per_op": */, "", line)
+        sub(/[,}].*/, "", line)
+        print name, line
+    }' "$1"
+}
+
+extract "$old" | sort > /tmp/bench_old.$$
+extract "$new" | sort > /tmp/bench_new.$$
+trap 'rm -f /tmp/bench_old.$$ /tmp/bench_new.$$' EXIT
+
+rc=0
+join /tmp/bench_old.$$ /tmp/bench_new.$$ | awk -v thr="$threshold" -v old="$old" -v new="$new" '
+{
+    name = $1; was = $2; now = $3
+    delta = was > 0 ? (now - was) * 100.0 / was : 0
+    mark = ""
+    if (delta > thr) { mark = "  << REGRESSION"; bad++ }
+    printf "%-36s %14.0f -> %14.0f ns/op  %+7.1f%%%s\n", name, was, now, delta, mark
+    n++
+}
+END {
+    if (n == 0) { print "bench_compare: no overlapping benchmarks between " old " and " new > "/dev/stderr"; exit 2 }
+    printf "\n%d benchmarks compared (%s vs %s), threshold +%s%%\n", n, old, new, thr
+    if (bad > 0) { printf "FAIL: %d benchmark(s) regressed ns/op beyond the threshold\n", bad; exit 1 }
+    print "OK: no ns/op regression beyond the threshold"
+}' || rc=$?
+
+# Report (but never fail on) the non-overlap so added/retired benchmarks
+# stay visible in the log.
+comm -23 <(cut -d' ' -f1 /tmp/bench_old.$$) <(cut -d' ' -f1 /tmp/bench_new.$$) | while read -r b; do echo "only in $old: $b"; done
+comm -13 <(cut -d' ' -f1 /tmp/bench_old.$$) <(cut -d' ' -f1 /tmp/bench_new.$$) | while read -r b; do echo "only in $new: $b"; done
+exit "$rc"
