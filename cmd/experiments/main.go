@@ -20,8 +20,10 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"path/filepath"
 	"strings"
+	"syscall"
 	"time"
 
 	"repro"
@@ -53,6 +55,17 @@ func main() {
 		fmt.Fprintln(os.Stderr, "experiments:", err)
 		os.Exit(1)
 	}
+
+	// Graceful interrupt: figure regeneration holds no durable state, so
+	// SIGINT/SIGTERM exits cleanly mid-sweep with the conventional status
+	// (partially written -csv files are simply regenerated on the next run).
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		s := <-sig
+		fmt.Fprintf(os.Stderr, "experiments: received %v, exiting\n", s)
+		os.Exit(130)
+	}()
 
 	var err error
 	if *sweep > 0 {

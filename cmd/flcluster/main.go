@@ -9,6 +9,7 @@
 //	flcluster [-addr :8080] [-cells 4] [-workers 0] [-queue 0]
 //	          [-cache 4096] [-ttl 10m] [-timeout 30s] [-gainres 0.25]
 //	          [-sessions 1024] [-session-ttl 5m]
+//	          [-replicate] [-snapshot-dir DIR] [-snapshot-interval 30s]
 //
 // Endpoints:
 //
@@ -21,6 +22,10 @@
 //	POST   /v1/handoff            {"device_id","from_cell","to_cell"}
 //	POST   /v1/cells              add a cell (splice + backfill)
 //	DELETE /v1/cells/{id}         drain a cell and remove it
+//	POST   /v1/cells/{id}/crash   remove a cell WITHOUT draining (failure
+//	                              injection); with -replicate its keyspace
+//	                              degrades to warm-but-not-cached on the
+//	                              successors instead of cold
 //	GET    /v1/rebalance/plan     per-cell moved-key counts (dry run)
 //	POST   /v1/rebalance          execute the rebalance
 //	GET    /v1/health             per-cell rolling windows + SLO standing
@@ -59,6 +64,18 @@
 // happen mid-traffic (per-request mode; -migrate is forced to 0, mobility
 // comes from the drains).
 //
+// With -crash K the replay instead runs under failure injection: the
+// chaos goroutine performs K add-cell/crash-cell cycles, removing cells
+// WITHOUT draining them while a fast-flushing replicator ships warm state
+// to ring successors — each crash's promotion (devices, warm seeds, lost
+// dirty, replica lag) is reported after the replay.
+//
+// With -replicate (server mode) every cell's warm state ships
+// asynchronously to its ring successor; -snapshot-dir additionally
+// persists whole-cluster snapshots (all cells + open sessions) to
+// DIR/flcluster.snap on -snapshot-interval and on graceful shutdown, and
+// restores them at boot.
+//
 // Each device owns a base scenario; every request is, with probability
 // -repeat, an exact replay of that device's previous instance (exercising
 // the cache and, across a migration, the handoff-carried cache entry),
@@ -96,6 +113,7 @@ import (
 	"net/http/pprof"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"sync"
 	"syscall"
 	"time"
@@ -142,6 +160,11 @@ func main() {
 		deltadev = flag.Int("deltadev", 3, "loadgen -stream: devices drifted per delta")
 		churn    = flag.Int("churn", 0, "loadgen: add+drain this many cells mid-replay (per-request mode)")
 		wave     = flag.Bool("wave", false, "loadgen: autoscale traffic wave (hot phase, then idle until the cluster drains back)")
+		crash    = flag.Int("crash", 0, "loadgen: add+crash this many cells mid-replay WITHOUT draining, promoting replicas (per-request mode)")
+
+		replicate    = flag.Bool("replicate", false, "ship each cell's warm state to its ring successor and promote it on crash removals")
+		snapshotDir  = flag.String("snapshot-dir", "", "persist periodic cluster snapshots in this directory and restore at boot (empty disables)")
+		snapInterval = flag.Duration("snapshot-interval", 30*time.Second, "periodic snapshot cadence (<0 saves only on shutdown)")
 
 		version = flag.Bool("version", false, "print build/version info and exit")
 	)
@@ -160,6 +183,10 @@ func main() {
 	}
 	if *wave && (*stream || *batch > 0 || *churn > 0) {
 		fmt.Fprintln(os.Stderr, "flcluster: -wave only composes with the per-request loadgen (no -stream/-batch/-churn)")
+		os.Exit(2)
+	}
+	if *crash > 0 && (*stream || *batch > 0 || *churn > 0 || *wave) {
+		fmt.Fprintln(os.Stderr, "flcluster: -crash only composes with the per-request loadgen (no -stream/-batch/-churn/-wave)")
 		os.Exit(2)
 	}
 
@@ -192,9 +219,9 @@ func main() {
 	case *loadgen > 0 && *wave:
 		err = runAutoscaleWave(cfg, hcfg, *autoscale, *loadgen, *devices, *n, *drift, *conc, *seed)
 	case *loadgen > 0:
-		err = runLoadgen(cfg, *loadgen, *devices, *n, *drift, *repeat, *migrate, *conc, *seed, *batch, *churn)
+		err = runLoadgen(cfg, *loadgen, *devices, *n, *drift, *repeat, *migrate, *conc, *seed, *batch, *churn, *crash)
 	default:
-		err = runServer(cfg, scfg, hcfg, *autoscale, *addr, *debugAddr, *traceN, *traceSlow)
+		err = runServer(cfg, scfg, hcfg, *autoscale, *replicate, *addr, *debugAddr, *traceN, *traceSlow, *snapshotDir, *snapInterval)
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "flcluster:", err)
@@ -202,8 +229,10 @@ func main() {
 	}
 }
 
-// runServer serves until SIGINT/SIGTERM.
-func runServer(cfg repro.ClusterConfig, scfg repro.StreamConfig, hcfg repro.HealthConfig, autoscale bool, addr, debugAddr string, traceN int, traceSlow time.Duration) error {
+// runServer serves until SIGINT/SIGTERM: the listener stops accepting,
+// one final snapshot flushes (when -snapshot-dir is set), and the process
+// exits.
+func runServer(cfg repro.ClusterConfig, scfg repro.StreamConfig, hcfg repro.HealthConfig, autoscale, replicate bool, addr, debugAddr string, traceN int, traceSlow time.Duration, snapshotDir string, snapInterval time.Duration) error {
 	var col *repro.ObsCollector
 	if traceN > 0 {
 		col = repro.NewObsCollector(repro.ObsConfig{SampleEvery: traceN, SlowThreshold: traceSlow})
@@ -216,6 +245,34 @@ func runServer(cfg repro.ClusterConfig, scfg repro.StreamConfig, hcfg repro.Heal
 	defer mgr.Close()
 	plane := repro.NewControlPlane(cl, mgr)
 	plane.SetLogger(slog.Default())
+	if replicate {
+		rep := repro.NewReplicator(repro.ReplicatorConfig{Router: cl, Logger: slog.Default()})
+		rep.Start()
+		defer rep.Close()
+		plane.SetReplicator(rep)
+		slog.Info("ring-successor replication enabled")
+	}
+	if snapshotDir != "" {
+		path := filepath.Join(snapshotDir, "flcluster.snap")
+		repro.ReplicaBootRestore(path, slog.Default(), func(s repro.ReplicaSnapshot) repro.ReplicaRestoreReport {
+			return repro.ReplicaRestoreCluster(cl, mgr, s)
+		})
+		snapper := repro.NewReplicaSnapshotter(repro.ReplicaSnapshotterConfig{
+			Path:     path,
+			Interval: snapInterval,
+			Capture:  repro.ReplicaCaptureCluster(cl, mgr),
+			Logger:   slog.Default(),
+		})
+		snapper.Start()
+		plane.SetSnapshotter(snapper)
+		defer func() { // runs before mgr/cl close: their state is still live
+			if err := snapper.Close(); err != nil {
+				slog.Warn("final snapshot flush failed", "path", path, "err", err)
+			} else {
+				slog.Info("final snapshot flushed", "path", path)
+			}
+		}()
+	}
 
 	hcfg.Source = repro.HealthRouterSource(cl)
 	hcfg.Logger = slog.Default()
@@ -225,6 +282,7 @@ func runServer(cfg repro.ClusterConfig, scfg repro.StreamConfig, hcfg repro.Heal
 	ev := repro.NewHealthEvaluator(hcfg)
 	ev.Start()
 	defer ev.Close()
+	plane.SetEvents(ev)
 
 	httpSrv := &http.Server{Addr: addr, Handler: repro.ObsMiddleware(col, ev.Handler(plane.Handler(repro.StreamHandler(mgr))))}
 	var debugSrv *http.Server
@@ -291,15 +349,25 @@ type device struct {
 // worker's stream into POST /v1/solve-batch chunks of that size; churn > 0
 // mounts the control plane and performs that many add/drain cycles against
 // the admin endpoints while the replay runs.
-func runLoadgen(cfg repro.ClusterConfig, total, devices, n int, drift, repeat, migrate float64, conc int, seed int64, batchSize, churn int) error {
+func runLoadgen(cfg repro.ClusterConfig, total, devices, n int, drift, repeat, migrate float64, conc int, seed int64, batchSize, churn, crash int) error {
 	cl := repro.NewCluster(cfg)
 	defer cl.Close()
 	handler := cl.Handler()
-	if churn > 0 {
-		// Drains repin devices wholesale; manual per-device migration on
-		// top would just fight the control plane for the same pins.
+	if churn > 0 || crash > 0 {
+		// Drains repin devices wholesale (and crashes invalidate pins);
+		// manual per-device migration on top would just fight the control
+		// plane for the same pins.
 		migrate = 0
-		handler = repro.NewControlPlane(cl, nil).Handler(handler)
+		plane := repro.NewControlPlane(cl, nil)
+		if crash > 0 {
+			// A fast flush keeps the replication lag short against the
+			// chaos driver's cadence, so crashes find state to promote.
+			rep := repro.NewReplicator(repro.ReplicatorConfig{Router: cl, Interval: 50 * time.Millisecond})
+			rep.Start()
+			defer rep.Close()
+			plane.SetReplicator(rep)
+		}
+		handler = plane.Handler(handler)
 	}
 	ts := httptest.NewServer(handler)
 	defer ts.Close()
@@ -341,6 +409,11 @@ func runLoadgen(cfg repro.ClusterConfig, total, devices, n int, drift, repeat, m
 	churnDone := make(chan churnSummary, 1)
 	if churn > 0 {
 		go runChurn(ts.URL, cfg.Cells, churn, seed+777, churnStop, churnDone)
+	}
+	crashStop := make(chan struct{})
+	crashDone := make(chan crashSummary, 1)
+	if crash > 0 {
+		go runCrashChaos(ts.URL, cfg.Cells, crash, seed+778, crashStop, crashDone)
 	}
 	for wkr := 0; wkr < conc; wkr++ {
 		var mine []*device
@@ -458,6 +531,11 @@ func runLoadgen(cfg repro.ClusterConfig, total, devices, n int, drift, repeat, m
 	if churn > 0 {
 		churned = <-churnDone
 	}
+	close(crashStop)
+	var crashed crashSummary
+	if crash > 0 {
+		crashed = <-crashDone
+	}
 	elapsed := time.Since(began)
 	var agg tally
 	for i := range tallies {
@@ -483,6 +561,9 @@ func runLoadgen(cfg repro.ClusterConfig, total, devices, n int, drift, repeat, m
 	if churn > 0 {
 		mode += fmt.Sprintf(", churn x%d", churn)
 	}
+	if crash > 0 {
+		mode += fmt.Sprintf(", crash x%d", crash)
+	}
 	fmt.Printf("loadgen (%s): %d requests (%d ok, %d failed), %d handoffs in %.3fs = %.1f req/s over %d clients, %d devices, %d cells\n",
 		mode, agg.ok+agg.fail, agg.ok, agg.fail, agg.handoffs, elapsed.Seconds(),
 		float64(agg.ok+agg.fail)/elapsed.Seconds(), conc, devices, cl.Cells())
@@ -500,6 +581,14 @@ func runLoadgen(cfg repro.ClusterConfig, total, devices, n int, drift, repeat, m
 		fmt.Printf("churn: %d cells added, %d drained (devices moved %d, results migrated %d), final cells %v, ring generation %d, rerouted %d\n",
 			churned.added, churned.drained, churned.movedDevices, churned.migratedResults,
 			cl.CellIDs(), a.Generation, a.Rerouted)
+	}
+	if crash > 0 {
+		if crashed.err != nil {
+			return fmt.Errorf("crash driver: %w", crashed.err)
+		}
+		fmt.Printf("crash: %d cells added, %d crashed without drain; promoted %d devices / %d warm seeds to successors, %d dirty lost, max replica lag %.3fs; final cells %v, ring generation %d, rerouted %d\n",
+			crashed.added, crashed.crashed, crashed.promotedDevices, crashed.promotedWarm,
+			crashed.lostDirty, crashed.maxLag, cl.CellIDs(), a.Generation, a.Rerouted)
 	}
 	for _, c := range stats.Cells {
 		fmt.Printf("  cell %d: requests %d, hits %d, warm %d, cold %d, cache %d\n",
@@ -799,6 +888,74 @@ func runChurn(baseURL string, initialCells, cycles int, seed int64, stop <-chan 
 		sum.movedDevices += drain.Handoff.Devices
 		sum.migratedResults += drain.Handoff.MigratedResults
 		cells = drain.Cells
+		if !pause() {
+			return
+		}
+	}
+}
+
+// crashSummary is what the crash-chaos driver hands back after the replay.
+type crashSummary struct {
+	added, crashed  int
+	promotedDevices int
+	promotedWarm    int
+	lostDirty       int
+	maxLag          float64
+	err             error
+}
+
+// runCrashChaos performs up to `cycles` add-cell/crash-cell rounds against
+// the live admin API: each round adds a fresh cell, lets traffic land on
+// the new ring, then crashes a random cell WITHOUT draining it — its state
+// dies, and the control plane promotes whatever the replicator had shipped
+// for it. Pauses between membership changes let the replication flush keep
+// up; stops early when the replay finishes.
+func runCrashChaos(baseURL string, initialCells, cycles int, seed int64, stop <-chan struct{}, done chan<- crashSummary) {
+	var sum crashSummary
+	defer func() { done <- sum }()
+	rng := rand.New(rand.NewSource(seed))
+	cells := make([]int, initialCells)
+	for i := range cells {
+		cells[i] = i
+	}
+	pause := func() bool {
+		select {
+		case <-stop:
+			return false
+		case <-time.After(100 * time.Millisecond):
+			return true
+		}
+	}
+	for i := 0; i < cycles; i++ {
+		select {
+		case <-stop:
+			return
+		default:
+		}
+		var add repro.AddCellReport
+		if err := doCtrl(baseURL+"/v1/cells", http.MethodPost, &add); err != nil {
+			sum.err = err
+			return
+		}
+		sum.added++
+		cells = add.Cells
+		if !pause() {
+			return
+		}
+		victim := cells[rng.Intn(len(cells))]
+		var crash repro.CrashReport
+		if err := doCtrl(fmt.Sprintf("%s/v1/cells/%d/crash", baseURL, victim), http.MethodPost, &crash); err != nil {
+			sum.err = err
+			return
+		}
+		sum.crashed++
+		sum.promotedDevices += crash.Promotion.Devices
+		sum.promotedWarm += crash.Promotion.WarmSeeds
+		sum.lostDirty += crash.Promotion.LostDirty
+		if crash.Promotion.MaxLagSeconds > sum.maxLag {
+			sum.maxLag = crash.Promotion.MaxLagSeconds
+		}
+		cells = crash.Cells
 		if !pause() {
 			return
 		}

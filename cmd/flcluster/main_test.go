@@ -98,7 +98,7 @@ func TestClusterEndToEnd(t *testing.T) {
 // TestRunLoadgen runs the multi-cell load generator end to end.
 func TestRunLoadgen(t *testing.T) {
 	cfg := repro.ClusterConfig{Cells: 3}
-	if err := runLoadgen(cfg, 24, 6, 5, 0.05, 0.3, 0.2, 3, 1, 0, 0); err != nil {
+	if err := runLoadgen(cfg, 24, 6, 5, 0.05, 0.3, 0.2, 3, 1, 0, 0, 0); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -107,7 +107,7 @@ func TestRunLoadgen(t *testing.T) {
 // /v1/solve-batch endpoint.
 func TestRunLoadgenBatch(t *testing.T) {
 	cfg := repro.ClusterConfig{Cells: 3}
-	if err := runLoadgen(cfg, 24, 6, 5, 0.05, 0.3, 0.2, 3, 1, 4, 0); err != nil {
+	if err := runLoadgen(cfg, 24, 6, 5, 0.05, 0.3, 0.2, 3, 1, 4, 0, 0); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -116,7 +116,17 @@ func TestRunLoadgenBatch(t *testing.T) {
 // drained by the control plane while the device-routed replay runs.
 func TestRunLoadgenChurn(t *testing.T) {
 	cfg := repro.ClusterConfig{Cells: 3}
-	if err := runLoadgen(cfg, 600, 8, 5, 0.05, 0.3, 0, 4, 1, 0, 3); err != nil {
+	if err := runLoadgen(cfg, 600, 8, 5, 0.05, 0.3, 0, 4, 1, 0, 3, 0); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRunLoadgenCrash replays under failure injection: cells are added and
+// then crashed WITHOUT draining while the replicated device-routed replay
+// runs, exercising promotion mid-traffic.
+func TestRunLoadgenCrash(t *testing.T) {
+	cfg := repro.ClusterConfig{Cells: 3}
+	if err := runLoadgen(cfg, 600, 8, 5, 0.05, 0.3, 0, 4, 1, 0, 0, 2); err != nil {
 		t.Fatal(err)
 	}
 }

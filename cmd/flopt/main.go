@@ -18,6 +18,8 @@ import (
 	"fmt"
 	"math/rand"
 	"os"
+	"os/signal"
+	"syscall"
 	"text/tabwriter"
 
 	"repro"
@@ -46,6 +48,16 @@ func main() {
 		fmt.Fprintln(os.Stderr, "flopt:", err)
 		os.Exit(1)
 	}
+
+	// Graceful interrupt: a batch run holds no durable state, so SIGINT/
+	// SIGTERM just exits cleanly with the conventional 128+SIGINT status.
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		s := <-sig
+		fmt.Fprintf(os.Stderr, "flopt: received %v, exiting\n", s)
+		os.Exit(130)
+	}()
 
 	if err := run(*n, *radius, *seed, *w1, *pmaxDBm, *fmaxHz, *deadline, *verbose); err != nil {
 		fmt.Fprintln(os.Stderr, "flopt:", err)

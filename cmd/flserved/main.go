@@ -7,6 +7,13 @@
 //	flserved [-addr :8080] [-workers 0] [-queue 0] [-cache 4096]
 //	         [-ttl 10m] [-timeout 30s] [-gainres 0.25]
 //	         [-sessions 1024] [-session-ttl 5m]
+//	         [-snapshot-dir DIR] [-snapshot-interval 30s]
+//
+// With -snapshot-dir the process persists its cache/warm/dual state and
+// open stream sessions to DIR/flserved.snap on the interval and on
+// graceful shutdown, and restores the file at boot — post-restart solves
+// are warm + dual-seeded and clients resume sessions at the next sequence
+// number. A corrupt or version-skewed snapshot degrades to a cold start.
 //
 // Endpoints:
 //
@@ -58,6 +65,7 @@ import (
 	"net/http/pprof"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"sync"
 	"sync/atomic"
 	"syscall"
@@ -95,8 +103,10 @@ func main() {
 		stream   = flag.Bool("stream", false, "loadgen: replay through per-client NDJSON delta sessions (POST /v1/stream)")
 		deltadev = flag.Int("deltadev", 3, "loadgen -stream: devices drifted per delta")
 
-		healthTick = flag.Duration("health-tick", 2*time.Second, "health evaluator polling interval")
-		version    = flag.Bool("version", false, "print build/version info and exit")
+		healthTick   = flag.Duration("health-tick", 2*time.Second, "health evaluator polling interval")
+		snapshotDir  = flag.String("snapshot-dir", "", "persist periodic state snapshots in this directory and restore at boot (empty disables)")
+		snapInterval = flag.Duration("snapshot-interval", 30*time.Second, "periodic snapshot cadence (<0 saves only on shutdown)")
+		version      = flag.Bool("version", false, "print build/version info and exit")
 	)
 	flag.Parse()
 	if *version {
@@ -126,7 +136,7 @@ func main() {
 	case *loadgen > 0:
 		err = runLoadgen(cfg, *loadgen, *n, *drift, *repeat, *conc, *seed, *batch)
 	default:
-		err = runServer(cfg, scfg, *healthTick, *addr, *debugAddr, *traceN, *traceSlow)
+		err = runServer(cfg, scfg, *healthTick, *addr, *debugAddr, *traceN, *traceSlow, *snapshotDir, *snapInterval)
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "flserved:", err)
@@ -134,8 +144,10 @@ func main() {
 	}
 }
 
-// runServer serves until SIGINT/SIGTERM.
-func runServer(cfg repro.ServeConfig, scfg repro.StreamConfig, healthTick time.Duration, addr, debugAddr string, traceN int, traceSlow time.Duration) error {
+// runServer serves until SIGINT/SIGTERM: the listener stops accepting,
+// one final snapshot flushes (when -snapshot-dir is set), and the process
+// exits.
+func runServer(cfg repro.ServeConfig, scfg repro.StreamConfig, healthTick time.Duration, addr, debugAddr string, traceN int, traceSlow time.Duration, snapshotDir string, snapInterval time.Duration) error {
 	var col *repro.ObsCollector
 	if traceN > 0 {
 		col = repro.NewObsCollector(repro.ObsConfig{SampleEvery: traceN, SlowThreshold: traceSlow})
@@ -146,6 +158,25 @@ func runServer(cfg repro.ServeConfig, scfg repro.StreamConfig, healthTick time.D
 	defer srv.Close()
 	mgr := repro.NewStreamManager(repro.NewStreamServeBackend(srv), scfg)
 	defer mgr.Close()
+	if snapshotDir != "" {
+		path := filepath.Join(snapshotDir, "flserved.snap")
+		repro.ReplicaBootRestore(path, slog.Default(), func(s repro.ReplicaSnapshot) repro.ReplicaRestoreReport {
+			return repro.ReplicaRestoreServer(srv, mgr, s)
+		})
+		snapper := repro.NewReplicaSnapshotter(repro.ReplicaSnapshotterConfig{
+			Path:     path,
+			Interval: snapInterval,
+			Capture:  repro.ReplicaCaptureServer(srv, mgr),
+		})
+		snapper.Start()
+		defer func() { // runs before mgr/srv close: their state is still live
+			if err := snapper.Close(); err != nil {
+				slog.Warn("final snapshot flush failed", "path", path, "err", err)
+			} else {
+				slog.Info("final snapshot flushed", "path", path)
+			}
+		}()
+	}
 	ev := repro.NewHealthEvaluator(repro.HealthConfig{
 		Source: repro.HealthServerSource(srv),
 		Tick:   healthTick,

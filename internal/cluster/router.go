@@ -159,6 +159,13 @@ type Router struct {
 	mu      sync.Mutex
 	devices map[string]*deviceState
 
+	// serveHook, when set, observes every successful device-attributed
+	// solve (deviceID, serving cell, fingerprint) after the router's own
+	// bookkeeping. The replication layer uses it to mark fingerprints
+	// dirty for successor shipment; it runs outside every router lock and
+	// must be fast and non-blocking.
+	serveHook atomic.Pointer[func(deviceID string, cell int, fp serve.Fingerprint)]
+
 	handoffs        atomic.Int64
 	massHandoffs    atomic.Int64
 	migratedResults atomic.Int64
@@ -229,6 +236,44 @@ func (r *Router) Cell(id int) *serve.Server {
 func (r *Router) HasCell(id int) bool {
 	_, ok := r.mem.Load().server(id)
 	return ok
+}
+
+// CellServer is the non-panicking form of Cell: it returns the cell
+// server with the given ID, or false for a non-member.
+func (r *Router) CellServer(id int) (*serve.Server, bool) {
+	return r.mem.Load().server(id)
+}
+
+// SetServeHook installs (or, with nil, clears) the per-solve observer:
+// fn is called after every successful device-attributed solve with the
+// device, the serving cell and the response fingerprint. It runs on the
+// request path outside the router locks, so it must be cheap; the
+// replication layer's hook just flips a dirty bit.
+func (r *Router) SetServeHook(fn func(deviceID string, cell int, fp serve.Fingerprint)) {
+	if fn == nil {
+		r.serveHook.Store(nil)
+		return
+	}
+	r.serveHook.Store(&fn)
+}
+
+func (r *Router) notifyServe(deviceID string, cell int, fp serve.Fingerprint) {
+	if h := r.serveHook.Load(); h != nil {
+		(*h)(deviceID, cell, fp)
+	}
+}
+
+// RingOwners resolves each device's CURRENT ring owner, pins ignored.
+// After a crash removal the installed ring is already the post-crash
+// ring, so the owners are exactly where the dead cell's keyspace lands —
+// which is where the replication layer promotes its bundles to.
+func (r *Router) RingOwners(devices []string) map[string]int {
+	mem := r.mem.Load()
+	owners := make(map[string]int, len(devices))
+	for _, dev := range devices {
+		owners[dev] = mem.ring.cell(dev)
+	}
+	return owners
 }
 
 // Quantization returns the fingerprint quantization shared by every cell
@@ -402,6 +447,7 @@ func (r *Router) Solve(ctx context.Context, cell int, deviceID string, req serve
 				r.pin(deviceID, target)
 			}
 			r.remember(deviceID, target, req, resp.Fingerprint)
+			r.notifyServe(deviceID, target, resp.Fingerprint)
 		}
 		return resp, target, nil
 	}
@@ -444,6 +490,7 @@ func (r *Router) SolveBatch(ctx context.Context, reqs []serve.Request, deviceIDs
 	for i, it := range items {
 		if it.Err == nil && deviceIDs[i] != "" {
 			r.remember(deviceIDs[i], cells[i], reqs[i], it.Response.Fingerprint)
+			r.notifyServe(deviceIDs[i], cells[i], it.Response.Fingerprint)
 		}
 	}
 	return items, cells

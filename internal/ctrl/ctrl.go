@@ -40,6 +40,7 @@ import (
 
 	"repro/internal/cluster"
 	"repro/internal/obs"
+	"repro/internal/replica"
 	"repro/internal/serve"
 	"repro/internal/stream"
 )
@@ -61,8 +62,18 @@ type Plane struct {
 	// into the operation's report; guarded by mu.
 	lastSuspended int
 
+	// events receives crash/promotion notifications (the health evaluator
+	// files them in its alert ring); replicator and snapshotter are the
+	// durability layer's handles, surfaced via stats/metrics and used by
+	// CrashCell. All three are set before serving, nil when absent.
+	events      EventRecorder
+	replicator  *replica.Replicator
+	snapshotter *replica.Snapshotter
+
 	cellsAdded        atomic.Int64
 	cellsRemoved      atomic.Int64
+	crashes           atomic.Int64
+	promotedWarm      atomic.Int64
 	drains            atomic.Int64
 	rebalances        atomic.Int64
 	movedDevices      atomic.Int64
@@ -359,6 +370,10 @@ type Snapshot struct {
 	CellsRemoved int64 `json:"cells_removed"`
 	Drains       int64 `json:"drains"`
 	Rebalances   int64 `json:"rebalances"`
+	// Crashes counts drain-less removals (failure injections);
+	// PromotedWarm the warm seeds their promotions landed on successors.
+	Crashes      int64 `json:"crashes"`
+	PromotedWarm int64 `json:"promoted_warm_seeds"`
 	// MovedDevices counts devices whose state migrated in control-plane
 	// batches; MigratedResults/MigratedWarm what moved with them.
 	MovedDevices    int64 `json:"moved_devices"`
@@ -382,6 +397,8 @@ func (p *Plane) Stats() Snapshot {
 		CellsRemoved:      p.cellsRemoved.Load(),
 		Drains:            p.drains.Load(),
 		Rebalances:        p.rebalances.Load(),
+		Crashes:           p.crashes.Load(),
+		PromotedWarm:      p.promotedWarm.Load(),
 		MovedDevices:      p.movedDevices.Load(),
 		MigratedResults:   p.migratedResults.Load(),
 		MigratedWarm:      p.migratedWarm.Load(),
@@ -399,6 +416,8 @@ func (s Snapshot) WritePrometheus(pw *serve.PromWriter) {
 	pw.Counter("ctrl_cells_removed_total", "Cells drained and removed at runtime.", "", float64(s.CellsRemoved))
 	pw.Counter("ctrl_drains_total", "Completed cell drains.", "", float64(s.Drains))
 	pw.Counter("ctrl_rebalances_total", "Executed rebalances.", "", float64(s.Rebalances))
+	pw.Counter("ctrl_crashes_total", "Drain-less cell removals (failure injections).", "", float64(s.Crashes))
+	pw.Counter("ctrl_promoted_warm_seeds_total", "Warm seeds landed on successors by crash promotions.", "", float64(s.PromotedWarm))
 	pw.Counter("ctrl_moved_devices_total", "Devices migrated by control-plane batches.", "", float64(s.MovedDevices))
 	pw.Counter("ctrl_migrated_results_total", "Cache entries migrated by control-plane batches.", "", float64(s.MigratedResults))
 	pw.Counter("ctrl_migrated_warm_starts_total", "Warm-start allocations migrated by control-plane batches.", "", float64(s.MigratedWarm))

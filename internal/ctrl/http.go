@@ -17,6 +17,8 @@ import (
 //
 //	POST   /v1/cells           add a cell (splice + backfill), report JSON
 //	DELETE /v1/cells/{id}      drain + remove a cell, report JSON
+//	POST   /v1/cells/{id}/crash  remove WITHOUT draining (failure
+//	                           injection) and promote its replicas
 //	GET    /v1/rebalance/plan  per-cell moved-key counts (dry run)
 //	POST   /v1/rebalance       execute the rebalance
 //	GET    /v1/stats           next's stats + "ctrl" section
@@ -42,6 +44,19 @@ func (p *Plane) Handler(next http.Handler) http.Handler {
 			return
 		}
 		rep, err := p.DrainCell(r.Context(), id)
+		if err != nil {
+			cluster.WriteError(w, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, rep)
+	})
+	mux.HandleFunc("POST /v1/cells/{id}/crash", func(w http.ResponseWriter, r *http.Request) {
+		id, err := strconv.Atoi(r.PathValue("id"))
+		if err != nil {
+			writeJSON(w, http.StatusBadRequest, cluster.ErrorJSON{Error: "malformed cell id " + strconv.Quote(r.PathValue("id"))})
+			return
+		}
+		rep, err := p.CrashCell(r.Context(), id)
 		if err != nil {
 			cluster.WriteError(w, err)
 			return
@@ -89,6 +104,16 @@ func (p *Plane) handleStats(w http.ResponseWriter, r *http.Request, next http.Ha
 		return
 	}
 	obj["ctrl"] = cj
+	if p.replicator != nil {
+		if rj, err := json.Marshal(p.replicator.Stats()); err == nil {
+			obj["replica"] = rj
+		}
+	}
+	if p.snapshotter != nil {
+		if sj, err := json.Marshal(p.snapshotter.Stats()); err == nil {
+			obj["snapshot"] = sj
+		}
+	}
 	writeJSON(w, http.StatusOK, obj)
 }
 
@@ -105,6 +130,12 @@ func (p *Plane) handleMetrics(w http.ResponseWriter, r *http.Request, next http.
 	_, _ = w.Write(rec.Body.Bytes())
 	pw := serve.NewPromWriter(w)
 	p.Stats().WritePrometheus(pw)
+	if p.replicator != nil {
+		p.replicator.Stats().WritePrometheus(pw)
+	}
+	if p.snapshotter != nil {
+		p.snapshotter.Stats().WritePrometheus(pw)
+	}
 }
 
 // replay copies a recorded downstream answer onto the real writer.

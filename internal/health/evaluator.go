@@ -36,6 +36,12 @@ const (
 	KindMembership AlertKind = "membership"
 	// KindAutoscale marks an advisor action being enacted (or failing).
 	KindAutoscale AlertKind = "autoscale"
+	// KindCrash marks a drain-less cell removal (failure injection or real
+	// crash detection) reported by the control plane.
+	KindCrash AlertKind = "crash"
+	// KindRecovery marks a replica promotion: a crashed cell's replicated
+	// warm state landing on its successors.
+	KindRecovery AlertKind = "recovery"
 )
 
 // Alert is one event in the ring behind GET /debug/alerts.
@@ -130,6 +136,8 @@ type Evaluator struct {
 	transitions atomic.Int64
 	scaleUps    atomic.Int64
 	scaleDowns  atomic.Int64
+	crashEvents atomic.Int64
+	recoveries  atomic.Int64
 
 	mu      sync.Mutex
 	windows map[int]*cellWindow
@@ -294,6 +302,34 @@ func (e *Evaluator) Observe(now time.Time, samples []CellSample) Plan {
 func (e *Evaluator) emit(a Alert) {
 	a.Seq = e.alertSeq.Add(1)
 	e.alerts.Append(a)
+}
+
+// RecordEvent files a control-plane lifecycle event into the alert ring.
+// It satisfies the control plane's EventRecorder structurally: kind
+// "crash" becomes a KindCrash alert (warn-logged — a cell just died with
+// its state), "promotion" a KindRecovery alert; anything else lands as
+// KindMembership so no event is ever dropped on the floor.
+func (e *Evaluator) RecordEvent(kind string, cell int, message string) {
+	var k AlertKind
+	switch kind {
+	case "crash":
+		k = KindCrash
+		e.crashEvents.Add(1)
+	case "promotion":
+		k = KindRecovery
+		e.recoveries.Add(1)
+	default:
+		k = KindMembership
+	}
+	e.mu.Lock()
+	e.emit(Alert{Time: time.Now(), Kind: k, Cell: cell, Message: message})
+	e.mu.Unlock()
+	lvl := slog.LevelInfo
+	if k == KindCrash {
+		lvl = slog.LevelWarn
+	}
+	e.log.Log(context.Background(), lvl, "control-plane event",
+		"kind", kind, "cell", cell, "message", message)
 }
 
 // Alerts returns the retained alert events, newest first.

@@ -70,6 +70,11 @@ const (
 	PhaseDrainSuspend = "drain_suspend"
 	PhaseDrainRemove  = "drain_remove"
 	PhaseDrainResume  = "drain_resume"
+	// Crash stages inside ctrl.CrashCell: the drain-less removal (nothing
+	// migrates — the cell's state dies with it) and the replica promotion
+	// that re-seeds the successors (Value = warm seeds injected).
+	PhaseCrashRemove  = "crash_remove"
+	PhaseCrashPromote = "crash_promote"
 	// PhaseTotal is recorded by Finish for the whole trace.
 	PhaseTotal = "total"
 )

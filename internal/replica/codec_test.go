@@ -1,0 +1,151 @@
+package replica
+
+import (
+	"errors"
+	"log/slog"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/serve"
+)
+
+func sampleSnapshot() Snapshot {
+	return Snapshot{
+		SavedAt: time.Unix(1700000000, 0).UTC(),
+		Cells: []CellState{{
+			Cell: 2,
+			State: serve.ServerState{
+				Results: []serve.CachedResult{{Key: 42, Result: core.Result{Objective: 1.5, Converged: true}}},
+			},
+		}},
+	}
+}
+
+func TestCodecRoundTrip(t *testing.T) {
+	want := sampleSnapshot()
+	data, err := Encode(want)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Decode(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.SavedAt.Equal(want.SavedAt) || len(got.Cells) != 1 || got.Cells[0].Cell != 2 {
+		t.Fatalf("round trip mismatch: %+v", got)
+	}
+	if got.Cells[0].State.Results[0].Key != 42 || got.Cells[0].State.Results[0].Result.Objective != 1.5 {
+		t.Fatalf("payload mismatch: %+v", got.Cells[0].State.Results[0])
+	}
+}
+
+func TestDecodeRejectsCorruption(t *testing.T) {
+	data, err := Encode(sampleSnapshot())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cases := map[string][]byte{
+		"empty":        {},
+		"short header": data[:headerLen-3],
+		"truncated":    data[:len(data)-5],
+		"bad magic":    append([]byte("NOTASNAP"), data[len(snapMagic):]...),
+		"flipped payload byte": func() []byte {
+			c := append([]byte(nil), data...)
+			c[headerLen+4] ^= 0xFF
+			return c
+		}(),
+	}
+	for name, buf := range cases {
+		if _, err := Decode(buf); !errors.Is(err, ErrSnapshotCorrupt) {
+			t.Errorf("%s: err %v, want ErrSnapshotCorrupt", name, err)
+		}
+	}
+}
+
+func TestDecodeRejectsVersionSkew(t *testing.T) {
+	data, err := Encode(sampleSnapshot())
+	if err != nil {
+		t.Fatal(err)
+	}
+	skewed := append([]byte("FLSNAP99"), data[len(snapMagic):]...)
+	if _, err := Decode(skewed); !errors.Is(err, ErrSnapshotVersion) {
+		t.Fatalf("version-skewed decode err %v, want ErrSnapshotVersion", err)
+	}
+}
+
+func TestSaveLoadAtomic(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "nested", "state.snap")
+	want := sampleSnapshot()
+	if err := Save(path, want); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.SavedAt.Equal(want.SavedAt) {
+		t.Fatalf("loaded SavedAt %v, want %v", got.SavedAt, want.SavedAt)
+	}
+	// No temp files left behind.
+	entries, err := os.ReadDir(filepath.Dir(path))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 {
+		t.Fatalf("snapshot dir has %d entries, want just the snapshot: %v", len(entries), entries)
+	}
+}
+
+// TestBootRestoreDegradesToColdStart is the never-fail-boot contract: a
+// missing, truncated, corrupt or version-skewed snapshot file must all
+// come back as a clean cold start, with the restore callback untouched.
+func TestBootRestoreDegradesToColdStart(t *testing.T) {
+	dir := t.TempDir()
+	log := slog.New(slog.NewTextHandler(os.Stderr, nil))
+	good, err := Encode(sampleSnapshot())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	files := map[string][]byte{
+		"missing.snap":   nil, // not written at all
+		"empty.snap":     {},
+		"truncated.snap": good[:len(good)-7],
+		"corrupt.snap": func() []byte {
+			c := append([]byte(nil), good...)
+			c[headerLen] ^= 0x55
+			return c
+		}(),
+		"version.snap": append([]byte("FLSNAP77"), good[len(snapMagic):]...),
+	}
+	for name, content := range files {
+		path := filepath.Join(dir, name)
+		if content != nil {
+			if err := os.WriteFile(path, content, 0o644); err != nil {
+				t.Fatal(err)
+			}
+		}
+		called := false
+		rep, ok := BootRestore(path, log, func(Snapshot) RestoreReport {
+			called = true
+			return RestoreReport{Cells: 1}
+		})
+		if ok || called || rep.Cells != 0 {
+			t.Errorf("%s: restore ran (ok=%t called=%t rep=%+v), want cold start", name, ok, called, rep)
+		}
+	}
+
+	// And the healthy path restores.
+	path := filepath.Join(dir, "good.snap")
+	if err := os.WriteFile(path, good, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	rep, ok := BootRestore(path, log, func(Snapshot) RestoreReport { return RestoreReport{Cells: 1} })
+	if !ok || rep.Cells != 1 {
+		t.Fatalf("good snapshot: ok=%t rep=%+v, want restored", ok, rep)
+	}
+}

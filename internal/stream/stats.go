@@ -13,6 +13,7 @@ type Stats struct {
 	sessionsClosed   atomic.Int64
 	sessionsExpired  atomic.Int64
 	sessionsRejected atomic.Int64
+	sessionsRestored atomic.Int64
 	deltas           atomic.Int64
 	deltasCoalesced  atomic.Int64
 	deltaErrors      atomic.Int64
@@ -49,6 +50,8 @@ type Snapshot struct {
 	SessionsClosed   int64 `json:"sessions_closed"`
 	SessionsExpired  int64 `json:"sessions_expired"`
 	SessionsRejected int64 `json:"sessions_rejected"`
+	// SessionsRestored counts sessions recreated from a snapshot at boot.
+	SessionsRestored int64 `json:"sessions_restored"`
 	// Deltas counts applied deltas; DeltasCoalesced counts the subset that
 	// queued behind a slow solve (or a drain suspension) and were answered
 	// by a covering re-solve of a later state instead of a solve of their
@@ -72,6 +75,7 @@ func (st *Stats) snapshot() Snapshot {
 		SessionsClosed:   st.sessionsClosed.Load(),
 		SessionsExpired:  st.sessionsExpired.Load(),
 		SessionsRejected: st.sessionsRejected.Load(),
+		SessionsRestored: st.sessionsRestored.Load(),
 		Deltas:           st.deltas.Load(),
 		DeltasCoalesced:  st.deltasCoalesced.Load(),
 		DeltaErrors:      st.deltaErrors.Load(),
@@ -93,6 +97,7 @@ func (s Snapshot) WritePrometheus(p *serve.PromWriter, prefix, labels string) {
 		{"sessions_closed_total", "Stream sessions closed by the client.", s.SessionsClosed},
 		{"sessions_expired_total", "Stream sessions evicted at the idle TTL.", s.SessionsExpired},
 		{"sessions_rejected_total", "Stream opens refused at the session limit.", s.SessionsRejected},
+		{"sessions_restored_total", "Stream sessions recreated from a snapshot at boot.", s.SessionsRestored},
 		{"deltas_total", "Gain deltas applied across all sessions.", s.Deltas},
 		{"deltas_coalesced_total", "Deltas answered by a covering coalesced re-solve instead of their own.", s.DeltasCoalesced},
 		{"delta_errors_total", "Deltas rejected (stale seq, bad delta, unknown session) or failed in the solver.", s.DeltaErrors},

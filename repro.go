@@ -40,6 +40,7 @@ import (
 	"repro/internal/fl"
 	"repro/internal/health"
 	"repro/internal/obs"
+	"repro/internal/replica"
 	"repro/internal/serve"
 	"repro/internal/sim"
 	"repro/internal/stream"
@@ -557,3 +558,82 @@ func HealthServerSource(s *Server) HealthSource { return health.ServerSource(s) 
 // NewCtrlActuator adapts the control plane's autoscale entry points
 // (AutoscaleAddCell / AutoscaleDrainCell) to the health layer's Actuator.
 func NewCtrlActuator(p *ControlPlane) HealthActuator { return ctrl.Actuator{Plane: p} }
+
+// Replication & crash-recovery types (see internal/replica): periodic
+// snapshot/restore of a serving process and ring-successor replication of
+// hot cell state.
+type (
+	// ReplicaSnapshot is the full durable state of one serving process
+	// (every cell's cache/warm/dual state plus open stream sessions).
+	ReplicaSnapshot = replica.Snapshot
+	// ReplicaSnapshotter persists periodic snapshots; Close flushes one
+	// final snapshot on graceful shutdown.
+	ReplicaSnapshotter = replica.Snapshotter
+	// ReplicaSnapshotterConfig tunes the snapshotter (path, interval,
+	// capture hook).
+	ReplicaSnapshotterConfig = replica.SnapshotterConfig
+	// Replicator ships each cell's hot state to its ring successor and
+	// promotes it after a crash removal.
+	Replicator = replica.Replicator
+	// ReplicatorConfig tunes the replicator (flush interval, dirty bound).
+	ReplicatorConfig = replica.ReplicatorConfig
+	// ReplicaRestoreReport summarizes what a boot restore landed.
+	ReplicaRestoreReport = replica.RestoreReport
+	// ReplicaPromoteReport summarizes one crash promotion.
+	ReplicaPromoteReport = replica.PromoteReport
+	// CrashReport reports one drain-less cell removal (ctrl.CrashCell).
+	CrashReport = ctrl.CrashReport
+	// StreamSessionSnapshot is one serialized stream session.
+	StreamSessionSnapshot = stream.SessionSnapshot
+	// ServerState is one server's serializable cache/warm/dual state.
+	ServerState = serve.ServerState
+)
+
+// Re-exported snapshot-codec errors (restore degrades to a cold start on
+// either — boot never fails because of a snapshot).
+var (
+	// ErrSnapshotVersion flags a snapshot written by an incompatible codec.
+	ErrSnapshotVersion = replica.ErrSnapshotVersion
+	// ErrSnapshotCorrupt flags a truncated or checksum-failing snapshot.
+	ErrSnapshotCorrupt = replica.ErrSnapshotCorrupt
+)
+
+// NewReplicaSnapshotter builds a snapshotter; call Start for the periodic
+// loop and Close to flush the final snapshot.
+func NewReplicaSnapshotter(cfg ReplicaSnapshotterConfig) *ReplicaSnapshotter {
+	return replica.NewSnapshotter(cfg)
+}
+
+// ReplicaCaptureServer builds a single-server snapshot capture (mgr may be
+// nil).
+func ReplicaCaptureServer(s *Server, mgr *StreamManager) func() ReplicaSnapshot {
+	return replica.CaptureServer(s, mgr)
+}
+
+// ReplicaCaptureCluster builds a whole-cluster snapshot capture (mgr may
+// be nil).
+func ReplicaCaptureCluster(c *Cluster, mgr *StreamManager) func() ReplicaSnapshot {
+	return replica.CaptureCluster(c, mgr)
+}
+
+// ReplicaRestoreServer imports a snapshot into a single-server process.
+func ReplicaRestoreServer(s *Server, mgr *StreamManager, snap ReplicaSnapshot) ReplicaRestoreReport {
+	return replica.RestoreServer(s, mgr, snap)
+}
+
+// ReplicaRestoreCluster imports a snapshot into a cluster, spreading
+// orphaned cell sections over the live cells.
+func ReplicaRestoreCluster(c *Cluster, mgr *StreamManager, snap ReplicaSnapshot) ReplicaRestoreReport {
+	return replica.RestoreCluster(c, mgr, snap)
+}
+
+// ReplicaBootRestore loads the snapshot at path and restores it, degrading
+// every failure to a cold start (missing file: silent; corrupt/version-
+// skewed: WARN). Boot never fails because of a snapshot.
+func ReplicaBootRestore(path string, log *slog.Logger, restore func(ReplicaSnapshot) ReplicaRestoreReport) (ReplicaRestoreReport, bool) {
+	return replica.BootRestore(path, log, restore)
+}
+
+// NewReplicator builds the ring-successor replicator over a cluster and
+// installs its solve hook; call Start for the flush loop, Close to stop.
+func NewReplicator(cfg ReplicatorConfig) *Replicator { return replica.NewReplicator(cfg) }

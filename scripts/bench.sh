@@ -22,6 +22,11 @@ BENCHTIME="${BENCHTIME:-2s}"
 # bench run; the stats line lands on stderr next to the benchmark output.
 go run ./cmd/flcluster -loadgen 600 -cells 3 -devices 12 -n 8 -conc 4 -churn 3 >&2
 
+# Crash smoke: the same loadgen with drain-less cell removals instead —
+# replicated warm state is promoted onto the survivors while the replay
+# races the membership change.
+go run ./cmd/flcluster -loadgen 600 -cells 3 -devices 12 -n 8 -conc 4 -crash 2 >&2
+
 out="$(go test -run '^$' -bench "$BENCHES" -benchmem -benchtime "$BENCHTIME" -count 1 .)"
 echo "$out" >&2
 
