@@ -226,14 +226,20 @@ func BenchmarkServeWarmStartAllocOnly(b *testing.B) {
 	benchServeWarm(b, repro.ServeConfig{DisableDualSeed: true}, nil)
 }
 
-// BenchmarkServeTraced is BenchmarkServeWarmStart with the observability
-// stack live: a collector at the default 1-in-16 sampling starts and
-// finishes one solve-lifecycle trace per iteration, and the server records
-// fingerprint/cache/queue/solve spans into it. The gap to
-// BenchmarkServeWarmStart (which runs the nil-collector fast path) is the
-// tracing overhead, budgeted at under 5%.
+// BenchmarkServeTraced is BenchmarkServeWarmStart with the full telemetry
+// plane live: a collector at the default 1-in-16 sampling starts and
+// finishes one solve-lifecycle trace per iteration, the server records
+// fingerprint/cache/queue/solve spans into it, and every finished trace is
+// exported through a span exporter into a local aggregator (the
+// single-process assembly path). The gap to BenchmarkServeWarmStart (the
+// nil-collector fast path) is the tracing + export overhead.
 func BenchmarkServeTraced(b *testing.B) {
-	benchServeWarm(b, repro.ServeConfig{}, repro.NewObsCollector(repro.ObsConfig{}))
+	col := repro.NewObsCollector(repro.ObsConfig{})
+	agg := repro.NewTelemetryAggregator(repro.TelemetryAggregatorConfig{})
+	exp := repro.NewTelemetryExporter(repro.TelemetryExporterConfig{Origin: "bench", Local: agg})
+	col.SetSink(exp.Enqueue)
+	defer exp.Close()
+	benchServeWarm(b, repro.ServeConfig{}, col)
 }
 
 func benchServeWarm(b *testing.B, cfg repro.ServeConfig, col *repro.ObsCollector) {

@@ -17,6 +17,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -42,9 +43,10 @@ func main() {
 		sweepDeadline = flag.Float64("sweepdeadline", 120, "sweep: total completion-time limit for the deadline-mode comparison (s)")
 		sweepRadius   = flag.Float64("sweepradius", 0.5, "sweep: placement disk radius (km); wider disks spread SNRs and separate the solvers")
 
-		logLevel = flag.String("log-level", "info", "structured log level (debug|info|warn|error)")
-		logJSON  = flag.Bool("log-json", false, "emit structured logs as JSON instead of text")
-		version  = flag.Bool("version", false, "print build/version info and exit")
+		spanExport = flag.String("span-export", "", "POST the run's span to this aggregator URL (a running service's /debug/spans)")
+		logLevel   = flag.String("log-level", "info", "structured log level (debug|info|warn|error)")
+		logJSON    = flag.Bool("log-json", false, "emit structured logs as JSON instead of text")
+		version    = flag.Bool("version", false, "print build/version info and exit")
 	)
 	flag.Parse()
 	if *version {
@@ -67,11 +69,31 @@ func main() {
 		os.Exit(130)
 	}()
 
+	// With -span-export a figure regeneration reports itself to a running
+	// aggregator as a single-span trace, so long batch runs are visible on
+	// the ops dashboard next to live traffic.
+	var tr *repro.ObsTrace
+	var exp *repro.TelemetryExporter
+	if *spanExport != "" {
+		col := repro.NewObsCollector(repro.ObsConfig{SampleEvery: 1})
+		exp = repro.NewTelemetryExporter(repro.TelemetryExporterConfig{Origin: "experiments", Target: *spanExport})
+		col.SetSink(exp.Enqueue)
+		_, tr = col.StartTrace(context.Background())
+	}
+	began := time.Now()
+
 	var err error
+	phase := "figures"
 	if *sweep > 0 {
+		phase = "sweep"
 		err = runSweep(*sweep, *sweepN, *sweepDrift, *sweepDeadline, *sweepRadius, *seed)
 	} else {
 		err = run(*fig, *trials, *seed, *csvDir)
+	}
+	if tr != nil {
+		tr.RecordDur(phase, began, time.Since(began), repro.ObsAttr{Detail: *fig})
+		tr.Finish()
+		exp.Close()
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "experiments:", err)

@@ -141,11 +141,12 @@ func main() {
 		healthTick    = flag.Duration("health-tick", 2*time.Second, "health evaluator polling interval")
 		scaleCooldown = flag.Duration("scale-cooldown", 30*time.Second, "autoscale: minimum wall time between actions")
 
-		logLevel  = flag.String("log-level", "info", "structured log level (debug|info|warn|error)")
-		logJSON   = flag.Bool("log-json", false, "emit structured logs as JSON instead of text")
-		debugAddr = flag.String("debug-addr", "", "optional debug listen address (net/http/pprof + /debug/traces)")
-		traceN    = flag.Int("trace-sample", 16, "retain 1 in N traces in the debug ring (0 disables tracing)")
-		traceSlow = flag.Duration("trace-slow", 0, "slow-solve promotion threshold (0 = 250ms default)")
+		logLevel   = flag.String("log-level", "info", "structured log level (debug|info|warn|error)")
+		logJSON    = flag.Bool("log-json", false, "emit structured logs as JSON instead of text")
+		debugAddr  = flag.String("debug-addr", "", "optional debug listen address (net/http/pprof + /debug/traces + /debug/dashboard)")
+		traceN     = flag.Int("trace-sample", 16, "retain 1 in N traces in the debug ring (0 disables tracing)")
+		traceSlow  = flag.Duration("trace-slow", 0, "slow-solve promotion threshold (0 = 250ms default)")
+		spanExport = flag.String("span-export", "", "also POST span batches to this aggregator URL (e.g. a front router's /debug/spans); spans always assemble locally")
 
 		loadgen  = flag.Int("loadgen", 0, "replay this many requests and exit")
 		devices  = flag.Int("devices", 12, "loadgen: distinct devices (each owns a scenario)")
@@ -221,7 +222,7 @@ func main() {
 	case *loadgen > 0:
 		err = runLoadgen(cfg, *loadgen, *devices, *n, *drift, *repeat, *migrate, *conc, *seed, *batch, *churn, *crash)
 	default:
-		err = runServer(cfg, scfg, hcfg, *autoscale, *replicate, *addr, *debugAddr, *traceN, *traceSlow, *snapshotDir, *snapInterval)
+		err = runServer(cfg, scfg, hcfg, *autoscale, *replicate, *addr, *debugAddr, *traceN, *traceSlow, *spanExport, *snapshotDir, *snapInterval)
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "flcluster:", err)
@@ -232,12 +233,30 @@ func main() {
 // runServer serves until SIGINT/SIGTERM: the listener stops accepting,
 // one final snapshot flushes (when -snapshot-dir is set), and the process
 // exits.
-func runServer(cfg repro.ClusterConfig, scfg repro.StreamConfig, hcfg repro.HealthConfig, autoscale, replicate bool, addr, debugAddr string, traceN int, traceSlow time.Duration, snapshotDir string, snapInterval time.Duration) error {
+func runServer(cfg repro.ClusterConfig, scfg repro.StreamConfig, hcfg repro.HealthConfig, autoscale, replicate bool, addr, debugAddr string, traceN int, traceSlow time.Duration, spanExport string, snapshotDir string, snapInterval time.Duration) error {
 	var col *repro.ObsCollector
 	if traceN > 0 {
 		col = repro.NewObsCollector(repro.ObsConfig{SampleEvery: traceN, SlowThreshold: traceSlow})
 	}
 	scfg.Trace = col
+
+	// Telemetry plane: every finished trace feeds an exporter whose local
+	// sink is this process's own aggregator (so /debug/traces always shows
+	// assembled traces, including spans POSTed by remote cells); with
+	// -span-export the same batches also ship to an upstream aggregator.
+	var agg *repro.TelemetryAggregator
+	var exp *repro.TelemetryExporter
+	if col != nil {
+		agg = repro.NewTelemetryAggregator(repro.TelemetryAggregatorConfig{SlowThreshold: traceSlow})
+		exp = repro.NewTelemetryExporter(repro.TelemetryExporterConfig{
+			Origin: "flcluster",
+			Target: spanExport,
+			Local:  agg,
+			Logger: slog.Default(),
+		})
+		col.SetSink(exp.Enqueue)
+		defer exp.Close()
+	}
 
 	cl := repro.NewCluster(cfg)
 	defer cl.Close()
@@ -284,10 +303,44 @@ func runServer(cfg repro.ClusterConfig, scfg repro.StreamConfig, hcfg repro.Heal
 	defer ev.Close()
 	plane.SetEvents(ev)
 
-	httpSrv := &http.Server{Addr: addr, Handler: repro.ObsMiddleware(col, ev.Handler(plane.Handler(repro.StreamHandler(mgr))))}
+	mc := repro.ObsMiddlewareConfig{}
+	if agg != nil {
+		mc.Traces = repro.TelemetryTracesHandler(col, agg)
+		mc.Spans = agg.IngestHandler()
+		mc.StatsSections = map[string]func() any{
+			"telemetry": func() any {
+				return map[string]any{
+					"exporter":   exp.StatsJSON(),
+					"aggregator": agg.StatsJSON(),
+				}
+			},
+		}
+		mc.Metrics = []func(io.Writer) error{exp.WritePrometheus, agg.WritePrometheus}
+	}
+	httpSrv := &http.Server{Addr: addr, Handler: repro.ObsMiddlewareWith(col, mc, ev.Handler(plane.Handler(repro.StreamHandler(mgr))))}
 	var debugSrv *http.Server
 	if debugAddr != "" {
-		debugSrv = &http.Server{Addr: debugAddr, Handler: debugMux(col)}
+		dash := repro.TelemetryDashboardConfig{Sources: []repro.TelemetrySource{
+			{Name: "health", Fetch: func() any { return ev.Health() }},
+			{Name: "alerts", Fetch: func() any { return ev.Alerts() }},
+			{Name: "autoscale_plan", Fetch: func() any { return ev.Plan() }},
+			{Name: "cluster", Fetch: func() any { return cl.Stats() }},
+			{Name: "stream", Fetch: func() any { return mgr.Stats() }},
+			{Name: "ctrl", Fetch: func() any { return plane.Stats() }},
+		}}
+		if agg != nil {
+			dash.Sources = append(dash.Sources,
+				repro.TelemetrySource{Name: "traces", Fetch: func() any {
+					return agg.Assembled(repro.ObsTraceQuery{Limit: 8})
+				}},
+				repro.TelemetrySource{Name: "telemetry", Fetch: func() any {
+					return map[string]any{
+						"exporter":   exp.StatsJSON(),
+						"aggregator": agg.StatsJSON(),
+					}
+				}})
+		}
+		debugSrv = &http.Server{Addr: debugAddr, Handler: debugMux(col, agg, dash)}
 		go func() {
 			if err := debugSrv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
 				slog.Warn("debug listener failed", "addr", debugAddr, "err", err)
@@ -319,9 +372,10 @@ func runServer(cfg repro.ClusterConfig, scfg repro.StreamConfig, hcfg repro.Heal
 	return nil
 }
 
-// debugMux mounts net/http/pprof and the trace dump on a standalone mux so
-// the profiling surface never rides the public listener.
-func debugMux(col *repro.ObsCollector) http.Handler {
+// debugMux mounts net/http/pprof, the trace dump and the SSE ops dashboard
+// on a standalone mux so the profiling surface never rides the public
+// listener.
+func debugMux(col *repro.ObsCollector, agg *repro.TelemetryAggregator, dash repro.TelemetryDashboardConfig) http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
@@ -329,8 +383,13 @@ func debugMux(col *repro.ObsCollector) http.Handler {
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 	if col != nil {
-		mux.Handle(repro.ObsDebugPath, col.DebugHandler())
+		if agg != nil {
+			mux.Handle(repro.ObsDebugPath, repro.TelemetryTracesHandler(col, agg))
+		} else {
+			mux.Handle(repro.ObsDebugPath, col.DebugHandler())
+		}
 	}
+	mux.Handle(repro.TelemetryDashboardPath, repro.TelemetryDashboardHandler(dash))
 	return mux
 }
 

@@ -14,6 +14,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"math/rand"
@@ -21,23 +22,25 @@ import (
 	"os/signal"
 	"syscall"
 	"text/tabwriter"
+	"time"
 
 	"repro"
 )
 
 func main() {
 	var (
-		n        = flag.Int("n", 50, "number of devices")
-		radius   = flag.Float64("radius", 0.25, "placement disk radius (km)")
-		seed     = flag.Int64("seed", 1, "RNG seed for the device draw")
-		w1       = flag.Float64("w1", 0.5, "energy weight w1 in [0,1]; w2 = 1-w1")
-		pmaxDBm  = flag.Float64("pmax", 12, "maximum transmit power (dBm)")
-		fmaxHz   = flag.Float64("fmax", 2e9, "maximum CPU frequency (Hz)")
-		deadline = flag.Float64("deadline", 0, "fixed total completion time in seconds (0 = weighted mode)")
-		verbose  = flag.Bool("verbose", false, "print the per-device allocation table and solver trace")
-		logLevel = flag.String("log-level", "info", "structured log level (debug|info|warn|error)")
-		logJSON  = flag.Bool("log-json", false, "emit structured logs as JSON instead of text")
-		version  = flag.Bool("version", false, "print build/version info and exit")
+		n          = flag.Int("n", 50, "number of devices")
+		radius     = flag.Float64("radius", 0.25, "placement disk radius (km)")
+		seed       = flag.Int64("seed", 1, "RNG seed for the device draw")
+		w1         = flag.Float64("w1", 0.5, "energy weight w1 in [0,1]; w2 = 1-w1")
+		pmaxDBm    = flag.Float64("pmax", 12, "maximum transmit power (dBm)")
+		fmaxHz     = flag.Float64("fmax", 2e9, "maximum CPU frequency (Hz)")
+		deadline   = flag.Float64("deadline", 0, "fixed total completion time in seconds (0 = weighted mode)")
+		verbose    = flag.Bool("verbose", false, "print the per-device allocation table and solver trace")
+		spanExport = flag.String("span-export", "", "POST the run's solve span to this aggregator URL (a running service's /debug/spans)")
+		logLevel   = flag.String("log-level", "info", "structured log level (debug|info|warn|error)")
+		logJSON    = flag.Bool("log-json", false, "emit structured logs as JSON instead of text")
+		version    = flag.Bool("version", false, "print build/version info and exit")
 	)
 	flag.Parse()
 	if *version {
@@ -59,13 +62,25 @@ func main() {
 		os.Exit(130)
 	}()
 
-	if err := run(*n, *radius, *seed, *w1, *pmaxDBm, *fmaxHz, *deadline, *verbose); err != nil {
+	// With -span-export the one-shot solve still participates in the
+	// telemetry plane: its solve span ships to a running aggregator, where
+	// batch runs show up next to the serving traffic they compete with.
+	var tr *repro.ObsTrace
+	if *spanExport != "" {
+		col := repro.NewObsCollector(repro.ObsConfig{SampleEvery: 1})
+		exp := repro.NewTelemetryExporter(repro.TelemetryExporterConfig{Origin: "flopt", Target: *spanExport})
+		col.SetSink(exp.Enqueue)
+		defer exp.Close()
+		_, tr = col.StartTrace(context.Background())
+	}
+
+	if err := run(*n, *radius, *seed, *w1, *pmaxDBm, *fmaxHz, *deadline, *verbose, tr); err != nil {
 		fmt.Fprintln(os.Stderr, "flopt:", err)
 		os.Exit(1)
 	}
 }
 
-func run(n int, radius float64, seed int64, w1, pmaxDBm, fmaxHz, deadline float64, verbose bool) error {
+func run(n int, radius float64, seed int64, w1, pmaxDBm, fmaxHz, deadline float64, verbose bool, tr *repro.ObsTrace) error {
 	sc := repro.DefaultScenario()
 	sc.N = n
 	sc.RadiusKm = radius
@@ -83,10 +98,13 @@ func run(n int, radius float64, seed int64, w1, pmaxDBm, fmaxHz, deadline float6
 		opts.TotalDeadline = deadline
 		w = repro.Weights{W1: 1, W2: 0}
 	}
+	began := time.Now()
 	res, err := repro.Optimize(s, w, opts)
 	if err != nil {
 		return err
 	}
+	tr.RecordDur("solve", began, time.Since(began), repro.ObsAttr{Detail: "flopt", Value: int64(n)})
+	tr.Finish()
 
 	m := res.Metrics
 	fmt.Printf("devices: %d, radius: %g km, seed: %d\n", n, radius, seed)

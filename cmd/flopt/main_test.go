@@ -3,25 +3,25 @@ package main
 import "testing"
 
 func TestRunWeightedMode(t *testing.T) {
-	if err := run(8, 0.25, 1, 0.5, 12, 2e9, 0, true); err != nil {
+	if err := run(8, 0.25, 1, 0.5, 12, 2e9, 0, true, nil); err != nil {
 		t.Fatalf("weighted run: %v", err)
 	}
 }
 
 func TestRunDeadlineMode(t *testing.T) {
-	if err := run(8, 0.25, 1, 0.5, 12, 2e9, 200, false); err != nil {
+	if err := run(8, 0.25, 1, 0.5, 12, 2e9, 200, false, nil); err != nil {
 		t.Fatalf("deadline run: %v", err)
 	}
 }
 
 func TestRunInfeasibleDeadline(t *testing.T) {
-	if err := run(8, 0.25, 1, 0.5, 12, 2e9, 0.001, false); err == nil {
+	if err := run(8, 0.25, 1, 0.5, 12, 2e9, 0.001, false, nil); err == nil {
 		t.Fatal("expected infeasibility error for a 1 ms total deadline")
 	}
 }
 
 func TestRunBadScenario(t *testing.T) {
-	if err := run(0, 0.25, 1, 0.5, 12, 2e9, 0, false); err == nil {
+	if err := run(0, 0.25, 1, 0.5, 12, 2e9, 0, false, nil); err == nil {
 		t.Fatal("expected error for zero devices")
 	}
 }

@@ -57,6 +57,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"log/slog"
 	"math"
 	"math/rand"
@@ -87,11 +88,12 @@ func main() {
 		sessions   = flag.Int("sessions", 1024, "max concurrent stream sessions")
 		sessionTTL = flag.Duration("session-ttl", 5*time.Minute, "stream session idle TTL")
 
-		logLevel  = flag.String("log-level", "info", "structured log level (debug|info|warn|error)")
-		logJSON   = flag.Bool("log-json", false, "emit structured logs as JSON instead of text")
-		debugAddr = flag.String("debug-addr", "", "optional debug listen address (net/http/pprof + /debug/traces)")
-		traceN    = flag.Int("trace-sample", 16, "retain 1 in N traces in the debug ring (0 disables tracing)")
-		traceSlow = flag.Duration("trace-slow", 0, "slow-solve promotion threshold (0 = 250ms default)")
+		logLevel   = flag.String("log-level", "info", "structured log level (debug|info|warn|error)")
+		logJSON    = flag.Bool("log-json", false, "emit structured logs as JSON instead of text")
+		debugAddr  = flag.String("debug-addr", "", "optional debug listen address (net/http/pprof + /debug/traces + /debug/dashboard)")
+		traceN     = flag.Int("trace-sample", 16, "retain 1 in N traces in the debug ring (0 disables tracing)")
+		traceSlow  = flag.Duration("trace-slow", 0, "slow-solve promotion threshold (0 = 250ms default)")
+		spanExport = flag.String("span-export", "", "also POST span batches to this aggregator URL (a front router's /debug/spans); spans always assemble locally")
 
 		loadgen  = flag.Int("loadgen", 0, "replay this many drifted scenarios and exit")
 		n        = flag.Int("n", 15, "loadgen: devices per scenario")
@@ -136,7 +138,7 @@ func main() {
 	case *loadgen > 0:
 		err = runLoadgen(cfg, *loadgen, *n, *drift, *repeat, *conc, *seed, *batch)
 	default:
-		err = runServer(cfg, scfg, *healthTick, *addr, *debugAddr, *traceN, *traceSlow, *snapshotDir, *snapInterval)
+		err = runServer(cfg, scfg, *healthTick, *addr, *debugAddr, *traceN, *traceSlow, *spanExport, *snapshotDir, *snapInterval)
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "flserved:", err)
@@ -147,12 +149,30 @@ func main() {
 // runServer serves until SIGINT/SIGTERM: the listener stops accepting,
 // one final snapshot flushes (when -snapshot-dir is set), and the process
 // exits.
-func runServer(cfg repro.ServeConfig, scfg repro.StreamConfig, healthTick time.Duration, addr, debugAddr string, traceN int, traceSlow time.Duration, snapshotDir string, snapInterval time.Duration) error {
+func runServer(cfg repro.ServeConfig, scfg repro.StreamConfig, healthTick time.Duration, addr, debugAddr string, traceN int, traceSlow time.Duration, spanExport string, snapshotDir string, snapInterval time.Duration) error {
 	var col *repro.ObsCollector
 	if traceN > 0 {
 		col = repro.NewObsCollector(repro.ObsConfig{SampleEvery: traceN, SlowThreshold: traceSlow})
 	}
 	scfg.Trace = col
+
+	// Telemetry plane: finished traces buffer in an exporter that always
+	// feeds the local aggregator (own assembled view) and, with -span-export,
+	// ships the same batches to a front router's aggregator so this cell's
+	// spans land in the router's cross-process traces.
+	var agg *repro.TelemetryAggregator
+	var exp *repro.TelemetryExporter
+	if col != nil {
+		agg = repro.NewTelemetryAggregator(repro.TelemetryAggregatorConfig{SlowThreshold: traceSlow})
+		exp = repro.NewTelemetryExporter(repro.TelemetryExporterConfig{
+			Origin: "flserved",
+			Target: spanExport,
+			Local:  agg,
+			Logger: slog.Default(),
+		})
+		col.SetSink(exp.Enqueue)
+		defer exp.Close()
+	}
 
 	srv := repro.NewServer(cfg)
 	defer srv.Close()
@@ -185,10 +205,36 @@ func runServer(cfg repro.ServeConfig, scfg repro.StreamConfig, healthTick time.D
 	ev.Start()
 	defer ev.Close()
 
-	httpSrv := &http.Server{Addr: addr, Handler: repro.ObsMiddleware(col, ev.Handler(repro.StreamHandler(mgr)))}
+	mc := repro.ObsMiddlewareConfig{}
+	if agg != nil {
+		mc.Traces = repro.TelemetryTracesHandler(col, agg)
+		mc.Spans = agg.IngestHandler()
+		mc.StatsSections = map[string]func() any{
+			"telemetry": func() any {
+				return map[string]any{
+					"exporter":   exp.StatsJSON(),
+					"aggregator": agg.StatsJSON(),
+				}
+			},
+		}
+		mc.Metrics = []func(io.Writer) error{exp.WritePrometheus, agg.WritePrometheus}
+	}
+	httpSrv := &http.Server{Addr: addr, Handler: repro.ObsMiddlewareWith(col, mc, ev.Handler(repro.StreamHandler(mgr)))}
 	var debugSrv *http.Server
 	if debugAddr != "" {
-		debugSrv = &http.Server{Addr: debugAddr, Handler: debugMux(col)}
+		dash := repro.TelemetryDashboardConfig{Sources: []repro.TelemetrySource{
+			{Name: "health", Fetch: func() any { return ev.Health() }},
+			{Name: "alerts", Fetch: func() any { return ev.Alerts() }},
+			{Name: "server", Fetch: func() any { return srv.Stats() }},
+			{Name: "stream", Fetch: func() any { return mgr.Stats() }},
+		}}
+		if agg != nil {
+			dash.Sources = append(dash.Sources,
+				repro.TelemetrySource{Name: "traces", Fetch: func() any {
+					return agg.Assembled(repro.ObsTraceQuery{Limit: 8})
+				}})
+		}
+		debugSrv = &http.Server{Addr: debugAddr, Handler: debugMux(col, agg, dash)}
 		go func() {
 			if err := debugSrv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
 				slog.Warn("debug listener failed", "addr", debugAddr, "err", err)
@@ -215,9 +261,10 @@ func runServer(cfg repro.ServeConfig, scfg repro.StreamConfig, healthTick time.D
 	return nil
 }
 
-// debugMux mounts net/http/pprof and the trace dump on a standalone mux so
-// the profiling surface never rides the public listener.
-func debugMux(col *repro.ObsCollector) http.Handler {
+// debugMux mounts net/http/pprof, the trace dump and the SSE ops dashboard
+// on a standalone mux so the profiling surface never rides the public
+// listener.
+func debugMux(col *repro.ObsCollector, agg *repro.TelemetryAggregator, dash repro.TelemetryDashboardConfig) http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
@@ -225,8 +272,13 @@ func debugMux(col *repro.ObsCollector) http.Handler {
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 	if col != nil {
-		mux.Handle(repro.ObsDebugPath, col.DebugHandler())
+		if agg != nil {
+			mux.Handle(repro.ObsDebugPath, repro.TelemetryTracesHandler(col, agg))
+		} else {
+			mux.Handle(repro.ObsDebugPath, col.DebugHandler())
+		}
 	}
+	mux.Handle(repro.TelemetryDashboardPath, repro.TelemetryDashboardHandler(dash))
 	return mux
 }
 

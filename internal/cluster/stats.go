@@ -79,6 +79,7 @@ func (r *Router) Stats() Stats {
 		agg.BatchRequests += snap.BatchRequests
 		agg.BatchItems += snap.BatchItems
 		agg.TrackedBuckets += snap.TrackedBuckets
+		agg.Convergence.Merge(snap.Convergence)
 		lat = append(lat, c.SolveLatencies()...)
 		hitLat = append(hitLat, c.CacheHitLatencies()...)
 		qwLat = append(qwLat, c.QueueWaitLatencies()...)

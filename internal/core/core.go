@@ -129,6 +129,24 @@ type Options struct {
 	Trace *SolveTrace
 }
 
+// Dual-seed certificate outcomes recorded in SolveTrace.DualSeedOutcome.
+const (
+	// DualSeedNone: no valid dual seed was offered to the first SP2 call.
+	DualSeedNone = "none"
+	// DualSeedAccepted: the raw cached multipliers passed the residual
+	// certificate — the solve skipped its Newton iterations outright.
+	DualSeedAccepted = "accepted"
+	// DualSeedProjected: the raw multipliers missed, but the certificate
+	// projected through the start allocation onto the current channel
+	// gains passed the re-check.
+	DualSeedProjected = "projected"
+	// DualSeedRejected: both checks missed and the full iteration ran.
+	DualSeedRejected = "rejected"
+	// DualSeedErrored: the seeded inner solve failed and the solve fell
+	// back to the unseeded step-3 init.
+	DualSeedErrored = "errored"
+)
+
 // SolveTrace accumulates per-phase timing facts for one Optimize call.
 // The caller owns the struct and Optimize adds into it, so a staged or
 // retried solve aggregates naturally. Fields are written without
@@ -144,6 +162,20 @@ type SolveTrace struct {
 	// Algorithm 2 outer loops (1 for the one-shot deadline path).
 	NewtonIters int
 	OuterIters  int
+	// DualSeedOutcome records the fate of the dual-seed certificate at the
+	// first Subproblem 2 call — the externally seeded one — as a DualSeed*
+	// label ("" when SP2 never ran). Later calls inside the same Optimize
+	// are self-seeded confirmation iterations and do not overwrite it.
+	DualSeedOutcome string
+	// BracketSeeded and BracketDiscovered count inner SP2_v2 price
+	// searches whose bisection bracket came from a carried clearing price
+	// versus from-scratch discovery; BracketRelWidth accumulates each
+	// search's relative bracket width (muHi-muLo)/mu at bisection entry,
+	// so BracketRelWidth/(BracketSeeded+BracketDiscovered) is the solve's
+	// mean bracket quality.
+	BracketSeeded     int
+	BracketDiscovered int
+	BracketRelWidth   float64
 }
 
 func (o Options) withDefaults() Options {

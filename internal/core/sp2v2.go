@@ -245,10 +245,12 @@ func solveSP2v2Into(s *fl.System, nu, beta, rmin []float64, ws *Workspace, outP,
 	// always valuable) and falls to the forced floor as mu -> infinity. A
 	// seeded price shortcuts the discovery when it still brackets.
 	var muLo, muHi float64
+	seededBracket := false
 	if seed := ws.lastMu; seed > 0 && !math.IsInf(seed, 1) {
 		lo, hi := seed/16, seed*16
 		if demand(lo) > total && demand(hi) <= total {
 			muLo, muHi = lo, hi
+			seededBracket = true
 		}
 	}
 	if muHi == 0 {
@@ -278,6 +280,14 @@ func solveSP2v2Into(s *fl.System, nu, beta, rmin []float64, ws *Workspace, outP,
 		return 0, 0, fmt.Errorf("core: SP2v2 price bisection: %w", err)
 	}
 	ws.lastMu = mu
+	if seededBracket {
+		ws.brSeeded++
+	} else {
+		ws.brDiscovered++
+	}
+	if mu > 0 {
+		ws.brRelSum += (muHi - muLo) / mu
+	}
 
 	// Evaluate on the feasible (low-demand) side of the clearing price and
 	// hand the residual band to marginal devices along their flat segments.

@@ -93,6 +93,9 @@ func SolveSubproblem2(s *fl.System, w1Rg float64, rmin []float64, startP, startB
 		ws = NewWorkspace()
 	}
 	ws.grow(n)
+	// Snapshot the workspace's monotonic bracket counters; the deltas at
+	// return are this call's contribution to the solve trace.
+	brS0, brD0, brW0 := ws.brSeeded, ws.brDiscovered, ws.brRelSum
 
 	d := ws.d
 	for i, dev := range s.Devices {
@@ -134,6 +137,7 @@ func SolveSubproblem2(s *fl.System, w1Rg float64, rmin []float64, startP, startB
 	// current gains, and accepts that when it passes instead.
 	seed := opts.DualStart
 	seeded := opts.SP2Solver == SP2Hybrid && seed.ValidFor(n)
+	seedOutcome := DualSeedNone
 	if seeded && seed.Mu > 0 {
 		ws.lastMu = seed.Mu
 	}
@@ -156,6 +160,7 @@ func SolveSubproblem2(s *fl.System, w1Rg float64, rmin []float64, startP, startB
 		// A seed sound enough to pass validation can still push the inner
 		// program somewhere degenerate; fall back to the unseeded init.
 		seeded = false
+		seedOutcome = DualSeedErrored
 		stepThreeInit(beta, nu)
 		residual, err = evalPhi(beta, nu, curP, curB, curG)
 	}
@@ -164,8 +169,10 @@ func SolveSubproblem2(s *fl.System, w1Rg float64, rmin []float64, startP, startB
 	}
 	accepted := false
 	if seeded {
+		seedOutcome = DualSeedRejected
 		if ref := phiReference(w1Rg, d, curP); residual <= opts.DualSeedTol*(1+ref) {
 			accepted = true
+			seedOutcome = DualSeedAccepted
 		} else {
 			// Gains drifted: project the certificate through the start
 			// allocation and re-check.
@@ -183,6 +190,7 @@ func SolveSubproblem2(s *fl.System, w1Rg float64, rmin []float64, startP, startB
 				residual = trial
 				if ref := phiReference(w1Rg, d, curP); residual <= opts.DualSeedTol*(1+ref) {
 					accepted = true
+					seedOutcome = DualSeedProjected
 				}
 			}
 		}
@@ -262,6 +270,16 @@ func SolveSubproblem2(s *fl.System, w1Rg float64, rmin []float64, startP, startB
 		ws.outBeta[i] = res.Power[i] * d[i] / curG[i]
 	}
 	res.Duals = DualState{Mu: ws.lastMu, Nu: ws.outNu, Beta: ws.outBeta}
+	if tr := opts.Trace; tr != nil {
+		tr.BracketSeeded += ws.brSeeded - brS0
+		tr.BracketDiscovered += ws.brDiscovered - brD0
+		tr.BracketRelWidth += ws.brRelSum - brW0
+		// First call wins: within one Optimize, only the first SP2 call sees
+		// the external seed; later ones re-seed from their own iterates.
+		if tr.DualSeedOutcome == "" {
+			tr.DualSeedOutcome = seedOutcome
+		}
+	}
 	return res, nil
 }
 

@@ -95,6 +95,13 @@ type Workspace struct {
 	// it seeds the next price bisection's bracket. Reset by grow and
 	// overridden by a DualStart seed.
 	lastMu float64
+
+	// Bracket telemetry, accumulated by solveSP2v2Into and harvested as a
+	// per-call delta into SolveTrace by SolveSubproblem2. Monotonic across
+	// the workspace's lifetime; only differences are meaningful.
+	brSeeded     int
+	brDiscovered int
+	brRelSum     float64
 }
 
 // NewWorkspace returns an empty workspace (buffers grow on first use).

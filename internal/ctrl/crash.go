@@ -62,7 +62,8 @@ func (p *Plane) CrashCell(ctx context.Context, id int) (CrashReport, error) {
 	tr := obs.FromContext(ctx)
 	p.mu.Lock()
 	defer p.mu.Unlock()
-	began := time.Now()
+	opBegan := time.Now()
+	began := opBegan
 	if err := p.router.RemoveCell(id); err != nil {
 		return CrashReport{}, err
 	}
@@ -92,6 +93,12 @@ func (p *Plane) CrashCell(ctx context.Context, id int) (CrashReport, error) {
 				rep.Promotion.LostDirty, rep.Promotion.MaxLagSeconds))
 		}
 	}
+	p.recordOp(OpJSON{
+		Op: "crash", Cell: id, Generation: rep.Generation,
+		Moved:      rep.Promotion.Devices,
+		DurationMS: float64(time.Since(opBegan).Microseconds()) / 1e3,
+		TraceID:    tr.ID(),
+	})
 	p.logger().Warn("cell crashed (no drain)",
 		"trace_id", tr.ID(), "cell", id, "generation", rep.Generation,
 		"promoted_devices", rep.Promotion.Devices,

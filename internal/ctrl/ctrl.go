@@ -85,12 +85,48 @@ type Plane struct {
 	// log receives structured membership-change events (set before the
 	// plane serves traffic; nil falls back to slog.Default()).
 	log *slog.Logger
+
+	// ops retains the most recent completed control operations for the ops
+	// dashboard and the "ctrl" stats section.
+	ops *obs.Ring[OpJSON]
 }
+
+// opsRing is how many completed control operations Snapshot.RecentOps
+// retains.
+const opsRing = 64
 
 // New builds a control plane over the router; mgr may be nil when no
 // streaming layer is mounted (drains then skip session suspension).
 func New(r *cluster.Router, mgr *stream.Manager) *Plane {
-	return &Plane{router: r, mgr: mgr}
+	return &Plane{router: r, mgr: mgr, ops: obs.NewRing[OpJSON](opsRing)}
+}
+
+// OpJSON is one completed control-plane operation in the recent-ops ring:
+// what ran, against which cell, what it moved, and the trace that explains
+// it.
+type OpJSON struct {
+	// Op is the operation kind: "add", "drain", "crash", "rebalance".
+	Op string `json:"op"`
+	// Cell is the cell operated on (absent for rebalance).
+	Cell int `json:"cell,omitempty"`
+	// Generation is the ring generation after the operation.
+	Generation uint64 `json:"generation"`
+	// Moved counts devices whose state migrated; Suspended the stream
+	// sessions suspended around the migration.
+	Moved     int `json:"moved_devices"`
+	Suspended int `json:"suspended_sessions,omitempty"`
+	// DurationMS is the operation's wall time.
+	DurationMS float64 `json:"duration_ms"`
+	// TraceID links to the operation's lifecycle trace, when traced.
+	TraceID string `json:"trace_id,omitempty"`
+	// Time is when the operation completed.
+	Time time.Time `json:"time"`
+}
+
+// recordOp appends a completed operation to the recent-ops ring.
+func (p *Plane) recordOp(op OpJSON) {
+	op.Time = time.Now()
+	p.ops.Append(op)
 }
 
 // Router returns the governed data-plane router.
@@ -135,6 +171,7 @@ func (p *Plane) AddCell(ctx context.Context) (AddCellReport, error) {
 	tr := obs.FromContext(ctx)
 	p.mu.Lock()
 	defer p.mu.Unlock()
+	began := time.Now()
 	id := p.router.AddCell()
 	p.cellsAdded.Add(1)
 	rep := AddCellReport{
@@ -152,6 +189,12 @@ func (p *Plane) AddCell(ctx context.Context) (AddCellReport, error) {
 		}
 	}
 	defer func() {
+		p.recordOp(OpJSON{
+			Op: "add", Cell: id, Generation: rep.Generation,
+			Moved: rep.Backfill.Devices, Suspended: p.lastSuspended,
+			DurationMS: float64(time.Since(began).Microseconds()) / 1e3,
+			TraceID:    tr.ID(),
+		})
 		p.logger().Info("cell added",
 			"trace_id", tr.ID(), "cell", id, "generation", rep.Generation,
 			"backfilled_devices", rep.Backfill.Devices)
@@ -205,7 +248,8 @@ func (p *Plane) DrainCell(ctx context.Context, id int) (DrainReport, error) {
 	tr := obs.FromContext(ctx)
 	p.mu.Lock()
 	defer p.mu.Unlock()
-	began := time.Now()
+	opBegan := time.Now()
+	began := opBegan
 	moves, err := p.router.PlanDrain(id)
 	if err != nil {
 		return DrainReport{}, err
@@ -235,6 +279,12 @@ func (p *Plane) DrainCell(ctx context.Context, id int) (DrainReport, error) {
 	p.drains.Add(1)
 	rep.Generation = p.router.Generation()
 	rep.Cells = p.router.CellIDs()
+	p.recordOp(OpJSON{
+		Op: "drain", Cell: id, Generation: rep.Generation,
+		Moved: rep.Handoff.Devices, Suspended: rep.SuspendedSessions,
+		DurationMS: float64(time.Since(opBegan).Microseconds()) / 1e3,
+		TraceID:    tr.ID(),
+	})
 	p.logger().Warn("cell drained",
 		"trace_id", tr.ID(), "cell", id, "generation", rep.Generation,
 		"moved_devices", rep.Handoff.Devices,
@@ -290,6 +340,7 @@ func (p *Plane) Rebalance(ctx context.Context) (RebalanceReport, error) {
 	tr := obs.FromContext(ctx)
 	p.mu.Lock()
 	defer p.mu.Unlock()
+	opBegan := time.Now()
 	moves, _ := p.router.Misplaced(true)
 	rep := RebalanceReport{Generation: p.router.Generation()}
 	if len(moves) == 0 {
@@ -305,6 +356,12 @@ func (p *Plane) Rebalance(ctx context.Context) (RebalanceReport, error) {
 	}
 	p.countMigration(rep.Handoff)
 	p.rebalances.Add(1)
+	p.recordOp(OpJSON{
+		Op: "rebalance", Generation: rep.Generation,
+		Moved: rep.Handoff.Devices, Suspended: rep.SuspendedSessions,
+		DurationMS: float64(time.Since(opBegan).Microseconds()) / 1e3,
+		TraceID:    tr.ID(),
+	})
 	p.logger().Warn("rebalanced",
 		"trace_id", tr.ID(), "generation", rep.Generation,
 		"moved_devices", rep.Handoff.Devices,
@@ -386,6 +443,9 @@ type Snapshot struct {
 	// the health layer's autoscaler initiated (vs operator API calls).
 	AutoscaleAdds   int64 `json:"autoscale_adds"`
 	AutoscaleDrains int64 `json:"autoscale_drains"`
+	// RecentOps lists the most recent completed control operations, newest
+	// first, each with its trace ID.
+	RecentOps []OpJSON `json:"recent_ops,omitempty"`
 }
 
 // Stats snapshots the control plane.
@@ -405,6 +465,7 @@ func (p *Plane) Stats() Snapshot {
 		SuspendedSessions: p.suspendedSessions.Load(),
 		AutoscaleAdds:     p.autoscale.adds.Load(),
 		AutoscaleDrains:   p.autoscale.drains.Load(),
+		RecentOps:         p.ops.Snapshot(),
 	}
 }
 

@@ -335,6 +335,10 @@ func (e *Evaluator) RecordEvent(kind string, cell int, message string) {
 // Alerts returns the retained alert events, newest first.
 func (e *Evaluator) Alerts() []Alert { return e.alerts.Snapshot() }
 
+// AlertsDropped reports how many alert events the bounded ring has evicted
+// — the silent-truncation counter behind health_alerts_dropped_total.
+func (e *Evaluator) AlertsDropped() int64 { return e.alerts.Evicted() }
+
 // CellHealth is one cell's standing in the /v1/health body.
 type CellHealth struct {
 	Cell   int          `json:"cell"`

@@ -32,6 +32,7 @@ func (e *Evaluator) WritePrometheus(pw *serve.PromWriter) {
 	pw.Counter("health_ticks_total", "Evaluator ticks observed.", "", float64(h.Ticks))
 	pw.Counter("health_transitions_total", "SLO state transitions across all cells and rules.", "", float64(h.Transitions))
 	pw.Counter("health_alerts_total", "Alert events ever appended to the ring.", "", float64(h.AlertsTotal))
+	pw.Counter("health_alerts_dropped_total", "Alert events evicted from the bounded ring.", "", float64(e.AlertsDropped()))
 	pw.Counter("health_autoscale_actions_total", "Autoscale actions enacted.", `action="scale_up"`, float64(e.scaleUps.Load()))
 	pw.Counter("health_autoscale_actions_total", "Autoscale actions enacted.", `action="scale_down"`, float64(e.scaleDowns.Load()))
 	pw.Counter("health_events_total", "Control-plane lifecycle events recorded.", `kind="crash"`, float64(e.crashEvents.Load()))

@@ -66,14 +66,19 @@ func (c Config) withDefaults() Config {
 }
 
 // phaseHist is one phase's fixed-bucket latency histogram; mutated only
-// under the collector mutex.
+// under the collector mutex. Each bucket remembers the trace ID and value
+// of the last observation that landed in it — an OpenMetrics exemplar, the
+// link from a histogram spike back to an inspectable trace.
 type phaseHist struct {
 	buckets [histBuckets + 1]int64 // +1 for +Inf
 	sum     time.Duration
 	count   int64
+
+	exemplarID  [histBuckets + 1]string
+	exemplarDur [histBuckets + 1]time.Duration
 }
 
-func (h *phaseHist) record(d time.Duration) {
+func (h *phaseHist) record(d time.Duration, traceID string) {
 	b := histBuckets // +Inf
 	for i := 0; i < histBuckets; i++ {
 		if d <= time.Microsecond<<i {
@@ -84,6 +89,19 @@ func (h *phaseHist) record(d time.Duration) {
 	h.buckets[b]++
 	h.sum += d
 	h.count++
+	if traceID != "" {
+		h.exemplarID[b] = traceID
+		h.exemplarDur[b] = d
+	}
+}
+
+// leString renders bucket i's upper bound in seconds ("+Inf" for the
+// overflow bucket), matching the exposition's le labels.
+func leString(i int) string {
+	if i >= histBuckets {
+		return "+Inf"
+	}
+	return strconv.FormatFloat((time.Microsecond << i).Seconds(), 'g', -1, 64)
 }
 
 // Collector owns the per-process trace ring, slowest-N exemplars, and
@@ -107,6 +125,25 @@ type Collector struct {
 	mu      sync.Mutex
 	slowest []*Trace // sorted by total descending, capped at cfg.Slowest
 	hist    map[string]*phaseHist
+
+	sink atomic.Pointer[func(TraceJSON)]
+}
+
+// SetSink registers fn to receive every finished trace as JSON; nil
+// unregisters. The telemetry exporter hangs off this hook to ship spans
+// toward an aggregator. Every finished trace is delivered, not only the
+// sampled/retained ones, so cross-process assembly does not depend on two
+// processes making the same sampling decision. fn runs on the request
+// goroutine at Finish and must not block.
+func (c *Collector) SetSink(fn func(TraceJSON)) {
+	if c == nil {
+		return
+	}
+	if fn == nil {
+		c.sink.Store(nil)
+		return
+	}
+	c.sink.Store(&fn)
 }
 
 // NewCollector builds a collector. The zero Config applies defaults
@@ -215,7 +252,7 @@ func (c *Collector) observe(t *Trace) {
 			h = &phaseHist{}
 			c.hist[t.spans[i].Phase] = h
 		}
-		h.record(t.spans[i].dur)
+		h.record(t.spans[i].dur, t.id)
 	}
 	t.mu.Unlock()
 	if keep {
@@ -246,6 +283,50 @@ func (c *Collector) observe(t *Trace) {
 			"total", t.total.String(),
 			"phases", t.phaseSummary())
 	}
+
+	if f := c.sink.Load(); f != nil {
+		(*f)(t.toJSON(c.cfg.SlowThreshold))
+	}
+}
+
+// ExemplarJSON links one histogram bucket to a recently observed trace.
+type ExemplarJSON struct {
+	// Phase is the span phase whose histogram holds the exemplar.
+	Phase string `json:"phase"`
+	// LE is the bucket's upper bound in seconds ("+Inf" for overflow).
+	LE string `json:"le"`
+	// TraceID identifies the trace to look up on /debug/traces?trace_id=.
+	TraceID string `json:"trace_id"`
+	// Seconds is the exemplar observation itself.
+	Seconds float64 `json:"seconds"`
+}
+
+// Exemplars returns, per phase, the exemplar of the highest populated
+// bucket — the most recently observed worst-case sample, the one a p99
+// spike investigation wants to open first. Sorted by phase.
+func (c *Collector) Exemplars() []ExemplarJSON {
+	if c == nil {
+		return nil
+	}
+	c.mu.Lock()
+	out := make([]ExemplarJSON, 0, len(c.hist))
+	for phase, h := range c.hist {
+		for i := histBuckets; i >= 0; i-- {
+			if h.exemplarID[i] == "" {
+				continue
+			}
+			out = append(out, ExemplarJSON{
+				Phase:   phase,
+				LE:      leString(i),
+				TraceID: h.exemplarID[i],
+				Seconds: h.exemplarDur[i].Seconds(),
+			})
+			break
+		}
+	}
+	c.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].Phase < out[j].Phase })
+	return out
 }
 
 // Recent returns the retained traces, newest first, as debug JSON.
@@ -303,16 +384,21 @@ func (c *Collector) WritePrometheus(w io.Writer) error {
 		cum := int64(0)
 		for i := 0; i <= histBuckets; i++ {
 			cum += s.h.buckets[i]
-			le := "+Inf"
-			if i < histBuckets {
-				le = strconv.FormatFloat((time.Microsecond << i).Seconds(), 'g', -1, 64)
-			}
 			b = append(b, `obs_phase_seconds_bucket{phase="`...)
 			b = append(b, s.phase...)
 			b = append(b, `",le="`...)
-			b = append(b, le...)
+			b = append(b, leString(i)...)
 			b = append(b, `"} `...)
 			b = strconv.AppendInt(b, cum, 10)
+			// OpenMetrics exemplar: link the bucket to the last trace that
+			// landed in it, so a histogram spike is one lookup away from an
+			// inspectable trace (/debug/traces?trace_id=).
+			if id := s.h.exemplarID[i]; id != "" {
+				b = append(b, ` # {trace_id="`...)
+				b = append(b, id...)
+				b = append(b, `"} `...)
+				b = strconv.AppendFloat(b, s.h.exemplarDur[i].Seconds(), 'g', -1, 64)
+			}
 			b = append(b, '\n')
 		}
 		b = append(b, `obs_phase_seconds_sum{phase="`...)
@@ -333,6 +419,7 @@ func (c *Collector) WritePrometheus(w io.Writer) error {
 		{"obs_traces_started_total", "Traces started (every request when tracing is enabled).", c.started.Load()},
 		{"obs_traces_retained_total", "Traces retained in the debug ring (sampled in, or slow-promoted).", c.retained.Load()},
 		{"obs_traces_slow_total", "Traces at or above the slow threshold.", c.slow.Load()},
+		{"obs_traces_evicted_total", "Retained traces evicted from the debug ring by newer ones.", c.ring.Evicted()},
 	} {
 		b = append(b, "# HELP "...)
 		b = append(b, ctr.name...)

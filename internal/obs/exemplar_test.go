@@ -1,0 +1,87 @@
+package obs
+
+import (
+	"bytes"
+	"context"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestExemplarsLinkMetricsToTraces records one solve and checks the phase
+// histogram remembers its trace ID: via Exemplars() for /v1/stats and as an
+// OpenMetrics exemplar suffix on the /metrics bucket line.
+func TestExemplarsLinkMetricsToTraces(t *testing.T) {
+	c := NewCollector(Config{SampleEvery: 1, SlowThreshold: -1})
+	_, tr := c.StartTrace(context.Background())
+	tr.RecordDur(PhaseSolve, time.Now(), 3*time.Microsecond, Attr{Cell: CellNone})
+	tr.Finish()
+
+	ex := c.Exemplars()
+	var solve *ExemplarJSON
+	for i := range ex {
+		if ex[i].Phase == PhaseSolve {
+			solve = &ex[i]
+		}
+	}
+	if solve == nil || solve.TraceID != tr.ID() {
+		t.Fatalf("solve exemplar %+v, want trace %q", solve, tr.ID())
+	}
+	if solve.LE == "" || solve.Seconds <= 0 {
+		t.Fatalf("exemplar missing bucket bound or value: %+v", solve)
+	}
+
+	var buf bytes.Buffer
+	if err := c.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	want := `# {trace_id="` + tr.ID() + `"}`
+	if !strings.Contains(buf.String(), want) {
+		t.Fatalf("exposition missing exemplar %q:\n%s", want, buf.String())
+	}
+}
+
+// TestSinkSeesEveryTrace attaches a sink at 1-in-4 sampling and checks ALL
+// finished traces are delivered — assembly must not depend on the sampling
+// that gates local ring retention.
+func TestSinkSeesEveryTrace(t *testing.T) {
+	c := NewCollector(Config{SampleEvery: 4, SlowThreshold: -1})
+	var got []TraceJSON
+	c.SetSink(func(tj TraceJSON) { got = append(got, tj) })
+	const n = 8
+	for i := 0; i < n; i++ {
+		_, tr := c.StartTrace(context.Background())
+		tr.Mark(PhaseSolve, Attr{})
+		tr.Finish()
+	}
+	if len(got) != n {
+		t.Fatalf("sink saw %d traces, want all %d", len(got), n)
+	}
+	if len(c.Recent()) >= n {
+		t.Fatalf("ring retained %d, sampling should have kept fewer than %d", len(c.Recent()), n)
+	}
+	c.SetSink(nil)
+	_, tr := c.StartTrace(context.Background())
+	tr.Finish()
+	if len(got) != n {
+		t.Fatalf("sink fired after unregistering: %d", len(got))
+	}
+}
+
+// TestRingEvictedCounts overflows a bounded ring and checks the eviction
+// counter: total appended minus retained.
+func TestRingEvictedCounts(t *testing.T) {
+	r := NewRing[int](3)
+	if r.Evicted() != 0 {
+		t.Fatalf("fresh ring evicted %d, want 0", r.Evicted())
+	}
+	for i := 0; i < 10; i++ {
+		r.Append(i)
+	}
+	if r.Evicted() != 7 {
+		t.Fatalf("evicted %d, want 7", r.Evicted())
+	}
+	if got := r.Snapshot(); len(got) != 3 || got[0] != 9 {
+		t.Fatalf("snapshot %v, want newest-first [9 8 7]", got)
+	}
+}

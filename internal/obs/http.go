@@ -2,19 +2,30 @@ package obs
 
 import (
 	"encoding/json"
+	"io"
 	"net/http"
 	"net/http/httptest"
+	"net/url"
 	"strconv"
 	"strings"
+	"time"
 )
 
 // DebugPath is where Middleware serves the trace dump.
 const DebugPath = "/debug/traces"
 
+// SpansPath is where the telemetry aggregator ingests exported span
+// batches (see internal/obs/telemetry); Middleware mounts it when
+// MiddlewareConfig.Spans is set.
+const SpansPath = "/debug/spans"
+
 // TraceHeader carries the trace ID on both directions of the wire: echoed
 // on every traced response, and adopted from incoming requests so a
 // router→cell forward keeps one trace identity across processes.
 const TraceHeader = "X-Trace-Id"
+
+// MaxTraceQueryLimit bounds the limit= parameter of GET /debug/traces.
+const MaxTraceQueryLimit = 1024
 
 // TracesJSON is the body of GET /debug/traces: the retained ring newest
 // first, plus the slowest-N exemplars.
@@ -23,17 +34,142 @@ type TracesJSON struct {
 	Slowest []TraceJSON `json:"slowest"`
 }
 
+// TraceQuery is the validated query of GET /debug/traces.
+type TraceQuery struct {
+	// Limit caps how many traces each section returns; 0 means no cap.
+	Limit int
+	// MinDuration filters out traces that finished faster than it.
+	MinDuration time.Duration
+	// TraceID, when set, returns only the trace with exactly this ID —
+	// the direct lookup an exemplar points at.
+	TraceID string
+}
+
+// QueryError reports one rejected query parameter. Handlers answer it as
+// a typed 400 JSON body instead of silently clamping the value.
+type QueryError struct {
+	Param  string `json:"param"`
+	Value  string `json:"value"`
+	Reason string `json:"reason"`
+}
+
+func (e *QueryError) Error() string {
+	return "bad query parameter " + e.Param + "=" + e.Value + ": " + e.Reason
+}
+
+// ParseTraceQuery validates the /debug/traces query parameters. Out-of-
+// range values are errors, not clamps: a monitoring script that asks for
+// limit=5000 should learn the bound moved, not silently get 1024.
+func ParseTraceQuery(q url.Values) (TraceQuery, error) {
+	var tq TraceQuery
+	if v := q.Get("limit"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil {
+			return tq, &QueryError{Param: "limit", Value: v, Reason: "not an integer"}
+		}
+		if n < 1 {
+			return tq, &QueryError{Param: "limit", Value: v, Reason: "must be >= 1"}
+		}
+		if n > MaxTraceQueryLimit {
+			return tq, &QueryError{Param: "limit", Value: v, Reason: "must be <= " + strconv.Itoa(MaxTraceQueryLimit)}
+		}
+		tq.Limit = n
+	}
+	if v := q.Get("min_duration"); v != "" {
+		d, err := time.ParseDuration(v)
+		if err != nil {
+			return tq, &QueryError{Param: "min_duration", Value: v, Reason: "not a duration (try 250ms)"}
+		}
+		if d < 0 {
+			return tq, &QueryError{Param: "min_duration", Value: v, Reason: "must be >= 0"}
+		}
+		tq.MinDuration = d
+	}
+	if v := q.Get("trace_id"); v != "" {
+		if !validWireID(v) {
+			return tq, &QueryError{Param: "trace_id", Value: v, Reason: "not a valid trace id (1-64 chars of [0-9a-zA-Z_-])"}
+		}
+		tq.TraceID = v
+	}
+	return tq, nil
+}
+
+// WriteQueryError writes err as a 400 JSON body when it is a QueryError
+// and reports whether it handled it.
+func WriteQueryError(w http.ResponseWriter, err error) bool {
+	qe, ok := err.(*QueryError)
+	if !ok {
+		return false
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusBadRequest)
+	_ = json.NewEncoder(w).Encode(struct {
+		Error string `json:"error"`
+		*QueryError
+	}{Error: "bad_query", QueryError: qe})
+	return true
+}
+
+// FilterTraces applies a validated query to a trace list, preserving
+// order.
+func FilterTraces(ts []TraceJSON, q TraceQuery) []TraceJSON {
+	out := ts[:0:0]
+	for _, t := range ts {
+		if q.TraceID != "" && t.TraceID != q.TraceID {
+			continue
+		}
+		if q.MinDuration > 0 && time.Duration(t.TotalUS)*time.Microsecond < q.MinDuration {
+			continue
+		}
+		out = append(out, t)
+		if q.Limit > 0 && len(out) == q.Limit {
+			break
+		}
+	}
+	return out
+}
+
 // DebugHandler serves the trace dump as JSON (mounted by Middleware at
 // DebugPath, and by the cmds on their -debug-addr servers next to pprof).
+// It honours the validated limit/min_duration/trace_id query.
 func (c *Collector) DebugHandler() http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		if r.Method != http.MethodGet {
 			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
 			return
 		}
+		q, err := ParseTraceQuery(r.URL.Query())
+		if err != nil {
+			if !WriteQueryError(w, err) {
+				http.Error(w, err.Error(), http.StatusBadRequest)
+			}
+			return
+		}
 		w.Header().Set("Content-Type", "application/json")
-		_ = json.NewEncoder(w).Encode(TracesJSON{Recent: c.Recent(), Slowest: c.Slowest()})
+		_ = json.NewEncoder(w).Encode(TracesJSON{
+			Recent:  FilterTraces(c.Recent(), q),
+			Slowest: FilterTraces(c.Slowest(), q),
+		})
 	})
+}
+
+// MiddlewareConfig customizes the debug surfaces of MiddlewareWith beyond
+// the per-process defaults. The zero value reproduces Middleware.
+type MiddlewareConfig struct {
+	// Traces overrides the GET /debug/traces handler; the telemetry layer
+	// substitutes its assembled cross-process view for the per-process
+	// collector dump.
+	Traces http.Handler
+	// Spans, when non-nil, is mounted at POST /debug/spans — the telemetry
+	// aggregator's ingest endpoint. Ingest requests are never traced.
+	Spans http.Handler
+	// StatsSections are extra top-level sections injected into GET
+	// /v1/stats responses, keyed by JSON field name. Fetchers run per
+	// request; a nil return drops the section for that response.
+	StatsSections map[string]func() any
+	// Metrics are extra appenders run after the collector's own series on
+	// GET /metrics.
+	Metrics []func(io.Writer) error
 }
 
 // Middleware wraps a front-end handler with the observability boundary:
@@ -45,7 +181,8 @@ func (c *Collector) DebugHandler() http.Handler {
 //   - the trace ID is echoed in the X-Trace-Id response header;
 //   - GET /debug/traces serves the collector's ring + exemplars;
 //   - GET /v1/version serves the binary's build info;
-//   - GET /v1/stats responses get an uptime_seconds field injected;
+//   - GET /v1/stats responses get uptime_seconds and the collector's
+//     histogram exemplars injected;
 //   - GET /metrics responses get the obs histogram series appended, using
 //     the same replay-and-append composition as the ctrl plane.
 //
@@ -54,17 +191,29 @@ func (c *Collector) DebugHandler() http.Handler {
 // meaningless — the stream layer starts a fresh trace per delta instead.
 // A nil collector returns next unchanged.
 func Middleware(c *Collector, next http.Handler) http.Handler {
+	return MiddlewareWith(c, MiddlewareConfig{}, next)
+}
+
+// MiddlewareWith is Middleware with the telemetry-plane extension points
+// of MiddlewareConfig wired in.
+func MiddlewareWith(c *Collector, mc MiddlewareConfig, next http.Handler) http.Handler {
 	if c == nil {
 		return next
+	}
+	traces := mc.Traces
+	if traces == nil {
+		traces = c.DebugHandler()
 	}
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		switch {
 		case r.URL.Path == DebugPath:
-			c.DebugHandler().ServeHTTP(w, r)
+			traces.ServeHTTP(w, r)
+		case mc.Spans != nil && r.URL.Path == SpansPath:
+			mc.Spans.ServeHTTP(w, r)
 		case r.URL.Path == VersionPath:
 			VersionHandler().ServeHTTP(w, r)
 		case r.Method == http.MethodGet && r.URL.Path == "/v1/stats":
-			serveStatsWithUptime(w, r, next)
+			serveStatsMerged(w, r, next, c, mc.StatsSections)
 		case r.Method == http.MethodGet && r.URL.Path == "/metrics":
 			rec := httptest.NewRecorder()
 			next.ServeHTTP(rec, r)
@@ -77,6 +226,9 @@ func Middleware(c *Collector, next http.Handler) http.Handler {
 			_, _ = w.Write(rec.Body.Bytes())
 			if rec.Code == http.StatusOK {
 				_ = c.WritePrometheus(w)
+				for _, f := range mc.Metrics {
+					_ = f(w)
+				}
 			}
 		case isDeltaStream(r):
 			next.ServeHTTP(w, r)
@@ -93,11 +245,11 @@ func Middleware(c *Collector, next http.Handler) http.Handler {
 	})
 }
 
-// serveStatsWithUptime replays the stack's GET /v1/stats response with an
-// uptime_seconds field injected at the top level, giving every HTTP cmd a
-// process-age signal for free. Non-200 or non-object bodies replay
-// untouched.
-func serveStatsWithUptime(w http.ResponseWriter, r *http.Request, next http.Handler) {
+// serveStatsMerged replays the stack's GET /v1/stats response with
+// uptime_seconds, the collector's histogram exemplars, and any configured
+// extra sections injected at the top level. Non-200 or non-object bodies
+// replay untouched.
+func serveStatsMerged(w http.ResponseWriter, r *http.Request, next http.Handler, c *Collector, sections map[string]func() any) {
 	rec := httptest.NewRecorder()
 	next.ServeHTTP(rec, r)
 	body := rec.Body.Bytes()
@@ -106,6 +258,23 @@ func serveStatsWithUptime(w http.ResponseWriter, r *http.Request, next http.Hand
 		if err := json.Unmarshal(body, &stats); err == nil {
 			stats["uptime_seconds"] = json.RawMessage(
 				strconv.FormatFloat(Uptime().Seconds(), 'f', 3, 64))
+			if ex := c.Exemplars(); len(ex) > 0 {
+				if raw, err := json.Marshal(ex); err == nil {
+					stats["exemplars"] = raw
+				}
+			}
+			for name, fetch := range sections {
+				if fetch == nil {
+					continue
+				}
+				v := fetch()
+				if v == nil {
+					continue
+				}
+				if raw, err := json.Marshal(v); err == nil {
+					stats[name] = raw
+				}
+			}
 			if merged, err := json.Marshal(stats); err == nil {
 				body = append(merged, '\n')
 			}

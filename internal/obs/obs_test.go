@@ -175,9 +175,9 @@ func TestRingEvictionNewestFirst(t *testing.T) {
 
 func TestHistogramBuckets(t *testing.T) {
 	var h phaseHist
-	h.record(time.Microsecond)     // bucket 0: d <= 1µs
-	h.record(3 * time.Microsecond) // bucket 2: 2µs < d <= 4µs
-	h.record(time.Hour)            // +Inf overflow
+	h.record(time.Microsecond, "t-a")   // bucket 0: d <= 1µs
+	h.record(3*time.Microsecond, "t-b") // bucket 2: 2µs < d <= 4µs
+	h.record(time.Hour, "t-c")          // +Inf overflow
 	if h.buckets[0] != 1 || h.buckets[2] != 1 || h.buckets[histBuckets] != 1 {
 		t.Fatalf("bucket placement wrong: %v", h.buckets)
 	}

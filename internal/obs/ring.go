@@ -62,6 +62,18 @@ func (r *Ring[T]) Len() int {
 	return r.next
 }
 
+// Evicted reports how many values were dropped to make room for newer
+// ones — the ring's silent-truncation counter (Total minus Len).
+func (r *Ring[T]) Evicted() int64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	n := r.next
+	if r.full {
+		n = len(r.buf)
+	}
+	return r.total - int64(n)
+}
+
 // Total reports how many values were ever appended (evicted ones
 // included).
 func (r *Ring[T]) Total() int64 {

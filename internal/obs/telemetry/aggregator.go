@@ -1,0 +1,457 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"sort"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// Aggregator defaults.
+const (
+	DefaultMaxTraces        = 256
+	DefaultMaxSpansPerTrace = 512
+	DefaultSlowestAssembled = 8
+	DefaultMaxBodyBytes     = 8 << 20
+)
+
+// AggregatorConfig tunes an Aggregator; the zero value is usable.
+type AggregatorConfig struct {
+	// MaxTraces bounds the assembled-trace retention; overflow evicts the
+	// oldest non-slow trace (slow ones survive while anything faster can
+	// go instead).
+	MaxTraces int
+	// MaxSpansPerTrace caps one trace's stitched span count; overflow is
+	// dropped and counted.
+	MaxSpansPerTrace int
+	// SlowThreshold promotes assembled traces whose end-to-end latency
+	// reaches it. Zero means the default; negative disables promotion.
+	SlowThreshold time.Duration
+	// Slowest is the size of the slowest-assembled exemplar list.
+	Slowest int
+	// MaxBodyBytes caps a POST /debug/spans request body.
+	MaxBodyBytes int64
+}
+
+func (c AggregatorConfig) withDefaults() AggregatorConfig {
+	if c.MaxTraces <= 0 {
+		c.MaxTraces = DefaultMaxTraces
+	}
+	if c.MaxSpansPerTrace <= 0 {
+		c.MaxSpansPerTrace = DefaultMaxSpansPerTrace
+	}
+	if c.SlowThreshold == 0 {
+		c.SlowThreshold = obs.DefaultSlowThreshold
+	}
+	if c.SlowThreshold < 0 {
+		c.SlowThreshold = 0
+	}
+	if c.Slowest <= 0 {
+		c.Slowest = DefaultSlowestAssembled
+	}
+	if c.MaxBodyBytes <= 0 {
+		c.MaxBodyBytes = DefaultMaxBodyBytes
+	}
+	return c
+}
+
+// hopRecord is one process's contribution to an assembled trace.
+type hopRecord struct {
+	origin  string
+	start   time.Time // the hop's own clock
+	totalUS int64
+	skewUS  int64 // apparent skew of the hop's clock vs the aggregator's
+	spans   []obs.Span
+}
+
+// assembled is the aggregator's working record of one distributed trace.
+type assembled struct {
+	id    string
+	seq   int64 // arrival order, for FIFO eviction
+	hops  []*hopRecord
+	spans int
+}
+
+// endToEnd computes the assembled trace's skew-adjusted start and
+// end-to-end duration in microseconds.
+func (a *assembled) endToEnd() (time.Time, int64) {
+	var start time.Time
+	var end int64 // µs since start
+	for i, h := range a.hops {
+		adj := h.start.Add(time.Duration(h.skewUS) * time.Microsecond)
+		if i == 0 || adj.Before(start) {
+			start = adj
+		}
+	}
+	for _, h := range a.hops {
+		adj := h.start.Add(time.Duration(h.skewUS) * time.Microsecond)
+		if e := adj.Sub(start).Microseconds() + h.totalUS; e > end {
+			end = e
+		}
+	}
+	return start, end
+}
+
+// Aggregator stitches per-hop span exports into assembled cross-process
+// traces keyed by trace ID. Hops report on their own clocks; each batch's
+// apparent skew (aggregator receive time minus the batch's send stamp —
+// an upper bound that includes transit) re-anchors its spans onto one
+// timeline, so a router route span and the cell spans it covers nest
+// sensibly even across machines.
+type Aggregator struct {
+	cfg AggregatorConfig
+
+	mu   sync.Mutex
+	byID map[string]*assembled
+	seq  int64
+
+	batches      atomic.Int64
+	spansIn      atomic.Int64
+	spansDropped atomic.Int64
+	evicted      atomic.Int64
+}
+
+// NewAggregator builds an aggregator; the zero config applies defaults.
+func NewAggregator(cfg AggregatorConfig) *Aggregator {
+	return &Aggregator{
+		cfg:  cfg.withDefaults(),
+		byID: make(map[string]*assembled),
+	}
+}
+
+// Ingest merges one exported batch, received at recv on the aggregator's
+// clock, into the assembled state.
+func (a *Aggregator) Ingest(b Batch, recv time.Time) {
+	if a == nil {
+		return
+	}
+	skewUS := (recv.UnixNano() - b.SentUnixNS) / 1e3
+	a.batches.Add(1)
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	for _, t := range b.Traces {
+		if t.TraceID == "" {
+			a.spansDropped.Add(int64(len(t.Spans)))
+			continue
+		}
+		e := a.byID[t.TraceID]
+		if e == nil {
+			a.evictLocked()
+			a.seq++
+			e = &assembled{id: t.TraceID, seq: a.seq}
+			a.byID[t.TraceID] = e
+		}
+		var hop *hopRecord
+		for _, h := range e.hops {
+			if h.origin == b.Origin {
+				hop = h
+				break
+			}
+		}
+		if hop == nil {
+			hop = &hopRecord{origin: b.Origin, start: t.Start}
+			e.hops = append(e.hops, hop)
+		}
+		hop.skewUS = skewUS
+		if t.TotalUS > hop.totalUS {
+			hop.totalUS = t.TotalUS
+		}
+		for _, s := range t.Spans {
+			if e.spans >= a.cfg.MaxSpansPerTrace {
+				a.spansDropped.Add(1)
+				continue
+			}
+			hop.spans = append(hop.spans, s)
+			e.spans++
+			a.spansIn.Add(1)
+		}
+	}
+}
+
+// evictLocked makes room for one more trace, preferring to evict the
+// oldest trace below the slow threshold so slow-solve evidence survives
+// churn (the end-to-end analogue of the collector's slow promotion).
+func (a *Aggregator) evictLocked() {
+	if len(a.byID) < a.cfg.MaxTraces {
+		return
+	}
+	var victim, oldest *assembled
+	for _, e := range a.byID {
+		if oldest == nil || e.seq < oldest.seq {
+			oldest = e
+		}
+		if a.cfg.SlowThreshold > 0 {
+			if _, total := e.endToEnd(); time.Duration(total)*time.Microsecond >= a.cfg.SlowThreshold {
+				continue // slow: protected
+			}
+		}
+		if victim == nil || e.seq < victim.seq {
+			victim = e
+		}
+	}
+	if victim == nil {
+		victim = oldest // everything is slow: evict the oldest anyway
+	}
+	if victim != nil {
+		delete(a.byID, victim.id)
+		a.evicted.Add(1)
+	}
+}
+
+// HopJSON summarizes one process's contribution to an assembled trace.
+type HopJSON struct {
+	// Origin names the exporting process.
+	Origin string `json:"origin"`
+	// Start is the hop's start re-anchored onto the aggregator's clock.
+	Start time.Time `json:"start"`
+	// TotalUS is the hop's own end-to-end duration.
+	TotalUS int64 `json:"total_us"`
+	// ClockSkewUS is the hop's apparent clock skew versus the aggregator:
+	// batch receive time minus the hop's send stamp (transit included, so
+	// an upper bound). Negative means the hop's clock runs ahead; the
+	// hop's timestamps are shifted by this amount onto the aggregator's
+	// timeline.
+	ClockSkewUS int64 `json:"clock_skew_us"`
+	// Spans is how many spans the hop contributed.
+	Spans int `json:"spans"`
+}
+
+// AssembledSpanJSON is a span on the assembled timeline, tagged with the
+// hop that recorded it. StartUS is relative to the assembled trace start.
+type AssembledSpanJSON struct {
+	Origin string `json:"origin"`
+	obs.Span
+}
+
+// AssembledTraceJSON is one stitched cross-process trace in
+// GET /debug/traces.
+type AssembledTraceJSON struct {
+	TraceID string `json:"trace_id"`
+	// Start is the earliest skew-adjusted hop start.
+	Start time.Time `json:"start"`
+	// EndToEndUS is the distributed end-to-end latency: latest hop end
+	// minus earliest hop start on the adjusted timeline.
+	EndToEndUS int64     `json:"end_to_end_us"`
+	Slow       bool      `json:"slow"`
+	Hops       []HopJSON `json:"hops"`
+	// Spans are every hop's spans re-offset onto the assembled timeline,
+	// ordered by start.
+	Spans []AssembledSpanJSON `json:"spans"`
+}
+
+// render materializes one assembled trace. Caller holds a.mu.
+func (a *Aggregator) render(e *assembled) AssembledTraceJSON {
+	start, total := e.endToEnd()
+	out := AssembledTraceJSON{
+		TraceID:    e.id,
+		Start:      start,
+		EndToEndUS: total,
+		Slow:       a.cfg.SlowThreshold > 0 && time.Duration(total)*time.Microsecond >= a.cfg.SlowThreshold,
+	}
+	for _, h := range e.hops {
+		adj := h.start.Add(time.Duration(h.skewUS) * time.Microsecond)
+		offset := adj.Sub(start).Microseconds()
+		out.Hops = append(out.Hops, HopJSON{
+			Origin:      h.origin,
+			Start:       adj,
+			TotalUS:     h.totalUS,
+			ClockSkewUS: h.skewUS,
+			Spans:       len(h.spans),
+		})
+		for _, s := range h.spans {
+			s.StartUS += offset
+			out.Spans = append(out.Spans, AssembledSpanJSON{Origin: h.origin, Span: s})
+		}
+	}
+	sort.SliceStable(out.Spans, func(i, j int) bool { return out.Spans[i].StartUS < out.Spans[j].StartUS })
+	sort.SliceStable(out.Hops, func(i, j int) bool { return out.Hops[i].Start.Before(out.Hops[j].Start) })
+	return out
+}
+
+// matches applies the non-limit parts of a trace query to an assembled
+// trace.
+func matchesQuery(t AssembledTraceJSON, q obs.TraceQuery) bool {
+	if q.TraceID != "" && t.TraceID != q.TraceID {
+		return false
+	}
+	if q.MinDuration > 0 && time.Duration(t.EndToEndUS)*time.Microsecond < q.MinDuration {
+		return false
+	}
+	return true
+}
+
+// Assembled returns the assembled traces matching q, newest first.
+func (a *Aggregator) Assembled(q obs.TraceQuery) []AssembledTraceJSON {
+	if a == nil {
+		return nil
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	entries := make([]*assembled, 0, len(a.byID))
+	for _, e := range a.byID {
+		entries = append(entries, e)
+	}
+	sort.Slice(entries, func(i, j int) bool { return entries[i].seq > entries[j].seq })
+	out := make([]AssembledTraceJSON, 0, len(entries))
+	for _, e := range entries {
+		t := a.render(e)
+		if !matchesQuery(t, q) {
+			continue
+		}
+		out = append(out, t)
+		if q.Limit > 0 && len(out) == q.Limit {
+			break
+		}
+	}
+	return out
+}
+
+// Slowest returns the slowest assembled traces by end-to-end latency,
+// slowest first, capped at the configured exemplar count (and q.Limit if
+// tighter).
+func (a *Aggregator) Slowest(q obs.TraceQuery) []AssembledTraceJSON {
+	if a == nil {
+		return nil
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	all := make([]AssembledTraceJSON, 0, len(a.byID))
+	for _, e := range a.byID {
+		t := a.render(e)
+		if !matchesQuery(t, q) {
+			continue
+		}
+		all = append(all, t)
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i].EndToEndUS > all[j].EndToEndUS })
+	n := a.cfg.Slowest
+	if q.Limit > 0 && q.Limit < n {
+		n = q.Limit
+	}
+	if len(all) > n {
+		all = all[:n]
+	}
+	return all
+}
+
+// IngestHandler serves POST /debug/spans: the wire side of Ingest.
+func (a *Aggregator) IngestHandler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+			return
+		}
+		var b Batch
+		body := http.MaxBytesReader(w, r.Body, a.cfg.MaxBodyBytes)
+		if err := json.NewDecoder(body).Decode(&b); err != nil {
+			w.Header().Set("Content-Type", "application/json")
+			w.WriteHeader(http.StatusBadRequest)
+			_ = json.NewEncoder(w).Encode(map[string]string{"error": "bad_batch", "reason": err.Error()})
+			return
+		}
+		a.Ingest(b, time.Now())
+		w.Header().Set("Content-Type", "application/json")
+		_ = json.NewEncoder(w).Encode(map[string]any{"ok": true, "traces": len(b.Traces)})
+	})
+}
+
+// TracesJSON is the combined body of GET /debug/traces on a process that
+// runs an aggregator: the local collector's view plus the assembled
+// cross-process traces.
+type TracesJSON struct {
+	Recent           []obs.TraceJSON      `json:"recent"`
+	Slowest          []obs.TraceJSON      `json:"slowest"`
+	Assembled        []AssembledTraceJSON `json:"assembled"`
+	AssembledSlowest []AssembledTraceJSON `json:"assembled_slowest"`
+}
+
+// TracesHandler serves the combined GET /debug/traces view, honouring the
+// validated limit/min_duration/trace_id query on every section. Either
+// argument may be nil; its sections come back empty.
+func TracesHandler(col *obs.Collector, agg *Aggregator) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodGet {
+			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+			return
+		}
+		q, err := obs.ParseTraceQuery(r.URL.Query())
+		if err != nil {
+			if !obs.WriteQueryError(w, err) {
+				http.Error(w, err.Error(), http.StatusBadRequest)
+			}
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		_ = json.NewEncoder(w).Encode(TracesJSON{
+			Recent:           obs.FilterTraces(col.Recent(), q),
+			Slowest:          obs.FilterTraces(col.Slowest(), q),
+			Assembled:        agg.Assembled(q),
+			AssembledSlowest: agg.Slowest(q),
+		})
+	})
+}
+
+// AggregatorStatsJSON is the aggregator's /v1/stats section.
+type AggregatorStatsJSON struct {
+	Traces        int   `json:"traces"`
+	Batches       int64 `json:"batches"`
+	SpansIngested int64 `json:"spans_ingested"`
+	SpansDropped  int64 `json:"spans_dropped"`
+	TracesEvicted int64 `json:"traces_evicted"`
+}
+
+// StatsJSON snapshots the aggregator's counters.
+func (a *Aggregator) StatsJSON() AggregatorStatsJSON {
+	if a == nil {
+		return AggregatorStatsJSON{}
+	}
+	a.mu.Lock()
+	n := len(a.byID)
+	a.mu.Unlock()
+	return AggregatorStatsJSON{
+		Traces:        n,
+		Batches:       a.batches.Load(),
+		SpansIngested: a.spansIn.Load(),
+		SpansDropped:  a.spansDropped.Load(),
+		TracesEvicted: a.evicted.Load(),
+	}
+}
+
+// WritePrometheus appends the aggregator's series to a /metrics
+// exposition. Names are disjoint from the Exporter's so a process running
+// both (a router exporting to itself) emits no duplicates.
+func (a *Aggregator) WritePrometheus(w io.Writer) error {
+	if a == nil {
+		return nil
+	}
+	s := a.StatsJSON()
+	var b []byte
+	emit := func(name, typ, help string, v int64) {
+		b = append(b, "# HELP "...)
+		b = append(b, name...)
+		b = append(b, ' ')
+		b = append(b, help...)
+		b = append(b, "\n# TYPE "...)
+		b = append(b, name...)
+		b = append(b, ' ')
+		b = append(b, typ...)
+		b = append(b, '\n')
+		b = append(b, name...)
+		b = append(b, ' ')
+		b = strconv.AppendInt(b, v, 10)
+		b = append(b, '\n')
+	}
+	emit("obs_span_batches_received_total", "counter", "Span batches ingested by the aggregator.", s.Batches)
+	emit("obs_assembly_spans_total", "counter", "Spans stitched into assembled traces.", s.SpansIngested)
+	emit("obs_assembly_spans_dropped_total", "counter", "Spans dropped at the per-trace stitch cap.", s.SpansDropped)
+	emit("obs_assembled_traces", "gauge", "Assembled traces currently retained.", int64(s.Traces))
+	emit("obs_assembled_traces_evicted_total", "counter", "Assembled traces evicted to make room.", s.TracesEvicted)
+	_, err := w.Write(b)
+	return err
+}

@@ -1,0 +1,288 @@
+// Package telemetry turns the per-process obs collectors into a
+// cluster-wide plane. Cells hang an Exporter off their collector's sink:
+// finished traces buffer in a bounded queue and flush — on an interval or
+// when the batch fills — to an Aggregator, either in-process or across the
+// wire via POST /debug/spans. The aggregator stitches the per-hop exports
+// back into assembled cross-process traces keyed by trace ID, annotates
+// each hop's apparent clock skew, promotes slow traces on end-to-end
+// latency, and serves the combined GET /debug/traces view plus the live
+// SSE ops dashboard.
+package telemetry
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"log/slog"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// Batch is one exporter flush on the wire: the body of POST /debug/spans.
+type Batch struct {
+	// Origin names the exporting hop (one per process, e.g. "router",
+	// "cell-0"); the aggregator tags every contributed span with it.
+	Origin string `json:"origin"`
+	// SentUnixNS is the origin's wall clock at flush time. The aggregator
+	// compares it against its own receive clock to annotate the hop's
+	// apparent skew (clock offset plus transit time).
+	SentUnixNS int64 `json:"sent_unix_ns"`
+	// Traces are the finished traces of this batch.
+	Traces []obs.TraceJSON `json:"traces"`
+}
+
+// Exporter defaults.
+const (
+	DefaultBufferTraces  = 256
+	DefaultFlushTraces   = 32
+	DefaultFlushInterval = 500 * time.Millisecond
+)
+
+// ExporterConfig tunes an Exporter. At least one of Target and Local must
+// be set for flushes to go anywhere; both may be.
+type ExporterConfig struct {
+	// Origin names this hop in every batch it sends.
+	Origin string
+	// Target is the remote aggregator's base URL (the /debug/spans path is
+	// appended when missing). Empty disables remote delivery.
+	Target string
+	// Local is an in-process aggregator fed directly, skipping the wire —
+	// how a single-process flcluster self-assembles its router and cell
+	// spans.
+	Local *Aggregator
+	// BufferTraces bounds the pending-trace queue; once full, further
+	// traces are dropped and their spans counted in obs_spans_dropped_total.
+	BufferTraces int
+	// FlushTraces triggers an early flush when the buffer reaches it.
+	FlushTraces int
+	// FlushInterval is the periodic flush cadence.
+	FlushInterval time.Duration
+	// Client posts remote batches; nil uses a 2s-timeout client.
+	Client *http.Client
+	// Logger receives delivery-failure debug logs; nil uses slog.Default().
+	Logger *slog.Logger
+}
+
+func (c ExporterConfig) withDefaults() ExporterConfig {
+	if c.BufferTraces <= 0 {
+		c.BufferTraces = DefaultBufferTraces
+	}
+	if c.FlushTraces <= 0 {
+		c.FlushTraces = DefaultFlushTraces
+	}
+	if c.FlushTraces > c.BufferTraces {
+		c.FlushTraces = c.BufferTraces
+	}
+	if c.FlushInterval <= 0 {
+		c.FlushInterval = DefaultFlushInterval
+	}
+	if c.Client == nil {
+		c.Client = &http.Client{Timeout: 2 * time.Second}
+	}
+	if c.Logger == nil {
+		c.Logger = slog.Default()
+	}
+	if c.Target != "" && !strings.Contains(c.Target, obs.SpansPath) {
+		c.Target = strings.TrimSuffix(c.Target, "/") + obs.SpansPath
+	}
+	return c
+}
+
+// Exporter batches finished traces toward an aggregator. Enqueue is
+// non-blocking and drop-counting, so a slow or absent aggregator can never
+// stall serving: the bounded buffer absorbs bursts, overflow is dropped
+// and counted, and a background goroutine flushes on interval or size.
+type Exporter struct {
+	cfg ExporterConfig
+
+	mu  sync.Mutex
+	buf []obs.TraceJSON
+
+	spansExported atomic.Int64
+	spansDropped  atomic.Int64
+	flushes       atomic.Int64
+	sendErrors    atomic.Int64
+
+	kick chan struct{}
+	done chan struct{}
+	wg   sync.WaitGroup
+	once sync.Once
+}
+
+// NewExporter builds an exporter and starts its flush loop. Close it to
+// flush the tail and stop the goroutine.
+func NewExporter(cfg ExporterConfig) *Exporter {
+	e := &Exporter{
+		cfg:  cfg.withDefaults(),
+		kick: make(chan struct{}, 1),
+		done: make(chan struct{}),
+	}
+	e.buf = make([]obs.TraceJSON, 0, e.cfg.BufferTraces)
+	e.wg.Add(1)
+	go e.loop()
+	return e
+}
+
+// Enqueue buffers one finished trace for export; pass it to
+// Collector.SetSink. Never blocks: a full buffer drops the trace and
+// counts its spans as dropped.
+func (e *Exporter) Enqueue(t obs.TraceJSON) {
+	e.mu.Lock()
+	if len(e.buf) >= e.cfg.BufferTraces {
+		e.mu.Unlock()
+		e.spansDropped.Add(int64(len(t.Spans)))
+		return
+	}
+	e.buf = append(e.buf, t)
+	n := len(e.buf)
+	e.mu.Unlock()
+	if n >= e.cfg.FlushTraces {
+		select {
+		case e.kick <- struct{}{}:
+		default:
+		}
+	}
+}
+
+func (e *Exporter) loop() {
+	defer e.wg.Done()
+	ticker := time.NewTicker(e.cfg.FlushInterval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-ticker.C:
+			e.Flush()
+		case <-e.kick:
+			e.Flush()
+		case <-e.done:
+			e.Flush()
+			return
+		}
+	}
+}
+
+// Flush synchronously delivers everything buffered. The background loop
+// calls it on its triggers; tests and shutdown paths call it directly.
+func (e *Exporter) Flush() {
+	e.mu.Lock()
+	if len(e.buf) == 0 {
+		e.mu.Unlock()
+		return
+	}
+	traces := e.buf
+	e.buf = make([]obs.TraceJSON, 0, e.cfg.BufferTraces)
+	e.mu.Unlock()
+
+	batch := Batch{
+		Origin:     e.cfg.Origin,
+		SentUnixNS: time.Now().UnixNano(),
+		Traces:     traces,
+	}
+	var spans int64
+	for i := range traces {
+		spans += int64(len(traces[i].Spans))
+	}
+	if e.cfg.Local != nil {
+		e.cfg.Local.Ingest(batch, time.Now())
+	}
+	if e.cfg.Target != "" {
+		if err := e.post(batch); err != nil {
+			e.sendErrors.Add(1)
+			e.cfg.Logger.Debug("span export failed",
+				"target", e.cfg.Target, "traces", len(traces), "err", err)
+		}
+	}
+	e.spansExported.Add(spans)
+	e.flushes.Add(1)
+}
+
+func (e *Exporter) post(batch Batch) error {
+	body, err := json.Marshal(batch)
+	if err != nil {
+		return err
+	}
+	resp, err := e.cfg.Client.Post(e.cfg.Target, "application/json", bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode/100 != 2 {
+		return &statusError{resp.StatusCode}
+	}
+	return nil
+}
+
+type statusError struct{ code int }
+
+func (e *statusError) Error() string { return "aggregator returned status " + strconv.Itoa(e.code) }
+
+// Close flushes the tail and stops the background loop. Idempotent.
+func (e *Exporter) Close() {
+	e.once.Do(func() { close(e.done) })
+	e.wg.Wait()
+}
+
+// SpansDropped reports spans lost to export-buffer overflow.
+func (e *Exporter) SpansDropped() int64 { return e.spansDropped.Load() }
+
+// ExporterStatsJSON is the exporter's /v1/stats section.
+type ExporterStatsJSON struct {
+	Origin        string `json:"origin"`
+	SpansExported int64  `json:"spans_exported"`
+	SpansDropped  int64  `json:"spans_dropped"`
+	Flushes       int64  `json:"flushes"`
+	SendErrors    int64  `json:"send_errors"`
+}
+
+// StatsJSON snapshots the exporter's counters.
+func (e *Exporter) StatsJSON() ExporterStatsJSON {
+	if e == nil {
+		return ExporterStatsJSON{}
+	}
+	return ExporterStatsJSON{
+		Origin:        e.cfg.Origin,
+		SpansExported: e.spansExported.Load(),
+		SpansDropped:  e.spansDropped.Load(),
+		Flushes:       e.flushes.Load(),
+		SendErrors:    e.sendErrors.Load(),
+	}
+}
+
+// WritePrometheus appends the exporter's obs_span* counters to a /metrics
+// exposition.
+func (e *Exporter) WritePrometheus(w io.Writer) error {
+	if e == nil {
+		return nil
+	}
+	var b []byte
+	for _, ctr := range []struct {
+		name, help string
+		v          int64
+	}{
+		{"obs_spans_exported_total", "Spans flushed out of the export buffer.", e.spansExported.Load()},
+		{"obs_spans_dropped_total", "Spans dropped on export-buffer overflow.", e.spansDropped.Load()},
+		{"obs_span_flushes_total", "Export batches flushed.", e.flushes.Load()},
+		{"obs_span_export_errors_total", "Remote batch deliveries that failed.", e.sendErrors.Load()},
+	} {
+		b = append(b, "# HELP "...)
+		b = append(b, ctr.name...)
+		b = append(b, ' ')
+		b = append(b, ctr.help...)
+		b = append(b, "\n# TYPE "...)
+		b = append(b, ctr.name...)
+		b = append(b, " counter\n"...)
+		b = append(b, ctr.name...)
+		b = append(b, ' ')
+		b = strconv.AppendInt(b, ctr.v, 10)
+		b = append(b, '\n')
+	}
+	_, err := w.Write(b)
+	return err
+}

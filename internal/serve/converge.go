@@ -1,0 +1,255 @@
+package serve
+
+import (
+	"sort"
+	"strconv"
+	"sync"
+
+	"repro/internal/core"
+)
+
+// IterBucketBounds are the upper bounds of the iteration-count histograms
+// (Newton and outer); a final implicit +Inf bucket catches the overflow.
+// Counts are small integers, so a handful of widening buckets separates
+// "certificate accepted, zero iterations" from "solver ground for dozens".
+var IterBucketBounds = [...]int{0, 1, 2, 4, 8, 16, 32}
+
+// iterHist is a fixed-bucket histogram over iteration counts.
+type iterHist struct {
+	buckets [len(IterBucketBounds) + 1]int64
+	sum     int64
+	count   int64
+}
+
+func (h *iterHist) record(n int) {
+	b := len(IterBucketBounds) // +Inf
+	for i, bound := range IterBucketBounds {
+		if n <= bound {
+			b = i
+			break
+		}
+	}
+	h.buckets[b]++
+	h.sum += int64(n)
+	h.count++
+}
+
+// IterHistJSON is the wire form of an iteration histogram: raw (non-
+// cumulative) per-bucket counts in IterBucketBounds order with the +Inf
+// bucket last, plus sum and count for mean derivation. The raw form sums
+// bucket-wise, which is what the cluster rollup needs.
+type IterHistJSON struct {
+	Buckets []int64 `json:"buckets"`
+	Sum     int64   `json:"sum"`
+	Count   int64   `json:"count"`
+}
+
+func (h *iterHist) toJSON() IterHistJSON {
+	return IterHistJSON{
+		Buckets: append([]int64(nil), h.buckets[:]...),
+		Sum:     h.sum,
+		Count:   h.count,
+	}
+}
+
+// merge adds another histogram's counts bucket-wise (layouts match by
+// construction; a shorter operand is tolerated for forward compatibility).
+func (j *IterHistJSON) merge(o IterHistJSON) {
+	if len(j.Buckets) < len(o.Buckets) {
+		grown := make([]int64, len(o.Buckets))
+		copy(grown, j.Buckets)
+		j.Buckets = grown
+	}
+	for i := range o.Buckets {
+		j.Buckets[i] += o.Buckets[i]
+	}
+	j.Sum += o.Sum
+	j.Count += o.Count
+}
+
+// ConvergenceJSON is the solver convergence observatory's /v1/stats
+// section: numerical-behaviour telemetry aggregated over every solve the
+// server ran, split by serving path so a warm-start regression is visible
+// as its own histogram shift rather than a blended average.
+type ConvergenceJSON struct {
+	// Newton histograms per serving path ("cold", "warm", "warm_dual").
+	Newton map[string]IterHistJSON `json:"newton_iterations"`
+	// Outer is the Algorithm 2 outer-iteration histogram over all paths.
+	Outer IterHistJSON `json:"outer_iterations"`
+	// DualSeed counts first-call dual-seed certificate outcomes by label
+	// (accepted, projected, rejected, errored, none).
+	DualSeed map[string]int64 `json:"dual_seed"`
+	// BracketSeeded / BracketDiscovered count inner price searches whose
+	// bisection bracket came from a carried clearing price versus
+	// from-scratch discovery.
+	BracketSeeded     int64 `json:"bracket_seeded"`
+	BracketDiscovered int64 `json:"bracket_discovered"`
+	// BracketRelWidthSum accumulates relative bracket widths; dividing by
+	// the search count gives BracketMeanRelWidth.
+	BracketRelWidthSum  float64 `json:"bracket_rel_width_sum"`
+	BracketMeanRelWidth float64 `json:"bracket_mean_rel_width"`
+	// SanitizeRejected counts warm-start candidates discarded because the
+	// cached allocation could not be repaired into a feasible start.
+	SanitizeRejected int64 `json:"sanitize_rejected"`
+}
+
+// Merge folds another cell's convergence section into this one — the
+// cluster-wide rollup.
+func (j *ConvergenceJSON) Merge(o ConvergenceJSON) {
+	for path, h := range o.Newton {
+		if j.Newton == nil {
+			j.Newton = make(map[string]IterHistJSON)
+		}
+		cur := j.Newton[path]
+		cur.merge(h)
+		j.Newton[path] = cur
+	}
+	j.Outer.merge(o.Outer)
+	for k, v := range o.DualSeed {
+		if j.DualSeed == nil {
+			j.DualSeed = make(map[string]int64)
+		}
+		j.DualSeed[k] += v
+	}
+	j.BracketSeeded += o.BracketSeeded
+	j.BracketDiscovered += o.BracketDiscovered
+	j.BracketRelWidthSum += o.BracketRelWidthSum
+	if n := j.BracketSeeded + j.BracketDiscovered; n > 0 {
+		j.BracketMeanRelWidth = j.BracketRelWidthSum / float64(n)
+	}
+	j.SanitizeRejected += o.SanitizeRejected
+}
+
+// convStats accumulates the observatory under one mutex; recording happens
+// once per completed solve (not per request), so contention is negligible
+// next to the solve itself.
+type convStats struct {
+	mu                sync.Mutex
+	newton            map[string]*iterHist
+	outer             iterHist
+	dualSeed          map[string]int64
+	bracketSeeded     int64
+	bracketDiscovered int64
+	bracketRelSum     float64
+	sanitizeRejected  int64
+}
+
+// recordSolve folds one solve's trace into the observatory. path is the
+// serving path label ("cold", "warm", "warm_dual").
+func (c *convStats) recordSolve(path string, tr core.SolveTrace) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.newton == nil {
+		c.newton = make(map[string]*iterHist)
+	}
+	h := c.newton[path]
+	if h == nil {
+		h = &iterHist{}
+		c.newton[path] = h
+	}
+	h.record(tr.NewtonIters)
+	c.outer.record(tr.OuterIters)
+	if tr.DualSeedOutcome != "" {
+		if c.dualSeed == nil {
+			c.dualSeed = make(map[string]int64)
+		}
+		c.dualSeed[tr.DualSeedOutcome]++
+	}
+	c.bracketSeeded += int64(tr.BracketSeeded)
+	c.bracketDiscovered += int64(tr.BracketDiscovered)
+	c.bracketRelSum += tr.BracketRelWidth
+}
+
+func (c *convStats) recordSanitizeReject() {
+	c.mu.Lock()
+	c.sanitizeRejected++
+	c.mu.Unlock()
+}
+
+func (c *convStats) snapshot() ConvergenceJSON {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := ConvergenceJSON{
+		Outer:              c.outer.toJSON(),
+		BracketSeeded:      c.bracketSeeded,
+		BracketDiscovered:  c.bracketDiscovered,
+		BracketRelWidthSum: c.bracketRelSum,
+		SanitizeRejected:   c.sanitizeRejected,
+	}
+	if len(c.newton) > 0 {
+		out.Newton = make(map[string]IterHistJSON, len(c.newton))
+		for path, h := range c.newton {
+			out.Newton[path] = h.toJSON()
+		}
+	}
+	if len(c.dualSeed) > 0 {
+		out.DualSeed = make(map[string]int64, len(c.dualSeed))
+		for k, v := range c.dualSeed {
+			out.DualSeed[k] = v
+		}
+	}
+	if n := c.bracketSeeded + c.bracketDiscovered; n > 0 {
+		out.BracketMeanRelWidth = c.bracketRelSum / float64(n)
+	}
+	return out
+}
+
+// iterLE renders bucket i's le label for the iteration histograms.
+func iterLE(i int) string {
+	if i >= len(IterBucketBounds) {
+		return "+Inf"
+	}
+	return strconv.Itoa(IterBucketBounds[i])
+}
+
+// writePrometheus emits the convergence series under prefix with the given
+// label set (the per-cell cell="N" label in cluster mode).
+func (j ConvergenceJSON) writePrometheus(p *PromWriter, prefix, labels string) {
+	histogram := func(name, help, extraLabels string, h IterHistJSON) {
+		ls := labels
+		if extraLabels != "" {
+			if ls != "" {
+				ls += ","
+			}
+			ls += extraLabels
+		}
+		bounds := make([]string, len(h.Buckets))
+		for i := range h.Buckets {
+			bounds[i] = iterLE(i)
+		}
+		p.Histogram(name, help, ls, bounds, h.Buckets, float64(h.Sum), h.Count)
+	}
+	paths := make([]string, 0, len(j.Newton))
+	for path := range j.Newton {
+		paths = append(paths, path)
+	}
+	sort.Strings(paths)
+	for _, path := range paths {
+		histogram(prefix+"_newton_iterations", "Subproblem 2 Newton iterations per solve by serving path.",
+			`path="`+path+`"`, j.Newton[path])
+	}
+	histogram(prefix+"_outer_iterations", "Algorithm 2 outer iterations per solve.", "", j.Outer)
+
+	outcomes := make([]string, 0, len(j.DualSeed))
+	for k := range j.DualSeed {
+		outcomes = append(outcomes, k)
+	}
+	sort.Strings(outcomes)
+	for _, k := range outcomes {
+		ls := labels
+		if ls != "" {
+			ls += ","
+		}
+		p.Counter(prefix+"_dual_seed_total", "First-call dual-seed certificate outcomes by label.",
+			ls+`outcome="`+k+`"`, float64(j.DualSeed[k]))
+	}
+	seededLs, discoveredLs := `bracket="seeded"`, `bracket="discovered"`
+	if labels != "" {
+		seededLs = labels + "," + seededLs
+		discoveredLs = labels + "," + discoveredLs
+	}
+	p.Counter(prefix+"_bracket_searches_total", "Inner SP2_v2 price searches by bracket provenance.", seededLs, float64(j.BracketSeeded))
+	p.Counter(prefix+"_bracket_searches_total", "Inner SP2_v2 price searches by bracket provenance.", discoveredLs, float64(j.BracketDiscovered))
+	p.Gauge(prefix+"_bracket_rel_width_mean", "Mean relative bisection bracket width at entry.", labels, j.BracketMeanRelWidth)
+	p.Counter(prefix+"_sanitize_rejected_total", "Warm-start candidates rejected by start sanitization.", labels, float64(j.SanitizeRejected))
+}

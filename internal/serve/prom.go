@@ -57,6 +57,56 @@ func (p *PromWriter) sample(name, help, kind, labels string, v float64) {
 	}
 }
 
+// Histogram emits one full histogram: cumulative _bucket series over the
+// given bounds (the final +Inf bucket is appended when bounds omit it),
+// plus _sum and _count. buckets holds raw per-bucket counts aligned with
+// bounds; labels is the raw label list without braces.
+func (p *PromWriter) Histogram(name, help, labels string, bounds []string, buckets []int64, sum float64, count int64) {
+	if p.err != nil {
+		return
+	}
+	if !p.seen[name] {
+		p.seen[name] = true
+		if _, err := fmt.Fprintf(p.w, "# HELP %s %s\n# TYPE %s histogram\n", name, help, name); err != nil {
+			p.err = err
+			return
+		}
+	}
+	sep := ""
+	if labels != "" {
+		sep = ","
+	}
+	var cum int64
+	sawInf := false
+	for i, c := range buckets {
+		cum += c
+		le := "+Inf"
+		if i < len(bounds) {
+			le = bounds[i]
+		}
+		if le == "+Inf" {
+			sawInf = true
+		}
+		if _, err := fmt.Fprintf(p.w, "%s_bucket{%s%sle=%q} %d\n", name, labels, sep, le, cum); err != nil {
+			p.err = err
+			return
+		}
+	}
+	if !sawInf {
+		if _, err := fmt.Fprintf(p.w, "%s_bucket{%s%sle=\"+Inf\"} %d\n", name, labels, sep, cum); err != nil {
+			p.err = err
+			return
+		}
+	}
+	suffix := ""
+	if labels != "" {
+		suffix = "{" + labels + "}"
+	}
+	if _, err := fmt.Fprintf(p.w, "%s_sum%s %g\n%s_count%s %d\n", name, suffix, sum, name, suffix, count); err != nil {
+		p.err = err
+	}
+}
+
 // WritePrometheus emits the snapshot's counters, occupancy gauges and
 // latency quantiles under the given metric prefix (e.g. "flserve") and
 // label list (without braces; empty for none). Quantile series get a
@@ -124,4 +174,5 @@ func (s Snapshot) WritePrometheus(p *PromWriter, prefix, labels string) {
 		}
 		p.Gauge(prefix+"_queue_wait_seconds", "Recent enqueue-to-dequeue wait quantiles.", ql, qv.v)
 	}
+	s.Convergence.writePrometheus(p, prefix, labels)
 }

@@ -569,15 +569,22 @@ func (s *Server) process(t *task, ws *core.Workspace) (Response, error) {
 					dualSeeded = true
 				}
 				source = SourceWarm
+			} else {
+				s.stats.conv.recordSanitizeReject()
 			}
 		}
 	}
 	if req.Options.Work == nil {
 		req.Options.Work = ws
 	}
+	// The solve trace is always collected — the convergence observatory
+	// wants every solve's iteration counts, traced request or not — at the
+	// cost of a few nil-check-guarded writes inside the solver.
 	var st core.SolveTrace
-	if t.tr != nil {
-		req.Options.Trace = &st
+	stp := req.Options.Trace
+	if stp == nil {
+		stp = &st
+		req.Options.Trace = stp
 	}
 
 	began := time.Now()
@@ -590,24 +597,29 @@ func (s *Server) process(t *task, ws *core.Workspace) (Response, error) {
 		s.stats.errors.Add(1)
 		return Response{}, err
 	}
-	if t.tr != nil {
-		detail := "cold"
-		if source == SourceWarm {
-			detail = "warm"
-			if dualSeeded {
-				detail = "warm+dual"
-			}
-		}
-		t.tr.RecordDur(obs.PhaseSolve, began, elapsed, obs.Attr{Cell: obs.CellNone, Detail: detail, Value: int64(st.NewtonIters)})
-		// SP1/SP2 sub-spans are drawn from the solver's own clocks; they
-		// share the solve's start offset since only the split matters.
-		if st.SP1Time > 0 {
-			t.tr.RecordDur(obs.PhaseSP1, began, st.SP1Time, obs.Attr{Cell: obs.CellNone, Value: int64(st.OuterIters)})
-		}
-		if st.SP2Time > 0 {
-			t.tr.RecordDur(obs.PhaseSP2, began, st.SP2Time, obs.Attr{Cell: obs.CellNone, Value: int64(st.NewtonIters)})
+	path := "cold"
+	if source == SourceWarm {
+		path = "warm"
+		if dualSeeded {
+			path = "warm_dual"
 		}
 	}
+	if t.tr != nil {
+		detail := path
+		if path == "warm_dual" {
+			detail = "warm+dual" // the span detail predates the label form
+		}
+		t.tr.RecordDur(obs.PhaseSolve, began, elapsed, obs.Attr{Cell: obs.CellNone, Detail: detail, Value: int64(stp.NewtonIters)})
+		// SP1/SP2 sub-spans are drawn from the solver's own clocks; they
+		// share the solve's start offset since only the split matters.
+		if stp.SP1Time > 0 {
+			t.tr.RecordDur(obs.PhaseSP1, began, stp.SP1Time, obs.Attr{Cell: obs.CellNone, Value: int64(stp.OuterIters)})
+		}
+		if stp.SP2Time > 0 {
+			t.tr.RecordDur(obs.PhaseSP2, began, stp.SP2Time, obs.Attr{Cell: obs.CellNone, Value: int64(stp.NewtonIters)})
+		}
+	}
+	s.stats.conv.recordSolve(path, *stp)
 	s.stats.recordLatency(elapsed)
 	if source == SourceWarm {
 		s.stats.warmStarts.Add(1)

@@ -79,6 +79,10 @@ type Stats struct {
 	qwCount int64
 
 	buckets [bucketStatShards]bucketShard
+
+	// conv is the solver convergence observatory (see converge.go),
+	// recorded once per completed solve.
+	conv convStats
 }
 
 type bucketShard struct {
@@ -189,6 +193,11 @@ type Snapshot struct {
 	// Buckets lists the busiest topology buckets by request volume with
 	// their cache hit rates, busiest first.
 	Buckets []BucketSnapshot `json:"buckets,omitempty"`
+	// Convergence is the solver convergence observatory: Newton/outer
+	// iteration histograms per serving path, dual-seed certificate
+	// outcomes, bisection bracket provenance and widths, and sanitization
+	// rejections.
+	Convergence ConvergenceJSON `json:"convergence"`
 }
 
 // BucketSnapshot is one topology bucket's hit-rate view.
@@ -232,6 +241,7 @@ func (st *Stats) Snapshot() Snapshot {
 		s.QueueWaitP50, s.QueueWaitP99 = LatencyQuantiles(lat)
 	}
 	s.TrackedBuckets, s.Buckets = st.bucketSnapshots()
+	s.Convergence = st.conv.snapshot()
 	return s
 }
 

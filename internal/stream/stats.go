@@ -44,6 +44,10 @@ func (st *Stats) countSolve(resp serve.Response) {
 type Snapshot struct {
 	// ActiveSessions is the current session-table occupancy.
 	ActiveSessions int `json:"active_sessions"`
+	// SuspendedSessions is how many of them are currently suspended by a
+	// drain or migration (SuspendDevices without a matching resume yet) —
+	// the live signal the ops dashboard shows during a drain arc.
+	SuspendedSessions int `json:"suspended_sessions"`
 	// SessionsOpened/Closed/Expired/Rejected count session lifecycle
 	// events (Rejected are opens refused at MaxSessions).
 	SessionsOpened   int64 `json:"sessions_opened"`
@@ -117,4 +121,5 @@ func (s Snapshot) WritePrometheus(p *serve.PromWriter, prefix, labels string) {
 	}
 	p.Counter(prefix+"_dual_seeded_total", "Session solves that consumed the cached SP2 dual state.", labels, float64(s.SolveDualSeeded))
 	p.Gauge(prefix+"_active_sessions", "Currently open stream sessions.", labels, float64(s.ActiveSessions))
+	p.Gauge(prefix+"_suspended_sessions", "Sessions currently suspended by a drain or migration.", labels, float64(s.SuspendedSessions))
 }

@@ -283,7 +283,20 @@ func (m *Manager) Len() int {
 // Stats returns a snapshot of the manager's counters.
 func (m *Manager) Stats() Snapshot {
 	snap := m.stats.snapshot()
-	snap.ActiveSessions = m.Len()
+	m.mu.Lock()
+	snap.ActiveSessions = len(m.sessions)
+	sessions := make([]*Session, 0, len(m.sessions))
+	for _, s := range m.sessions {
+		sessions = append(sessions, s)
+	}
+	m.mu.Unlock()
+	for _, s := range sessions {
+		s.mu.Lock()
+		if s.suspended {
+			snap.SuspendedSessions++
+		}
+		s.mu.Unlock()
+	}
 	return snap
 }
 

@@ -1,0 +1,185 @@
+package repro_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"regexp"
+	"strings"
+	"testing"
+	"time"
+
+	"repro"
+)
+
+// hygieneStack composes the full flcluster serving stack — cluster router,
+// stream manager, control plane, health evaluator, obs middleware and the
+// telemetry exporter/aggregator pair — exactly as cmd/flcluster wires it,
+// so the /metrics exposition under test is the one operators scrape.
+func hygieneStack(t *testing.T) http.Handler {
+	t.Helper()
+	col := repro.NewObsCollector(repro.ObsConfig{SampleEvery: 1, SlowThreshold: -1})
+	agg := repro.NewTelemetryAggregator(repro.TelemetryAggregatorConfig{})
+	exp := repro.NewTelemetryExporter(repro.TelemetryExporterConfig{Origin: "hygiene", Local: agg})
+	col.SetSink(exp.Enqueue)
+	t.Cleanup(func() { exp.Close() })
+
+	cl := repro.NewCluster(repro.ClusterConfig{Cells: 2, Cell: repro.ServeConfig{Workers: 1}})
+	t.Cleanup(cl.Close)
+	mgr := repro.NewStreamManager(repro.NewStreamClusterBackend(cl), repro.StreamConfig{Trace: col})
+	t.Cleanup(func() { mgr.Close() })
+	plane := repro.NewControlPlane(cl, mgr)
+	ev := repro.NewHealthEvaluator(repro.HealthConfig{Source: repro.HealthRouterSource(cl), Tick: time.Hour})
+
+	mc := repro.ObsMiddlewareConfig{
+		Traces: repro.TelemetryTracesHandler(col, agg),
+		Spans:  agg.IngestHandler(),
+		StatsSections: map[string]func() any{
+			"telemetry": func() any {
+				return map[string]any{"exporter": exp.StatsJSON(), "aggregator": agg.StatsJSON()}
+			},
+		},
+		Metrics: []func(io.Writer) error{exp.WritePrometheus, agg.WritePrometheus},
+	}
+	return repro.ObsMiddlewareWith(col, mc, ev.Handler(plane.Handler(repro.StreamHandler(mgr))))
+}
+
+var metricNameRE = regexp.MustCompile(`^[a-z][a-z0-9_]*$`)
+
+// TestMetricsHygiene scrapes the composed stack's /metrics after real
+// traffic and checks exposition discipline: snake_case names, exactly one
+// HELP and one TYPE per family, and no duplicate name+labels series — the
+// invariant that keeps the exporter/aggregator/health/serve emitters from
+// colliding when one process runs all of them.
+func TestMetricsHygiene(t *testing.T) {
+	h := hygieneStack(t)
+	ts := httptest.NewServer(h)
+	defer ts.Close()
+
+	// Drive one routed solve so phase histograms, exemplars and the
+	// convergence observatory all have content to emit.
+	sc := repro.DefaultScenario()
+	sc.N = 6
+	s, err := sc.Build(rand.New(rand.NewSource(7)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req := repro.SolveRequestJSON{System: repro.SystemToJSON(s), DeviceID: "hyg-0"}
+	req.Weights.W1, req.Weights.W2 = 0.5, 0.5
+	body, _ := json.Marshal(req)
+	resp, err := http.Post(ts.URL+"/v1/solve", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("solve status %d", resp.StatusCode)
+	}
+
+	mr, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mr.Body.Close()
+	raw, err := io.ReadAll(mr.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	help := map[string]int{}
+	typ := map[string]int{}
+	series := map[string]int{}
+	for _, line := range strings.Split(string(raw), "\n") {
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "# HELP ") || strings.HasPrefix(line, "# TYPE ") {
+			fields := strings.Fields(line)
+			if len(fields) < 4 {
+				t.Fatalf("malformed comment line %q", line)
+			}
+			name := fields[2]
+			if !metricNameRE.MatchString(name) {
+				t.Errorf("metric family %q is not snake_case", name)
+			}
+			if fields[1] == "HELP" {
+				help[name]++
+			} else {
+				typ[name]++
+			}
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			t.Fatalf("unexpected comment line %q", line)
+		}
+		// Sample line: name{labels} value [# {exemplar} value]. Strip the
+		// OpenMetrics exemplar before keying the series.
+		sample := line
+		if i := strings.Index(sample, " # {"); i >= 0 {
+			sample = sample[:i]
+		}
+		var key, name string
+		if i := strings.Index(sample, "{"); i >= 0 {
+			j := strings.LastIndex(sample, "}")
+			if j < i {
+				t.Fatalf("malformed sample line %q", line)
+			}
+			name, key = sample[:i], sample[:j+1]
+		} else {
+			fields := strings.Fields(sample)
+			name, key = fields[0], fields[0]
+		}
+		if !metricNameRE.MatchString(name) {
+			t.Errorf("series name %q is not snake_case", name)
+		}
+		series[key]++
+		// Every sample must belong to a family announced by TYPE.
+		base := name
+		for _, suffix := range []string{"_bucket", "_sum", "_count"} {
+			if trimmed := strings.TrimSuffix(name, suffix); trimmed != name && typ[trimmed] > 0 {
+				base = trimmed
+				break
+			}
+		}
+		if typ[base] == 0 {
+			t.Errorf("series %q has no TYPE line", name)
+		}
+	}
+	if len(series) == 0 {
+		t.Fatal("no series in exposition")
+	}
+	for name, n := range help {
+		if n != 1 {
+			t.Errorf("HELP for %q appears %d times", name, n)
+		}
+		if typ[name] != 1 {
+			t.Errorf("TYPE for %q appears %d times", name, typ[name])
+		}
+	}
+	for name, n := range typ {
+		if help[name] != 1 {
+			t.Errorf("TYPE %q lacks a single HELP (%d)", name, help[name])
+		}
+		_ = n
+	}
+	for key, n := range series {
+		if n != 1 {
+			t.Errorf("duplicate series %q emitted %d times", key, n)
+		}
+	}
+
+	// The telemetry plane's own families must be present: the exporter and
+	// aggregator register disjoint names even when one process runs both.
+	for _, want := range []string{
+		"obs_spans_exported_total", "obs_spans_dropped_total",
+		"obs_span_batches_received_total", "obs_assembled_traces",
+	} {
+		if typ[want] != 1 {
+			t.Errorf("missing telemetry family %q in exposition", want)
+		}
+	}
+}

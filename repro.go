@@ -40,6 +40,7 @@ import (
 	"repro/internal/fl"
 	"repro/internal/health"
 	"repro/internal/obs"
+	"repro/internal/obs/telemetry"
 	"repro/internal/replica"
 	"repro/internal/serve"
 	"repro/internal/sim"
@@ -462,8 +463,13 @@ type (
 	ObsTrace = obs.Trace
 	// ObsSpan is one recorded phase of a trace.
 	ObsSpan = obs.Span
+	// ObsAttr carries optional span attributes (cell, detail, value).
+	ObsAttr = obs.Attr
 	// ObsTraceJSON is the GET /debug/traces wire form of one trace.
 	ObsTraceJSON = obs.TraceJSON
+	// ObsTraceQuery is the validated GET /debug/traces query (limit,
+	// min_duration, trace_id).
+	ObsTraceQuery = obs.TraceQuery
 )
 
 // ObsDebugPath is the trace-inspection endpoint mounted by ObsMiddleware.
@@ -494,6 +500,66 @@ func ObsSetupLogger(w io.Writer, level string, jsonOut bool) (*slog.Logger, erro
 // ObsVersionString renders the binary's build info (module, version, VCS
 // revision, Go version) on one line, for -version flags.
 func ObsVersionString() string { return obs.VersionString() }
+
+// Telemetry types (see internal/obs/telemetry): the distributed telemetry
+// plane — batched span export from cells, cross-process trace assembly at
+// the router, and the live ops dashboard.
+type (
+	// ObsMiddlewareConfig extends ObsMiddleware with replacement trace and
+	// span-ingest handlers, extra /v1/stats sections and /metrics appenders.
+	ObsMiddlewareConfig = obs.MiddlewareConfig
+	// TelemetryExporter batches finished traces and ships them to an
+	// aggregator (in-process and/or over POST /debug/spans).
+	TelemetryExporter = telemetry.Exporter
+	// TelemetryExporterConfig tunes the exporter's buffering and target.
+	TelemetryExporterConfig = telemetry.ExporterConfig
+	// TelemetryAggregator assembles per-process span batches into
+	// cross-process traces keyed by trace ID.
+	TelemetryAggregator = telemetry.Aggregator
+	// TelemetryAggregatorConfig tunes assembly retention and promotion.
+	TelemetryAggregatorConfig = telemetry.AggregatorConfig
+	// TelemetryAssembledTraceJSON is one assembled cross-process trace.
+	TelemetryAssembledTraceJSON = telemetry.AssembledTraceJSON
+	// TelemetryDashboardConfig configures the SSE ops dashboard feed.
+	TelemetryDashboardConfig = telemetry.DashboardConfig
+	// TelemetrySource is one named dashboard section fetcher.
+	TelemetrySource = telemetry.Source
+)
+
+// Telemetry-plane endpoints: span ingest (POST, internal) and the SSE ops
+// dashboard (GET, debug listener).
+const (
+	ObsSpansPath           = obs.SpansPath
+	TelemetryDashboardPath = telemetry.DashboardPath
+)
+
+// NewTelemetryExporter builds and starts a span exporter; Close flushes and
+// stops it. Feed it from a collector via ObsCollector.SetSink(exp.Enqueue).
+func NewTelemetryExporter(cfg TelemetryExporterConfig) *TelemetryExporter {
+	return telemetry.NewExporter(cfg)
+}
+
+// NewTelemetryAggregator builds a cross-process trace assembler.
+func NewTelemetryAggregator(cfg TelemetryAggregatorConfig) *TelemetryAggregator {
+	return telemetry.NewAggregator(cfg)
+}
+
+// TelemetryTracesHandler serves GET /debug/traces with both the local
+// collector's rings and the aggregator's assembled cross-process traces.
+func TelemetryTracesHandler(c *ObsCollector, a *TelemetryAggregator) http.Handler {
+	return telemetry.TracesHandler(c, a)
+}
+
+// TelemetryDashboardHandler serves the GET /debug/dashboard SSE feed.
+func TelemetryDashboardHandler(cfg TelemetryDashboardConfig) http.Handler {
+	return telemetry.DashboardHandler(cfg)
+}
+
+// ObsMiddlewareWith is ObsMiddleware plus telemetry-plane wiring: custom
+// trace/span handlers and extra stats sections / metrics appenders.
+func ObsMiddlewareWith(c *ObsCollector, mc ObsMiddlewareConfig, next http.Handler) http.Handler {
+	return obs.MiddlewareWith(c, mc, next)
+}
 
 // Health types (see internal/health): the rolling-window SLO engine with
 // its alert ring and autoscale advisor.

@@ -51,6 +51,81 @@ grep -q '"trace_id"' "$out" ||
     { echo "obs smoke: no retained trace on the -debug-addr listener" >&2; exit 1; }
 curl -fsS "http://localhost:$DEBUG_PORT/debug/pprof/cmdline" >/dev/null ||
     { echo "obs smoke: pprof not served on the -debug-addr listener" >&2; exit 1; }
+
+kill "$pid" 2>/dev/null || true
+wait "$pid" 2>/dev/null || true
+
+# --- Telemetry plane: two-cell cluster + remote span export -------------
+# Start a 2-cell flcluster (the router/aggregator) and a separate flserved
+# process exporting its span batches to the router. Assert:
+#   - a routed solve assembles on the router's /debug/traces with route
+#     plus per-cell solver phase spans,
+#   - a solve served by the OTHER process shows up assembled on the
+#     router too (spans crossed the process boundary via /debug/spans),
+#   - /metrics carries an OpenMetrics exemplar linking a bucket to a
+#     trace ID.
+CLUSTER_PORT="${CLUSTER_PORT:-18082}"
+CELL_PORT="${CELL_PORT:-18083}"
+CBIN="$(dirname "$BIN")/flcluster"
+go build -o "$CBIN" ./cmd/flcluster
+"$CBIN" -addr ":$CLUSTER_PORT" -cells 2 -trace-sample 1 -log-json &
+cpid=$!
+"$BIN" -addr ":$CELL_PORT" -trace-sample 1 \
+    -span-export "http://localhost:$CLUSTER_PORT" -log-json &
+pid=$!
+trap 'kill "${pid:-0}" "${cpid:-0}" 2>/dev/null || true; rm -rf "$(dirname "$BIN")"' EXIT
+
+for _ in $(seq 1 50); do
+    curl -fsS "http://localhost:$CLUSTER_PORT/v1/stats" >/dev/null 2>&1 &&
+        curl -fsS "http://localhost:$CELL_PORT/v1/stats" >/dev/null 2>&1 && break
+    sleep 0.2
+done
+
+# Routed solve through the cluster: route span + cell solver spans must
+# assemble into one trace on the router.
+curl -fsS -H 'Content-Type: application/json' -d "$body" \
+    "http://localhost:$CLUSTER_PORT/v1/solve" -o "$out"
+grep -q '"objective"' "$out" ||
+    { echo "obs smoke: cluster solve failed: $(cat "$out")" >&2; exit 1; }
+assembled=""
+for _ in $(seq 1 30); do
+    curl -fsS "http://localhost:$CLUSTER_PORT/debug/traces" -o "$out"
+    if grep -q '"assembled"' "$out" && grep -q '"route"' "$out"; then
+        assembled=ok
+        break
+    fi
+    sleep 0.2
+done
+[ -n "$assembled" ] ||
+    { echo "obs smoke: no assembled trace on the cluster router" >&2; exit 1; }
+for phase in route queue_wait cache_lookup sp1 sp2; do
+    grep -q "\"$phase\"" "$out" ||
+        { echo "obs smoke: assembled trace missing $phase span" >&2; exit 1; }
+done
+
+# Distributed hop: a solve served by the flserved process must assemble
+# on the ROUTER (its exporter POSTs span batches to /debug/spans there).
+remote_trace="$(curl -fsS -D - -o /dev/null -H 'Content-Type: application/json' \
+    -d "$body" "http://localhost:$CELL_PORT/v1/solve" |
+    tr -d '\r' | awk 'tolower($1)=="x-trace-id:" {print $2}')"
+[ -n "$remote_trace" ] ||
+    { echo "obs smoke: no X-Trace-Id from the flserved cell" >&2; exit 1; }
+distributed=""
+for _ in $(seq 1 30); do
+    curl -fsS "http://localhost:$CLUSTER_PORT/debug/traces?trace_id=$remote_trace" -o "$out"
+    if grep -q '"flserved"' "$out"; then
+        distributed=ok
+        break
+    fi
+    sleep 0.2
+done
+[ -n "$distributed" ] ||
+    { echo "obs smoke: flserved spans never assembled on the router" >&2; exit 1; }
+
+# Exemplars: a histogram bucket on /metrics must carry a trace ID.
+curl -fsS "http://localhost:$CLUSTER_PORT/metrics" -o "$out"
+grep -q '# {trace_id="' "$out" ||
+    { echo "obs smoke: no exemplar on the cluster /metrics" >&2; exit 1; }
 rm -f "$out"
 
 echo "obs smoke OK"
