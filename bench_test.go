@@ -231,13 +231,19 @@ func BenchmarkServeWarmStartAllocOnly(b *testing.B) {
 // finishes one solve-lifecycle trace per iteration, the server records
 // fingerprint/cache/queue/solve spans into it, and every finished trace is
 // exported through a span exporter into a local aggregator (the
-// single-process assembly path). The gap to BenchmarkServeWarmStart (the
-// nil-collector fast path) is the tracing + export overhead.
+// single-process assembly path) AND folded into the always-on flight
+// recorder, exactly as the serving cmds wire it. The gap to
+// BenchmarkServeWarmStart (the nil-collector fast path) is the tracing +
+// export + flight-event overhead.
 func BenchmarkServeTraced(b *testing.B) {
 	col := repro.NewObsCollector(repro.ObsConfig{})
 	agg := repro.NewTelemetryAggregator(repro.TelemetryAggregatorConfig{})
 	exp := repro.NewTelemetryExporter(repro.TelemetryExporterConfig{Origin: "bench", Local: agg})
-	col.SetSink(exp.Enqueue)
+	flight := repro.NewFlightRecorder(0)
+	col.SetSink(func(t repro.ObsTraceJSON) {
+		exp.Enqueue(t)
+		flight.Observe(t)
+	})
 	defer exp.Close()
 	benchServeWarm(b, repro.ServeConfig{}, col)
 }

@@ -20,6 +20,7 @@ import (
 	"context"
 	"flag"
 	"fmt"
+	"net/http"
 	"os"
 	"os/signal"
 	"path/filepath"
@@ -44,6 +45,7 @@ func main() {
 		sweepRadius   = flag.Float64("sweepradius", 0.5, "sweep: placement disk radius (km); wider disks spread SNRs and separate the solvers")
 
 		spanExport = flag.String("span-export", "", "POST the run's span to this aggregator URL (a running service's /debug/spans)")
+		debugAddr  = flag.String("debug-addr", "", "optional debug listen address (net/http/pprof + /debug/traces + /debug/dashboard + /debug/flight + /debug/incident + /metrics)")
 		logLevel   = flag.String("log-level", "info", "structured log level (debug|info|warn|error)")
 		logJSON    = flag.Bool("log-json", false, "emit structured logs as JSON instead of text")
 		version    = flag.Bool("version", false, "print build/version info and exit")
@@ -71,14 +73,45 @@ func main() {
 
 	// With -span-export a figure regeneration reports itself to a running
 	// aggregator as a single-span trace, so long batch runs are visible on
-	// the ops dashboard next to live traffic.
+	// the ops dashboard next to live traffic. With -debug-addr the run
+	// mounts the same debug surface as the serving cmds (pprof,
+	// /debug/traces, /debug/dashboard, /debug/flight, /debug/incident) —
+	// handy for profiling a long figure sweep in flight.
 	var tr *repro.ObsTrace
 	var exp *repro.TelemetryExporter
-	if *spanExport != "" {
-		col := repro.NewObsCollector(repro.ObsConfig{SampleEvery: 1})
-		exp = repro.NewTelemetryExporter(repro.TelemetryExporterConfig{Origin: "experiments", Target: *spanExport})
-		col.SetSink(exp.Enqueue)
+	var col *repro.ObsCollector
+	var flight *repro.FlightRecorder
+	if *spanExport != "" || *debugAddr != "" {
+		col = repro.NewObsCollector(repro.ObsConfig{SampleEvery: 1})
+		flight = repro.NewFlightRecorder(0)
+		if *spanExport != "" {
+			exp = repro.NewTelemetryExporter(repro.TelemetryExporterConfig{Origin: "experiments", Target: *spanExport})
+		}
+		col.SetSink(func(t repro.ObsTraceJSON) {
+			if exp != nil {
+				exp.Enqueue(t)
+			}
+			flight.Observe(t)
+		})
 		_, tr = col.StartTrace(context.Background())
+	}
+	if *debugAddr != "" {
+		dash := repro.TelemetryDashboardConfig{Sources: []repro.TelemetrySource{
+			{Name: "runtime", Fetch: func() any { return repro.ReadRuntimeVitals() }},
+			{Name: "flight", Fetch: func() any { return flight.StatsJSON() }},
+		}}
+		debugSrv := &http.Server{Addr: *debugAddr, Handler: repro.TelemetryDebugMux(repro.TelemetryDebugMuxConfig{
+			Collector: col,
+			Dashboard: &dash,
+			Flight:    flight,
+			Incident:  repro.IncidentHandler(repro.IncidentBundleConfig{Origin: "experiments", Flight: flight}),
+			Metrics:   repro.TelemetryMetricsHandler(repro.WriteRuntimePrometheus, flight.WritePrometheus),
+		})}
+		go func() {
+			if err := debugSrv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+				fmt.Fprintln(os.Stderr, "experiments: debug listener failed:", err)
+			}
+		}()
 	}
 	began := time.Now()
 
@@ -93,7 +126,9 @@ func main() {
 	if tr != nil {
 		tr.RecordDur(phase, began, time.Since(began), repro.ObsAttr{Detail: *fig})
 		tr.Finish()
-		exp.Close()
+		if exp != nil {
+			exp.Close()
+		}
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "experiments:", err)

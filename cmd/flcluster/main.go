@@ -36,7 +36,15 @@
 //	GET    /v1/version            build/version info (also: -version flag)
 //	GET    /v1/stats              aggregate + per-cell + stream + ctrl +
 //	                              health (JSON)
-//	GET    /metrics               Prometheus text exposition
+//	GET    /metrics               Prometheus text exposition (incl. the
+//	                              obs_runtime_* Go vitals)
+//	GET    /debug/flight          the flight recorder's wide-event window
+//	GET    /debug/incident        one-shot incident bundle (tar.gz)
+//
+// With -profile-dir DIR the process captures CPU/heap/goroutine/mutex
+// pprof profiles into DIR whenever an SLO rule leaves ok (rate-limited by
+// -profile-min-interval, bounded retention) and files the capture in the
+// alert ring; /debug/incident packs the latest captures into its bundle.
 //
 // A health evaluator always runs over the cluster, judging per-cell SLO
 // rules on rolling windows and advising on scale. With -autoscale the
@@ -99,7 +107,9 @@
 package main
 
 import (
+	"archive/tar"
 	"bytes"
+	"compress/gzip"
 	"context"
 	"encoding/json"
 	"flag"
@@ -110,7 +120,6 @@ import (
 	"math/rand"
 	"net/http"
 	"net/http/httptest"
-	"net/http/pprof"
 	"os"
 	"os/signal"
 	"path/filepath"
@@ -162,6 +171,10 @@ func main() {
 		churn    = flag.Int("churn", 0, "loadgen: add+drain this many cells mid-replay (per-request mode)")
 		wave     = flag.Bool("wave", false, "loadgen: autoscale traffic wave (hot phase, then idle until the cluster drains back)")
 		crash    = flag.Int("crash", 0, "loadgen: add+crash this many cells mid-replay WITHOUT draining, promoting replicas (per-request mode)")
+
+		profileDir = flag.String("profile-dir", "", "capture pprof profiles here on SLO breaches (empty disables the trigger)")
+		profileCPU = flag.Float64("profile-cpu-seconds", 1.0, "triggered CPU profile sampling window (seconds)")
+		profileMin = flag.Duration("profile-min-interval", 2*time.Minute, "minimum interval between triggered captures")
 
 		replicate    = flag.Bool("replicate", false, "ship each cell's warm state to its ring successor and promote it on crash removals")
 		snapshotDir  = flag.String("snapshot-dir", "", "persist periodic cluster snapshots in this directory and restore at boot (empty disables)")
@@ -218,11 +231,13 @@ func main() {
 	case *loadgen > 0 && *stream:
 		err = runStreamLoadgen(cfg, scfg, *loadgen, *devices, *n, *drift, *migrate, *conc, *seed, *deltadev)
 	case *loadgen > 0 && *wave:
-		err = runAutoscaleWave(cfg, hcfg, *autoscale, *loadgen, *devices, *n, *drift, *conc, *seed)
+		err = runAutoscaleWave(cfg, hcfg, *autoscale, *loadgen, *devices, *n, *drift, *conc, *seed,
+			forensicsOpts{Dir: *profileDir, CPUSeconds: *profileCPU, MinInterval: *profileMin})
 	case *loadgen > 0:
 		err = runLoadgen(cfg, *loadgen, *devices, *n, *drift, *repeat, *migrate, *conc, *seed, *batch, *churn, *crash)
 	default:
-		err = runServer(cfg, scfg, hcfg, *autoscale, *replicate, *addr, *debugAddr, *traceN, *traceSlow, *spanExport, *snapshotDir, *snapInterval)
+		err = runServer(cfg, scfg, hcfg, *autoscale, *replicate, *addr, *debugAddr, *traceN, *traceSlow, *spanExport, *snapshotDir, *snapInterval,
+			forensicsOpts{Dir: *profileDir, CPUSeconds: *profileCPU, MinInterval: *profileMin})
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "flcluster:", err)
@@ -230,10 +245,37 @@ func main() {
 	}
 }
 
+// forensicsOpts carries the -profile-* flags into runServer.
+type forensicsOpts struct {
+	Dir         string
+	CPUSeconds  float64
+	MinInterval time.Duration
+}
+
+// newProfileTrigger builds the SLO-triggered pprof capturer from the
+// -profile-* flags (nil when -profile-dir is unset — every ProfileTrigger
+// method is nil-safe, so wiring stays unconditional).
+func newProfileTrigger(opts forensicsOpts) *repro.ProfileTrigger {
+	if opts.Dir == "" {
+		return nil
+	}
+	trig, err := repro.NewProfileTrigger(repro.ProfileConfig{
+		Dir:         opts.Dir,
+		CPUSeconds:  opts.CPUSeconds,
+		MinInterval: opts.MinInterval,
+		Logger:      slog.Default(),
+	})
+	if err != nil {
+		slog.Warn("profile trigger disabled", "dir", opts.Dir, "err", err)
+		return nil
+	}
+	return trig
+}
+
 // runServer serves until SIGINT/SIGTERM: the listener stops accepting,
 // one final snapshot flushes (when -snapshot-dir is set), and the process
 // exits.
-func runServer(cfg repro.ClusterConfig, scfg repro.StreamConfig, hcfg repro.HealthConfig, autoscale, replicate bool, addr, debugAddr string, traceN int, traceSlow time.Duration, spanExport string, snapshotDir string, snapInterval time.Duration) error {
+func runServer(cfg repro.ClusterConfig, scfg repro.StreamConfig, hcfg repro.HealthConfig, autoscale, replicate bool, addr, debugAddr string, traceN int, traceSlow time.Duration, spanExport string, snapshotDir string, snapInterval time.Duration, fopts forensicsOpts) error {
 	var col *repro.ObsCollector
 	if traceN > 0 {
 		col = repro.NewObsCollector(repro.ObsConfig{SampleEvery: traceN, SlowThreshold: traceSlow})
@@ -244,8 +286,11 @@ func runServer(cfg repro.ClusterConfig, scfg repro.StreamConfig, hcfg repro.Heal
 	// sink is this process's own aggregator (so /debug/traces always shows
 	// assembled traces, including spans POSTed by remote cells); with
 	// -span-export the same batches also ship to an upstream aggregator.
+	// The flight recorder rides the same sink: every finished trace
+	// (sampled or not) derives one wide event.
 	var agg *repro.TelemetryAggregator
 	var exp *repro.TelemetryExporter
+	var flight *repro.FlightRecorder
 	if col != nil {
 		agg = repro.NewTelemetryAggregator(repro.TelemetryAggregatorConfig{SlowThreshold: traceSlow})
 		exp = repro.NewTelemetryExporter(repro.TelemetryExporterConfig{
@@ -254,9 +299,15 @@ func runServer(cfg repro.ClusterConfig, scfg repro.StreamConfig, hcfg repro.Heal
 			Local:  agg,
 			Logger: slog.Default(),
 		})
-		col.SetSink(exp.Enqueue)
+		flight = repro.NewFlightRecorder(0)
+		col.SetSink(func(t repro.ObsTraceJSON) {
+			exp.Enqueue(t)
+			flight.Observe(t)
+		})
 		defer exp.Close()
 	}
+	trig := newProfileTrigger(fopts)
+	defer trig.Close()
 
 	cl := repro.NewCluster(cfg)
 	defer cl.Close()
@@ -298,12 +349,57 @@ func runServer(cfg repro.ClusterConfig, scfg repro.StreamConfig, hcfg repro.Heal
 	if autoscale {
 		hcfg.Actuator = repro.NewCtrlActuator(plane)
 	}
-	ev := repro.NewHealthEvaluator(hcfg)
+	// Runtime vitals are sampled each tick and judged by the runtime
+	// rules; the transition hook fires the profile trigger the moment any
+	// rule (cell or process) leaves ok, filing the capture as an alert.
+	hcfg.Runtime = func() repro.HealthRuntimeSample {
+		v := repro.ReadRuntimeVitals()
+		return repro.HealthRuntimeSample{
+			Goroutines:             float64(v.Goroutines),
+			HeapBytes:              float64(v.HeapBytes),
+			GCPauseP99Seconds:      v.GCPauseP99Seconds,
+			SchedLatencyP99Seconds: v.SchedLatencyP99Seconds,
+		}
+	}
+	var ev *repro.HealthEvaluator
+	hcfg.OnTransition = func(t repro.HealthTransition) {
+		if t.To == repro.HealthStateOK {
+			return
+		}
+		if rec, ok := trig.Capture(t.Rule + "-" + string(t.To)); ok {
+			ev.RecordEvent("profile", t.Cell,
+				fmt.Sprintf("profiles captured in %s (rule %s %s→%s)", rec.Dir, t.Rule, t.From, t.To))
+		}
+	}
+	ev = repro.NewHealthEvaluator(hcfg)
 	ev.Start()
 	defer ev.Close()
 	plane.SetEvents(ev)
 
-	mc := repro.ObsMiddlewareConfig{}
+	sections := []repro.IncidentSection{
+		{Name: "alerts", Fetch: func() any { return ev.Alerts() }},
+		{Name: "health", Fetch: func() any { return ev.Health() }},
+		{Name: "autoscale_plan", Fetch: func() any { return ev.Plan() }},
+		{Name: "stats", Fetch: func() any { return cl.Stats() }},
+		{Name: "ctrl", Fetch: func() any { return plane.Stats() }},
+	}
+	if agg != nil {
+		sections = append(sections, repro.IncidentSection{Name: "traces", Fetch: func() any {
+			return agg.Assembled(repro.ObsTraceQuery{Limit: 32})
+		}})
+	}
+	incident := repro.IncidentHandler(repro.IncidentBundleConfig{
+		Origin:   "flcluster",
+		Flight:   flight,
+		Profiles: trig,
+		Sections: sections,
+	})
+
+	mc := repro.ObsMiddlewareConfig{
+		Flight:   flight.Handler(),
+		Incident: incident,
+		Metrics:  []func(io.Writer) error{repro.WriteRuntimePrometheus, flight.WritePrometheus, trig.WritePrometheus},
+	}
 	if agg != nil {
 		mc.Traces = repro.TelemetryTracesHandler(col, agg)
 		mc.Spans = agg.IngestHandler()
@@ -314,8 +410,14 @@ func runServer(cfg repro.ClusterConfig, scfg repro.StreamConfig, hcfg repro.Heal
 					"aggregator": agg.StatsJSON(),
 				}
 			},
+			"forensics": func() any {
+				return map[string]any{
+					"flight":   flight.StatsJSON(),
+					"profiles": trig.StatsJSON(),
+				}
+			},
 		}
-		mc.Metrics = []func(io.Writer) error{exp.WritePrometheus, agg.WritePrometheus}
+		mc.Metrics = append(mc.Metrics, exp.WritePrometheus, agg.WritePrometheus)
 	}
 	httpSrv := &http.Server{Addr: addr, Handler: repro.ObsMiddlewareWith(col, mc, ev.Handler(plane.Handler(repro.StreamHandler(mgr))))}
 	var debugSrv *http.Server
@@ -327,6 +429,8 @@ func runServer(cfg repro.ClusterConfig, scfg repro.StreamConfig, hcfg repro.Heal
 			{Name: "cluster", Fetch: func() any { return cl.Stats() }},
 			{Name: "stream", Fetch: func() any { return mgr.Stats() }},
 			{Name: "ctrl", Fetch: func() any { return plane.Stats() }},
+			{Name: "runtime", Fetch: func() any { return repro.ReadRuntimeVitals() }},
+			{Name: "flight", Fetch: func() any { return flight.StatsJSON() }},
 		}}
 		if agg != nil {
 			dash.Sources = append(dash.Sources,
@@ -340,7 +444,13 @@ func runServer(cfg repro.ClusterConfig, scfg repro.StreamConfig, hcfg repro.Heal
 					}
 				}})
 		}
-		debugSrv = &http.Server{Addr: debugAddr, Handler: debugMux(col, agg, dash)}
+		debugSrv = &http.Server{Addr: debugAddr, Handler: repro.TelemetryDebugMux(repro.TelemetryDebugMuxConfig{
+			Collector:  col,
+			Aggregator: agg,
+			Dashboard:  &dash,
+			Flight:     flight,
+			Incident:   incident,
+		})}
 		go func() {
 			if err := debugSrv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
 				slog.Warn("debug listener failed", "addr", debugAddr, "err", err)
@@ -370,27 +480,6 @@ func runServer(cfg repro.ClusterConfig, scfg repro.StreamConfig, hcfg repro.Heal
 		return err
 	}
 	return nil
-}
-
-// debugMux mounts net/http/pprof, the trace dump and the SSE ops dashboard
-// on a standalone mux so the profiling surface never rides the public
-// listener.
-func debugMux(col *repro.ObsCollector, agg *repro.TelemetryAggregator, dash repro.TelemetryDashboardConfig) http.Handler {
-	mux := http.NewServeMux()
-	mux.HandleFunc("/debug/pprof/", pprof.Index)
-	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
-	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
-	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
-	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
-	if col != nil {
-		if agg != nil {
-			mux.Handle(repro.ObsDebugPath, repro.TelemetryTracesHandler(col, agg))
-		} else {
-			mux.Handle(repro.ObsDebugPath, col.DebugHandler())
-		}
-	}
-	mux.Handle(repro.TelemetryDashboardPath, repro.TelemetryDashboardHandler(dash))
-	return mux
 }
 
 // device is one loadgen actor: a scenario owner that drifts, repeats and
@@ -664,11 +753,22 @@ func runLoadgen(cfg repro.ClusterConfig, total, devices, n int, drift, repeat, m
 // enactment — runs exactly as in server mode; the wave just supplies the
 // traffic shape. Without -autoscale the advisor only reports (and the run
 // skips the drain-back wait, since nothing will act).
-func runAutoscaleWave(cfg repro.ClusterConfig, hcfg repro.HealthConfig, autoscale bool, total, devices, n int, drift float64, conc int, seed int64) error {
+func runAutoscaleWave(cfg repro.ClusterConfig, hcfg repro.HealthConfig, autoscale bool, total, devices, n int, drift float64, conc int, seed int64, fopts forensicsOpts) error {
 	cl := repro.NewCluster(cfg)
 	defer cl.Close()
 	plane := repro.NewControlPlane(cl, nil)
 	plane.SetLogger(slog.Default())
+
+	// Forensics ride along even in the demo: every request feeds the
+	// flight recorder, breaches trip the profile trigger (with
+	// -profile-dir), and the wave closes by downloading its own
+	// /debug/incident bundle — the transcript in README's "Incident
+	// forensics" section is this output.
+	col := repro.NewObsCollector(repro.ObsConfig{SampleEvery: 1})
+	flight := repro.NewFlightRecorder(0)
+	col.SetSink(flight.Observe)
+	trig := newProfileTrigger(fopts)
+	defer trig.Close()
 
 	// Tighter-than-server hysteresis so the wave turns around in seconds
 	// on a fast -health-tick; bounds, tick and cooldown come from flags.
@@ -691,10 +791,45 @@ func runAutoscaleWave(cfg repro.ClusterConfig, hcfg repro.HealthConfig, autoscal
 			hcfg.Rules = append(hcfg.Rules, r)
 		}
 	}
-	ev := repro.NewHealthEvaluator(hcfg)
+	hcfg.Runtime = func() repro.HealthRuntimeSample {
+		v := repro.ReadRuntimeVitals()
+		return repro.HealthRuntimeSample{
+			Goroutines:             float64(v.Goroutines),
+			HeapBytes:              float64(v.HeapBytes),
+			GCPauseP99Seconds:      v.GCPauseP99Seconds,
+			SchedLatencyP99Seconds: v.SchedLatencyP99Seconds,
+		}
+	}
+	var ev *repro.HealthEvaluator
+	hcfg.OnTransition = func(t repro.HealthTransition) {
+		if t.To == repro.HealthStateOK {
+			return
+		}
+		if rec, ok := trig.Capture(t.Rule + "-" + string(t.To)); ok {
+			ev.RecordEvent("profile", t.Cell,
+				fmt.Sprintf("profiles captured in %s (rule %s %s→%s)", rec.Dir, t.Rule, t.From, t.To))
+		}
+	}
+	ev = repro.NewHealthEvaluator(hcfg)
 	ev.Start()
 	defer ev.Close()
-	ts := httptest.NewServer(ev.Handler(plane.Handler(cl.Handler())))
+	incident := repro.IncidentHandler(repro.IncidentBundleConfig{
+		Origin:   "flcluster-wave",
+		Flight:   flight,
+		Profiles: trig,
+		Sections: []repro.IncidentSection{
+			{Name: "alerts", Fetch: func() any { return ev.Alerts() }},
+			{Name: "health", Fetch: func() any { return ev.Health() }},
+			{Name: "autoscale_plan", Fetch: func() any { return ev.Plan() }},
+			{Name: "stats", Fetch: func() any { return cl.Stats() }},
+		},
+	})
+	mc := repro.ObsMiddlewareConfig{
+		Flight:   flight.Handler(),
+		Incident: incident,
+		Metrics:  []func(io.Writer) error{repro.WriteRuntimePrometheus, flight.WritePrometheus, trig.WritePrometheus},
+	}
+	ts := httptest.NewServer(repro.ObsMiddlewareWith(col, mc, ev.Handler(plane.Handler(cl.Handler()))))
 	defer ts.Close()
 
 	if devices < 1 {
@@ -848,10 +983,60 @@ func runAutoscaleWave(cfg repro.ClusterConfig, hcfg repro.HealthConfig, autoscal
 	for i := len(alerts) - 1; i >= 0; i-- {
 		fmt.Printf("  [%s] %s\n", alerts[i].Kind, alerts[i].Message)
 	}
+
+	// One-shot forensics: download the incident bundle this wave produced
+	// and list its table of contents, exactly as an operator would.
+	fs := flight.StatsJSON()
+	ps2 := trig.StatsJSON()
+	fmt.Printf("forensics: flight observed %d events (%d retained, %d dropped); profiles captured %d, suppressed %d\n",
+		fs.Observed, fs.Retained, fs.Dropped, ps2.Captures, ps2.Suppressed)
+	size, names, err := fetchIncident(ts.URL)
+	if err != nil {
+		return fmt.Errorf("wave: incident bundle: %w", err)
+	}
+	fmt.Printf("incident: GET /debug/incident -> %d bytes (tar.gz, %d entries):\n", size, len(names))
+	for _, name := range names {
+		fmt.Printf("  %s\n", name)
+	}
 	if !drained {
 		return fmt.Errorf("wave: cluster did not drain back to %d cells before deadline (now %d)", minCells, cl.Cells())
 	}
 	return nil
+}
+
+// fetchIncident downloads GET /debug/incident and returns the compressed
+// size plus the bundle's table of contents in archive order.
+func fetchIncident(baseURL string) (int, []string, error) {
+	resp, err := http.Get(baseURL + "/debug/incident")
+	if err != nil {
+		return 0, nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return 0, nil, fmt.Errorf("status %d", resp.StatusCode)
+	}
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return 0, nil, err
+	}
+	gz, err := gzip.NewReader(bytes.NewReader(raw))
+	if err != nil {
+		return 0, nil, err
+	}
+	defer gz.Close()
+	tr := tar.NewReader(gz)
+	var names []string
+	for {
+		hdr, err := tr.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return 0, nil, err
+		}
+		names = append(names, hdr.Name)
+	}
+	return len(raw), names, nil
 }
 
 // fetchHealth decodes GET /v1/health (any status — breached answers 503).

@@ -18,6 +18,7 @@ import (
 	"flag"
 	"fmt"
 	"math/rand"
+	"net/http"
 	"os"
 	"os/signal"
 	"syscall"
@@ -38,6 +39,7 @@ func main() {
 		deadline   = flag.Float64("deadline", 0, "fixed total completion time in seconds (0 = weighted mode)")
 		verbose    = flag.Bool("verbose", false, "print the per-device allocation table and solver trace")
 		spanExport = flag.String("span-export", "", "POST the run's solve span to this aggregator URL (a running service's /debug/spans)")
+		debugAddr  = flag.String("debug-addr", "", "optional debug listen address (net/http/pprof + /debug/traces + /debug/dashboard + /debug/flight + /debug/incident + /metrics)")
 		logLevel   = flag.String("log-level", "info", "structured log level (debug|info|warn|error)")
 		logJSON    = flag.Bool("log-json", false, "emit structured logs as JSON instead of text")
 		version    = flag.Bool("version", false, "print build/version info and exit")
@@ -65,13 +67,45 @@ func main() {
 	// With -span-export the one-shot solve still participates in the
 	// telemetry plane: its solve span ships to a running aggregator, where
 	// batch runs show up next to the serving traffic they compete with.
+	// With -debug-addr the run also mounts the same debug surface as the
+	// serving cmds (pprof, /debug/traces, /debug/dashboard, /debug/flight,
+	// /debug/incident) — no more 404s on the endpoints operators expect.
 	var tr *repro.ObsTrace
-	if *spanExport != "" {
-		col := repro.NewObsCollector(repro.ObsConfig{SampleEvery: 1})
-		exp := repro.NewTelemetryExporter(repro.TelemetryExporterConfig{Origin: "flopt", Target: *spanExport})
-		col.SetSink(exp.Enqueue)
-		defer exp.Close()
+	var col *repro.ObsCollector
+	var flight *repro.FlightRecorder
+	if *spanExport != "" || *debugAddr != "" {
+		col = repro.NewObsCollector(repro.ObsConfig{SampleEvery: 1})
+		flight = repro.NewFlightRecorder(0)
+		var exp *repro.TelemetryExporter
+		if *spanExport != "" {
+			exp = repro.NewTelemetryExporter(repro.TelemetryExporterConfig{Origin: "flopt", Target: *spanExport})
+			defer exp.Close()
+		}
+		col.SetSink(func(t repro.ObsTraceJSON) {
+			if exp != nil {
+				exp.Enqueue(t)
+			}
+			flight.Observe(t)
+		})
 		_, tr = col.StartTrace(context.Background())
+	}
+	if *debugAddr != "" {
+		dash := repro.TelemetryDashboardConfig{Sources: []repro.TelemetrySource{
+			{Name: "runtime", Fetch: func() any { return repro.ReadRuntimeVitals() }},
+			{Name: "flight", Fetch: func() any { return flight.StatsJSON() }},
+		}}
+		debugSrv := &http.Server{Addr: *debugAddr, Handler: repro.TelemetryDebugMux(repro.TelemetryDebugMuxConfig{
+			Collector: col,
+			Dashboard: &dash,
+			Flight:    flight,
+			Incident:  repro.IncidentHandler(repro.IncidentBundleConfig{Origin: "flopt", Flight: flight}),
+			Metrics:   repro.TelemetryMetricsHandler(repro.WriteRuntimePrometheus, flight.WritePrometheus),
+		})}
+		go func() {
+			if err := debugSrv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+				fmt.Fprintln(os.Stderr, "flopt: debug listener failed:", err)
+			}
+		}()
 	}
 
 	if err := run(*n, *radius, *seed, *w1, *pmaxDBm, *fmaxHz, *deadline, *verbose, tr); err != nil {

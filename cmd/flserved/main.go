@@ -27,7 +27,15 @@
 //	GET    /debug/alerts          the alert-event ring
 //	GET    /v1/version            build/version info (also: -version flag)
 //	GET    /v1/stats              counters (server + "stream" + "health")
-//	GET    /metrics               Prometheus text exposition
+//	GET    /metrics               Prometheus text exposition (incl. the
+//	                              obs_runtime_* Go vitals)
+//	GET    /debug/flight          the flight recorder's wide-event window
+//	GET    /debug/incident        one-shot incident bundle (tar.gz)
+//
+// With -profile-dir DIR the process captures CPU/heap/goroutine/mutex
+// pprof profiles into DIR whenever an SLO rule leaves ok (rate-limited by
+// -profile-min-interval, bounded retention) and files the capture in the
+// alert ring; /debug/incident packs the latest captures into its bundle.
 //
 // A health evaluator runs over the server (the single-cell analogue of
 // flcluster's: the one serve pool is observed as cell 0) — advise-only,
@@ -63,7 +71,6 @@ import (
 	"math/rand"
 	"net/http"
 	"net/http/httptest"
-	"net/http/pprof"
 	"os"
 	"os/signal"
 	"path/filepath"
@@ -108,7 +115,12 @@ func main() {
 		healthTick   = flag.Duration("health-tick", 2*time.Second, "health evaluator polling interval")
 		snapshotDir  = flag.String("snapshot-dir", "", "persist periodic state snapshots in this directory and restore at boot (empty disables)")
 		snapInterval = flag.Duration("snapshot-interval", 30*time.Second, "periodic snapshot cadence (<0 saves only on shutdown)")
-		version      = flag.Bool("version", false, "print build/version info and exit")
+
+		profileDir = flag.String("profile-dir", "", "capture pprof profiles here on SLO breaches (empty disables the trigger)")
+		profileCPU = flag.Float64("profile-cpu-seconds", 1.0, "triggered CPU profile sampling window (seconds)")
+		profileMin = flag.Duration("profile-min-interval", 2*time.Minute, "minimum interval between triggered captures")
+
+		version = flag.Bool("version", false, "print build/version info and exit")
 	)
 	flag.Parse()
 	if *version {
@@ -138,7 +150,8 @@ func main() {
 	case *loadgen > 0:
 		err = runLoadgen(cfg, *loadgen, *n, *drift, *repeat, *conc, *seed, *batch)
 	default:
-		err = runServer(cfg, scfg, *healthTick, *addr, *debugAddr, *traceN, *traceSlow, *spanExport, *snapshotDir, *snapInterval)
+		err = runServer(cfg, scfg, *healthTick, *addr, *debugAddr, *traceN, *traceSlow, *spanExport, *snapshotDir, *snapInterval,
+			forensicsOpts{Dir: *profileDir, CPUSeconds: *profileCPU, MinInterval: *profileMin})
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "flserved:", err)
@@ -146,10 +159,37 @@ func main() {
 	}
 }
 
+// forensicsOpts carries the -profile-* flags into runServer.
+type forensicsOpts struct {
+	Dir         string
+	CPUSeconds  float64
+	MinInterval time.Duration
+}
+
+// newProfileTrigger builds the SLO-triggered pprof capturer from the
+// -profile-* flags (nil when -profile-dir is unset — every ProfileTrigger
+// method is nil-safe, so wiring stays unconditional).
+func newProfileTrigger(opts forensicsOpts) *repro.ProfileTrigger {
+	if opts.Dir == "" {
+		return nil
+	}
+	trig, err := repro.NewProfileTrigger(repro.ProfileConfig{
+		Dir:         opts.Dir,
+		CPUSeconds:  opts.CPUSeconds,
+		MinInterval: opts.MinInterval,
+		Logger:      slog.Default(),
+	})
+	if err != nil {
+		slog.Warn("profile trigger disabled", "dir", opts.Dir, "err", err)
+		return nil
+	}
+	return trig
+}
+
 // runServer serves until SIGINT/SIGTERM: the listener stops accepting,
 // one final snapshot flushes (when -snapshot-dir is set), and the process
 // exits.
-func runServer(cfg repro.ServeConfig, scfg repro.StreamConfig, healthTick time.Duration, addr, debugAddr string, traceN int, traceSlow time.Duration, spanExport string, snapshotDir string, snapInterval time.Duration) error {
+func runServer(cfg repro.ServeConfig, scfg repro.StreamConfig, healthTick time.Duration, addr, debugAddr string, traceN int, traceSlow time.Duration, spanExport string, snapshotDir string, snapInterval time.Duration, fopts forensicsOpts) error {
 	var col *repro.ObsCollector
 	if traceN > 0 {
 		col = repro.NewObsCollector(repro.ObsConfig{SampleEvery: traceN, SlowThreshold: traceSlow})
@@ -159,9 +199,12 @@ func runServer(cfg repro.ServeConfig, scfg repro.StreamConfig, healthTick time.D
 	// Telemetry plane: finished traces buffer in an exporter that always
 	// feeds the local aggregator (own assembled view) and, with -span-export,
 	// ships the same batches to a front router's aggregator so this cell's
-	// spans land in the router's cross-process traces.
+	// spans land in the router's cross-process traces. The flight recorder
+	// rides the same sink: every finished trace (sampled or not) derives
+	// one wide event.
 	var agg *repro.TelemetryAggregator
 	var exp *repro.TelemetryExporter
+	var flight *repro.FlightRecorder
 	if col != nil {
 		agg = repro.NewTelemetryAggregator(repro.TelemetryAggregatorConfig{SlowThreshold: traceSlow})
 		exp = repro.NewTelemetryExporter(repro.TelemetryExporterConfig{
@@ -170,9 +213,15 @@ func runServer(cfg repro.ServeConfig, scfg repro.StreamConfig, healthTick time.D
 			Local:  agg,
 			Logger: slog.Default(),
 		})
-		col.SetSink(exp.Enqueue)
+		flight = repro.NewFlightRecorder(0)
+		col.SetSink(func(t repro.ObsTraceJSON) {
+			exp.Enqueue(t)
+			flight.Observe(t)
+		})
 		defer exp.Close()
 	}
+	trig := newProfileTrigger(fopts)
+	defer trig.Close()
 
 	srv := repro.NewServer(cfg)
 	defer srv.Close()
@@ -197,15 +246,64 @@ func runServer(cfg repro.ServeConfig, scfg repro.StreamConfig, healthTick time.D
 			}
 		}()
 	}
-	ev := repro.NewHealthEvaluator(repro.HealthConfig{
+	// The evaluator samples Go runtime vitals each tick (judged by the
+	// runtime rules against the whole process), and its transition hook
+	// fires the profile trigger: the first moment a rule leaves ok, the
+	// evidence (CPU/heap/goroutine/mutex profiles) is captured and the
+	// capture is filed in the alert ring next to the breach itself.
+	var ev *repro.HealthEvaluator
+	ev = repro.NewHealthEvaluator(repro.HealthConfig{
 		Source: repro.HealthServerSource(srv),
 		Tick:   healthTick,
 		Logger: slog.Default(),
+		Runtime: func() repro.HealthRuntimeSample {
+			v := repro.ReadRuntimeVitals()
+			return repro.HealthRuntimeSample{
+				Goroutines:             float64(v.Goroutines),
+				HeapBytes:              float64(v.HeapBytes),
+				GCPauseP99Seconds:      v.GCPauseP99Seconds,
+				SchedLatencyP99Seconds: v.SchedLatencyP99Seconds,
+			}
+		},
+		OnTransition: func(t repro.HealthTransition) {
+			if t.To == repro.HealthStateOK {
+				return
+			}
+			if rec, ok := trig.Capture(t.Rule + "-" + string(t.To)); ok {
+				ev.RecordEvent("profile", t.Cell,
+					fmt.Sprintf("profiles captured in %s (rule %s %s→%s)", rec.Dir, t.Rule, t.From, t.To))
+			}
+		},
 	})
 	ev.Start()
 	defer ev.Close()
 
-	mc := repro.ObsMiddlewareConfig{}
+	// The incident bundle assembles everything an investigation starts
+	// from: the flight window, alert ring, health windows (incl. the
+	// convergence observatory inside /v1/stats), assembled slow traces,
+	// and the retained profile captures — one GET, one tar.gz.
+	sections := []repro.IncidentSection{
+		{Name: "alerts", Fetch: func() any { return ev.Alerts() }},
+		{Name: "health", Fetch: func() any { return ev.Health() }},
+		{Name: "stats", Fetch: func() any { return srv.Stats() }},
+	}
+	if agg != nil {
+		sections = append(sections, repro.IncidentSection{Name: "traces", Fetch: func() any {
+			return agg.Assembled(repro.ObsTraceQuery{Limit: 32})
+		}})
+	}
+	incident := repro.IncidentHandler(repro.IncidentBundleConfig{
+		Origin:   "flserved",
+		Flight:   flight,
+		Profiles: trig,
+		Sections: sections,
+	})
+
+	mc := repro.ObsMiddlewareConfig{
+		Flight:   flight.Handler(),
+		Incident: incident,
+		Metrics:  []func(io.Writer) error{repro.WriteRuntimePrometheus, flight.WritePrometheus, trig.WritePrometheus},
+	}
 	if agg != nil {
 		mc.Traces = repro.TelemetryTracesHandler(col, agg)
 		mc.Spans = agg.IngestHandler()
@@ -216,8 +314,14 @@ func runServer(cfg repro.ServeConfig, scfg repro.StreamConfig, healthTick time.D
 					"aggregator": agg.StatsJSON(),
 				}
 			},
+			"forensics": func() any {
+				return map[string]any{
+					"flight":   flight.StatsJSON(),
+					"profiles": trig.StatsJSON(),
+				}
+			},
 		}
-		mc.Metrics = []func(io.Writer) error{exp.WritePrometheus, agg.WritePrometheus}
+		mc.Metrics = append(mc.Metrics, exp.WritePrometheus, agg.WritePrometheus)
 	}
 	httpSrv := &http.Server{Addr: addr, Handler: repro.ObsMiddlewareWith(col, mc, ev.Handler(repro.StreamHandler(mgr)))}
 	var debugSrv *http.Server
@@ -227,6 +331,8 @@ func runServer(cfg repro.ServeConfig, scfg repro.StreamConfig, healthTick time.D
 			{Name: "alerts", Fetch: func() any { return ev.Alerts() }},
 			{Name: "server", Fetch: func() any { return srv.Stats() }},
 			{Name: "stream", Fetch: func() any { return mgr.Stats() }},
+			{Name: "runtime", Fetch: func() any { return repro.ReadRuntimeVitals() }},
+			{Name: "flight", Fetch: func() any { return flight.StatsJSON() }},
 		}}
 		if agg != nil {
 			dash.Sources = append(dash.Sources,
@@ -234,7 +340,13 @@ func runServer(cfg repro.ServeConfig, scfg repro.StreamConfig, healthTick time.D
 					return agg.Assembled(repro.ObsTraceQuery{Limit: 8})
 				}})
 		}
-		debugSrv = &http.Server{Addr: debugAddr, Handler: debugMux(col, agg, dash)}
+		debugSrv = &http.Server{Addr: debugAddr, Handler: repro.TelemetryDebugMux(repro.TelemetryDebugMuxConfig{
+			Collector:  col,
+			Aggregator: agg,
+			Dashboard:  &dash,
+			Flight:     flight,
+			Incident:   incident,
+		})}
 		go func() {
 			if err := debugSrv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
 				slog.Warn("debug listener failed", "addr", debugAddr, "err", err)
@@ -259,27 +371,6 @@ func runServer(cfg repro.ServeConfig, scfg repro.StreamConfig, healthTick time.D
 		return err
 	}
 	return nil
-}
-
-// debugMux mounts net/http/pprof, the trace dump and the SSE ops dashboard
-// on a standalone mux so the profiling surface never rides the public
-// listener.
-func debugMux(col *repro.ObsCollector, agg *repro.TelemetryAggregator, dash repro.TelemetryDashboardConfig) http.Handler {
-	mux := http.NewServeMux()
-	mux.HandleFunc("/debug/pprof/", pprof.Index)
-	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
-	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
-	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
-	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
-	if col != nil {
-		if agg != nil {
-			mux.Handle(repro.ObsDebugPath, repro.TelemetryTracesHandler(col, agg))
-		} else {
-			mux.Handle(repro.ObsDebugPath, col.DebugHandler())
-		}
-	}
-	mux.Handle(repro.TelemetryDashboardPath, repro.TelemetryDashboardHandler(dash))
-	return mux
 }
 
 // runLoadgen replays total drifted instances against an in-process server

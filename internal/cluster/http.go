@@ -6,7 +6,9 @@ import (
 	"fmt"
 	"net/http"
 	"strconv"
+	"time"
 
+	"repro/internal/obs"
 	"repro/internal/serve"
 )
 
@@ -53,7 +55,7 @@ func (r *Router) Handler() http.Handler {
 	mux.HandleFunc("POST /v1/cells/{id}/solve", func(w http.ResponseWriter, req *http.Request) {
 		id, err := strconv.Atoi(req.PathValue("id"))
 		if err != nil {
-			httpError(w, http.StatusBadRequest, fmt.Errorf("malformed cell id %q", req.PathValue("id")))
+			httpError(w, req, http.StatusBadRequest, fmt.Errorf("malformed cell id %q", req.PathValue("id")))
 			return
 		}
 		if id < 0 {
@@ -80,20 +82,20 @@ func (r *Router) handleSolve(w http.ResponseWriter, req *http.Request, cell int)
 	if err := json.NewDecoder(req.Body).Decode(&in); err != nil {
 		var tooBig *http.MaxBytesError
 		if errors.As(err, &tooBig) {
-			httpError(w, http.StatusRequestEntityTooLarge, err)
+			httpError(w, req, http.StatusRequestEntityTooLarge, err)
 			return
 		}
-		httpError(w, http.StatusBadRequest, fmt.Errorf("decoding body: %w", err))
+		httpError(w, req, http.StatusBadRequest, fmt.Errorf("decoding body: %w", err))
 		return
 	}
 	sreq, err := serve.RequestFromJSON(in)
 	if err != nil {
-		httpError(w, http.StatusBadRequest, err)
+		httpError(w, req, http.StatusBadRequest, err)
 		return
 	}
 	resp, servedBy, err := r.Solve(req.Context(), cell, in.DeviceID, sreq)
 	if err != nil {
-		httpError(w, statusFor(err), err)
+		httpError(w, req, statusFor(err), err)
 		return
 	}
 	writeJSON(w, http.StatusOK, SolveResponseJSON{
@@ -131,12 +133,12 @@ func (r *Router) handleHandoff(w http.ResponseWriter, req *http.Request) {
 	var in HandoffRequestJSON
 	req.Body = http.MaxBytesReader(w, req.Body, maxBody)
 	if err := json.NewDecoder(req.Body).Decode(&in); err != nil {
-		httpError(w, http.StatusBadRequest, fmt.Errorf("decoding body: %w", err))
+		httpError(w, req, http.StatusBadRequest, fmt.Errorf("decoding body: %w", err))
 		return
 	}
 	rep, err := r.Handoff(req.Context(), in.DeviceID, in.FromCell, in.ToCell)
 	if err != nil {
-		httpError(w, statusFor(err), err)
+		httpError(w, req, statusFor(err), err)
 		return
 	}
 	writeJSON(w, http.StatusOK, rep)
@@ -194,7 +196,12 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 	_ = json.NewEncoder(w).Encode(v)
 }
 
-func httpError(w http.ResponseWriter, status int, err error) {
+// httpError writes the error body and stamps a zero-duration PhaseError
+// mark on the request's trace, so errored requests surface in the flight
+// recorder with their error string attached.
+func httpError(w http.ResponseWriter, r *http.Request, status int, err error) {
+	obs.FromContext(r.Context()).RecordAttr(obs.PhaseError, time.Now(),
+		obs.Attr{Cell: obs.CellNone, Detail: err.Error(), Value: int64(status)})
 	var uc UnknownCellError
 	if errors.As(err, &uc) {
 		WriteError(w, err)

@@ -42,7 +42,27 @@ const (
 	// KindRecovery marks a replica promotion: a crashed cell's replicated
 	// warm state landing on its successors.
 	KindRecovery AlertKind = "recovery"
+	// KindProfile marks an SLO-triggered pprof capture (the forensics
+	// profile trigger reporting where the evidence landed).
+	KindProfile AlertKind = "profile"
 )
+
+// ProcessCell is the pseudo-cell of process-level events and runtime-rule
+// transitions (alerts already use -1 for cluster-level events; runtime
+// vitals are judged per process, not per cell).
+const ProcessCell = -1
+
+// Transition describes one SLO state change, delivered to the
+// Config.OnTransition hook. Cell is ProcessCell for runtime rules.
+type Transition struct {
+	Time      time.Time
+	Cell      int
+	Rule      string
+	Metric    Metric
+	From, To  State
+	Value     float64
+	Threshold float64
+}
 
 // Alert is one event in the ring behind GET /debug/alerts.
 type Alert struct {
@@ -96,6 +116,17 @@ type Config struct {
 	// drain through the control plane). Nil means advise-only: the plan is
 	// still served at /v1/autoscale/plan but nothing acts on it.
 	Actuator Actuator
+	// Runtime, when set, samples process-level Go runtime vitals each
+	// tick; RuntimeRules judges them (nil means DefaultRuntimeRules(); an
+	// explicit empty slice samples without judging).
+	Runtime      func() RuntimeSample
+	RuntimeRules []Rule
+	// OnTransition, when set, receives every SLO state change — cell and
+	// runtime rules alike — after the evaluator's lock is released, so
+	// the hook may call back into the evaluator (RecordEvent from a
+	// profile trigger is the intended consumer). It runs on the
+	// evaluator's tick goroutine and should not block.
+	OnTransition func(Transition)
 }
 
 func (c Config) withDefaults() Config {
@@ -117,6 +148,9 @@ func (c Config) withDefaults() Config {
 	if c.AlertRing <= 0 {
 		c.AlertRing = DefaultAlertRing
 	}
+	if c.Runtime != nil && c.RuntimeRules == nil {
+		c.RuntimeRules = DefaultRuntimeRules()
+	}
 	c.Advisor = c.Advisor.withDefaults()
 	return c
 }
@@ -132,19 +166,22 @@ type Evaluator struct {
 	alerts   *obs.Ring[Alert]
 	alertSeq atomic.Int64
 
-	ticks       atomic.Int64
-	transitions atomic.Int64
-	scaleUps    atomic.Int64
-	scaleDowns  atomic.Int64
-	crashEvents atomic.Int64
-	recoveries  atomic.Int64
+	ticks         atomic.Int64
+	transitions   atomic.Int64
+	scaleUps      atomic.Int64
+	scaleDowns    atomic.Int64
+	crashEvents   atomic.Int64
+	recoveries    atomic.Int64
+	profileEvents atomic.Int64
 
-	mu      sync.Mutex
-	windows map[int]*cellWindow
-	rules   map[int][]ruleState // per cell, parallel to cfg.Rules
-	lastObs time.Time
-	adv     advisorState
-	plan    Plan
+	mu       sync.Mutex
+	windows  map[int]*cellWindow
+	rules    map[int][]ruleState // per cell, parallel to cfg.Rules
+	rtStates []ruleState         // parallel to cfg.RuntimeRules
+	rtSample RuntimeSample       // latest vitals reading
+	lastObs  time.Time
+	adv      advisorState
+	plan     Plan
 
 	started atomic.Bool
 	stop    chan struct{}
@@ -215,11 +252,24 @@ func (e *Evaluator) Tick(ctx context.Context) Plan {
 }
 
 // Observe folds one round of samples into the windows, steps every SLO
-// state machine, refreshes membership, and recomputes the advisor plan.
-// Exported so tests (and alternative drivers) can feed synthetic samples
-// with explicit timestamps. Safe for concurrent use with the read paths.
+// state machine (cell and runtime rules), refreshes membership, and
+// recomputes the advisor plan. Exported so tests (and alternative
+// drivers) can feed synthetic samples with explicit timestamps. Safe for
+// concurrent use with the read paths. The OnTransition hook fires after
+// the evaluator's lock is released, so hooks may call back in.
 func (e *Evaluator) Observe(now time.Time, samples []CellSample) Plan {
+	plan, trans := e.observeLocked(now, samples)
+	if e.cfg.OnTransition != nil {
+		for _, t := range trans {
+			e.cfg.OnTransition(t)
+		}
+	}
+	return plan
+}
+
+func (e *Evaluator) observeLocked(now time.Time, samples []CellSample) (Plan, []Transition) {
 	e.ticks.Add(1)
+	var trans []Transition
 	e.mu.Lock()
 	defer e.mu.Unlock()
 
@@ -265,36 +315,66 @@ func (e *Evaluator) Observe(now time.Time, samples []CellSample) Plan {
 		ws := cw.stats()
 		states := e.rules[s.Cell]
 		for i, r := range e.cfg.Rules {
-			from, changed := states[i].step(r, ws, e.cfg.BreachAfter, e.cfg.ClearAfter, now)
+			from, changed := states[i].step(r, ws.Value(r.Metric), ws.Requests, e.cfg.BreachAfter, e.cfg.ClearAfter, now)
 			if states[i].state == StateBreached {
 				anyBreached = true
 			}
 			if !changed {
 				continue
 			}
-			e.transitions.Add(1)
-			to := states[i].state
-			a := Alert{
-				Time: now, Kind: KindSLO, Cell: s.Cell,
-				Rule: r.Name, Metric: r.Metric, From: from, To: to,
-				Value: states[i].lastValue, Threshold: r.Threshold,
-				Message: fmt.Sprintf("cell %d %s: %s %s→%s (value %.4g, threshold %.4g)",
-					s.Cell, r.Name, r.Metric, from, to, states[i].lastValue, r.Threshold),
+			trans = append(trans, e.recordTransition(now, s.Cell, r, from, &states[i]))
+		}
+	}
+
+	// Runtime vitals: one process-level reading, judged by the runtime
+	// rules against pseudo-cell ProcessCell.
+	if e.cfg.Runtime != nil {
+		e.rtSample = e.cfg.Runtime()
+		if len(e.rtStates) != len(e.cfg.RuntimeRules) {
+			e.rtStates = make([]ruleState, len(e.cfg.RuntimeRules))
+		}
+		for i, r := range e.cfg.RuntimeRules {
+			from, changed := e.rtStates[i].step(r, e.rtSample.Value(r.Metric), 0, e.cfg.BreachAfter, e.cfg.ClearAfter, now)
+			if !changed {
+				continue
 			}
-			e.emit(a)
-			lvl := slog.LevelInfo
-			if to == StateBreached {
-				lvl = slog.LevelWarn
-			}
-			e.log.Log(context.Background(), lvl, "slo transition",
-				"cell", s.Cell, "rule", r.Name, "metric", string(r.Metric),
-				"from", string(from), "to", string(to),
-				"value", states[i].lastValue, "threshold", r.Threshold)
+			trans = append(trans, e.recordTransition(now, ProcessCell, r, from, &e.rtStates[i]))
 		}
 	}
 
 	e.plan = e.advise(now, samples, anyBreached)
-	return e.plan
+	return e.plan, trans
+}
+
+// recordTransition files one SLO state change: transition counter, alert
+// ring, log line. Callers hold e.mu; the returned Transition is handed to
+// the OnTransition hook after the lock is released.
+func (e *Evaluator) recordTransition(now time.Time, cell int, r Rule, from State, rs *ruleState) Transition {
+	e.transitions.Add(1)
+	to := rs.state
+	subject := fmt.Sprintf("cell %d", cell)
+	if cell == ProcessCell {
+		subject = "process"
+	}
+	e.emit(Alert{
+		Time: now, Kind: KindSLO, Cell: cell,
+		Rule: r.Name, Metric: r.Metric, From: from, To: to,
+		Value: rs.lastValue, Threshold: r.Threshold,
+		Message: fmt.Sprintf("%s %s: %s %s→%s (value %.4g, threshold %.4g)",
+			subject, r.Name, r.Metric, from, to, rs.lastValue, r.Threshold),
+	})
+	lvl := slog.LevelInfo
+	if to == StateBreached {
+		lvl = slog.LevelWarn
+	}
+	e.log.Log(context.Background(), lvl, "slo transition",
+		"cell", cell, "rule", r.Name, "metric", string(r.Metric),
+		"from", string(from), "to", string(to),
+		"value", rs.lastValue, "threshold", r.Threshold)
+	return Transition{
+		Time: now, Cell: cell, Rule: r.Name, Metric: r.Metric,
+		From: from, To: to, Value: rs.lastValue, Threshold: r.Threshold,
+	}
 }
 
 // emit appends to the alert ring; callers hold e.mu (the ring is itself
@@ -307,8 +387,9 @@ func (e *Evaluator) emit(a Alert) {
 // RecordEvent files a control-plane lifecycle event into the alert ring.
 // It satisfies the control plane's EventRecorder structurally: kind
 // "crash" becomes a KindCrash alert (warn-logged — a cell just died with
-// its state), "promotion" a KindRecovery alert; anything else lands as
-// KindMembership so no event is ever dropped on the floor.
+// its state), "promotion" a KindRecovery alert, "profile" a KindProfile
+// alert (the forensics trigger reporting a capture); anything else lands
+// as KindMembership so no event is ever dropped on the floor.
 func (e *Evaluator) RecordEvent(kind string, cell int, message string) {
 	var k AlertKind
 	switch kind {
@@ -318,6 +399,9 @@ func (e *Evaluator) RecordEvent(kind string, cell int, message string) {
 	case "promotion":
 		k = KindRecovery
 		e.recoveries.Add(1)
+	case "profile":
+		k = KindProfile
+		e.profileEvents.Add(1)
 	default:
 		k = KindMembership
 	}
@@ -347,16 +431,24 @@ type CellHealth struct {
 	Rules  []RuleStatus `json:"rules,omitempty"`
 }
 
-// HealthJSON is the GET /v1/health body. Status is the worst cell state;
-// the endpoint answers 503 when Status is breached, so it doubles as a
-// readiness probe.
+// RuntimeHealth is the process-level section of the /v1/health body: the
+// latest vitals sample and the runtime rules' standing.
+type RuntimeHealth struct {
+	Sample RuntimeSample `json:"sample"`
+	Rules  []RuleStatus  `json:"rules,omitempty"`
+}
+
+// HealthJSON is the GET /v1/health body. Status is the worst state across
+// cells and runtime rules; the endpoint answers 503 when Status is
+// breached, so it doubles as a readiness probe.
 type HealthJSON struct {
-	Status        State        `json:"status"`
-	Ticks         int64        `json:"ticks"`
-	Cells         []CellHealth `json:"cells"`
-	AlertsTotal   int64        `json:"alerts_total"`
-	Transitions   int64        `json:"transitions_total"`
-	UptimeSeconds float64      `json:"uptime_seconds"`
+	Status        State          `json:"status"`
+	Ticks         int64          `json:"ticks"`
+	Cells         []CellHealth   `json:"cells"`
+	Runtime       *RuntimeHealth `json:"runtime,omitempty"`
+	AlertsTotal   int64          `json:"alerts_total"`
+	Transitions   int64          `json:"transitions_total"`
+	UptimeSeconds float64        `json:"uptime_seconds"`
 }
 
 // Health snapshots every cell's window and rule standing.
@@ -397,6 +489,28 @@ func (e *Evaluator) Health() HealthJSON {
 			out.Status = ch.State
 		}
 		out.Cells = append(out.Cells, ch)
+	}
+	if e.cfg.Runtime != nil {
+		rt := &RuntimeHealth{Sample: e.rtSample}
+		for i, r := range e.cfg.RuntimeRules {
+			if i >= len(e.rtStates) {
+				break
+			}
+			rs := &e.rtStates[i]
+			st := rs.state
+			if st == "" {
+				st = StateOK
+			}
+			if st.severity() > out.Status.severity() {
+				out.Status = st
+			}
+			rt.Rules = append(rt.Rules, RuleStatus{
+				Rule: r.Name, Metric: r.Metric, State: st,
+				Value: rs.lastValue, Threshold: r.Threshold, Under: r.Under,
+				BreachStreak: rs.breachStreak, ClearStreak: rs.clearStreak,
+			})
+		}
+		out.Runtime = rt
 	}
 	return out
 }

@@ -37,6 +37,7 @@ func (e *Evaluator) WritePrometheus(pw *serve.PromWriter) {
 	pw.Counter("health_autoscale_actions_total", "Autoscale actions enacted.", `action="scale_down"`, float64(e.scaleDowns.Load()))
 	pw.Counter("health_events_total", "Control-plane lifecycle events recorded.", `kind="crash"`, float64(e.crashEvents.Load()))
 	pw.Counter("health_events_total", "Control-plane lifecycle events recorded.", `kind="recovery"`, float64(e.recoveries.Load()))
+	pw.Counter("health_events_total", "Control-plane lifecycle events recorded.", `kind="profile"`, float64(e.profileEvents.Load()))
 	pw.Gauge("health_status", "Worst cell state: 0 ok, 1 degraded, 2 breached.", "", stateValue(h.Status))
 	pw.Gauge("health_cells", "Cells under health observation.", "", float64(len(h.Cells)))
 	pw.Gauge("health_autoscale_plan", "Advisor recommendation: 0 none, 1 scale_up, -1 scale_down.", "", actionValue(plan.Action))
@@ -63,4 +64,11 @@ func (e *Evaluator) WritePrometheus(pw *serve.PromWriter) {
 	}
 	pw.Gauge("health_breached_cells", "Cells currently in the breached state.", "", float64(breached))
 	pw.Counter("health_counter_resets_total", "Cumulative-counter resets detected (cell restarts).", "", float64(resets))
+
+	if h.Runtime != nil {
+		for _, r := range h.Runtime.Rules {
+			rl := `cell="process",rule="` + r.Rule + `"`
+			pw.Gauge("health_rule_state", "Per-rule state: 0 ok, 1 degraded, 2 breached.", rl, stateValue(r.State))
+		}
+	}
 }

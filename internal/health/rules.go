@@ -15,6 +15,14 @@ const (
 	MetricCacheHitRate Metric = "cache_hit_rate"
 	MetricQueueDepth   Metric = "queue_depth"
 	MetricRequestRate  Metric = "request_rate"
+
+	// Runtime metrics are process-level Go runtime vitals (sampled via
+	// Config.Runtime, judged by Config.RuntimeRules against the whole
+	// process rather than any one cell).
+	MetricGoroutines      Metric = "runtime_goroutines"
+	MetricHeapBytes       Metric = "runtime_heap_bytes"
+	MetricGCPauseP99      Metric = "runtime_gc_pause_p99"
+	MetricSchedLatencyP99 Metric = "runtime_sched_latency_p99"
 )
 
 // State is one rule's (or, aggregated, one cell's) SLO standing.
@@ -91,6 +99,43 @@ func DefaultRules() []Rule {
 	}
 }
 
+// DefaultRuntimeRules is the stock process-level rule set, applied when
+// Config.Runtime is wired without explicit RuntimeRules: a goroutine-leak
+// ceiling (a serving process runs tens to hundreds of goroutines; tens of
+// thousands means a leak) and a GC pause p99 bar (Go pauses are sub-ms;
+// 50ms means the heap is in trouble).
+func DefaultRuntimeRules() []Rule {
+	return []Rule{
+		{Name: "runtime-goroutines", Metric: MetricGoroutines, Threshold: 10000},
+		{Name: "runtime-gc-pause", Metric: MetricGCPauseP99, Threshold: 0.050},
+	}
+}
+
+// RuntimeSample is one process-level vitals reading, the runtime-rule
+// analogue of a cell's WindowStats. The cmds adapt the forensics layer's
+// Vitals into it.
+type RuntimeSample struct {
+	Goroutines             float64 `json:"goroutines"`
+	HeapBytes              float64 `json:"heap_bytes"`
+	GCPauseP99Seconds      float64 `json:"gc_pause_p99_seconds"`
+	SchedLatencyP99Seconds float64 `json:"sched_latency_p99_seconds"`
+}
+
+// Value reads one runtime metric out of the sample for rule evaluation.
+func (s RuntimeSample) Value(m Metric) float64 {
+	switch m {
+	case MetricGoroutines:
+		return s.Goroutines
+	case MetricHeapBytes:
+		return s.HeapBytes
+	case MetricGCPauseP99:
+		return s.GCPauseP99Seconds
+	case MetricSchedLatencyP99:
+		return s.SchedLatencyP99Seconds
+	}
+	return 0
+}
+
 // ruleState is the per-(cell, rule) hysteresis state machine.
 type ruleState struct {
 	state        State
@@ -100,9 +145,11 @@ type ruleState struct {
 	lastChange   time.Time
 }
 
-// stepRule advances one rule's state machine with this tick's value.
-// Returns the prior state and whether the state changed.
-func (rs *ruleState) step(r Rule, ws WindowStats, breachAfter, clearAfter int, now time.Time) (from State, changed bool) {
+// step advances one rule's state machine with this tick's value and the
+// window's traffic (requests gates MinRequests; runtime rules pass 0 and
+// leave MinRequests unset — vitals are always live data). Returns the
+// prior state and whether the state changed.
+func (rs *ruleState) step(r Rule, v float64, requests int64, breachAfter, clearAfter int, now time.Time) (from State, changed bool) {
 	from = rs.state
 	if rs.state == "" {
 		rs.state, from = StateOK, StateOK
@@ -113,9 +160,8 @@ func (rs *ruleState) step(r Rule, ws WindowStats, breachAfter, clearAfter int, n
 	if r.ClearAfter > 0 {
 		clearAfter = r.ClearAfter
 	}
-	v := ws.Value(r.Metric)
 	rs.lastValue = v
-	if r.violated(v) && ws.Requests >= r.MinRequests {
+	if r.violated(v) && requests >= r.MinRequests {
 		rs.breachStreak++
 		rs.clearStreak = 0
 		switch {

@@ -6,16 +6,7 @@ import (
 )
 
 func stepValue(rs *ruleState, r Rule, v float64, requests int64) (State, bool) {
-	ws := WindowStats{Ticks: 1, Requests: requests}
-	switch r.Metric {
-	case MetricQueueWaitP99:
-		ws.QueueWaitP99 = v
-	case MetricErrorRate:
-		ws.ErrorRate = v
-	case MetricCacheHitRate:
-		ws.CacheHitRate = v
-	}
-	_, changed := rs.step(r, ws, 3, 3, time.Unix(0, 0))
+	_, changed := rs.step(r, v, requests, 3, 3, time.Unix(0, 0))
 	return rs.state, changed
 }
 

@@ -104,10 +104,19 @@ func (cw *cellWindow) step(s CellSample, span time.Duration) {
 	if reset {
 		cw.resets++
 	}
-	b.queueWaitP50 = s.QueueWaitP50
-	b.queueWaitP99 = s.QueueWaitP99
-	b.solveP50 = s.SolveP50
-	b.solveP99 = s.SolveP99
+	// A genuinely idle tick (no completions AND an empty queue)
+	// contributes zero quantiles: the serving layer's latency rings go
+	// stale the moment traffic stops, and folding their last values into
+	// every subsequent bucket would pin a breach on an idle cell forever.
+	// A wedged cell looks different — nothing completes but the queue is
+	// backed up — and keeps the stale quantiles, because that pressure
+	// is real.
+	if b.requests > 0 || s.QueueDepth > 0 {
+		b.queueWaitP50 = s.QueueWaitP50
+		b.queueWaitP99 = s.QueueWaitP99
+		b.solveP50 = s.SolveP50
+		b.solveP99 = s.SolveP99
+	}
 	b.queueDepth = s.QueueDepth
 	b.span = span
 

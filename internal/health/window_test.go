@@ -124,3 +124,39 @@ func TestWindowEviction(t *testing.T) {
 		t.Fatalf("window requests %d, want the last two deltas (20)", ws.Requests)
 	}
 }
+
+// TestIdleTickDropsStaleQuantiles: once traffic stops (no completions,
+// empty queue) the stale point-in-time quantiles must age out of the
+// window instead of pinning a breach on an idle cell forever; a wedged
+// cell (empty completions, backed-up queue) keeps them.
+func TestIdleTickDropsStaleQuantiles(t *testing.T) {
+	cw := newCellWindow(0, 3)
+	cw.step(counterSample(0, 100, 0, 0, 100), time.Second)
+	hot := counterSample(0, 200, 0, 0, 200)
+	hot.QueueWaitP99 = 0.250
+	cw.step(hot, time.Second)
+	if ws := cw.stats(); ws.QueueWaitP99 != 0.250 {
+		t.Fatalf("hot window p99 %g, want 0.25", ws.QueueWaitP99)
+	}
+
+	// Idle ticks: counters frozen, queue empty, but the serving layer
+	// still reports the stale ring quantile. It must not be folded in.
+	idle := counterSample(0, 200, 0, 0, 200)
+	idle.QueueWaitP99 = 0.250
+	for i := 0; i < 3; i++ {
+		cw.step(idle, time.Second)
+	}
+	if ws := cw.stats(); ws.QueueWaitP99 != 0 {
+		t.Fatalf("idle window p99 %g, want 0 after the hot bucket ages out", ws.QueueWaitP99)
+	}
+
+	// Wedged: nothing completes but the queue is deep — stale quantiles
+	// stay, because the pressure is real.
+	wedged := counterSample(0, 200, 0, 0, 200)
+	wedged.QueueWaitP99 = 0.250
+	wedged.QueueDepth = 40
+	cw.step(wedged, time.Second)
+	if ws := cw.stats(); ws.QueueWaitP99 != 0.250 {
+		t.Fatalf("wedged window p99 %g, want 0.25 retained", ws.QueueWaitP99)
+	}
+}

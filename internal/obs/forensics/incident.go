@@ -1,0 +1,192 @@
+package forensics
+
+import (
+	"archive/tar"
+	"compress/gzip"
+	"encoding/json"
+	"io"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strconv"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// Section is one named JSON document of the incident bundle, fetched at
+// bundle time. The cmds wire the layers the forensics package must not
+// import (alert ring, health windows, convergence observatory, assembled
+// traces) through this seam.
+type Section struct {
+	// Name becomes <Name>.json inside the bundle.
+	Name string
+	// Fetch runs on the request goroutine; a nil return drops the
+	// section from that bundle.
+	Fetch func() any
+}
+
+// BundleConfig wires the incident bundle's contents.
+type BundleConfig struct {
+	// Origin names the process ("flserved", "flcluster") in meta.json.
+	Origin string
+	// Flight contributes flight.json (the wide-event window, filtered by
+	// the request's validated query). Optional.
+	Flight *FlightRecorder
+	// Profiles contributes profiles.json plus the retained capture files
+	// under profiles/. Optional.
+	Profiles *ProfileTrigger
+	// Sections are the extra JSON documents, in bundle order.
+	Sections []Section
+}
+
+// bundleMeta is the bundle's meta.json: enough to identify which process
+// produced the artifact and when.
+type bundleMeta struct {
+	Origin        string    `json:"origin"`
+	GeneratedAt   time.Time `json:"generated_at"`
+	UptimeSeconds float64   `json:"uptime_seconds"`
+	Version       string    `json:"version"`
+	Contents      []string  `json:"contents"`
+}
+
+// IncidentHandler serves GET /debug/incident: one tar.gz assembling the
+// flight-recorder window, runtime vitals, every configured section, and
+// the retained profile captures — the single artifact an operator
+// downloads instead of hand-collecting four debug endpoints. The flight
+// window honors the same validated limit/min_duration/trace_id query as
+// /debug/traces.
+func IncidentHandler(cfg BundleConfig) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodGet {
+			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+			return
+		}
+		q, err := obs.ParseTraceQuery(r.URL.Query())
+		if err != nil {
+			if !obs.WriteQueryError(w, err) {
+				http.Error(w, err.Error(), http.StatusBadRequest)
+			}
+			return
+		}
+
+		name := "incident-" + cfg.Origin + "-" + time.Now().UTC().Format("20060102T150405Z") + ".tar.gz"
+		w.Header().Set("Content-Type", "application/gzip")
+		w.Header().Set("Content-Disposition", `attachment; filename="`+name+`"`)
+		w.WriteHeader(http.StatusOK)
+
+		gz := gzip.NewWriter(w)
+		tw := tar.NewWriter(gz)
+		// Past the header the stream is committed; write errors (client
+		// went away) just stop the walk.
+		_ = writeBundle(tw, cfg, q)
+		_ = tw.Close()
+		_ = gz.Close()
+	})
+}
+
+// writeBundle streams every bundle entry; the first write error aborts.
+func writeBundle(tw *tar.Writer, cfg BundleConfig, q obs.TraceQuery) error {
+	meta := bundleMeta{
+		Origin:        cfg.Origin,
+		GeneratedAt:   time.Now(),
+		UptimeSeconds: obs.Uptime().Seconds(),
+		Version:       obs.VersionString(),
+	}
+	type doc struct {
+		name string
+		v    any
+	}
+	docs := []doc{}
+	if cfg.Flight != nil {
+		docs = append(docs, doc{"flight.json", FlightJSON{
+			Events:          cfg.Flight.Events(q),
+			FlightStatsJSON: cfg.Flight.StatsJSON(),
+		}})
+	}
+	docs = append(docs, doc{"runtime.json", ReadVitals()})
+	for _, s := range cfg.Sections {
+		if s.Fetch == nil {
+			continue
+		}
+		if v := s.Fetch(); v != nil {
+			docs = append(docs, doc{s.Name + ".json", v})
+		}
+	}
+	var captures []Capture
+	if cfg.Profiles != nil {
+		captures = cfg.Profiles.Recent()
+		docs = append(docs, doc{"profiles.json", struct {
+			Captures []Capture        `json:"captures"`
+			Stats    ProfileStatsJSON `json:"stats"`
+		}{captures, cfg.Profiles.StatsJSON()}})
+	}
+	for _, d := range docs {
+		meta.Contents = append(meta.Contents, d.name)
+	}
+	for _, c := range captures {
+		for _, f := range c.Files {
+			meta.Contents = append(meta.Contents, "profiles/"+filepath.Base(c.Dir)+"/"+f)
+		}
+	}
+
+	if err := writeJSONEntry(tw, "meta.json", meta); err != nil {
+		return err
+	}
+	for _, d := range docs {
+		if err := writeJSONEntry(tw, d.name, d.v); err != nil {
+			return err
+		}
+	}
+	// Profile files stream straight off disk; a capture pruned or still
+	// being written between Recent() and here is skipped, not fatal.
+	for _, c := range captures {
+		for _, f := range c.Files {
+			src := filepath.Join(c.Dir, f)
+			dst := "profiles/" + filepath.Base(c.Dir) + "/" + f
+			if err := writeFileEntry(tw, dst, src); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// writeJSONEntry marshals v as one indented JSON tar entry.
+func writeJSONEntry(tw *tar.Writer, name string, v any) error {
+	data, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		data = []byte(`{"error":` + strconv.Quote(err.Error()) + `}`)
+	}
+	data = append(data, '\n')
+	if err := tw.WriteHeader(&tar.Header{
+		Name: name, Mode: 0o644, Size: int64(len(data)), ModTime: time.Now(),
+	}); err != nil {
+		return err
+	}
+	_, err = tw.Write(data)
+	return err
+}
+
+// writeFileEntry copies one on-disk file into the tar; a missing file is
+// skipped silently (bounded retention may have pruned it mid-bundle).
+func writeFileEntry(tw *tar.Writer, name, path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil
+	}
+	defer f.Close()
+	st, err := f.Stat()
+	if err != nil {
+		return nil
+	}
+	if err := tw.WriteHeader(&tar.Header{
+		Name: name, Mode: 0o644, Size: st.Size(), ModTime: st.ModTime(),
+	}); err != nil {
+		return err
+	}
+	// CopyN against the Stat size: a cpu.pprof still growing in the
+	// background must not overrun the declared entry size.
+	_, err = io.CopyN(tw, f, st.Size())
+	return err
+}

@@ -1,0 +1,335 @@
+package forensics
+
+import (
+	"fmt"
+	"io"
+	"log/slog"
+	"os"
+	"path/filepath"
+	"runtime"
+	"runtime/pprof"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// Defaults applied by ProfileConfig.withDefaults.
+const (
+	// DefaultCPUSeconds is how long a triggered CPU profile samples.
+	DefaultCPUSeconds = 1.0
+	// DefaultMaxCaptures bounds on-disk retention: older capture
+	// directories beyond this many are pruned.
+	DefaultMaxCaptures = 4
+	// DefaultMinInterval rate-limits triggered captures; firings inside
+	// the interval are suppressed (and counted).
+	DefaultMinInterval = 2 * time.Minute
+	// DefaultMutexFraction is installed via runtime.SetMutexProfileFraction
+	// when profiling is enabled and no fraction is set, so the mutex
+	// profile a trigger captures actually has samples in it.
+	DefaultMutexFraction = 5
+	// DefaultCaptureRing bounds the in-memory capture-record ring.
+	DefaultCaptureRing = 32
+)
+
+// ProfileConfig tunes a ProfileTrigger. Dir is required.
+type ProfileConfig struct {
+	// Dir is the retention root: each firing writes one
+	// cap-<seq>-<reason> directory under it.
+	Dir string
+	// CPUSeconds is the triggered CPU profile's sampling window.
+	CPUSeconds float64
+	// MaxCaptures bounds how many capture directories are retained on
+	// disk; MinInterval rate-limits firings.
+	MaxCaptures int
+	MinInterval time.Duration
+	// MutexFraction is installed when the process has mutex profiling off
+	// (runtime fraction 0); <0 leaves the runtime setting untouched.
+	MutexFraction int
+	// Logger receives capture/prune logs; nil uses slog.Default().
+	Logger *slog.Logger
+}
+
+func (c ProfileConfig) withDefaults() ProfileConfig {
+	if c.CPUSeconds <= 0 {
+		c.CPUSeconds = DefaultCPUSeconds
+	}
+	if c.MaxCaptures <= 0 {
+		c.MaxCaptures = DefaultMaxCaptures
+	}
+	if c.MinInterval <= 0 {
+		c.MinInterval = DefaultMinInterval
+	}
+	if c.MutexFraction == 0 {
+		c.MutexFraction = DefaultMutexFraction
+	}
+	return c
+}
+
+// Capture records one trigger firing: where the profiles landed and any
+// per-file failures (best-effort — a capture with a failed mutex profile
+// still delivers the other three).
+type Capture struct {
+	Seq    int64     `json:"seq"`
+	Time   time.Time `json:"time"`
+	Reason string    `json:"reason"`
+	Dir    string    `json:"dir"`
+	Files  []string  `json:"files"`
+	Errors []string  `json:"errors,omitempty"`
+}
+
+// ProfileTrigger captures pprof profiles on demand — in practice, when a
+// health rule transitions out of ok. Captures are rate-limited
+// (suppressions counted, like every other bounded thing in the stack),
+// retention on disk is bounded, and capture records land in a ring for
+// /v1/stats and the incident bundle. Safe for concurrent use; all methods
+// are safe on a nil receiver.
+type ProfileTrigger struct {
+	cfg ProfileConfig
+	log *slog.Logger
+
+	seq        atomic.Int64
+	captures   atomic.Int64
+	suppressed atomic.Int64
+	pruned     atomic.Int64
+	lastNS     atomic.Int64 // wall clock of the last admitted capture
+
+	ring *obs.Ring[Capture]
+
+	cpuMu sync.Mutex // one CPU profile at a time, process-wide
+	wg    sync.WaitGroup
+
+	now func() time.Time // test hook
+}
+
+// NewProfileTrigger builds a trigger rooted at cfg.Dir (created if
+// missing).
+func NewProfileTrigger(cfg ProfileConfig) (*ProfileTrigger, error) {
+	cfg = cfg.withDefaults()
+	if cfg.Dir == "" {
+		return nil, fmt.Errorf("forensics: ProfileConfig.Dir is required")
+	}
+	if err := os.MkdirAll(cfg.Dir, 0o755); err != nil {
+		return nil, fmt.Errorf("forensics: creating profile dir: %w", err)
+	}
+	log := cfg.Logger
+	if log == nil {
+		log = slog.Default()
+	}
+	if cfg.MutexFraction > 0 && runtime.SetMutexProfileFraction(-1) == 0 {
+		runtime.SetMutexProfileFraction(cfg.MutexFraction)
+	}
+	return &ProfileTrigger{
+		cfg:  cfg,
+		log:  log,
+		ring: obs.NewRing[Capture](DefaultCaptureRing),
+		now:  time.Now,
+	}, nil
+}
+
+// Close waits for any in-flight background CPU profile to finish.
+func (p *ProfileTrigger) Close() {
+	if p == nil {
+		return
+	}
+	p.wg.Wait()
+}
+
+// sanitizeReason keeps capture directory names shell- and tar-safe.
+func sanitizeReason(s string) string {
+	var b []byte
+	for i := 0; i < len(s) && len(b) < 48; i++ {
+		c := s[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= '0' && c <= '9', c == '-', c == '_':
+			b = append(b, c)
+		case c >= 'A' && c <= 'Z':
+			b = append(b, c+'a'-'A')
+		default:
+			b = append(b, '-')
+		}
+	}
+	if len(b) == 0 {
+		return "manual"
+	}
+	return string(b)
+}
+
+// Capture fires the trigger: heap, goroutine, and mutex profiles are
+// written synchronously; the CPU profile samples for CPUSeconds in the
+// background (its file exists immediately and fills as sampling runs).
+// Returns ok = false when the firing was rate-limit suppressed.
+func (p *ProfileTrigger) Capture(reason string) (Capture, bool) {
+	if p == nil {
+		return Capture{}, false
+	}
+	now := p.now()
+	for {
+		last := p.lastNS.Load()
+		if last != 0 && now.Sub(time.Unix(0, last)) < p.cfg.MinInterval {
+			p.suppressed.Add(1)
+			return Capture{}, false
+		}
+		if p.lastNS.CompareAndSwap(last, now.UnixNano()) {
+			break
+		}
+	}
+	seq := p.seq.Add(1)
+	rec := Capture{
+		Seq:    seq,
+		Time:   now,
+		Reason: reason,
+		Dir:    filepath.Join(p.cfg.Dir, fmt.Sprintf("cap-%06d-%s", seq, sanitizeReason(reason))),
+	}
+	if err := os.MkdirAll(rec.Dir, 0o755); err != nil {
+		rec.Errors = append(rec.Errors, err.Error())
+		p.ring.Append(rec)
+		p.log.Warn("profile capture failed", "dir", rec.Dir, "err", err)
+		return rec, true
+	}
+	for _, name := range []string{"heap", "goroutine", "mutex"} {
+		file := name + ".pprof"
+		if err := writeLookupProfile(filepath.Join(rec.Dir, file), name); err != nil {
+			rec.Errors = append(rec.Errors, file+": "+err.Error())
+			continue
+		}
+		rec.Files = append(rec.Files, file)
+	}
+	cpuPath := filepath.Join(rec.Dir, "cpu.pprof")
+	if f, err := os.Create(cpuPath); err != nil {
+		rec.Errors = append(rec.Errors, "cpu.pprof: "+err.Error())
+	} else {
+		rec.Files = append(rec.Files, "cpu.pprof")
+		p.wg.Add(1)
+		go p.sampleCPU(f)
+	}
+	sort.Strings(rec.Files)
+	p.captures.Add(1)
+	p.ring.Append(rec)
+	p.prune()
+	p.log.Warn("profiles captured", "reason", reason, "dir", rec.Dir,
+		"files", strings.Join(rec.Files, ","), "errors", len(rec.Errors))
+	return rec, true
+}
+
+// writeLookupProfile snapshots one named runtime profile to path.
+func writeLookupProfile(path, name string) error {
+	prof := pprof.Lookup(name)
+	if prof == nil {
+		return fmt.Errorf("unknown profile %q", name)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := prof.WriteTo(f, 0); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// sampleCPU runs one CPU profile into f. Firings that overlap an already
+// running CPU profile (another trigger, or an operator on
+// /debug/pprof/profile) queue behind it rather than failing.
+func (p *ProfileTrigger) sampleCPU(f *os.File) {
+	defer p.wg.Done()
+	defer f.Close()
+	p.cpuMu.Lock()
+	defer p.cpuMu.Unlock()
+	if err := pprof.StartCPUProfile(f); err != nil {
+		p.log.Warn("cpu profile start failed", "file", f.Name(), "err", err)
+		return
+	}
+	time.Sleep(time.Duration(p.cfg.CPUSeconds * float64(time.Second)))
+	pprof.StopCPUProfile()
+}
+
+// prune enforces bounded disk retention: capture directories beyond
+// MaxCaptures are removed oldest-first (names sort by sequence number).
+func (p *ProfileTrigger) prune() {
+	entries, err := os.ReadDir(p.cfg.Dir)
+	if err != nil {
+		return
+	}
+	var caps []string
+	for _, e := range entries {
+		if e.IsDir() && strings.HasPrefix(e.Name(), "cap-") {
+			caps = append(caps, e.Name())
+		}
+	}
+	sort.Strings(caps)
+	for len(caps) > p.cfg.MaxCaptures {
+		victim := filepath.Join(p.cfg.Dir, caps[0])
+		caps = caps[1:]
+		if err := os.RemoveAll(victim); err != nil {
+			p.log.Warn("profile prune failed", "dir", victim, "err", err)
+			continue
+		}
+		p.pruned.Add(1)
+		p.log.Info("profile capture pruned", "dir", victim)
+	}
+}
+
+// Recent returns the retained capture records, newest first.
+func (p *ProfileTrigger) Recent() []Capture {
+	if p == nil {
+		return nil
+	}
+	return p.ring.Snapshot()
+}
+
+// ProfileStatsJSON is the trigger's lifecycle accounting.
+type ProfileStatsJSON struct {
+	Captures   int64 `json:"captures"`
+	Suppressed int64 `json:"suppressed"`
+	Pruned     int64 `json:"pruned"`
+}
+
+// StatsJSON snapshots the trigger's counters.
+func (p *ProfileTrigger) StatsJSON() ProfileStatsJSON {
+	if p == nil {
+		return ProfileStatsJSON{}
+	}
+	return ProfileStatsJSON{
+		Captures:   p.captures.Load(),
+		Suppressed: p.suppressed.Load(),
+		Pruned:     p.pruned.Load(),
+	}
+}
+
+// WritePrometheus appends the obs_profile_* series to a /metrics
+// exposition.
+func (p *ProfileTrigger) WritePrometheus(w io.Writer) error {
+	if p == nil {
+		return nil
+	}
+	s := p.StatsJSON()
+	var b []byte
+	for _, m := range []struct {
+		name, help string
+		v          int64
+	}{
+		{"obs_profile_captures_total", "Triggered pprof captures admitted.", s.Captures},
+		{"obs_profile_suppressed_total", "Triggered pprof captures rate-limit suppressed.", s.Suppressed},
+		{"obs_profile_pruned_total", "Capture directories pruned by bounded retention.", s.Pruned},
+	} {
+		b = append(b, "# HELP "...)
+		b = append(b, m.name...)
+		b = append(b, ' ')
+		b = append(b, m.help...)
+		b = append(b, "\n# TYPE "...)
+		b = append(b, m.name...)
+		b = append(b, " counter\n"...)
+		b = append(b, m.name...)
+		b = append(b, ' ')
+		b = strconv.AppendInt(b, m.v, 10)
+		b = append(b, '\n')
+	}
+	_, err := w.Write(b)
+	return err
+}

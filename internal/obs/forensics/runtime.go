@@ -1,0 +1,142 @@
+package forensics
+
+import (
+	"io"
+	"math"
+	"runtime"
+	"runtime/metrics"
+	"strconv"
+)
+
+// runtime/metrics sample names read by ReadVitals. Read as one batch —
+// the runtime fills a batch atomically enough for dashboard purposes.
+const (
+	metricHeapBytes = "/memory/classes/heap/objects:bytes"
+	metricGCPauses  = "/sched/pauses/total/gc:seconds"
+	metricSchedLat  = "/sched/latencies:seconds"
+	metricGCCycles  = "/gc/cycles/total:gc-cycles"
+)
+
+// Vitals is one reading of the Go runtime's health signals: the inputs to
+// the obs_runtime_* gauges, the health layer's runtime rules, and the
+// dashboard's "runtime" section.
+type Vitals struct {
+	// Goroutines is the live goroutine count — the leak detector.
+	Goroutines int `json:"goroutines"`
+	// HeapBytes is the live heap (bytes occupied by objects).
+	HeapBytes uint64 `json:"heap_bytes"`
+	// GCPauseP99Seconds is the p99 of all stop-the-world GC pauses since
+	// process start; GCCycles the completed GC count.
+	GCPauseP99Seconds float64 `json:"gc_pause_p99_seconds"`
+	GCCycles          uint64  `json:"gc_cycles"`
+	// SchedLatencyP99Seconds is the p99 of goroutine scheduling latency
+	// (time runnable before running) since process start — the runtime's
+	// own queue-wait signal.
+	SchedLatencyP99Seconds float64 `json:"sched_latency_p99_seconds"`
+}
+
+// ReadVitals samples the runtime. Cheap enough for a health tick or a
+// dashboard frame (no stop-the-world).
+func ReadVitals() Vitals {
+	samples := []metrics.Sample{
+		{Name: metricHeapBytes},
+		{Name: metricGCPauses},
+		{Name: metricSchedLat},
+		{Name: metricGCCycles},
+	}
+	metrics.Read(samples)
+	v := Vitals{Goroutines: runtime.NumGoroutine()}
+	for i := range samples {
+		s := &samples[i]
+		switch s.Name {
+		case metricHeapBytes:
+			if s.Value.Kind() == metrics.KindUint64 {
+				v.HeapBytes = s.Value.Uint64()
+			}
+		case metricGCPauses:
+			if s.Value.Kind() == metrics.KindFloat64Histogram {
+				v.GCPauseP99Seconds = histQuantile(s.Value.Float64Histogram(), 0.99)
+			}
+		case metricSchedLat:
+			if s.Value.Kind() == metrics.KindFloat64Histogram {
+				v.SchedLatencyP99Seconds = histQuantile(s.Value.Float64Histogram(), 0.99)
+			}
+		case metricGCCycles:
+			if s.Value.Kind() == metrics.KindUint64 {
+				v.GCCycles = s.Value.Uint64()
+			}
+		}
+	}
+	return v
+}
+
+// histQuantile estimates a quantile from a runtime/metrics histogram,
+// attributing each bucket's mass to its upper bound (the conservative
+// reading — same convention as the health windows' max-over-bucket
+// quantiles). Unbounded tail buckets fall back to their lower bound.
+func histQuantile(h *metrics.Float64Histogram, q float64) float64 {
+	if h == nil || len(h.Counts) == 0 {
+		return 0
+	}
+	var total uint64
+	for _, c := range h.Counts {
+		total += c
+	}
+	if total == 0 {
+		return 0
+	}
+	rank := uint64(q * float64(total))
+	var cum uint64
+	for i, c := range h.Counts {
+		cum += c
+		if cum > rank {
+			// Bucket i spans [Buckets[i], Buckets[i+1]).
+			hi := h.Buckets[i+1]
+			if math.IsInf(hi, 1) {
+				return h.Buckets[i]
+			}
+			return hi
+		}
+	}
+	return h.Buckets[len(h.Buckets)-1]
+}
+
+// WriteRuntimePrometheus appends the obs_runtime_* series — the Go
+// runtime vitals every cmd exports on /metrics — reading a fresh sample
+// per scrape.
+func WriteRuntimePrometheus(w io.Writer) error {
+	v := ReadVitals()
+	var b []byte
+	add := func(name, typ, help, labels string, val string) {
+		b = append(b, "# HELP "...)
+		b = append(b, name...)
+		b = append(b, ' ')
+		b = append(b, help...)
+		b = append(b, "\n# TYPE "...)
+		b = append(b, name...)
+		b = append(b, ' ')
+		b = append(b, typ...)
+		b = append(b, '\n')
+		b = append(b, name...)
+		if labels != "" {
+			b = append(b, '{')
+			b = append(b, labels...)
+			b = append(b, '}')
+		}
+		b = append(b, ' ')
+		b = append(b, val...)
+		b = append(b, '\n')
+	}
+	add("obs_runtime_goroutines", "gauge", "Live goroutines.", "",
+		strconv.Itoa(v.Goroutines))
+	add("obs_runtime_heap_bytes", "gauge", "Live heap bytes (objects).", "",
+		strconv.FormatUint(v.HeapBytes, 10))
+	add("obs_runtime_gc_pause_seconds", "gauge", "GC stop-the-world pause quantile since process start.", `quantile="0.99"`,
+		strconv.FormatFloat(v.GCPauseP99Seconds, 'g', -1, 64))
+	add("obs_runtime_sched_latency_seconds", "gauge", "Goroutine scheduling latency quantile since process start.", `quantile="0.99"`,
+		strconv.FormatFloat(v.SchedLatencyP99Seconds, 'g', -1, 64))
+	add("obs_runtime_gc_cycles_total", "counter", "Completed GC cycles.", "",
+		strconv.FormatUint(v.GCCycles, 10))
+	_, err := w.Write(b)
+	return err
+}

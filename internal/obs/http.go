@@ -19,6 +19,16 @@ const DebugPath = "/debug/traces"
 // MiddlewareConfig.Spans is set.
 const SpansPath = "/debug/spans"
 
+// FlightPath is where the forensics flight recorder serves its wide-event
+// ring (see internal/obs/forensics); Middleware mounts it when
+// MiddlewareConfig.Flight is set.
+const FlightPath = "/debug/flight"
+
+// IncidentPath is where the forensics layer serves the one-shot incident
+// bundle (tar.gz); Middleware mounts it when MiddlewareConfig.Incident is
+// set.
+const IncidentPath = "/debug/incident"
+
 // TraceHeader carries the trace ID on both directions of the wire: echoed
 // on every traced response, and adopted from incoming requests so a
 // router→cell forward keeps one trace identity across processes.
@@ -163,6 +173,12 @@ type MiddlewareConfig struct {
 	// Spans, when non-nil, is mounted at POST /debug/spans — the telemetry
 	// aggregator's ingest endpoint. Ingest requests are never traced.
 	Spans http.Handler
+	// Flight, when non-nil, is mounted at FlightPath — the forensics
+	// flight recorder's wide-event query endpoint.
+	Flight http.Handler
+	// Incident, when non-nil, is mounted at IncidentPath — the forensics
+	// incident-bundle download.
+	Incident http.Handler
 	// StatsSections are extra top-level sections injected into GET
 	// /v1/stats responses, keyed by JSON field name. Fetchers run per
 	// request; a nil return drops the section for that response.
@@ -210,6 +226,10 @@ func MiddlewareWith(c *Collector, mc MiddlewareConfig, next http.Handler) http.H
 			traces.ServeHTTP(w, r)
 		case mc.Spans != nil && r.URL.Path == SpansPath:
 			mc.Spans.ServeHTTP(w, r)
+		case mc.Flight != nil && r.URL.Path == FlightPath:
+			mc.Flight.ServeHTTP(w, r)
+		case mc.Incident != nil && r.URL.Path == IncidentPath:
+			mc.Incident.ServeHTTP(w, r)
 		case r.URL.Path == VersionPath:
 			VersionHandler().ServeHTTP(w, r)
 		case r.Method == http.MethodGet && r.URL.Path == "/v1/stats":

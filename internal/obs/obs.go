@@ -75,6 +75,12 @@ const (
 	// that re-seeds the successors (Value = warm seeds injected).
 	PhaseCrashRemove  = "crash_remove"
 	PhaseCrashPromote = "crash_promote"
+	// PhaseError is a zero-duration mark recorded by the HTTP front ends
+	// when a request ends in an error response; Detail carries the error
+	// string. It exists for requests that fail before any solve span is
+	// recorded (malformed bodies, queue-full sheds), so the flight
+	// recorder can still attribute the failure.
+	PhaseError = "error"
 	// PhaseTotal is recorded by Finish for the whole trace.
 	PhaseTotal = "total"
 )

@@ -1,0 +1,84 @@
+package telemetry
+
+import (
+	"io"
+	"net/http"
+	"net/http/pprof"
+
+	"repro/internal/obs"
+	"repro/internal/obs/forensics"
+)
+
+// DebugMuxConfig wires the shared -debug-addr surface. Every cmd mounts
+// the same mux so the debug endpoints behave identically across
+// flserved, flcluster, flopt, and experiments — pprof is always present;
+// everything else mounts only when wired.
+type DebugMuxConfig struct {
+	// Collector serves /debug/traces (raw per-process traces); with an
+	// Aggregator too, the handler merges assembled cross-cell traces in.
+	Collector  *obs.Collector
+	Aggregator *Aggregator
+	// Dashboard, when non-nil, mounts the SSE ops dashboard.
+	Dashboard *DashboardConfig
+	// Flight, when non-nil, serves /debug/flight (the wide-event window).
+	Flight *forensics.FlightRecorder
+	// Incident, when non-nil, serves the one-shot /debug/incident bundle.
+	Incident http.Handler
+	// Metrics, when non-nil, mirrors the process's /metrics exposition on
+	// the debug listener (for cmds whose public listener doesn't carry
+	// one, or for scraping past a saturated public port).
+	Metrics http.Handler
+}
+
+// DebugMux builds the standalone debug mux mounted on -debug-addr: the
+// profiling surface never rides the public listener, and every cmd gets
+// the identical endpoint set.
+func DebugMux(cfg DebugMuxConfig) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	if cfg.Collector != nil {
+		if cfg.Aggregator != nil {
+			mux.Handle(obs.DebugPath, TracesHandler(cfg.Collector, cfg.Aggregator))
+		} else {
+			mux.Handle(obs.DebugPath, cfg.Collector.DebugHandler())
+		}
+	}
+	if cfg.Dashboard != nil {
+		mux.Handle(DashboardPath, DashboardHandler(*cfg.Dashboard))
+	}
+	if cfg.Flight != nil {
+		mux.Handle(obs.FlightPath, cfg.Flight.Handler())
+	}
+	if cfg.Incident != nil {
+		mux.Handle(obs.IncidentPath, cfg.Incident)
+	}
+	if cfg.Metrics != nil {
+		mux.Handle("/metrics", cfg.Metrics)
+	}
+	return mux
+}
+
+// MetricsHandler composes Prometheus-text appenders into a standalone GET
+// /metrics handler — for cmds (flopt, experiments) whose only listener is
+// the debug mux, so the obs_runtime_*/obs_flight_* series still land on a
+// scrapeable endpoint. A nil or failing writer is skipped; the exposition
+// is whatever the remaining writers produced.
+func MetricsHandler(writers ...func(io.Writer) error) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodGet {
+			w.Header().Set("Allow", http.MethodGet)
+			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		for _, wr := range writers {
+			if wr != nil {
+				_ = wr(w)
+			}
+		}
+	})
+}

@@ -6,10 +6,12 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"time"
 
 	"repro/internal/baselines"
 	"repro/internal/core"
 	"repro/internal/fl"
+	"repro/internal/obs"
 )
 
 // DeviceJSON is the wire form of fl.Device.
@@ -299,15 +301,15 @@ func ReadBatchRequest(w http.ResponseWriter, r *http.Request) (DecodedBatch, boo
 	if err := json.NewDecoder(r.Body).Decode(&in); err != nil {
 		var tooBig *http.MaxBytesError
 		if errors.As(err, &tooBig) {
-			httpError(w, http.StatusRequestEntityTooLarge, err)
+			httpError(w, r, http.StatusRequestEntityTooLarge, err)
 			return DecodedBatch{}, false
 		}
-		httpError(w, http.StatusBadRequest, fmt.Errorf("decoding body: %w", err))
+		httpError(w, r, http.StatusBadRequest, fmt.Errorf("decoding body: %w", err))
 		return DecodedBatch{}, false
 	}
 	pri, err := ParseBatchPriority(in.Priority)
 	if err != nil {
-		httpError(w, http.StatusBadRequest, err)
+		httpError(w, r, http.StatusBadRequest, err)
 		return DecodedBatch{}, false
 	}
 	dec := DecodedBatch{
@@ -357,20 +359,20 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 	if err := json.NewDecoder(r.Body).Decode(&in); err != nil {
 		var tooBig *http.MaxBytesError
 		if errors.As(err, &tooBig) {
-			httpError(w, http.StatusRequestEntityTooLarge, err)
+			httpError(w, r, http.StatusRequestEntityTooLarge, err)
 			return
 		}
-		httpError(w, http.StatusBadRequest, fmt.Errorf("decoding body: %w", err))
+		httpError(w, r, http.StatusBadRequest, fmt.Errorf("decoding body: %w", err))
 		return
 	}
 	req, err := RequestFromJSON(in)
 	if err != nil {
-		httpError(w, http.StatusBadRequest, err)
+		httpError(w, r, http.StatusBadRequest, err)
 		return
 	}
 	resp, err := s.Solve(r.Context(), req)
 	if err != nil {
-		httpError(w, StatusFor(err), err)
+		httpError(w, r, StatusFor(err), err)
 		return
 	}
 	writeJSON(w, http.StatusOK, ResponseToJSON(resp))
@@ -415,6 +417,11 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 	_ = json.NewEncoder(w).Encode(v)
 }
 
-func httpError(w http.ResponseWriter, status int, err error) {
+// httpError writes the error body and stamps a zero-duration PhaseError
+// mark on the request's trace, so error responses are visible in the
+// flight recorder and trace dumps even when the solve pipeline never ran.
+func httpError(w http.ResponseWriter, r *http.Request, status int, err error) {
+	obs.FromContext(r.Context()).RecordAttr(obs.PhaseError, time.Now(),
+		obs.Attr{Cell: obs.CellNone, Detail: err.Error(), Value: int64(status)})
 	writeJSON(w, status, map[string]string{"error": err.Error()})
 }

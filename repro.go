@@ -40,6 +40,7 @@ import (
 	"repro/internal/fl"
 	"repro/internal/health"
 	"repro/internal/obs"
+	"repro/internal/obs/forensics"
 	"repro/internal/obs/telemetry"
 	"repro/internal/replica"
 	"repro/internal/serve"
@@ -561,6 +562,77 @@ func ObsMiddlewareWith(c *ObsCollector, mc ObsMiddlewareConfig, next http.Handle
 	return obs.MiddlewareWith(c, mc, next)
 }
 
+// Incident-forensics types (see internal/obs/forensics): the always-on
+// flight recorder, the SLO-triggered pprof capture trigger, runtime
+// vitals, and the one-shot /debug/incident bundle.
+type (
+	// FlightRecorder is the bounded ring of per-request wide events fed
+	// from the collector sink (GET /debug/flight).
+	FlightRecorder = forensics.FlightRecorder
+	// FlightEvent is one request's wide event.
+	FlightEvent = forensics.Event
+	// ProfileTrigger captures pprof profiles on SLO transitions, with
+	// rate limiting and bounded disk retention.
+	ProfileTrigger = forensics.ProfileTrigger
+	// ProfileConfig tunes a ProfileTrigger (dir, CPU window, retention).
+	ProfileConfig = forensics.ProfileConfig
+	// ProfileCapture records one trigger firing.
+	ProfileCapture = forensics.Capture
+	// IncidentBundleConfig wires the GET /debug/incident tar.gz contents.
+	IncidentBundleConfig = forensics.BundleConfig
+	// IncidentSection is one named JSON document of the incident bundle.
+	IncidentSection = forensics.Section
+	// RuntimeVitals is one reading of the Go runtime's health signals.
+	RuntimeVitals = forensics.Vitals
+	// TelemetryDebugMuxConfig wires the shared -debug-addr surface.
+	TelemetryDebugMuxConfig = telemetry.DebugMuxConfig
+)
+
+// Forensics endpoints on the public middleware and the debug listener.
+const (
+	ObsFlightPath   = obs.FlightPath
+	ObsIncidentPath = obs.IncidentPath
+)
+
+// NewFlightRecorder builds a flight recorder retaining the last n wide
+// events (n <= 0 applies the 4096-event default). Chain it into the
+// collector sink: col.SetSink(func(t ObsTraceJSON) { ...; fr.Observe(t) }).
+func NewFlightRecorder(n int) *FlightRecorder { return forensics.NewFlightRecorder(n) }
+
+// NewProfileTrigger builds an SLO-triggered pprof capturer rooted at
+// cfg.Dir; Close waits for any in-flight CPU profile.
+func NewProfileTrigger(cfg ProfileConfig) (*ProfileTrigger, error) {
+	return forensics.NewProfileTrigger(cfg)
+}
+
+// IncidentHandler serves GET /debug/incident: one tar.gz assembling the
+// flight window, runtime vitals, the configured sections, and retained
+// profile captures.
+func IncidentHandler(cfg IncidentBundleConfig) http.Handler {
+	return forensics.IncidentHandler(cfg)
+}
+
+// ReadRuntimeVitals samples the Go runtime (cheap; no stop-the-world).
+func ReadRuntimeVitals() RuntimeVitals { return forensics.ReadVitals() }
+
+// WriteRuntimePrometheus appends the obs_runtime_* gauges to a /metrics
+// exposition.
+func WriteRuntimePrometheus(w io.Writer) error { return forensics.WriteRuntimePrometheus(w) }
+
+// TelemetryDebugMux builds the standalone debug mux every cmd mounts on
+// -debug-addr: pprof plus whatever trace, dashboard, flight, incident and
+// metrics handlers are wired.
+func TelemetryDebugMux(cfg TelemetryDebugMuxConfig) http.Handler {
+	return telemetry.DebugMux(cfg)
+}
+
+// TelemetryMetricsHandler composes Prometheus-text appenders into a
+// standalone GET /metrics handler for the debug mux of cmds whose only
+// listener is -debug-addr (flopt, experiments).
+func TelemetryMetricsHandler(writers ...func(io.Writer) error) http.Handler {
+	return telemetry.MetricsHandler(writers...)
+}
+
 // Health types (see internal/health): the rolling-window SLO engine with
 // its alert ring and autoscale advisor.
 type (
@@ -593,6 +665,12 @@ type (
 	HealthJSON = health.HealthJSON
 	// HealthMetric names the window aggregate an SLO rule judges.
 	HealthMetric = health.Metric
+	// HealthTransition is one SLO state change, delivered to the
+	// HealthConfig.OnTransition hook (the profile trigger's feed).
+	HealthTransition = health.Transition
+	// HealthRuntimeSample is one process-level vitals reading judged by
+	// the runtime rules.
+	HealthRuntimeSample = health.RuntimeSample
 )
 
 // Window metrics health rules can bind to.
@@ -607,9 +685,31 @@ const (
 	HealthMetricRequestRate  = health.MetricRequestRate
 )
 
+// Process-level runtime metrics (judged against pseudo-cell
+// HealthProcessCell rather than any serving cell).
+const (
+	HealthMetricGoroutines      = health.MetricGoroutines
+	HealthMetricHeapBytes       = health.MetricHeapBytes
+	HealthMetricGCPauseP99      = health.MetricGCPauseP99
+	HealthMetricSchedLatencyP99 = health.MetricSchedLatencyP99
+)
+
+// Health states, severity-ordered, and the pseudo-cell of process-level
+// runtime-rule transitions.
+const (
+	HealthStateOK       = health.StateOK
+	HealthStateDegraded = health.StateDegraded
+	HealthStateBreached = health.StateBreached
+	HealthProcessCell   = health.ProcessCell
+)
+
 // HealthDefaultRules returns the stock SLO set: queue-wait p99 under 50ms,
 // solve p99 under 500ms, error rate under 5%, and a cache-hit-rate floor.
 func HealthDefaultRules() []HealthRule { return health.DefaultRules() }
+
+// HealthDefaultRuntimeRules returns the stock process-level rule set
+// (goroutine-leak ceiling, GC-pause-p99 bar).
+func HealthDefaultRuntimeRules() []HealthRule { return health.DefaultRuntimeRules() }
 
 // NewHealthEvaluator builds the health engine; call Start to poll on the
 // configured tick (or drive Observe directly) and Close to stop.
